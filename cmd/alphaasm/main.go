@@ -1,0 +1,93 @@
+// Command alphaasm assembles an Alpha-subset source file and prints a
+// listing (disassembly plus data dump and symbol table).
+//
+// Usage:
+//
+//	alphaasm [-symbols] <file.s>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"pipefault/internal/asm"
+	"pipefault/internal/isa"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	fs := flag.NewFlagSet("alphaasm", flag.ExitOnError)
+	symbols := fs.Bool("symbols", true, "print the symbol table")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: alphaasm [flags] <file.s>")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "alphaasm:", err)
+		return 1
+	}
+	prog, err := asm.Assemble(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "alphaasm:", err)
+		return 1
+	}
+
+	fmt.Printf("text: %d bytes at %#x, data: %d bytes at %#x, entry %#x\n\n",
+		len(prog.Text), uint64(asm.TextBase), len(prog.Data), uint64(asm.DataBase), prog.Entry)
+	// Invert the symbol table for labeling.
+	byAddr := map[uint64][]string{}
+	for name, addr := range prog.Symbols {
+		byAddr[addr] = append(byAddr[addr], name)
+	}
+	for i := 0; i+4 <= len(prog.Text); i += 4 {
+		addr := asm.TextBase + uint64(i)
+		raw := uint32(prog.Text[i]) | uint32(prog.Text[i+1])<<8 |
+			uint32(prog.Text[i+2])<<16 | uint32(prog.Text[i+3])<<24
+		for _, name := range byAddr[addr] {
+			fmt.Printf("%s:\n", name)
+		}
+		fmt.Printf("  %06x:  %08x  %s\n", addr, raw, isa.Disassemble(isa.Decode(raw), addr))
+	}
+
+	if len(prog.Data) > 0 {
+		fmt.Printf("\ndata (%d bytes):\n", len(prog.Data))
+		for i := 0; i < len(prog.Data) && i < 256; i += 16 {
+			end := i + 16
+			if end > len(prog.Data) {
+				end = len(prog.Data)
+			}
+			fmt.Printf("  %06x: % x\n", asm.DataBase+uint64(i), prog.Data[i:end])
+		}
+		if len(prog.Data) > 256 {
+			fmt.Printf("  ... (%d more bytes)\n", len(prog.Data)-256)
+		}
+	}
+
+	if *symbols {
+		names := make([]string, 0, len(prog.Symbols))
+		for n := range prog.Symbols {
+			names = append(names, n)
+		}
+		sort.Slice(names, func(i, j int) bool {
+			return prog.Symbols[names[i]] < prog.Symbols[names[j]]
+		})
+		fmt.Println("\nsymbols:")
+		for _, n := range names {
+			fmt.Printf("  %06x  %s\n", prog.Symbols[n], n)
+		}
+	}
+	return 0
+}

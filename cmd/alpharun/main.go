@@ -1,0 +1,86 @@
+// Command alpharun assembles and executes an Alpha-subset source file on
+// the functional (architectural) simulator.
+//
+// Usage:
+//
+//	alpharun [-max N] [-regs] <file.s | benchmark>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pipefault/internal/arch"
+	"pipefault/internal/asm"
+	"pipefault/internal/mem"
+	"pipefault/internal/workload"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	fs := flag.NewFlagSet("alpharun", flag.ExitOnError)
+	maxInsns := fs.Uint64("max", 100_000_000, "instruction budget")
+	dumpRegs := fs.Bool("regs", false, "dump final register values")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: alpharun [flags] <file.s | benchmark>")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+
+	var prog *asm.Program
+	arg := fs.Arg(0)
+	if strings.HasSuffix(arg, ".s") {
+		src, err := os.ReadFile(arg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "alpharun:", err)
+			return 1
+		}
+		prog, err = asm.Assemble(string(src))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "alpharun:", err)
+			return 1
+		}
+	} else {
+		w, err := workload.ByName(arg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "alpharun:", err)
+			return 1
+		}
+		prog, err = w.Program()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "alpharun:", err)
+			return 1
+		}
+	}
+
+	m := mem.New()
+	regs := prog.Load(m)
+	cpu := arch.New(m, regs, prog.Entry)
+	_, exc := cpu.Run(*maxInsns)
+
+	os.Stdout.Write(cpu.Output)
+	fmt.Printf("-- %d instructions, halted=%v\n", cpu.InsnCount, cpu.Halted)
+	if exc != nil {
+		fmt.Printf("-- exception: %v\n", exc)
+	}
+	if *dumpRegs {
+		for i := 0; i < 32; i += 2 {
+			fmt.Printf("  r%-2d = %016x    r%-2d = %016x\n", i, cpu.Regs[i], i+1, cpu.Regs[i+1])
+		}
+	}
+	if exc != nil || !cpu.Halted {
+		return 1
+	}
+	return 0
+}

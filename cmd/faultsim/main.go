@@ -1,0 +1,344 @@
+// Command faultsim runs the paper's fault-injection experiments and prints
+// each table and figure of the evaluation.
+//
+// Usage:
+//
+//	faultsim [flags] <command>
+//
+// Commands:
+//
+//	table1      state inventory by category (Table 1), plus protected build
+//	modes       failure-mode taxonomy (Table 2)
+//	fig3        outcome mix per benchmark, l+r and l populations
+//	fig4        outcome mix by category, latches+RAMs
+//	fig5        outcome mix by category, latches only
+//	fig6        benign rate vs valid instructions in flight
+//	fig7        failure modes by category
+//	fig8        failure contributions by category
+//	fig9        outcome mix by category with all protections
+//	fig10       protected failure contributions
+//	reduction   Section 4.4 failure-rate reduction summary
+//	fig11       software-level fault models
+//	hotspots    per-element vulnerability ranking (beyond the paper)
+//	avf         structure occupancy vs masking (beyond the paper)
+//	ybranch     forced-branch-inversion reconvergence (beyond the paper)
+//	all         everything above
+//
+// Several commands may be given in one invocation; campaign results are
+// cached and shared between them.
+//
+// Scale flags (-checkpoints, -trials, -ltrials, -soft-trials) default to a
+// laptop-friendly size; the paper's scale is roughly -checkpoints 270
+// -trials 100 -soft-trials 1200.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pipefault"
+	"pipefault/internal/core"
+	"pipefault/internal/workload"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+type opts struct {
+	benches     []*workload.Workload
+	checkpoints int
+	trials      int
+	ltrials     int
+	softTrials  int
+	horizon     int
+	seed        int64
+	verbose     bool
+}
+
+func run() int {
+	fs := flag.NewFlagSet("faultsim", flag.ExitOnError)
+	benchFlag := fs.String("bench", "all", "comma-separated benchmarks, or \"all\"")
+	checkpoints := fs.Int("checkpoints", 12, "start points per benchmark")
+	trials := fs.Int("trials", 25, "latch+RAM trials per checkpoint")
+	ltrials := fs.Int("ltrials", 12, "latch-only trials per checkpoint")
+	softTrials := fs.Int("soft-trials", 60, "software trials per benchmark per model")
+	horizon := fs.Int("horizon", 10_000, "trial cycle budget")
+	seed := fs.Int64("seed", 1, "campaign RNG seed")
+	verbose := fs.Bool("v", false, "progress output")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: faultsim [flags] <table1|modes|fig3..fig11|hotspots|avf|reduction|ybranch|all>\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return 2
+	}
+	if fs.NArg() < 1 {
+		fs.Usage()
+		return 2
+	}
+
+	o := &opts{
+		checkpoints: *checkpoints, trials: *trials, ltrials: *ltrials,
+		softTrials: *softTrials, horizon: *horizon, seed: *seed, verbose: *verbose,
+	}
+	if *benchFlag == "all" {
+		o.benches = workload.Suite()
+	} else {
+		for _, name := range strings.Split(*benchFlag, ",") {
+			w, err := workload.ByName(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 2
+			}
+			o.benches = append(o.benches, w)
+		}
+	}
+
+	r := &runner{o: o}
+	for _, cmd := range fs.Args() {
+		if fs.NArg() > 1 {
+			fmt.Printf("\n===== %s =====\n", cmd)
+		}
+		if err := r.dispatch(cmd); err != nil {
+			fmt.Fprintln(os.Stderr, "faultsim:", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// runner caches campaign results across figures within one invocation.
+type runner struct {
+	o      *opts
+	unprot []*core.Result
+	prot   []*core.Result
+}
+
+func (r *runner) dispatch(cmd string) error {
+	switch cmd {
+	case "table1":
+		fmt.Println("== Baseline machine ==")
+		fmt.Println(pipefault.StateInventory(pipefault.ProtectConfig{}))
+		fmt.Println("== With all protection mechanisms (Section 4) ==")
+		fmt.Println(pipefault.StateInventory(pipefault.AllProtections()))
+		return nil
+	case "modes":
+		fmt.Println("Table 2. Failure modes:")
+		for _, m := range core.FailureModes() {
+			fmt.Printf("  %-8s (%s)\n", m, m.Outcome())
+		}
+		return nil
+	case "fig3":
+		u, err := r.unprotected()
+		if err != nil {
+			return err
+		}
+		fmt.Print(pipefault.RenderFigure3(u, []string{"l+r", "l"}))
+		return nil
+	case "fig4", "fig5":
+		u, err := r.unprotected()
+		if err != nil {
+			return err
+		}
+		agg := pipefault.MergeResults("average", u)
+		if cmd == "fig4" {
+			fmt.Print(pipefault.RenderByCategory(
+				"Figure 4. Fault injection into latches+RAMs by type.", agg.Pops["l+r"]))
+		} else {
+			fmt.Print(pipefault.RenderByCategory(
+				"Figure 5. Fault injection into latches by type.", agg.Pops["l"]))
+		}
+		return nil
+	case "fig6":
+		u, err := r.unprotected()
+		if err != nil {
+			return err
+		}
+		agg := pipefault.MergeResults("average", u)
+		fmt.Print(pipefault.RenderFigure6(agg.Scatter["l+r"]))
+		return nil
+	case "fig7":
+		u, err := r.unprotected()
+		if err != nil {
+			return err
+		}
+		agg := pipefault.MergeResults("average", u)
+		fmt.Print(pipefault.RenderFigure7(
+			"Figure 7. Failure modes by category (latches+RAMs).", agg.Pops["l+r"]))
+		return nil
+	case "fig8":
+		u, err := r.unprotected()
+		if err != nil {
+			return err
+		}
+		agg := pipefault.MergeResults("average", u)
+		fmt.Print(pipefault.RenderFigure8(
+			"Figure 8. Contributions to SDC and Terminated.", agg.Pops["l+r"]))
+		return nil
+	case "fig9":
+		p, err := r.protected()
+		if err != nil {
+			return err
+		}
+		agg := pipefault.MergeResults("average", p)
+		fmt.Print(pipefault.RenderByCategory(
+			"Figure 9. Protected: injection into latches+RAMs by type.", agg.Pops["l+r"]))
+		return nil
+	case "fig10":
+		p, err := r.protected()
+		if err != nil {
+			return err
+		}
+		agg := pipefault.MergeResults("average", p)
+		fmt.Print(pipefault.RenderFigure8(
+			"Figure 10. Protected: contributions to SDC and Terminated.", agg.Pops["l+r"]))
+		return nil
+	case "reduction":
+		u, err := r.unprotected()
+		if err != nil {
+			return err
+		}
+		p, err := r.protected()
+		if err != nil {
+			return err
+		}
+		uAgg := pipefault.MergeResults("average", u)
+		pAgg := pipefault.MergeResults("average", p)
+		fmt.Print(pipefault.RenderFailureReduction(
+			uAgg.Pops["l+r"], pAgg.Pops["l+r"], protectionOverheadFrac()))
+		return nil
+	case "hotspots":
+		u, err := r.unprotected()
+		if err != nil {
+			return err
+		}
+		agg := pipefault.MergeResults("average", u)
+		fmt.Print(pipefault.RenderHotspots(
+			"Most vulnerable state elements (latches+RAMs).", agg.Pops["l+r"], 10, 25))
+		return nil
+	case "avf":
+		u, err := r.unprotected()
+		if err != nil {
+			return err
+		}
+		var us []*core.Utilization
+		for _, w := range r.o.benches {
+			ut, err := core.MeasureUtilization(w, pipefault.ProtectConfig{}, 100)
+			if err != nil {
+				return err
+			}
+			us = append(us, ut)
+		}
+		fmt.Print(pipefault.RenderUtilization(us, u, "l+r"))
+		return nil
+	case "ybranch":
+		var ys []*core.YBranchResult
+		for i, w := range r.o.benches {
+			y, err := core.RunYBranch(w, r.o.softTrials/2, r.o.seed+int64(500+i))
+			if err != nil {
+				return err
+			}
+			if r.o.verbose {
+				fmt.Fprintf(os.Stderr, "  ybranch %s done\n", w.Name)
+			}
+			ys = append(ys, y)
+		}
+		fmt.Print(pipefault.RenderYBranch(ys))
+		return nil
+	case "fig11":
+		res, err := r.software()
+		if err != nil {
+			return err
+		}
+		fmt.Print(pipefault.RenderFigure11(res))
+		return nil
+	case "all":
+		for _, sub := range []string{"table1", "modes", "fig3", "fig4", "fig5", "fig6",
+			"fig7", "fig8", "hotspots", "avf", "fig9", "fig10", "reduction", "fig11", "ybranch"} {
+			fmt.Printf("\n===== %s =====\n", sub)
+			if err := r.dispatch(sub); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown command %q", cmd)
+}
+
+// campaigns runs (and caches) one campaign per benchmark.
+func (r *runner) campaigns(protect pipefault.ProtectConfig, cache *[]*core.Result) ([]*core.Result, error) {
+	if *cache != nil {
+		return *cache, nil
+	}
+	var out []*core.Result
+	for i, w := range r.o.benches {
+		start := time.Now()
+		pops := []core.Population{{Name: "l+r", Trials: r.o.trials}}
+		if !protect.Any() {
+			pops = append(pops, core.Population{Name: "l", LatchOnly: true, Trials: r.o.ltrials})
+		}
+		res, err := core.Run(core.Config{
+			Workload:    w,
+			Protect:     protect,
+			Checkpoints: r.o.checkpoints,
+			Horizon:     r.o.horizon,
+			Populations: pops,
+			Seed:        r.o.seed + int64(i),
+		})
+		if err != nil {
+			return nil, err
+		}
+		if r.o.verbose {
+			fmt.Fprintf(os.Stderr, "  %s (%.1fs)\n", res, time.Since(start).Seconds())
+		}
+		out = append(out, res)
+	}
+	*cache = out
+	return out, nil
+}
+
+func (r *runner) unprotected() ([]*core.Result, error) {
+	return r.campaigns(pipefault.ProtectConfig{}, &r.unprot)
+}
+
+func (r *runner) protected() ([]*core.Result, error) {
+	return r.campaigns(pipefault.AllProtections(), &r.prot)
+}
+
+func (r *runner) software() ([]*core.SoftResult, error) {
+	var out []*core.SoftResult
+	for i, w := range r.o.benches {
+		en, err := core.NewSoftEngine(w)
+		if err != nil {
+			return nil, err
+		}
+		for j, model := range core.FaultModels() {
+			res, err := en.RunModel(model, r.o.softTrials, r.o.seed+int64(100+10*i+j))
+			if err != nil {
+				return nil, err
+			}
+			if r.o.verbose {
+				fmt.Fprintf(os.Stderr, "  %s/%s done\n", w.Name, model)
+			}
+			out = append(out, res)
+		}
+	}
+	return out, nil
+}
+
+// protectionOverheadFrac computes the extra-state fraction the protection
+// mechanisms introduce (the paper's "6-7% extra state").
+func protectionOverheadFrac() float64 {
+	base := stateBits(pipefault.ProtectConfig{})
+	prot := stateBits(pipefault.AllProtections())
+	return float64(prot-base) / float64(base)
+}
+
+func stateBits(p pipefault.ProtectConfig) int {
+	latch, ram := pipefault.StateBits(p)
+	return latch + ram
+}

@@ -1,0 +1,106 @@
+// Command uarchsim runs a workload (or an assembly file) on the
+// latch-accurate pipeline model and reports performance statistics.
+//
+// Usage:
+//
+//	uarchsim [-protect] [-cycles N] [-trace] <benchmark | file.s>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pipefault/internal/asm"
+	"pipefault/internal/isa"
+	"pipefault/internal/uarch"
+	"pipefault/internal/workload"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	fs := flag.NewFlagSet("uarchsim", flag.ExitOnError)
+	protect := fs.Bool("protect", false, "enable all Section 4 protection mechanisms")
+	maxCycles := fs.Uint64("cycles", 50_000_000, "cycle budget")
+	trace := fs.Bool("trace", false, "print every retired instruction")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: uarchsim [flags] <benchmark | file.s>")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+
+	prog, name, err := loadTarget(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "uarchsim:", err)
+		return 1
+	}
+
+	cfg := uarch.Config{}
+	if *protect {
+		cfg.Protect = uarch.AllProtections()
+	}
+	m := uarch.New(cfg, prog)
+	var output []byte
+	flushes := map[string]int{}
+	m.OnFlush = func(cause string) { flushes[cause]++ }
+	m.OnRetire = func(ev uarch.RetireEvent) {
+		if ev.Kind == uarch.RetPal {
+			switch ev.PalFn {
+			case isa.PalPutC:
+				output = append(output, byte(ev.Value))
+			case isa.PalPutInt:
+				output = append(output, []byte(fmt.Sprintf("%d\n", int64(ev.Value)))...)
+			case isa.PalPutHex:
+				output = append(output, []byte(fmt.Sprintf("0x%x\n", ev.Value))...)
+			}
+		}
+		if *trace {
+			fmt.Println(ev)
+		}
+	}
+	m.Run(*maxCycles)
+
+	fmt.Printf("workload:  %s\n", name)
+	fmt.Printf("halted:    %v\n", m.Halted())
+	fmt.Printf("cycles:    %d\n", m.Cycle)
+	fmt.Printf("retired:   %d\n", m.Retired)
+	if m.Cycle > 0 {
+		fmt.Printf("ipc:       %.3f\n", float64(m.Retired)/float64(m.Cycle))
+	}
+	for cause, n := range flushes {
+		fmt.Printf("flushes:   %d (%s)\n", n, cause)
+	}
+	fmt.Printf("output:\n%s", output)
+	if !m.Halted() {
+		return 1
+	}
+	return 0
+}
+
+// loadTarget resolves a benchmark name or assembles a .s file.
+func loadTarget(arg string) (*asm.Program, string, error) {
+	if strings.HasSuffix(arg, ".s") {
+		src, err := os.ReadFile(arg)
+		if err != nil {
+			return nil, "", err
+		}
+		prog, err := asm.Assemble(string(src))
+		return prog, arg, err
+	}
+	w, err := workload.ByName(arg)
+	if err != nil {
+		return nil, "", err
+	}
+	prog, err := w.Program()
+	return prog, w.Name, err
+}

@@ -1,0 +1,55 @@
+// Quickstart: assemble a small program, run it on the latch-accurate
+// pipeline model, and inject a single fault campaign over it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pipefault"
+	"pipefault/internal/workload"
+)
+
+func main() {
+	// 1. Assemble a program with the built-in Alpha-subset assembler.
+	prog, err := pipefault.Assemble(`
+_start:
+	clr  $s0            # sum
+	ldiq $s1, 1
+	ldiq $s2, 100
+loop:
+	addq $s0, $s1, $s0
+	addq $s1, 1, $s1
+	cmple $s1, $s2, $t0
+	bne  $t0, loop
+	mov  $s0, $a0
+	call_pal 0x3        # print decimal
+	halt
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Run it on the out-of-order pipeline model.
+	m := pipefault.NewMachine(pipefault.MachineConfig{}, prog)
+	m.OnRetire = func(ev pipefault.RetireEvent) {
+		if ev.Kind == pipefault.RetPal && ev.PalFn == pipefault.PalPutInt {
+			fmt.Printf("program output: %d\n", int64(ev.Value))
+		}
+	}
+	m.Run(100_000)
+	fmt.Printf("pipeline: %d instructions in %d cycles (IPC %.2f)\n",
+		m.Retired, m.Cycle, float64(m.Retired)/float64(m.Cycle))
+
+	// 3. Run a small fault-injection campaign over a benchmark.
+	res, err := pipefault.RunCampaign(pipefault.CampaignConfig{
+		Workload:    workload.Gzip,
+		Checkpoints: 3,
+		Populations: []pipefault.Population{{Name: "l+r", Trials: 15}},
+		Seed:        1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res)
+}

@@ -1,0 +1,3 @@
+module pipefault
+
+go 1.22

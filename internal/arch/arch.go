@@ -1,0 +1,285 @@
+// Package arch implements the architectural (functional) simulator for the
+// Alpha integer subset. It plays two roles, mirroring the paper's
+// methodology:
+//
+//   - It is the golden reference against which the pipeline model's retired
+//     instruction stream is validated.
+//   - It is the substrate for the Section 5 software-level fault-injection
+//     campaigns (the paper used a modified SimpleScalar functional
+//     simulator).
+package arch
+
+import (
+	"fmt"
+	"strconv"
+
+	"pipefault/internal/isa"
+	"pipefault/internal/mem"
+)
+
+// ExcKind classifies an architectural exception.
+type ExcKind uint8
+
+// Exception kinds.
+const (
+	ExcIllegal   ExcKind = iota + 1 // illegal or unimplemented instruction
+	ExcUnaligned                    // misaligned memory access
+	ExcAccess                       // access outside the legal page set
+	ExcPal                          // undefined CALL_PAL function
+)
+
+var excNames = map[ExcKind]string{
+	ExcIllegal:   "illegal instruction",
+	ExcUnaligned: "unaligned access",
+	ExcAccess:    "access violation",
+	ExcPal:       "undefined PAL call",
+}
+
+// Exception is an architectural exception raised during execution.
+type Exception struct {
+	Kind ExcKind
+	PC   uint64
+	Addr uint64 // faulting address for memory exceptions
+}
+
+func (e *Exception) Error() string {
+	return fmt.Sprintf("arch: %s at pc=%#x addr=%#x", excNames[e.Kind], e.PC, e.Addr)
+}
+
+// StepInfo describes one executed instruction, for tracing and software
+// fault injection.
+type StepInfo struct {
+	PC       uint64
+	Inst     isa.Inst
+	WroteReg bool
+	Dest     uint8
+	Value    uint64 // value written to Dest (if WroteReg)
+	IsMem    bool
+	MemAddr  uint64
+	MemValue uint64 // value stored (stores only)
+	Taken    bool   // control transfer taken
+	NextPC   uint64
+}
+
+// CPU is the architectural machine state plus execution engine.
+type CPU struct {
+	Regs   [isa.NumArchRegs]uint64
+	PC     uint64
+	Mem    *mem.Memory
+	Output []byte
+
+	Halted    bool
+	InsnCount uint64
+
+	// Legal, if non-nil, bounds data/instruction accesses: anything
+	// outside raises ExcAccess (the functional analogue of a TLB miss).
+	Legal *mem.PageSet
+
+	// OverrideRaw, if non-nil, may substitute the fetched instruction
+	// word (used by the insn-word fault models).
+	OverrideRaw func(pc uint64, raw uint32) uint32
+
+	// InvertBranch inverts the outcome of the next conditional branch
+	// executed, then clears itself (fault model 6).
+	InvertBranch bool
+
+	// OutputLimit bounds the output buffer; 0 means unlimited.
+	OutputLimit int
+}
+
+// New builds a CPU running the given loaded program image.
+func New(m *mem.Memory, regs [isa.NumArchRegs]uint64, entry uint64) *CPU {
+	c := &CPU{Mem: m, PC: entry}
+	c.Regs = regs
+	return c
+}
+
+// reg reads a register honoring the hardwired zero register.
+func (c *CPU) reg(r uint8) uint64 {
+	if r == isa.RegZero {
+		return 0
+	}
+	return c.Regs[r]
+}
+
+// setReg writes a register honoring the hardwired zero register.
+func (c *CPU) setReg(r uint8, v uint64) {
+	if r != isa.RegZero {
+		c.Regs[r] = v
+	}
+}
+
+// Step executes one instruction. It returns the step description and a
+// non-nil *Exception if the instruction faulted (architectural state is
+// left at the faulting instruction). Stepping a halted CPU is a no-op.
+func (c *CPU) Step() (StepInfo, *Exception) {
+	info := StepInfo{PC: c.PC}
+	if c.Halted {
+		return info, nil
+	}
+	if c.Legal != nil && !c.Legal.ContainsRange(c.PC, isa.WordSize) {
+		return info, &Exception{Kind: ExcAccess, PC: c.PC, Addr: c.PC}
+	}
+	raw := uint32(c.Mem.Read(c.PC, isa.WordSize))
+	if c.OverrideRaw != nil {
+		raw = c.OverrideRaw(c.PC, raw)
+	}
+	inst := isa.Decode(raw)
+	info.Inst = inst
+	nextPC := c.PC + isa.WordSize
+
+	switch {
+	case inst.Op == isa.OpIllegal:
+		return info, &Exception{Kind: ExcIllegal, PC: c.PC}
+
+	case inst.Op == isa.OpNop:
+		// Nothing.
+
+	case inst.Op == isa.OpCallPal:
+		if exc := c.doPal(inst.PalFn); exc != nil {
+			return info, exc
+		}
+
+	case inst.Op == isa.OpLda:
+		v := c.reg(inst.Rb) + uint64(int64(inst.Disp))
+		c.setReg(inst.Rc, v)
+		info.WroteReg, info.Dest, info.Value = true, inst.Rc, v
+
+	case inst.Op == isa.OpLdah:
+		v := c.reg(inst.Rb) + uint64(int64(inst.Disp)<<16)
+		c.setReg(inst.Rc, v)
+		info.WroteReg, info.Dest, info.Value = true, inst.Rc, v
+
+	case inst.Op.IsLoad():
+		addr := c.reg(inst.Rb) + uint64(int64(inst.Disp))
+		size := inst.Op.MemBytes()
+		if addr%uint64(size) != 0 {
+			return info, &Exception{Kind: ExcUnaligned, PC: c.PC, Addr: addr}
+		}
+		if c.Legal != nil && !c.Legal.ContainsRange(addr, size) {
+			return info, &Exception{Kind: ExcAccess, PC: c.PC, Addr: addr}
+		}
+		v := c.Mem.Read(addr, size)
+		if inst.Op == isa.OpLdl {
+			v = uint64(int64(int32(uint32(v)))) // LDL sign-extends
+		}
+		c.setReg(inst.Rc, v)
+		info.WroteReg, info.Dest, info.Value = true, inst.Rc, v
+		info.IsMem, info.MemAddr = true, addr
+
+	case inst.Op.IsStore():
+		addr := c.reg(inst.Rb) + uint64(int64(inst.Disp))
+		size := inst.Op.MemBytes()
+		if addr%uint64(size) != 0 {
+			return info, &Exception{Kind: ExcUnaligned, PC: c.PC, Addr: addr}
+		}
+		if c.Legal != nil && !c.Legal.ContainsRange(addr, size) {
+			return info, &Exception{Kind: ExcAccess, PC: c.PC, Addr: addr}
+		}
+		v := c.reg(inst.Ra)
+		c.Mem.Write(addr, v, size)
+		info.IsMem, info.MemAddr, info.MemValue = true, addr, v
+
+	case inst.Op.IsCondBranch():
+		taken := isa.CondTaken(inst.Op, c.reg(inst.Ra))
+		if c.InvertBranch {
+			taken = !taken
+			c.InvertBranch = false
+		}
+		if taken {
+			nextPC = c.PC + isa.WordSize + uint64(int64(inst.Disp))*isa.WordSize
+		}
+		info.Taken = taken
+
+	case inst.Op.IsUncondBranch():
+		v := c.PC + isa.WordSize
+		c.setReg(inst.Rc, v)
+		if inst.Rc != isa.RegZero {
+			info.WroteReg, info.Dest, info.Value = true, inst.Rc, v
+		}
+		nextPC = c.PC + isa.WordSize + uint64(int64(inst.Disp))*isa.WordSize
+		info.Taken = true
+
+	case inst.Op.IsJump():
+		target := c.reg(inst.Rb) &^ 3
+		v := c.PC + isa.WordSize
+		c.setReg(inst.Rc, v)
+		if inst.Rc != isa.RegZero {
+			info.WroteReg, info.Dest, info.Value = true, inst.Rc, v
+		}
+		nextPC = target
+		info.Taken = true
+
+	default: // operate class
+		s1, s2 := inst.SrcRegs()
+		a := c.reg(s1)
+		b := c.reg(s2)
+		if inst.LitValid {
+			b = uint64(inst.Lit)
+		}
+		old := c.reg(inst.Rc)
+		v := isa.EvalOperate(inst.Op, a, b, old)
+		c.setReg(inst.Rc, v)
+		info.WroteReg, info.Dest, info.Value = true, inst.Rc, v
+	}
+
+	c.PC = nextPC
+	info.NextPC = nextPC
+	c.InsnCount++
+	return info, nil
+}
+
+// doPal executes a CALL_PAL function.
+func (c *CPU) doPal(fn uint32) *Exception {
+	switch fn {
+	case isa.PalHalt:
+		c.Halted = true
+	case isa.PalPutC:
+		c.emit([]byte{byte(c.reg(isa.RegA0))})
+	case isa.PalPutInt:
+		c.emit(strconv.AppendInt(nil, int64(c.reg(isa.RegA0)), 10))
+		c.emit([]byte{'\n'})
+	case isa.PalPutHex:
+		c.emit(strconv.AppendUint(append([]byte{'0', 'x'}, nil...), c.reg(isa.RegA0), 16))
+		c.emit([]byte{'\n'})
+	default:
+		return &Exception{Kind: ExcPal, PC: c.PC}
+	}
+	return nil
+}
+
+func (c *CPU) emit(bs []byte) {
+	if c.OutputLimit > 0 && len(c.Output)+len(bs) > c.OutputLimit {
+		return
+	}
+	c.Output = append(c.Output, bs...)
+}
+
+// Run executes until the program halts, an exception occurs, or maxInsns
+// instructions have retired. It returns the number of instructions executed.
+func (c *CPU) Run(maxInsns uint64) (uint64, *Exception) {
+	start := c.InsnCount
+	for !c.Halted && c.InsnCount-start < maxInsns {
+		if _, exc := c.Step(); exc != nil {
+			return c.InsnCount - start, exc
+		}
+	}
+	return c.InsnCount - start, nil
+}
+
+// Clone returns an independent deep copy of the CPU, including its memory.
+func (c *CPU) Clone() *CPU {
+	out := *c
+	out.Mem = c.Mem.Clone()
+	out.Output = append([]byte(nil), c.Output...)
+	return &out
+}
+
+// StateEqual reports whether two CPUs have identical architectural state:
+// registers, PC, and memory.
+func (c *CPU) StateEqual(o *CPU) bool {
+	if c.PC != o.PC || c.Regs != o.Regs {
+		return false
+	}
+	return c.Mem.Equal(o.Mem)
+}

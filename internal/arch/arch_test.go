@@ -1,0 +1,397 @@
+package arch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pipefault/internal/asm"
+	"pipefault/internal/isa"
+	"pipefault/internal/mem"
+)
+
+// runProgram assembles and runs src to completion, returning the CPU.
+func runProgram(t *testing.T, src string, maxInsns uint64) *CPU {
+	t.Helper()
+	c, exc := tryProgram(t, src, maxInsns)
+	if exc != nil {
+		t.Fatalf("unexpected exception: %v", exc)
+	}
+	if !c.Halted {
+		t.Fatalf("program did not halt within %d instructions", maxInsns)
+	}
+	return c
+}
+
+func tryProgram(t *testing.T, src string, maxInsns uint64) (*CPU, *Exception) {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	m := mem.New()
+	regs := p.Load(m)
+	c := New(m, regs, p.Entry)
+	_, exc := c.Run(maxInsns)
+	return c, exc
+}
+
+func TestArithmeticLoop(t *testing.T) {
+	// Sum 1..100 = 5050.
+	c := runProgram(t, `
+_start:
+	clr $1          # sum
+	ldiq $2, 1      # i
+loop:
+	addq $1, $2, $1
+	addq $2, 1, $2
+	cmple $2, 100, $3
+	bne $3, loop
+	mov $1, $a0
+	call_pal 0x3    # putint
+	halt
+`, 10000)
+	if string(c.Output) != "5050\n" {
+		t.Errorf("output = %q, want 5050", c.Output)
+	}
+	if c.Regs[1] != 5050 {
+		t.Errorf("r1 = %d", c.Regs[1])
+	}
+}
+
+func TestMemoryAndCalls(t *testing.T) {
+	// Store an array via a helper function, then checksum it.
+	c := runProgram(t, `
+_start:
+	ldiq $s0, buf
+	ldiq $s1, 10
+	clr  $s2          # index
+fill:
+	mulq $s2, $s2, $t0
+	s8addq $s2, $s0, $t1
+	stq  $t0, 0($t1)
+	addq $s2, 1, $s2
+	cmplt $s2, $s1, $t2
+	bne  $t2, fill
+
+	clr  $s2
+	clr  $v0
+sum:
+	s8addq $s2, $s0, $t1
+	ldq  $t0, 0($t1)
+	addq $v0, $t0, $v0
+	addq $s2, 1, $s2
+	cmplt $s2, $s1, $t2
+	bne  $t2, sum
+
+	mov  $v0, $a0
+	bsr  print
+	halt
+print:
+	call_pal 0x3
+	ret
+	.data
+	.align 3
+buf:
+	.space 80
+`, 10000)
+	// sum of squares 0..9 = 285
+	if string(c.Output) != "285\n" {
+		t.Errorf("output = %q, want 285", c.Output)
+	}
+}
+
+func TestByteAndWordAccess(t *testing.T) {
+	c := runProgram(t, `
+_start:
+	ldiq $1, buf
+	ldiq $2, 0x1234
+	stw  $2, 0($1)
+	ldwu $3, 0($1)
+	ldbu $4, 1($1)
+	stb  $4, 4($1)
+	ldbu $5, 4($1)
+	halt
+	.data
+buf:
+	.space 16
+`, 100)
+	if c.Regs[3] != 0x1234 {
+		t.Errorf("ldwu = %#x", c.Regs[3])
+	}
+	if c.Regs[4] != 0x12 || c.Regs[5] != 0x12 {
+		t.Errorf("byte ops = %#x, %#x", c.Regs[4], c.Regs[5])
+	}
+}
+
+func TestLdlSignExtends(t *testing.T) {
+	c := runProgram(t, `
+_start:
+	ldiq $1, buf
+	ldl  $2, 0($1)
+	halt
+	.data
+	.align 2
+buf:
+	.long 0x80000000
+`, 100)
+	if c.Regs[2] != 0xFFFFFFFF80000000 {
+		t.Errorf("ldl = %#x, want sign-extended", c.Regs[2])
+	}
+}
+
+func TestExceptionUnaligned(t *testing.T) {
+	_, exc := tryProgram(t, `
+_start:
+	ldiq $1, buf
+	ldq  $2, 1($1)
+	halt
+	.data
+	.align 3
+buf:
+	.quad 0
+`, 100)
+	if exc == nil || exc.Kind != ExcUnaligned {
+		t.Errorf("exception = %v, want unaligned", exc)
+	}
+}
+
+func TestExceptionIllegal(t *testing.T) {
+	_, exc := tryProgram(t, `
+_start:
+	.long 0x1C000000   # unimplemented opcode 0x07
+	halt
+`, 100)
+	if exc == nil || exc.Kind != ExcIllegal {
+		t.Errorf("exception = %v, want illegal", exc)
+	}
+}
+
+func TestExceptionUndefinedPal(t *testing.T) {
+	_, exc := tryProgram(t, `
+_start:
+	call_pal 0
+	halt
+`, 100)
+	if exc == nil || exc.Kind != ExcPal {
+		t.Errorf("exception = %v, want undefined PAL", exc)
+	}
+}
+
+func TestLegalPageEnforcement(t *testing.T) {
+	p, err := asm.Assemble(`
+_start:
+	ldiq $1, 0x900000
+	ldq  $2, 0($1)
+	halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New()
+	regs := p.Load(m)
+	c := New(m, regs, p.Entry)
+	c.Legal = mem.NewPageSet(m)
+	_, exc := c.Run(100)
+	if exc == nil || exc.Kind != ExcAccess {
+		t.Errorf("exception = %v, want access violation", exc)
+	}
+}
+
+func TestInvertBranch(t *testing.T) {
+	src := `
+_start:
+	clr $1
+	beq $1, yes
+	ldiq $a0, 111
+	br out
+yes:
+	ldiq $a0, 222
+out:
+	call_pal 0x3
+	halt
+`
+	c := runProgram(t, src, 100)
+	if string(c.Output) != "222\n" {
+		t.Fatalf("baseline output = %q", c.Output)
+	}
+
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New()
+	regs := p.Load(m)
+	c2 := New(m, regs, p.Entry)
+	c2.InvertBranch = true
+	if _, exc := c2.Run(100); exc != nil {
+		t.Fatal(exc)
+	}
+	if string(c2.Output) != "111\n" {
+		t.Errorf("inverted output = %q, want 111", c2.Output)
+	}
+	if c2.InvertBranch {
+		t.Error("InvertBranch did not self-clear")
+	}
+}
+
+func TestOverrideRaw(t *testing.T) {
+	src := `
+_start:
+	ldiq $1, 5
+	addq $1, 1, $1
+	mov $1, $a0
+	call_pal 0x3
+	halt
+`
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.New()
+	regs := p.Load(m)
+	c := New(m, regs, p.Entry)
+	nop := isa.EncodeNop()
+	addqPC := p.Entry + 4 // after the 1-word ldiq
+	c.OverrideRaw = func(pc uint64, raw uint32) uint32 {
+		if pc == addqPC {
+			return nop
+		}
+		return raw
+	}
+	if _, exc := c.Run(100); exc != nil {
+		t.Fatal(exc)
+	}
+	if string(c.Output) != "5\n" {
+		t.Errorf("output = %q, want 5 (addq suppressed)", c.Output)
+	}
+}
+
+func TestJumpIndirect(t *testing.T) {
+	c := runProgram(t, `
+_start:
+	ldiq $1, target
+	jmp  ($1)
+	halt            # skipped
+target:
+	ldiq $a0, 7
+	call_pal 0x3
+	halt
+`, 100)
+	if string(c.Output) != "7\n" {
+		t.Errorf("output = %q", c.Output)
+	}
+}
+
+func TestCmovReadsOldDest(t *testing.T) {
+	c := runProgram(t, `
+_start:
+	ldiq $1, 99      # dest old value
+	ldiq $2, 1       # condition (nonzero)
+	ldiq $3, 42
+	cmoveq $2, $3, $1  # must NOT fire
+	halt
+`, 100)
+	if c.Regs[1] != 99 {
+		t.Errorf("cmoveq fired incorrectly: r1 = %d", c.Regs[1])
+	}
+}
+
+func TestStateEqualAndClone(t *testing.T) {
+	src := `
+_start:
+	ldiq $1, 123
+	ldiq $2, buf
+	stq  $1, 0($2)
+	halt
+	.data
+buf:
+	.space 8
+`
+	a := runProgram(t, src, 100)
+	b := runProgram(t, src, 100)
+	if !a.StateEqual(b) {
+		t.Error("identical runs have unequal state")
+	}
+	cl := a.Clone()
+	if !a.StateEqual(cl) {
+		t.Error("clone state differs")
+	}
+	cl.Mem.Write(asm.DataBase, 999, 8)
+	if a.StateEqual(cl) {
+		t.Error("state equal after memory divergence")
+	}
+	if a.Mem.Read(asm.DataBase, 8) == 999 {
+		t.Error("clone shares memory with original")
+	}
+}
+
+func TestR31AlwaysZero(t *testing.T) {
+	c := runProgram(t, `
+_start:
+	addq $31, 7, $1   # r1 = 7
+	halt
+`, 100)
+	if c.Regs[1] != 7 {
+		t.Errorf("r1 = %d", c.Regs[1])
+	}
+	if c.Regs[31] != 0 {
+		t.Errorf("r31 = %d", c.Regs[31])
+	}
+}
+
+func TestInsnCountAndHaltIdempotent(t *testing.T) {
+	c := runProgram(t, `
+_start:
+	nop
+	nop
+	halt
+`, 100)
+	if c.InsnCount != 3 {
+		t.Errorf("InsnCount = %d, want 3", c.InsnCount)
+	}
+	// Stepping a halted CPU must be a no-op.
+	before := c.PC
+	if _, exc := c.Step(); exc != nil {
+		t.Fatal(exc)
+	}
+	if c.PC != before || c.InsnCount != 3 {
+		t.Error("halted CPU advanced")
+	}
+}
+
+// TestStepDeterminismProperty: running the same program twice from the same
+// image must yield identical state at every step count.
+func TestStepDeterminismProperty(t *testing.T) {
+	src := `
+_start:
+	ldiq $1, 0x9E3779B97F4A7C15
+	ldiq $2, 1
+loop:
+	mulq $2, $1, $2
+	srl  $2, 7, $3
+	xor  $2, $3, $2
+	addq $4, 1, $4
+	cmplt $4, 50, $5
+	bne $5, loop
+	halt
+`
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(steps uint16) bool {
+		n := uint64(steps % 400)
+		run := func() *CPU {
+			m := mem.New()
+			regs := p.Load(m)
+			c := New(m, regs, p.Entry)
+			c.Run(n)
+			return c
+		}
+		a, b := run(), run()
+		return a.StateEqual(b) && a.InsnCount == b.InsnCount
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

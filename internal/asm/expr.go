@@ -1,0 +1,213 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// eval evaluates an assemble-time expression. The second result reports
+// whether the expression referenced any symbol (label or constant); in pass
+// 1 forward references evaluate to 0 with sym=true, and in pass 2 an unknown
+// symbol is an error.
+func (a *assembler) eval(s string) (v int64, sym bool, err error) {
+	p := &exprParser{a: a, s: s}
+	v, err = p.parseExpr(0)
+	if err != nil {
+		return 0, p.sym, err
+	}
+	p.skipSpace()
+	if p.i != len(p.s) {
+		return 0, p.sym, fmt.Errorf("trailing junk in expression %q", s)
+	}
+	return v, p.sym, nil
+}
+
+type exprParser struct {
+	a   *assembler
+	s   string
+	i   int
+	sym bool
+}
+
+// Binary operator precedence levels, loosest first:
+//
+//	|   ^   &   << >>   + -   * / %
+//
+// Shifts bind looser than addition (traditional assembler/C-family
+// ordering, unlike Go): "a << b + c" parses as "a << (b + c)". Use
+// parentheses when in doubt.
+var binOps = []map[string]func(a, b int64) int64{
+	{"|": func(a, b int64) int64 { return a | b }},
+	{"^": func(a, b int64) int64 { return a ^ b }},
+	{"&": func(a, b int64) int64 { return a & b }},
+	{
+		"<<": func(a, b int64) int64 { return int64(uint64(a) << (uint64(b) & 63)) },
+		">>": func(a, b int64) int64 { return int64(uint64(a) >> (uint64(b) & 63)) },
+	},
+	{
+		"+": func(a, b int64) int64 { return a + b },
+		"-": func(a, b int64) int64 { return a - b },
+	},
+	{
+		"*": func(a, b int64) int64 { return a * b },
+		"/": func(a, b int64) int64 { return a / b },
+		"%": func(a, b int64) int64 { return a % b },
+	},
+}
+
+func (p *exprParser) skipSpace() {
+	for p.i < len(p.s) && (p.s[p.i] == ' ' || p.s[p.i] == '\t') {
+		p.i++
+	}
+}
+
+// peekOp returns the operator at the cursor belonging to precedence level
+// lvl, or "".
+func (p *exprParser) peekOp(lvl int) string {
+	p.skipSpace()
+	for op := range binOps[lvl] {
+		if strings.HasPrefix(p.s[p.i:], op) {
+			// Don't confuse '<<'/'>>' prefixes with single chars at
+			// another level; levels are disjoint by first char except
+			// shift vs nothing, so a direct prefix check suffices.
+			return op
+		}
+	}
+	return ""
+}
+
+func (p *exprParser) parseExpr(lvl int) (int64, error) {
+	if lvl == len(binOps) {
+		return p.parseUnary()
+	}
+	v, err := p.parseExpr(lvl + 1)
+	if err != nil {
+		return 0, err
+	}
+	for {
+		op := p.peekOp(lvl)
+		if op == "" {
+			return v, nil
+		}
+		p.i += len(op)
+		rhs, err := p.parseExpr(lvl + 1)
+		if err != nil {
+			return 0, err
+		}
+		if (op == "/" || op == "%") && rhs == 0 {
+			return 0, fmt.Errorf("division by zero in expression")
+		}
+		v = binOps[lvl][op](v, rhs)
+	}
+}
+
+func (p *exprParser) parseUnary() (int64, error) {
+	p.skipSpace()
+	if p.i < len(p.s) {
+		switch p.s[p.i] {
+		case '-':
+			p.i++
+			v, err := p.parseUnary()
+			return -v, err
+		case '~':
+			p.i++
+			v, err := p.parseUnary()
+			return ^v, err
+		case '+':
+			p.i++
+			return p.parseUnary()
+		}
+	}
+	return p.parsePrimary()
+}
+
+func (p *exprParser) parsePrimary() (int64, error) {
+	p.skipSpace()
+	if p.i >= len(p.s) {
+		return 0, fmt.Errorf("unexpected end of expression")
+	}
+	c := p.s[p.i]
+	switch {
+	case c == '(':
+		p.i++
+		v, err := p.parseExpr(0)
+		if err != nil {
+			return 0, err
+		}
+		p.skipSpace()
+		if p.i >= len(p.s) || p.s[p.i] != ')' {
+			return 0, fmt.Errorf("missing ')'")
+		}
+		p.i++
+		return v, nil
+
+	case c == '\'':
+		// Character literal, with \n \t \\ \' \0 escapes.
+		rest := p.s[p.i+1:]
+		if len(rest) >= 2 && rest[0] == '\\' {
+			m := map[byte]int64{'n': '\n', 't': '\t', '\\': '\\', '\'': '\'', '0': 0, 'r': '\r'}
+			v, ok := m[rest[1]]
+			if !ok || len(rest) < 3 || rest[2] != '\'' {
+				return 0, fmt.Errorf("bad character literal")
+			}
+			p.i += 4
+			return v, nil
+		}
+		if len(rest) >= 2 && rest[1] == '\'' {
+			p.i += 3
+			return int64(rest[0]), nil
+		}
+		return 0, fmt.Errorf("bad character literal")
+
+	case c >= '0' && c <= '9':
+		j := p.i
+		for j < len(p.s) && isNumChar(p.s[j]) {
+			j++
+		}
+		lit := p.s[p.i:j]
+		v, err := strconv.ParseInt(lit, 0, 64)
+		if err != nil {
+			// Allow full-range unsigned hex literals.
+			u, uerr := strconv.ParseUint(lit, 0, 64)
+			if uerr != nil {
+				return 0, fmt.Errorf("bad number %q", lit)
+			}
+			v = int64(u)
+		}
+		p.i = j
+		return v, nil
+
+	case c == '_' || c == '.' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z':
+		j := p.i
+		for j < len(p.s) && isIdentChar(p.s[j]) {
+			j++
+		}
+		name := p.s[p.i:j]
+		p.i = j
+		if v, ok := p.a.consts[name]; ok {
+			// Constants are symbolic only if derived from a label.
+			p.sym = p.sym || p.a.constSym[name]
+			return v, nil
+		}
+		p.sym = true
+		if v, ok := p.a.syms[name]; ok {
+			return int64(v), nil
+		}
+		if p.a.pass == 1 {
+			return 0, nil // forward reference; resolved in pass 2
+		}
+		return 0, fmt.Errorf("undefined symbol %q", name)
+	}
+	return 0, fmt.Errorf("unexpected character %q in expression", string(c))
+}
+
+func isNumChar(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F' ||
+		c == 'x' || c == 'X' || c == 'b' || c == 'o'
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || c == '.' || c == '$' ||
+		c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}

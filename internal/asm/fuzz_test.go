@@ -1,0 +1,96 @@
+package asm
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pipefault/internal/isa"
+)
+
+// TestAssembleNeverPanicsProperty: arbitrary junk source must produce an
+// error or a program, never a panic.
+func TestAssembleNeverPanicsProperty(t *testing.T) {
+	pieces := []string{
+		"addq", "$1", "$31", ",", "(", ")", ":", "ldq", "beq", "ldiq",
+		".data", ".text", ".quad", ".byte", ".align", ".space", ".asciz",
+		"label", "0x", "123", "-", "+", "*", "/", "<<", "%", "'", "\"x\"",
+		"#", "$sp", "call_pal", "br", "ret", "=", "~", "mov", "\t", " ",
+	}
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var sb strings.Builder
+		for i := 0; i < int(n); i++ {
+			sb.WriteString(pieces[rng.Intn(len(pieces))])
+			if rng.Intn(3) == 0 {
+				sb.WriteByte('\n')
+			}
+		}
+		// Must not panic; error or success are both fine.
+		_, _ = Assemble(sb.String())
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestExpressionEvaluationProperty: assemble-time constant arithmetic must
+// agree with Go's.
+func TestExpressionEvaluationProperty(t *testing.T) {
+	f := func(a, b int16, c uint8) bool {
+		want := int64(a)*int64(b) + (int64(c)<<3 - (int64(a) ^ int64(b)))
+		src := "V = (" + itoa(int64(a)) + " * " + itoa(int64(b)) + ") + ((" +
+			itoa(int64(c)) + " << 3) - (" + itoa(int64(a)) + " ^ " + itoa(int64(b)) + "))\n" +
+			"\tldiq $1, V\n"
+		p, err := Assemble(src)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		// Evaluate the ldiq expansion.
+		var r1 uint64
+		for i := 0; i+4 <= len(p.Text); i += 4 {
+			r1 = stepLdiq(r1, uint32(p.Text[i])|uint32(p.Text[i+1])<<8|
+				uint32(p.Text[i+2])<<16|uint32(p.Text[i+3])<<24)
+		}
+		return r1 == uint64(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCommentsNeverLeak: comment text must not influence assembly output.
+func TestCommentsNeverLeak(t *testing.T) {
+	a, err := Assemble("addq $1, $2, $3\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Assemble("addq $1, $2, $3   # ldq $9, 0($9) ; .quad 99\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a.Text) != string(b.Text) {
+		t.Error("comment changed output")
+	}
+}
+
+// stepLdiq interprets one instruction of an ldiq expansion targeting $1.
+func stepLdiq(r1 uint64, raw uint32) uint64 {
+	in := isa.Decode(raw)
+	base := uint64(0)
+	if in.Rb == 1 {
+		base = r1
+	}
+	switch in.Op {
+	case isa.OpLda:
+		return base + uint64(int64(in.Disp))
+	case isa.OpLdah:
+		return base + uint64(int64(in.Disp)<<16)
+	case isa.OpSll:
+		return isa.EvalOperate(isa.OpSll, r1, uint64(in.Lit), 0)
+	}
+	return r1
+}

@@ -1,0 +1,417 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"pipefault/internal/isa"
+)
+
+var regAliases = map[string]uint8{
+	"v0": 0,
+	"t0": 1, "t1": 2, "t2": 3, "t3": 4, "t4": 5, "t5": 6, "t6": 7, "t7": 8,
+	"s0": 9, "s1": 10, "s2": 11, "s3": 12, "s4": 13, "s5": 14,
+	"fp": 15, "s6": 15,
+	"a0": 16, "a1": 17, "a2": 18, "a3": 19, "a4": 20, "a5": 21,
+	"t8": 22, "t9": 23, "t10": 24, "t11": 25,
+	"ra": 26, "pv": 27, "t12": 27, "at": 28,
+	"gp": 29, "sp": 30, "zero": 31,
+}
+
+// parseReg parses a register operand ("$7", "$sp", ...).
+func parseReg(s string) (uint8, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "$") {
+		return 0, fmt.Errorf("expected register, got %q", s)
+	}
+	name := strings.ToLower(s[1:])
+	if r, ok := regAliases[name]; ok {
+		return r, nil
+	}
+	var n int
+	if _, err := fmt.Sscanf(name, "%d", &n); err == nil && n >= 0 && n < isa.NumArchRegs &&
+		fmt.Sprintf("%d", n) == name {
+		return uint8(n), nil
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+var operateMnemonics = map[string]isa.Op{
+	"addl": isa.OpAddl, "s4addl": isa.OpS4addl, "s8addl": isa.OpS8addl,
+	"subl": isa.OpSubl, "s4subl": isa.OpS4subl, "s8subl": isa.OpS8subl,
+	"addq": isa.OpAddq, "s4addq": isa.OpS4addq, "s8addq": isa.OpS8addq,
+	"subq": isa.OpSubq, "s4subq": isa.OpS4subq, "s8subq": isa.OpS8subq,
+	"cmpeq": isa.OpCmpeq, "cmplt": isa.OpCmplt, "cmple": isa.OpCmple,
+	"cmpult": isa.OpCmpult, "cmpule": isa.OpCmpule, "cmpbge": isa.OpCmpbge,
+	"and": isa.OpAnd, "bic": isa.OpBic, "bis": isa.OpBis, "or": isa.OpBis,
+	"ornot": isa.OpOrnot, "xor": isa.OpXor, "eqv": isa.OpEqv, "xornot": isa.OpEqv,
+	"cmoveq": isa.OpCmoveq, "cmovne": isa.OpCmovne, "cmovlt": isa.OpCmovlt,
+	"cmovge": isa.OpCmovge, "cmovle": isa.OpCmovle, "cmovgt": isa.OpCmovgt,
+	"cmovlbs": isa.OpCmovlbs, "cmovlbc": isa.OpCmovlbc,
+	"sll": isa.OpSll, "srl": isa.OpSrl, "sra": isa.OpSra,
+	"zap": isa.OpZap, "zapnot": isa.OpZapnot,
+	"extbl": isa.OpExtbl, "insbl": isa.OpInsbl, "mskbl": isa.OpMskbl,
+	"mull": isa.OpMull, "mulq": isa.OpMulq, "umulh": isa.OpUmulh,
+}
+
+var memoryMnemonics = map[string]isa.Op{
+	"lda": isa.OpLda, "ldah": isa.OpLdah,
+	"ldbu": isa.OpLdbu, "ldwu": isa.OpLdwu, "ldl": isa.OpLdl, "ldq": isa.OpLdq,
+	"stb": isa.OpStb, "stw": isa.OpStw, "stl": isa.OpStl, "stq": isa.OpStq,
+}
+
+var branchMnemonics = map[string]isa.Op{
+	"br": isa.OpBr, "bsr": isa.OpBsr,
+	"blbc": isa.OpBlbc, "beq": isa.OpBeq, "blt": isa.OpBlt, "ble": isa.OpBle,
+	"blbs": isa.OpBlbs, "bne": isa.OpBne, "bge": isa.OpBge, "bgt": isa.OpBgt,
+}
+
+var jumpMnemonics = map[string]isa.Op{
+	"jmp": isa.OpJmp, "jsr": isa.OpJsr, "ret": isa.OpRet,
+	"jsr_coroutine": isa.OpJcr,
+}
+
+// doInst assembles one instruction or pseudo-instruction.
+func (a *assembler) doInst(s string) {
+	mn, rest := splitMnemonic(s)
+	ops := splitOperands(rest)
+
+	switch {
+	case mn == "nop" || mn == "unop":
+		a.emitInst(isa.EncodeNop(), nil)
+
+	case mn == "mov": // mov $src, $dst  ->  bis $src, $src, $dst
+		if len(ops) != 2 {
+			a.errorf("mov wants 2 operands")
+			return
+		}
+		src, err1 := parseReg(ops[0])
+		dst, err2 := parseReg(ops[1])
+		if err1 != nil || err2 != nil {
+			a.errorf("mov: bad register")
+			return
+		}
+		a.emitInst(isa.EncodeOperate(isa.OpBis, src, src, dst))
+
+	case mn == "clr": // clr $dst
+		if len(ops) != 1 {
+			a.errorf("clr wants 1 operand")
+			return
+		}
+		dst, err := parseReg(ops[0])
+		if err != nil {
+			a.errorf("%v", err)
+			return
+		}
+		a.emitInst(isa.EncodeOperate(isa.OpBis, isa.RegZero, isa.RegZero, dst))
+
+	case mn == "negq" || mn == "negl": // negq $b, $c  ->  subq $31, $b, $c
+		op := isa.OpSubq
+		if mn == "negl" {
+			op = isa.OpSubl
+		}
+		if len(ops) != 2 {
+			a.errorf("%s wants 2 operands", mn)
+			return
+		}
+		b, err1 := parseReg(ops[0])
+		c, err2 := parseReg(ops[1])
+		if err1 != nil || err2 != nil {
+			a.errorf("%s: bad register", mn)
+			return
+		}
+		a.emitInst(isa.EncodeOperate(op, isa.RegZero, b, c))
+
+	case mn == "not": // not $b, $c  ->  ornot $31, $b, $c
+		if len(ops) != 2 {
+			a.errorf("not wants 2 operands")
+			return
+		}
+		b, err1 := parseReg(ops[0])
+		c, err2 := parseReg(ops[1])
+		if err1 != nil || err2 != nil {
+			a.errorf("not: bad register")
+			return
+		}
+		a.emitInst(isa.EncodeOperate(isa.OpOrnot, isa.RegZero, b, c))
+
+	case mn == "sextl": // sextl $b, $c  ->  addl $31, $b, $c
+		if len(ops) != 2 {
+			a.errorf("sextl wants 2 operands")
+			return
+		}
+		b, err1 := parseReg(ops[0])
+		c, err2 := parseReg(ops[1])
+		if err1 != nil || err2 != nil {
+			a.errorf("sextl: bad register")
+			return
+		}
+		a.emitInst(isa.EncodeOperate(isa.OpAddl, isa.RegZero, b, c))
+
+	case mn == "ldiq":
+		a.doLdiq(ops)
+
+	case mn == "halt":
+		a.emitInst(isa.EncodePal(isa.PalHalt))
+
+	case mn == "call_pal":
+		if len(ops) != 1 {
+			a.errorf("call_pal wants 1 operand")
+			return
+		}
+		v, _, err := a.eval(ops[0])
+		if err != nil || v < 0 {
+			a.errorf("bad PAL function %q", ops[0])
+			return
+		}
+		a.emitInst(isa.EncodePal(uint32(v)))
+
+	case operateMnemonics[mn] != 0:
+		a.doOperate(operateMnemonics[mn], ops)
+
+	case memoryMnemonics[mn] != 0:
+		a.doMemory(memoryMnemonics[mn], ops)
+
+	case branchMnemonics[mn] != 0:
+		a.doBranch(branchMnemonics[mn], ops)
+
+	case mn == "ret" || jumpMnemonics[mn] != 0:
+		a.doJump(jumpMnemonics[mn], ops)
+
+	default:
+		a.errorf("unknown mnemonic %q", mn)
+	}
+}
+
+// doOperate assembles "op $ra, $rb, $rc" or "op $ra, lit, $rc".
+func (a *assembler) doOperate(op isa.Op, ops []string) {
+	if len(ops) != 3 {
+		a.errorf("%v wants 3 operands", op)
+		return
+	}
+	ra, err := parseReg(ops[0])
+	if err != nil {
+		a.errorf("%v", err)
+		return
+	}
+	rc, err := parseReg(ops[2])
+	if err != nil {
+		a.errorf("%v", err)
+		return
+	}
+	if strings.HasPrefix(strings.TrimSpace(ops[1]), "$") {
+		rb, err := parseReg(ops[1])
+		if err != nil {
+			a.errorf("%v", err)
+			return
+		}
+		a.emitInst(isa.EncodeOperate(op, ra, rb, rc))
+		return
+	}
+	v, _, err := a.eval(ops[1])
+	if err != nil {
+		a.errorf("%v", err)
+		return
+	}
+	if v < 0 || v > 255 {
+		a.errorf("literal %d out of range 0..255 (use ldiq)", v)
+		return
+	}
+	a.emitInst(isa.EncodeOperateLit(op, ra, uint8(v), rc))
+}
+
+// doMemory assembles "op $ra, disp($rb)" or "op $ra, expr" (base $31).
+func (a *assembler) doMemory(op isa.Op, ops []string) {
+	if len(ops) != 2 {
+		a.errorf("%v wants 2 operands", op)
+		return
+	}
+	ra, err := parseReg(ops[0])
+	if err != nil {
+		a.errorf("%v", err)
+		return
+	}
+	dispStr := strings.TrimSpace(ops[1])
+	rb := uint8(isa.RegZero)
+	if i := strings.LastIndex(dispStr, "("); i >= 0 && strings.HasSuffix(dispStr, ")") {
+		rb, err = parseReg(dispStr[i+1 : len(dispStr)-1])
+		if err != nil {
+			a.errorf("%v", err)
+			return
+		}
+		dispStr = strings.TrimSpace(dispStr[:i])
+		if dispStr == "" {
+			dispStr = "0"
+		}
+	}
+	v, _, err := a.eval(dispStr)
+	if err != nil {
+		a.errorf("%v", err)
+		return
+	}
+	if a.pass == 2 && (v < -32768 || v > 32767) {
+		a.errorf("displacement %d out of 16-bit range", v)
+		return
+	}
+	a.emitInst(isa.EncodeMemory(op, ra, rb, int16(v)))
+}
+
+// doBranch assembles "br target", "br $r, target", "beq $r, target".
+func (a *assembler) doBranch(op isa.Op, ops []string) {
+	var ra uint8
+	var targetStr string
+	switch {
+	case len(ops) == 1 && (op == isa.OpBr || op == isa.OpBsr):
+		if op == isa.OpBsr {
+			ra = isa.RegRA
+		} else {
+			ra = isa.RegZero
+		}
+		targetStr = ops[0]
+	case len(ops) == 2:
+		r, err := parseReg(ops[0])
+		if err != nil {
+			a.errorf("%v", err)
+			return
+		}
+		ra = r
+		targetStr = ops[1]
+	default:
+		a.errorf("%v wants \"[$r,] target\"", op)
+		return
+	}
+	target, _, err := a.eval(targetStr)
+	if err != nil {
+		a.errorf("%v", err)
+		return
+	}
+	disp := int64(0)
+	if a.pass == 2 {
+		next := int64(a.pos()) + isa.WordSize
+		diff := target - next
+		if diff%isa.WordSize != 0 {
+			a.errorf("branch target %#x not word aligned", target)
+			return
+		}
+		disp = diff / isa.WordSize
+		if disp < -(1<<20) || disp >= 1<<20 {
+			a.errorf("branch displacement %d out of range", disp)
+			return
+		}
+	}
+	a.emitInst(isa.EncodeBranch(op, ra, int32(disp)))
+}
+
+// doJump assembles "jmp ($rb)", "jsr $ra, ($rb)", "ret", "ret ($rb)".
+func (a *assembler) doJump(op isa.Op, ops []string) {
+	ra := uint8(isa.RegZero)
+	rb := uint8(isa.RegRA)
+	if op == isa.OpJsr {
+		ra = isa.RegRA
+	}
+	parseInd := func(s string) (uint8, error) {
+		s = strings.TrimSpace(s)
+		if strings.HasPrefix(s, "(") && strings.HasSuffix(s, ")") {
+			s = s[1 : len(s)-1]
+		}
+		return parseReg(s)
+	}
+	var err error
+	switch len(ops) {
+	case 0:
+		if op != isa.OpRet {
+			a.errorf("%v wants a target register", op)
+			return
+		}
+	case 1:
+		rb, err = parseInd(ops[0])
+		if err != nil {
+			a.errorf("%v", err)
+			return
+		}
+	case 2:
+		ra, err = parseReg(ops[0])
+		if err != nil {
+			a.errorf("%v", err)
+			return
+		}
+		rb, err = parseInd(ops[1])
+		if err != nil {
+			a.errorf("%v", err)
+			return
+		}
+	default:
+		a.errorf("%v wants at most 2 operands", op)
+		return
+	}
+	a.emitInst(isa.EncodeJump(op, ra, rb))
+}
+
+// doLdiq assembles the load-64-bit-immediate pseudo-instruction. Pure
+// numeric expressions expand to the minimal sequence; expressions involving
+// symbols always reserve two instructions (and must fit in 31 bits).
+func (a *assembler) doLdiq(ops []string) {
+	if len(ops) != 2 {
+		a.errorf("ldiq wants 2 operands")
+		return
+	}
+	r, err := parseReg(ops[0])
+	if err != nil {
+		a.errorf("%v", err)
+		return
+	}
+	v, sym, err := a.eval(ops[1])
+	if err != nil {
+		a.errorf("%v", err)
+		return
+	}
+
+	emitPair := func(base uint8, val int64) {
+		// val = l1*65536 + l0 with l0, l1 signed 16-bit.
+		l0 := int16(val)
+		l1v := (val - int64(l0)) >> 16
+		l1 := int16(l1v)
+		a.emitInst(isa.EncodeMemory(isa.OpLda, r, base, l0))
+		a.emitInst(isa.EncodeMemory(isa.OpLdah, r, r, l1))
+	}
+
+	if sym {
+		if a.pass == 2 && (v < -(1<<30) || v >= 1<<30) {
+			a.errorf("symbolic ldiq value %#x out of 31-bit range", v)
+			return
+		}
+		emitPair(isa.RegZero, v)
+		return
+	}
+
+	switch {
+	case v >= -32768 && v <= 32767:
+		a.emitInst(isa.EncodeMemory(isa.OpLda, r, isa.RegZero, int16(v)))
+
+	case fitsLdaLdah(v):
+		emitPair(isa.RegZero, v)
+
+	default:
+		// Full 64-bit build: high 32 bits, shift, low 32 bits.
+		l0 := int16(v)
+		r1 := (v - int64(l0)) >> 16
+		l1 := int16(r1)
+		r2 := (r1 - int64(l1)) >> 16
+		h0 := int16(r2)
+		r3 := (r2 - int64(h0)) >> 16
+		h1 := int16(r3) // wraps mod 2^16; bits beyond 64 are irrelevant
+		a.emitInst(isa.EncodeMemory(isa.OpLda, r, isa.RegZero, h0))
+		a.emitInst(isa.EncodeMemory(isa.OpLdah, r, r, h1))
+		a.emitInst(isa.EncodeOperateLit(isa.OpSll, r, 32, r))
+		a.emitInst(isa.EncodeMemory(isa.OpLda, r, r, l0))
+		a.emitInst(isa.EncodeMemory(isa.OpLdah, r, r, l1))
+	}
+}
+
+// fitsLdaLdah reports whether v is exactly representable as
+// sext16(l1)*65536 + sext16(l0).
+func fitsLdaLdah(v int64) bool {
+	l0 := int16(v)
+	r1 := (v - int64(l0)) >> 16
+	return r1 >= -32768 && r1 <= 32767
+}

@@ -1,0 +1,307 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"pipefault/internal/mem"
+	"pipefault/internal/state"
+	"pipefault/internal/uarch"
+	"pipefault/internal/workload"
+)
+
+// Population selects the injection population of a campaign: all eligible
+// state (latches + RAM cells) or latches only (the paper's "l+r" and "l"
+// campaigns).
+type Population struct {
+	Name      string
+	LatchOnly bool
+	// Trials per checkpoint.
+	Trials int
+}
+
+// Config parameterizes a microarchitectural fault-injection campaign over
+// one workload.
+type Config struct {
+	Workload *workload.Workload
+	Protect  uarch.ProtectConfig
+	// Recovery selects the pipeline's misprediction recovery style
+	// (default: the paper's drain-and-arch-copy).
+	Recovery uarch.RecoveryStyle
+
+	// Checkpoints is the number of start points (the paper uses 250-300).
+	Checkpoints int
+	// Populations to inject at each checkpoint (they share golden runs).
+	Populations []Population
+
+	// Horizon is the per-trial cycle budget (paper: 10,000).
+	Horizon int
+	// LockedCycles is the no-retirement deadlock-detection horizon. The
+	// paper uses 100; we use 200 so the timeout-flush protection (which
+	// fires at 100) gets a chance to recover before the monitor declares
+	// deadlock.
+	LockedCycles int
+	// WarmupCycles is the minimum warm-up before the first checkpoint.
+	WarmupCycles int
+
+	Seed int64
+}
+
+func (c *Config) setDefaults() {
+	if c.Horizon == 0 {
+		c.Horizon = 10_000
+	}
+	if c.LockedCycles == 0 {
+		c.LockedCycles = 200
+	}
+	if c.WarmupCycles == 0 {
+		c.WarmupCycles = 5_000
+	}
+	if c.Checkpoints == 0 {
+		c.Checkpoints = 20
+	}
+	if len(c.Populations) == 0 {
+		c.Populations = []Population{{Name: "l+r", Trials: 25}}
+	}
+}
+
+// Trial records one fault injection.
+type Trial struct {
+	Outcome    Outcome
+	Mode       FailureMode
+	Category   state.Category
+	Kind       state.Kind
+	Elem       string // state element injected (e.g. "rat.spec")
+	Bit        int32  // flat bit index within the element
+	Cycles     int32  // cycles until classification
+	Checkpoint int32
+}
+
+// PopResult aggregates one population's trials.
+type PopResult struct {
+	Name   string
+	Trials []Trial
+}
+
+// Total returns the number of trials.
+func (p *PopResult) Total() int { return len(p.Trials) }
+
+// OutcomeCounts tallies trials by outcome.
+func (p *PopResult) OutcomeCounts() [NumOutcomes]int {
+	var c [NumOutcomes]int
+	for _, t := range p.Trials {
+		c[t.Outcome]++
+	}
+	return c
+}
+
+// ByCategory tallies outcomes per state category (Figures 4, 5, 9).
+func (p *PopResult) ByCategory() map[state.Category][NumOutcomes]int {
+	out := make(map[state.Category][NumOutcomes]int)
+	for _, t := range p.Trials {
+		c := out[t.Category]
+		c[t.Outcome]++
+		out[t.Category] = c
+	}
+	return out
+}
+
+// ModesByCategory tallies failure modes per category (Figures 7, 8, 10).
+func (p *PopResult) ModesByCategory() map[state.Category][NumFailureModes]int {
+	out := make(map[state.Category][NumFailureModes]int)
+	for _, t := range p.Trials {
+		if t.Mode == FailNone {
+			continue
+		}
+		c := out[t.Category]
+		c[t.Mode]++
+		out[t.Category] = c
+	}
+	return out
+}
+
+// ElemStat summarizes one state element's vulnerability.
+type ElemStat struct {
+	Elem     string
+	Category state.Category
+	Kind     state.Kind
+	Trials   int
+	Failures int
+}
+
+// FailRate returns the element's failure fraction.
+func (e ElemStat) FailRate() float64 {
+	if e.Trials == 0 {
+		return 0
+	}
+	return float64(e.Failures) / float64(e.Trials)
+}
+
+// ByElement tallies failures per state element, most-vulnerable first (the
+// fine-grained version of the paper's "identify vulnerable portions"
+// methodology). Elements with fewer than minTrials trials are dropped.
+func (p *PopResult) ByElement(minTrials int) []ElemStat {
+	agg := make(map[string]*ElemStat)
+	for _, t := range p.Trials {
+		st := agg[t.Elem]
+		if st == nil {
+			st = &ElemStat{Elem: t.Elem, Category: t.Category, Kind: t.Kind}
+			agg[t.Elem] = st
+		}
+		st.Trials++
+		if t.Outcome == OutSDC || t.Outcome == OutTerminated {
+			st.Failures++
+		}
+	}
+	out := make([]ElemStat, 0, len(agg))
+	for _, st := range agg {
+		if st.Trials >= minTrials {
+			out = append(out, *st)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ri, rj := out[i].FailRate(), out[j].FailRate()
+		if ri != rj {
+			return ri > rj
+		}
+		if out[i].Trials != out[j].Trials {
+			return out[i].Trials > out[j].Trials
+		}
+		return out[i].Elem < out[j].Elem
+	})
+	return out
+}
+
+// FailureRate returns the fraction of known failures (SDC + Terminated).
+func (p *PopResult) FailureRate() float64 {
+	if len(p.Trials) == 0 {
+		return 0
+	}
+	c := p.OutcomeCounts()
+	return float64(c[OutSDC]+c[OutTerminated]) / float64(len(p.Trials))
+}
+
+// MaskRate returns the fraction of µArch Match trials.
+func (p *PopResult) MaskRate() float64 {
+	if len(p.Trials) == 0 {
+		return 0
+	}
+	return float64(p.OutcomeCounts()[OutMatch]) / float64(len(p.Trials))
+}
+
+// ScatterPoint is one checkpoint's utilization/masking datum (Figure 6).
+type ScatterPoint struct {
+	Checkpoint int
+	ValidInsns int // in-flight instructions that eventually commit
+	Benign     int // µArch Match + Gray Area trials
+	Trials     int
+}
+
+// Result is the outcome of a campaign over one workload.
+type Result struct {
+	Benchmark   string
+	Protected   bool
+	Pops        map[string]*PopResult
+	Scatter     map[string][]ScatterPoint // per population
+	TotalCycles uint64                    // golden end-to-end cycle count
+	IPC         float64
+}
+
+// String summarizes the result.
+func (r *Result) String() string {
+	s := fmt.Sprintf("%s (ipc %.2f):", r.Benchmark, r.IPC)
+	for name, p := range r.Pops {
+		c := p.OutcomeCounts()
+		s += fmt.Sprintf(" [%s: %d trials, match %.1f%% gray %.1f%% sdc %.1f%% term %.1f%%]",
+			name, p.Total(),
+			100*float64(c[OutMatch])/float64(p.Total()),
+			100*float64(c[OutGray])/float64(p.Total()),
+			100*float64(c[OutSDC])/float64(p.Total()),
+			100*float64(c[OutTerminated])/float64(p.Total()))
+	}
+	return s
+}
+
+// Merge combines results from multiple benchmarks into one aggregate (the
+// paper's "average" bars). Scatter points are concatenated.
+func Merge(name string, results []*Result) *Result {
+	agg := &Result{
+		Benchmark: name,
+		Pops:      make(map[string]*PopResult),
+		Scatter:   make(map[string][]ScatterPoint),
+	}
+	for _, r := range results {
+		agg.Protected = r.Protected
+		for pn, p := range r.Pops {
+			ap := agg.Pops[pn]
+			if ap == nil {
+				ap = &PopResult{Name: pn}
+				agg.Pops[pn] = ap
+			}
+			ap.Trials = append(ap.Trials, p.Trials...)
+		}
+		for pn, pts := range r.Scatter {
+			agg.Scatter[pn] = append(agg.Scatter[pn], pts...)
+		}
+	}
+	return agg
+}
+
+// Utilization is the average structure occupancy of a fault-free run,
+// paired with the benchmark's IPC: the utilization side of the paper's
+// Section 3.3 masking correlation.
+type Utilization struct {
+	Benchmark string
+	Samples   int
+	Avg       uarch.Utilization
+	IPC       float64
+}
+
+// MeasureUtilization runs the workload to completion on a golden machine,
+// sampling structure occupancies every sampleEvery cycles.
+func MeasureUtilization(w *workload.Workload, protect uarch.ProtectConfig, sampleEvery int) (*Utilization, error) {
+	if sampleEvery <= 0 {
+		sampleEvery = 100
+	}
+	prog, err := w.Program()
+	if err != nil {
+		return nil, err
+	}
+	ref, err := w.ComputeReference()
+	if err != nil {
+		return nil, err
+	}
+	mm := mem.New()
+	regs := prog.Load(mm)
+	m := uarch.NewOnMemory(uarch.Config{Protect: protect}, mm, ref.Legal, prog.Entry, regs)
+
+	u := &Utilization{Benchmark: w.Name}
+	for !m.Halted() && m.Cycle < maxMeasureCycles {
+		m.Step()
+		if m.Cycle%uint64(sampleEvery) != 0 {
+			continue
+		}
+		s := m.Utilization()
+		u.Samples++
+		u.Avg.ROB += s.ROB
+		u.Avg.Sched += s.Sched
+		u.Avg.LQ += s.LQ
+		u.Avg.SQ += s.SQ
+		u.Avg.FetchQ += s.FetchQ
+		u.Avg.StoreBuf += s.StoreBuf
+	}
+	if !m.Halted() {
+		return nil, fmt.Errorf("core: %s did not halt during utilization measurement", w.Name)
+	}
+	if u.Samples > 0 {
+		n := float64(u.Samples)
+		u.Avg.ROB /= n
+		u.Avg.Sched /= n
+		u.Avg.LQ /= n
+		u.Avg.SQ /= n
+		u.Avg.FetchQ /= n
+		u.Avg.StoreBuf /= n
+	}
+	u.IPC = float64(m.Retired) / float64(m.Cycle)
+	return u, nil
+}

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"pipefault/internal/mem"
+	"pipefault/internal/state"
+	"pipefault/internal/uarch"
+)
+
+// maxMeasureCycles bounds the end-to-end golden measurement pass.
+const maxMeasureCycles = 30_000_000
+
+// goldenRun is a checkpoint's fault-free continuation: the per-cycle
+// whole-machine digest and the retired-instruction trace.
+type goldenRun struct {
+	digests []uint64 // digest after cycle i+1
+	events  []uarch.RetireEvent
+	retired map[uint64]struct{} // shadow seqnos that commit
+}
+
+// Run executes a microarchitectural fault-injection campaign.
+func Run(cfg Config) (*Result, error) {
+	cfg.setDefaults()
+	prog, err := cfg.Workload.Program()
+	if err != nil {
+		return nil, err
+	}
+	ref, err := cfg.Workload.ComputeReference()
+	if err != nil {
+		return nil, err
+	}
+	ucfg := uarch.Config{Protect: cfg.Protect, Recovery: cfg.Recovery}
+
+	newMachine := func() *uarch.Machine {
+		mm := mem.New()
+		regs := prog.Load(mm)
+		return uarch.NewOnMemory(ucfg, mm, ref.Legal, prog.Entry, regs)
+	}
+
+	// Measurement pass: end-to-end golden cycle count.
+	meas := newMachine()
+	meas.Run(maxMeasureCycles)
+	if !meas.Halted() {
+		return nil, fmt.Errorf("core: %s did not halt within %d cycles", cfg.Workload.Name, uint64(maxMeasureCycles))
+	}
+	total := meas.Cycle
+	retiredTotal := meas.Retired
+
+	res := &Result{
+		Benchmark:   cfg.Workload.Name,
+		Protected:   cfg.Protect.Any(),
+		Pops:        make(map[string]*PopResult, len(cfg.Populations)),
+		Scatter:     make(map[string][]ScatterPoint, len(cfg.Populations)),
+		TotalCycles: total,
+		IPC:         float64(retiredTotal) / float64(total),
+	}
+	for _, p := range cfg.Populations {
+		res.Pops[p.Name] = &PopResult{Name: p.Name}
+	}
+
+	// Choose checkpoint cycles.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	horizonG := uint64(cfg.Horizon + 2000)
+	lo := uint64(cfg.WarmupCycles)
+	hi := uint64(0)
+	if total > horizonG+500 {
+		hi = total - horizonG - 500
+	}
+	if hi <= lo {
+		lo = total / 10
+		hi = total / 2
+		if hi <= lo {
+			return nil, fmt.Errorf("core: %s too short (%d cycles) for checkpointing", cfg.Workload.Name, total)
+		}
+	}
+	cycles := make([]uint64, cfg.Checkpoints)
+	for i := range cycles {
+		cycles[i] = lo + uint64(rng.Int63n(int64(hi-lo)))
+	}
+	sort.Slice(cycles, func(i, j int) bool { return cycles[i] < cycles[j] })
+
+	// Campaign pass.
+	eng := &engine{cfg: cfg, m: newMachine(), rng: rng, horizonG: horizonG}
+	for ck, cyc := range cycles {
+		for eng.m.Cycle < cyc && !eng.m.Halted() {
+			eng.m.Step()
+		}
+		if eng.m.Halted() {
+			break
+		}
+		eng.checkpoint(ck, res)
+	}
+	return res, nil
+}
+
+type engine struct {
+	cfg      Config
+	m        *uarch.Machine
+	rng      *rand.Rand
+	horizonG uint64
+}
+
+// checkpoint runs the golden continuation and all trial populations at the
+// machine's current cycle, then restores the machine to continue to the
+// next checkpoint.
+func (en *engine) checkpoint(ck int, res *Result) {
+	m := en.m
+	snap := m.Snapshot()
+	m.Mem.BeginUndo()
+
+	// Golden continuation.
+	g := &goldenRun{
+		digests: make([]uint64, 0, en.horizonG),
+		retired: make(map[uint64]struct{}),
+	}
+	mark := m.Mem.Mark()
+	m.OnRetire = func(ev uarch.RetireEvent) {
+		g.events = append(g.events, ev)
+		g.retired[ev.Seq] = struct{}{}
+	}
+	for i := uint64(0); i < en.horizonG; i++ {
+		m.Step()
+		g.digests = append(g.digests, m.Digest())
+	}
+	m.OnRetire = nil
+	m.Restore(snap)
+	m.Mem.RollbackTo(mark)
+
+	validInsns := 0
+	for _, s := range m.InFlightSeqs() {
+		if _, ok := g.retired[s]; ok {
+			validInsns++
+		}
+	}
+
+	for _, pop := range en.cfg.Populations {
+		pr := res.Pops[pop.Name]
+		benign := 0
+		for t := 0; t < pop.Trials; t++ {
+			bit := m.F.RandomBit(en.rng, pop.LatchOnly)
+			tmark := m.Mem.Mark()
+			trial := en.runTrial(g, bit)
+			trial.Checkpoint = int32(ck)
+			m.Restore(snap)
+			m.Mem.RollbackTo(tmark)
+			pr.Trials = append(pr.Trials, trial)
+			if trial.Outcome == OutMatch || trial.Outcome == OutGray {
+				benign++
+			}
+		}
+		res.Scatter[pop.Name] = append(res.Scatter[pop.Name], ScatterPoint{
+			Checkpoint: ck,
+			ValidInsns: validInsns,
+			Benign:     benign,
+			Trials:     pop.Trials,
+		})
+	}
+	m.Mem.Rollback()
+}
+
+// runTrial flips one bit and monitors the machine against the golden
+// continuation, implementing the Section 2.2 classification.
+func (en *engine) runTrial(g *goldenRun, bit state.BitRef) Trial {
+	m := en.m
+	trial := Trial{
+		Category: bit.Elem.Category(),
+		Kind:     bit.Elem.Kind(),
+		Elem:     bit.Elem.Name(),
+		Bit:      int32(bit.Entry*bit.Elem.Width() + bit.Bit),
+	}
+
+	var (
+		diverged   bool
+		mode       FailureMode
+		excMode    FailureMode
+		idx        int
+		outOfTrace bool
+	)
+	m.OnRetire = func(ev uarch.RetireEvent) {
+		if diverged || outOfTrace {
+			return
+		}
+		if idx >= len(g.events) {
+			outOfTrace = true
+			return
+		}
+		ge := g.events[idx]
+		idx++
+		switch {
+		case ev.PC != ge.PC || ev.Kind != ge.Kind:
+			mode, diverged = FailCtrl, true
+		case ev.Kind == uarch.RetReg && (ev.Dest != ge.Dest || ev.Value != ge.Value):
+			mode, diverged = FailRegfile, true
+		case ev.Kind == uarch.RetStore &&
+			(ev.Addr != ge.Addr || ev.Data != ge.Data || ev.Size != ge.Size):
+			mode, diverged = FailMem, true
+		case ev.Kind == uarch.RetPal && ev.PalFn != ge.PalFn:
+			mode, diverged = FailCtrl, true
+		case ev.Kind == uarch.RetPal && ev.Value != ge.Value:
+			mode, diverged = FailRegfile, true
+		}
+	}
+	m.OnExc = func(ev uarch.ExcEvent) {
+		if excMode != FailNone {
+			return
+		}
+		switch ev.Kind {
+		case uarch.ExcDTLB:
+			excMode = FailDTLB
+		default:
+			excMode = FailExcept
+		}
+	}
+	defer func() {
+		m.OnRetire = nil
+		m.OnExc = nil
+	}()
+
+	bit.Flip()
+
+	noRetire := 0
+	itlbCnt := 0
+	lastRetired := m.Retired
+	for cyc := 1; cyc <= en.cfg.Horizon; cyc++ {
+		m.Step()
+		trial.Cycles = int32(cyc)
+		switch {
+		case diverged:
+			trial.Outcome, trial.Mode = OutSDC, mode
+			return trial
+		case excMode != FailNone:
+			trial.Outcome, trial.Mode = excMode.Outcome(), excMode
+			return trial
+		}
+		if m.Retired > lastRetired {
+			lastRetired = m.Retired
+			noRetire = 0
+		} else {
+			noRetire++
+			if noRetire >= en.cfg.LockedCycles {
+				trial.Outcome, trial.Mode = OutTerminated, FailLocked
+				return trial
+			}
+		}
+		if m.FetchStalledIllegal() {
+			itlbCnt++
+			if itlbCnt >= 30 {
+				trial.Outcome, trial.Mode = OutSDC, FailITLB
+				return trial
+			}
+		} else {
+			itlbCnt = 0
+		}
+		if !outOfTrace && m.Digest() == g.digests[cyc-1] {
+			trial.Outcome = OutMatch
+			return trial
+		}
+	}
+	trial.Outcome = OutGray
+	return trial
+}

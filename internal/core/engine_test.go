@@ -1,0 +1,165 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"pipefault/internal/state"
+	"pipefault/internal/uarch"
+	"pipefault/internal/workload"
+)
+
+func TestCampaignSmoke(t *testing.T) {
+	res, err := Run(Config{
+		Workload:    workload.Gzip,
+		Checkpoints: 3,
+		Populations: []Population{
+			{Name: "l+r", Trials: 10},
+			{Name: "l", LatchOnly: true, Trials: 6},
+		},
+		Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res)
+
+	lr := res.Pops["l+r"]
+	if lr.Total() != 30 {
+		t.Errorf("l+r trials = %d, want 30", lr.Total())
+	}
+	l := res.Pops["l"]
+	if l.Total() != 18 {
+		t.Errorf("l trials = %d, want 18", l.Total())
+	}
+	for _, tr := range l.Trials {
+		if tr.Kind != state.KindLatch {
+			t.Errorf("latch-only campaign injected %v state", tr.Kind)
+		}
+	}
+	c := lr.OutcomeCounts()
+	if c[OutMatch] == 0 {
+		t.Error("no masked trials at all; masking machinery broken")
+	}
+	if got := c[OutMatch] + c[OutGray] + c[OutSDC] + c[OutTerminated]; got != lr.Total() {
+		t.Errorf("outcome counts sum to %d, want %d", got, lr.Total())
+	}
+	if len(res.Scatter["l+r"]) != 3 {
+		t.Errorf("scatter points = %d, want 3", len(res.Scatter["l+r"]))
+	}
+	for _, pt := range res.Scatter["l+r"] {
+		if pt.ValidInsns < 0 || pt.ValidInsns > 132 {
+			t.Errorf("valid insns = %d, outside [0,132]", pt.ValidInsns)
+		}
+	}
+	if res.IPC <= 0.3 || res.IPC > 6 {
+		t.Errorf("ipc = %.2f, implausible", res.IPC)
+	}
+}
+
+// TestCampaignDeterminism: identical seeds must give identical trials.
+func TestCampaignDeterminism(t *testing.T) {
+	run := func() *Result {
+		res, err := Run(Config{
+			Workload:    workload.Gap,
+			Checkpoints: 2,
+			Populations: []Population{{Name: "l+r", Trials: 6}},
+			Seed:        7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	at, bt := a.Pops["l+r"].Trials, b.Pops["l+r"].Trials
+	if len(at) != len(bt) {
+		t.Fatalf("trial counts differ: %d vs %d", len(at), len(bt))
+	}
+	for i := range at {
+		if at[i] != bt[i] {
+			t.Errorf("trial %d differs: %+v vs %+v", i, at[i], bt[i])
+		}
+	}
+}
+
+func TestCampaignProtectedSmoke(t *testing.T) {
+	res, err := Run(Config{
+		Workload:    workload.Twolf,
+		Protect:     uarch.AllProtections(),
+		Checkpoints: 2,
+		Populations: []Population{{Name: "l+r", Trials: 10}},
+		Seed:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res)
+	if !res.Protected {
+		t.Error("result not marked protected")
+	}
+	if res.Pops["l+r"].Total() != 20 {
+		t.Errorf("trials = %d", res.Pops["l+r"].Total())
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	res, err := Run(Config{
+		Workload:    workload.Tiny,
+		Checkpoints: 1,
+		Horizon:     800,
+		Populations: []Population{{Name: "l+r", Trials: 4}},
+		Seed:        6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if decoded["benchmark"] != "tiny" {
+		t.Errorf("benchmark = %v", decoded["benchmark"])
+	}
+	pops, ok := decoded["populations"].(map[string]any)
+	if !ok || pops["l+r"] == nil {
+		t.Errorf("missing populations: %v", decoded)
+	}
+}
+
+// TestProtectionReducesFailures is the library-level statement of the
+// paper's Section 4 headline: with all mechanisms on, the failure rate
+// drops substantially.
+func TestProtectionReducesFailures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-campaign test")
+	}
+	run := func(p uarch.ProtectConfig) float64 {
+		var all []*Result
+		for i, w := range []*workload.Workload{workload.Gzip, workload.Twolf} {
+			res, err := Run(Config{
+				Workload:    w,
+				Protect:     p,
+				Checkpoints: 5,
+				Populations: []Population{{Name: "l+r", Trials: 30}},
+				Seed:        int64(40 + i),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			all = append(all, res)
+		}
+		return Merge("avg", all).Pops["l+r"].FailureRate()
+	}
+	unprot := run(uarch.ProtectConfig{})
+	prot := run(uarch.AllProtections())
+	t.Logf("failure rate: unprotected %.1f%%, protected %.1f%%", 100*unprot, 100*prot)
+	if prot >= unprot {
+		t.Errorf("protection did not reduce failures: %.3f -> %.3f", unprot, prot)
+	}
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// exportResult is the stable JSON shape of a campaign result.
+type exportResult struct {
+	Benchmark   string                  `json:"benchmark"`
+	Protected   bool                    `json:"protected"`
+	TotalCycles uint64                  `json:"total_cycles"`
+	IPC         float64                 `json:"ipc"`
+	Populations map[string]exportPop    `json:"populations"`
+	Scatter     map[string][]exportScat `json:"scatter"`
+}
+
+type exportPop struct {
+	Trials   int            `json:"trials"`
+	Outcomes map[string]int `json:"outcomes"`
+	Modes    map[string]int `json:"failure_modes"`
+	ByCat    map[string]struct {
+		Trials   int `json:"trials"`
+		Failures int `json:"failures"`
+	} `json:"by_category"`
+}
+
+type exportScat struct {
+	Checkpoint int `json:"checkpoint"`
+	ValidInsns int `json:"valid_insns"`
+	Benign     int `json:"benign"`
+	Trials     int `json:"trials"`
+}
+
+// WriteJSON serializes the campaign result for external tooling.
+func (r *Result) WriteJSON(w io.Writer) error {
+	out := exportResult{
+		Benchmark:   r.Benchmark,
+		Protected:   r.Protected,
+		TotalCycles: r.TotalCycles,
+		IPC:         r.IPC,
+		Populations: make(map[string]exportPop, len(r.Pops)),
+		Scatter:     make(map[string][]exportScat, len(r.Scatter)),
+	}
+	for name, p := range r.Pops {
+		ep := exportPop{
+			Trials:   p.Total(),
+			Outcomes: make(map[string]int),
+			Modes:    make(map[string]int),
+			ByCat: make(map[string]struct {
+				Trials   int `json:"trials"`
+				Failures int `json:"failures"`
+			}),
+		}
+		counts := p.OutcomeCounts()
+		for o := Outcome(1); o < NumOutcomes; o++ {
+			ep.Outcomes[o.String()] = counts[o]
+		}
+		for _, m := range FailureModes() {
+			n := 0
+			for _, mc := range p.ModesByCategory() {
+				n += mc[m]
+			}
+			ep.Modes[m.String()] = n
+		}
+		for cat, oc := range p.ByCategory() {
+			ep.ByCat[cat.String()] = struct {
+				Trials   int `json:"trials"`
+				Failures int `json:"failures"`
+			}{
+				Trials:   oc[OutMatch] + oc[OutGray] + oc[OutSDC] + oc[OutTerminated],
+				Failures: oc[OutSDC] + oc[OutTerminated],
+			}
+		}
+		out.Populations[name] = ep
+	}
+	for name, pts := range r.Scatter {
+		es := make([]exportScat, len(pts))
+		for i, pt := range pts {
+			es[i] = exportScat{
+				Checkpoint: pt.Checkpoint, ValidInsns: pt.ValidInsns,
+				Benign: pt.Benign, Trials: pt.Trials,
+			}
+		}
+		out.Scatter[name] = es
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,105 @@
+// Package core implements the paper's fault-injection methodology: the
+// primary contribution of the reproduction.
+//
+// Microarchitectural campaigns (Sections 2-4) flip one uniformly random
+// eligible state bit at a warmed-up checkpoint and monitor the machine for
+// up to 10,000 cycles against a golden continuation, classifying each trial
+// as µArch Match, SDC, Terminated, or Gray Area, with SDC/Terminated
+// subdivided into the paper's seven failure modes (Table 2).
+//
+// Software-level campaigns (Section 5) force one dynamic instruction of a
+// functional-simulator run to execute incorrectly under six fault models
+// and classify the outcome as Exception, State OK, Output OK, or
+// Output Bad.
+package core
+
+import "fmt"
+
+// Outcome classifies a microarchitectural fault-injection trial
+// (Section 2.2).
+type Outcome uint8
+
+// Trial outcomes.
+const (
+	// OutMatch: the entire microarchitectural state matched the golden
+	// run with no prior architectural divergence (µArch Match).
+	OutMatch Outcome = iota + 1
+	// OutTerminated: premature workload termination (exception or
+	// pipeline deadlock).
+	OutTerminated
+	// OutSDC: silent data corruption (architectural state divergence or
+	// a TLB miss).
+	OutSDC
+	// OutGray: neither a match nor a failure within the simulation
+	// horizon.
+	OutGray
+	NumOutcomes
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutMatch:
+		return "uArch Match"
+	case OutTerminated:
+		return "Terminated"
+	case OutSDC:
+		return "SDC"
+	case OutGray:
+		return "Gray Area"
+	}
+	return fmt.Sprintf("outcome(%d)", uint8(o))
+}
+
+// FailureMode subdivides failed trials (Table 2 of the paper).
+type FailureMode uint8
+
+// Failure modes.
+const (
+	FailNone    FailureMode = iota
+	FailCtrl                // SDC: control-flow violation - incorrect insn executed
+	FailDTLB                // SDC: non-speculative access to an invalid virtual page
+	FailExcept              // Terminated: an exception was generated
+	FailITLB                // SDC: processor redirected to an invalid virtual page
+	FailLocked              // Terminated: deadlock or livelock detected
+	FailMem                 // SDC: memory inconsistent
+	FailRegfile             // SDC: register file inconsistent
+	NumFailureModes
+)
+
+func (f FailureMode) String() string {
+	switch f {
+	case FailNone:
+		return "none"
+	case FailCtrl:
+		return "ctrl"
+	case FailDTLB:
+		return "dtlb"
+	case FailExcept:
+		return "except"
+	case FailITLB:
+		return "itlb"
+	case FailLocked:
+		return "locked"
+	case FailMem:
+		return "mem"
+	case FailRegfile:
+		return "regfile"
+	}
+	return fmt.Sprintf("mode(%d)", uint8(f))
+}
+
+// Outcome returns the trial outcome a failure mode implies.
+func (f FailureMode) Outcome() Outcome {
+	switch f {
+	case FailExcept, FailLocked:
+		return OutTerminated
+	case FailCtrl, FailDTLB, FailITLB, FailMem, FailRegfile:
+		return OutSDC
+	}
+	return OutGray
+}
+
+// FailureModes lists the modes in the paper's Table 2 order.
+func FailureModes() []FailureMode {
+	return []FailureMode{FailCtrl, FailDTLB, FailExcept, FailITLB, FailLocked, FailMem, FailRegfile}
+}

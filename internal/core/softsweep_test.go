@@ -1,0 +1,32 @@
+package core
+
+import (
+	"testing"
+
+	"pipefault/internal/workload"
+)
+
+// TestSoftwareMaskingSweep reports State OK rates across the suite for the
+// reg-bit-64 model; informational (run with -v).
+func TestSoftwareMaskingSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	totalOK, total := 0, 0
+	for _, w := range workload.Suite() {
+		en, err := NewSoftEngine(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := en.RunModel(ModelRegBit64, 40, 21)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalOK += res.Counts[SoftStateOK]
+		total += res.Trials
+		t.Logf("%-8s stateok %2d/40 outok %2d exc %2d bad %2d",
+			w.Name, res.Counts[SoftStateOK], res.Counts[SoftOutputOK],
+			res.Counts[SoftException], res.Counts[SoftOutputBad])
+	}
+	t.Logf("aggregate State OK: %d/%d = %.0f%%", totalOK, total, 100*float64(totalOK)/float64(total))
+}

@@ -1,0 +1,295 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	"pipefault/internal/arch"
+	"pipefault/internal/isa"
+	"pipefault/internal/workload"
+)
+
+// FaultModel enumerates the six Section 5 architectural fault models.
+type FaultModel uint8
+
+// Fault models (Figure 11).
+const (
+	// ModelRegBit32: single bit flip in the lower 32 bits of the result
+	// of a register write.
+	ModelRegBit32 FaultModel = iota + 1
+	// ModelRegBit64: single bit flip anywhere in the 64-bit result.
+	ModelRegBit64
+	// ModelRegRandom: the result of a register write is replaced with 64
+	// random bits.
+	ModelRegRandom
+	// ModelInsnBit: single bit flip in an instruction word.
+	ModelInsnBit
+	// ModelNop: an instruction is replaced with a no-op.
+	ModelNop
+	// ModelBranchFlip: a conditional branch's direction is inverted.
+	ModelBranchFlip
+	NumFaultModels
+)
+
+func (f FaultModel) String() string {
+	switch f {
+	case ModelRegBit32:
+		return "reg bit 0-31"
+	case ModelRegBit64:
+		return "reg bit 0-63"
+	case ModelRegRandom:
+		return "reg random"
+	case ModelInsnBit:
+		return "insn bit"
+	case ModelNop:
+		return "insn nop"
+	case ModelBranchFlip:
+		return "branch flip"
+	}
+	return fmt.Sprintf("model(%d)", uint8(f))
+}
+
+// FaultModels lists all models in Figure 11 order.
+func FaultModels() []FaultModel {
+	return []FaultModel{ModelRegBit32, ModelRegBit64, ModelRegRandom,
+		ModelInsnBit, ModelNop, ModelBranchFlip}
+}
+
+// SoftOutcome classifies a software-level trial.
+type SoftOutcome uint8
+
+// Software-level outcomes (Section 5).
+const (
+	// SoftException: the injected program raised an exception (a "noisy"
+	// failure). Programs that fail to terminate are also counted here.
+	SoftException SoftOutcome = iota + 1
+	// SoftStateOK: final architectural state and output fully match the
+	// reference (the fault was masked by the software).
+	SoftStateOK
+	// SoftOutputOK: user-visible output matches but internal state
+	// diverged.
+	SoftOutputOK
+	// SoftOutputBad: the program produced incorrect output.
+	SoftOutputBad
+	NumSoftOutcomes
+)
+
+func (o SoftOutcome) String() string {
+	switch o {
+	case SoftException:
+		return "Exception"
+	case SoftStateOK:
+		return "State OK"
+	case SoftOutputOK:
+		return "Output OK"
+	case SoftOutputBad:
+		return "Output Bad"
+	}
+	return fmt.Sprintf("soft(%d)", uint8(o))
+}
+
+// SoftResult aggregates one software campaign (one workload, one model).
+type SoftResult struct {
+	Benchmark string
+	Model     FaultModel
+	Counts    [NumSoftOutcomes]int
+	// DivergedThenConverged counts State OK trials whose committed
+	// control flow differed from the reference before reconverging
+	// (the paper's 10-20% observation; basis of the Y-branches work).
+	DivergedThenConverged int
+	Trials                int
+}
+
+// MaskRate returns the State OK fraction.
+func (r *SoftResult) MaskRate() float64 {
+	if r.Trials == 0 {
+		return 0
+	}
+	return float64(r.Counts[SoftStateOK]) / float64(r.Trials)
+}
+
+// SoftEngine caches a workload's reference profile (dynamic instruction
+// class counts and final architectural state) across fault models.
+type SoftEngine struct {
+	w         *workload.Workload
+	ref       *workload.Reference
+	final     *arch.CPU // reference CPU at completion (memory compare)
+	regWrites uint64
+	condBrs   uint64
+}
+
+// NewSoftEngine profiles the workload's reference run.
+func NewSoftEngine(w *workload.Workload) (*SoftEngine, error) {
+	ref, err := w.ComputeReference()
+	if err != nil {
+		return nil, err
+	}
+	cpu, err := w.NewCPU()
+	if err != nil {
+		return nil, err
+	}
+	en := &SoftEngine{w: w, ref: ref}
+	for !cpu.Halted {
+		info, exc := cpu.Step()
+		if exc != nil {
+			return nil, exc
+		}
+		if info.WroteReg {
+			en.regWrites++
+		}
+		if info.Inst.Op.IsCondBranch() {
+			en.condBrs++
+		}
+	}
+	en.final = cpu
+	return en, nil
+}
+
+// RunModel executes a Section 5 campaign: trials fault injections of the
+// given model into the workload.
+func (en *SoftEngine) RunModel(model FaultModel, trials int, seed int64) (*SoftResult, error) {
+	res := &SoftResult{Benchmark: en.w.Name, Model: model, Trials: trials}
+	rng := rand.New(rand.NewSource(seed))
+	for t := 0; t < trials; t++ {
+		out, divergedCF, err := en.softTrial(model, rng)
+		if err != nil {
+			return nil, err
+		}
+		res.Counts[out]++
+		if out == SoftStateOK && divergedCF {
+			res.DivergedThenConverged++
+		}
+	}
+	return res, nil
+}
+
+// RunSoftware is a convenience wrapper building a one-shot engine.
+func RunSoftware(w *workload.Workload, model FaultModel, trials int, seed int64) (*SoftResult, error) {
+	en, err := NewSoftEngine(w)
+	if err != nil {
+		return nil, err
+	}
+	return en.RunModel(model, trials, seed)
+}
+
+// softTrial runs one injected execution to completion and classifies it.
+func (en *SoftEngine) softTrial(model FaultModel, rng *rand.Rand) (SoftOutcome, bool, error) {
+	cpu, err := en.w.NewCPU()
+	if err != nil {
+		return 0, false, err
+	}
+	ref := en.ref
+
+	// Pick the dynamic target index within the relevant population.
+	var target uint64
+	switch model {
+	case ModelRegBit32, ModelRegBit64, ModelRegRandom:
+		if en.regWrites == 0 {
+			return 0, false, fmt.Errorf("core: %s has no register writes", en.w.Name)
+		}
+		target = uint64(rng.Int63n(int64(en.regWrites)))
+	case ModelBranchFlip:
+		if en.condBrs == 0 {
+			return 0, false, fmt.Errorf("core: %s has no conditional branches", en.w.Name)
+		}
+		target = uint64(rng.Int63n(int64(en.condBrs)))
+	default:
+		target = uint64(rng.Int63n(int64(ref.DynInsns)))
+	}
+
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	pcHash := uint64(fnvOffset)
+	injected := false
+	var seen uint64
+	limit := ref.DynInsns*4 + 100_000
+
+	bit := uint(rng.Intn(64))
+	randVal := rng.Uint64()
+
+	for !cpu.Halted && cpu.InsnCount < limit {
+		pc := cpu.PC
+
+		if !injected {
+			switch model {
+			case ModelInsnBit, ModelNop:
+				if cpu.InsnCount == target {
+					raw := uint32(cpu.Mem.Read(pc, isa.WordSize))
+					over := raw ^ 1<<(bit%32)
+					if model == ModelNop {
+						over = isa.EncodeNop()
+					}
+					cpu.OverrideRaw = func(opc uint64, r uint32) uint32 {
+						if opc == pc && !injected {
+							return over
+						}
+						return r
+					}
+				}
+			case ModelBranchFlip:
+				raw := uint32(cpu.Mem.Read(pc, isa.WordSize))
+				if isa.Decode(raw).Op.IsCondBranch() {
+					if seen == target {
+						cpu.InvertBranch = true
+						injected = true
+					}
+					seen++
+				}
+			}
+		}
+
+		preCount := cpu.InsnCount
+		info, exc := cpu.Step()
+		if exc != nil {
+			return SoftException, false, nil
+		}
+		if cpu.InsnCount == preCount {
+			break // halted
+		}
+		pcHash = (pcHash ^ pc) * fnvPrime
+
+		if !injected {
+			switch model {
+			case ModelInsnBit, ModelNop:
+				if preCount == target {
+					injected = true
+					cpu.OverrideRaw = nil
+				}
+			case ModelRegBit32, ModelRegBit64, ModelRegRandom:
+				if info.WroteReg {
+					if seen == target {
+						injected = true
+						switch model {
+						case ModelRegBit32:
+							cpu.Regs[info.Dest] ^= 1 << (bit % 32)
+						case ModelRegBit64:
+							cpu.Regs[info.Dest] ^= 1 << bit
+						default:
+							cpu.Regs[info.Dest] = randVal
+						}
+					}
+					seen++
+				}
+			}
+		}
+	}
+
+	if !cpu.Halted {
+		return SoftException, false, nil // hang: a noisy failure
+	}
+
+	divergedCF := pcHash != ref.PCHash
+	stateOK := cpu.Regs == ref.FinalRegs &&
+		bytes.Equal(cpu.Output, ref.Output) &&
+		cpu.Mem.Equal(en.final.Mem)
+	if stateOK {
+		return SoftStateOK, divergedCF, nil
+	}
+	if bytes.Equal(cpu.Output, ref.Output) {
+		return SoftOutputOK, divergedCF, nil
+	}
+	return SoftOutputBad, divergedCF, nil
+}

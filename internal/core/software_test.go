@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+
+	"pipefault/internal/workload"
+)
+
+func TestSoftwareCampaignSmoke(t *testing.T) {
+	en, err := NewSoftEngine(workload.Gap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, model := range FaultModels() {
+		model := model
+		t.Run(model.String(), func(t *testing.T) {
+			res, err := en.RunModel(model, 20, 11)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum := 0
+			for _, c := range res.Counts {
+				sum += c
+			}
+			if sum != 20 {
+				t.Errorf("counts sum to %d, want 20", sum)
+			}
+			t.Logf("%-12s exc=%d stateok=%d outok=%d outbad=%d diverged=%d",
+				model, res.Counts[SoftException], res.Counts[SoftStateOK],
+				res.Counts[SoftOutputOK], res.Counts[SoftOutputBad],
+				res.DivergedThenConverged)
+		})
+	}
+}
+
+func TestSoftwareDeterminism(t *testing.T) {
+	a, err := RunSoftware(workload.Parser, ModelRegBit64, 12, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSoftware(workload.Parser, ModelRegBit64, 12, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Counts != b.Counts || a.DivergedThenConverged != b.DivergedThenConverged {
+		t.Errorf("nondeterministic: %v vs %v", a.Counts, b.Counts)
+	}
+}
+
+func TestSoftwareNopModelMasksOften(t *testing.T) {
+	// Replacing a random instruction with a NOP must at least sometimes be
+	// masked (dead code) and must never error.
+	res, err := RunSoftware(workload.Crafty, ModelNop, 30, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts[SoftStateOK] == 0 {
+		t.Error("nop model never masked; dead-instruction handling broken?")
+	}
+}
+
+func TestYBranchSmoke(t *testing.T) {
+	res, err := RunYBranch(workload.Parser, 15, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trials != 15 {
+		t.Errorf("trials = %d", res.Trials)
+	}
+	if res.Reconverged == 0 {
+		t.Error("no forced branch inversion ever reconverged; Y-branch detection broken")
+	}
+	if res.Reconverged > 0 && res.MeanWrongPath() <= 0 {
+		t.Error("reconverged trials report zero wrong-path length")
+	}
+	if res.StateMatched > res.Reconverged {
+		t.Error("state-matched trials exceed reconverged trials")
+	}
+	t.Logf("parser ybranch: %d/%d reconverged (mean wrong path %.0f insns), %d fully masked",
+		res.Reconverged, res.Trials, res.MeanWrongPath(), res.StateMatched)
+}
+
+func TestYBranchDeterminism(t *testing.T) {
+	a, err := RunYBranch(workload.Tiny, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunYBranch(workload.Tiny, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Errorf("nondeterministic: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+
+	"math/rand"
+
+	"pipefault/internal/isa"
+	"pipefault/internal/workload"
+)
+
+// YBranchResult summarizes a forced-branch-inversion campaign (the paper's
+// Section 5 observation that faulted control flow often reconverges, which
+// the authors explored further as "Y-branches" [22]).
+type YBranchResult struct {
+	Benchmark string
+	Trials    int
+	// Reconverged counts trials whose wrong-path instruction stream
+	// rejoined the fault-free path within the search window.
+	Reconverged int
+	// StateMatched counts trials whose final architectural state and
+	// output fully matched the reference (the fault was a true Y-branch).
+	StateMatched int
+	// WrongPathSum accumulates instructions executed before reconvergence
+	// over reconverged trials.
+	WrongPathSum uint64
+}
+
+// MeanWrongPath returns the average wrong-path length of reconverged trials.
+func (r *YBranchResult) MeanWrongPath() float64 {
+	if r.Reconverged == 0 {
+		return 0
+	}
+	return float64(r.WrongPathSum) / float64(r.Reconverged)
+}
+
+// ybWindow is the reconvergence search window in instructions, and ybGram
+// the run length of matching PCs required to declare reconvergence.
+const (
+	ybWindow = 4096
+	ybGram   = 32
+)
+
+// RunYBranch forces `trials` random conditional branches to take the wrong
+// direction and measures whether (and how quickly) control flow rejoins the
+// fault-free path.
+func RunYBranch(w *workload.Workload, trials int, seed int64) (*YBranchResult, error) {
+	en, err := NewSoftEngine(w)
+	if err != nil {
+		return nil, err
+	}
+	if en.condBrs == 0 {
+		return nil, fmt.Errorf("core: %s has no conditional branches", w.Name)
+	}
+	res := &YBranchResult{Benchmark: w.Name, Trials: trials}
+	rng := rand.New(rand.NewSource(seed))
+	for t := 0; t < trials; t++ {
+		if err := en.yTrial(rng, res); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// yTrial runs one forced inversion.
+func (en *SoftEngine) yTrial(rng *rand.Rand, res *YBranchResult) error {
+	target := uint64(rng.Int63n(int64(en.condBrs)))
+
+	// Advance a CPU to just before the target conditional branch.
+	cpu, err := en.w.NewCPU()
+	if err != nil {
+		return err
+	}
+	var seen uint64
+	for !cpu.Halted {
+		raw := uint32(cpu.Mem.Read(cpu.PC, isa.WordSize))
+		if isa.Decode(raw).Op.IsCondBranch() {
+			if seen == target {
+				break
+			}
+			seen++
+		}
+		if _, exc := cpu.Step(); exc != nil {
+			return fmt.Errorf("core: reference exception: %w", exc)
+		}
+	}
+	if cpu.Halted {
+		return nil // ran out of branches (cannot happen with exact counts)
+	}
+
+	// Reference continuation: PC stream of the fault-free path.
+	ref := cpu.Clone()
+	refPCs := make([]uint64, 0, ybWindow)
+	for i := 0; i < ybWindow && !ref.Halted; i++ {
+		refPCs = append(refPCs, ref.PC)
+		if _, exc := ref.Step(); exc != nil {
+			break
+		}
+	}
+	// Index reference positions by a gram hash for O(1) lookup.
+	refGrams := make(map[uint64]int, len(refPCs))
+	for j := len(refPCs) - ybGram; j >= 0; j-- {
+		refGrams[gramHash(refPCs[j:j+ybGram])] = j
+	}
+
+	// Injected continuation: invert the branch, then search for the first
+	// gram of its PC stream that appears in the reference stream.
+	cpu.InvertBranch = true
+	injPCs := make([]uint64, 0, ybWindow)
+	excepted := false
+	for i := 0; i < ybWindow && !cpu.Halted; i++ {
+		injPCs = append(injPCs, cpu.PC)
+		if _, exc := cpu.Step(); exc != nil {
+			excepted = true
+			break
+		}
+	}
+	wrongPath := -1
+	for i := 0; i+ybGram <= len(injPCs); i++ {
+		if i == 0 {
+			continue // position 0 is the inverted branch itself
+		}
+		if _, ok := refGrams[gramHash(injPCs[i:i+ybGram])]; ok {
+			wrongPath = i
+			break
+		}
+	}
+	if wrongPath >= 0 {
+		res.Reconverged++
+		res.WrongPathSum += uint64(wrongPath)
+	}
+
+	// Full-run state check (only meaningful if nothing excepted).
+	if !excepted {
+		limit := en.ref.DynInsns*4 + 100_000
+		for !cpu.Halted && cpu.InsnCount < limit {
+			if _, exc := cpu.Step(); exc != nil {
+				excepted = true
+				break
+			}
+		}
+		if !excepted && cpu.Halted &&
+			cpu.Regs == en.ref.FinalRegs &&
+			bytes.Equal(cpu.Output, en.ref.Output) &&
+			cpu.Mem.Equal(en.final.Mem) {
+			res.StateMatched++
+		}
+	}
+	return nil
+}
+
+// gramHash hashes a PC window (FNV-1a).
+func gramHash(pcs []uint64) uint64 {
+	h := uint64(14695981039346656037)
+	for _, pc := range pcs {
+		h = (h ^ pc) * 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,218 @@
+// Package ecc implements the error-correcting codes used by the paper's
+// lightweight protection mechanisms (Section 4.2):
+//
+//   - a Hamming SEC code over 7-bit physical-register pointers, adding 4
+//     check bits per pointer (archrat/specrat/free lists/regptr fields);
+//   - a Hamming SEC-DED code over 65-bit register-file entries, adding 8
+//     check bits per entry;
+//   - single-bit parity over 32-bit instruction words.
+//
+// The implementation is a generic Hamming code over up to 128 data bits
+// with precomputed parity masks, so encode/decode are a handful of
+// popcounts.
+package ecc
+
+import "math/bits"
+
+// Result classifies the outcome of a Decode.
+type Result uint8
+
+// Decode results.
+const (
+	// Clean: no error detected.
+	Clean Result = iota + 1
+	// CorrectedData: a single-bit error in the data was corrected.
+	CorrectedData
+	// CorrectedCheck: a single-bit error in the check bits was corrected;
+	// the data was already correct.
+	CorrectedCheck
+	// DoubleError: a double-bit error was detected (SEC-DED codes only);
+	// the data is not trustworthy.
+	DoubleError
+)
+
+func (r Result) String() string {
+	switch r {
+	case Clean:
+		return "clean"
+	case CorrectedData:
+		return "corrected-data"
+	case CorrectedCheck:
+		return "corrected-check"
+	case DoubleError:
+		return "double-error"
+	}
+	return "unknown"
+}
+
+// Word is up to 128 data bits, little-endian words.
+type Word [2]uint64
+
+// Bit returns data bit i.
+func (w Word) Bit(i int) uint64 { return w[i>>6] >> (uint(i) & 63) & 1 }
+
+// FlipBit returns w with bit i inverted.
+func (w Word) FlipBit(i int) Word {
+	w[i>>6] ^= 1 << (uint(i) & 63)
+	return w
+}
+
+// Code is a Hamming single-error-correcting code over K data bits, with an
+// optional extra overall-parity bit for double-error detection (SEC-DED).
+type Code struct {
+	k      int
+	r      int // number of Hamming check bits (excluding overall parity)
+	secded bool
+
+	masks     []Word // per check bit: mask of data bits covered
+	posToData []int  // codeword position -> data bit index (or -1)
+	dataPos   []int  // data bit index -> codeword position
+}
+
+// NewCode builds a code over k data bits (1..128). If secded is true, an
+// overall parity bit is appended to the check bits.
+func NewCode(k int, secded bool) *Code {
+	if k < 1 || k > 128 {
+		panic("ecc: data width out of range")
+	}
+	r := 0
+	for 1<<uint(r) < k+r+1 {
+		r++
+	}
+	c := &Code{k: k, r: r, secded: secded}
+	n := k + r
+	c.masks = make([]Word, r)
+	c.posToData = make([]int, n+1)
+	c.dataPos = make([]int, k)
+	for i := range c.posToData {
+		c.posToData[i] = -1
+	}
+	d := 0
+	for pos := 1; pos <= n; pos++ {
+		if pos&(pos-1) == 0 {
+			continue // power of two: check-bit position
+		}
+		c.posToData[pos] = d
+		c.dataPos[d] = pos
+		for j := 0; j < r; j++ {
+			if pos>>uint(j)&1 == 1 {
+				c.masks[j][d>>6] |= 1 << (uint(d) & 63)
+			}
+		}
+		d++
+	}
+	return c
+}
+
+// K returns the number of data bits.
+func (c *Code) K() int { return c.k }
+
+// CheckBits returns the number of check bits Encode produces (including the
+// overall parity bit for SEC-DED codes). For the paper's codes:
+// NewCode(7,false) -> 4 and NewCode(65,true) -> 8.
+func (c *Code) CheckBits() int {
+	if c.secded {
+		return c.r + 1
+	}
+	return c.r
+}
+
+func parity(w Word) uint64 {
+	return uint64(bits.OnesCount64(w[0])+bits.OnesCount64(w[1])) & 1
+}
+
+func and(a, b Word) Word { return Word{a[0] & b[0], a[1] & b[1]} }
+
+// Encode computes the check bits for data (bits beyond K are ignored).
+func (c *Code) Encode(data Word) uint64 {
+	data = c.truncate(data)
+	var check uint64
+	for j, m := range c.masks {
+		check |= parity(and(data, m)) << uint(j)
+	}
+	if c.secded {
+		check |= (parity(data) ^ parity(Word{check, 0})) << uint(c.r)
+	}
+	return check
+}
+
+func (c *Code) truncate(data Word) Word {
+	if c.k < 64 {
+		data[0] &= uint64(1)<<uint(c.k) - 1
+		data[1] = 0
+	} else if c.k < 128 {
+		data[1] &= uint64(1)<<uint(c.k-64) - 1
+	}
+	return data
+}
+
+// Decode checks data against its stored check bits and corrects a single-bit
+// error. It returns the corrected data and check bits, and the diagnosis.
+// For SEC (non-SECDED) codes, double-bit errors alias to miscorrections, as
+// in real hardware.
+func (c *Code) Decode(data Word, check uint64) (Word, uint64, Result) {
+	data = c.truncate(data)
+	var syndrome int
+	for j, m := range c.masks {
+		if parity(and(data, m)) != check>>uint(j)&1 {
+			syndrome |= 1 << uint(j)
+		}
+	}
+	if !c.secded {
+		switch {
+		case syndrome == 0:
+			return data, check, Clean
+		case syndrome&(syndrome-1) == 0:
+			// Power-of-two position: the check bit itself was hit.
+			return data, check ^ uint64(syndrome), CorrectedCheck
+		case syndrome <= c.k+c.r && c.posToData[syndrome] >= 0:
+			return data.FlipBit(c.posToData[syndrome]), check, CorrectedData
+		default:
+			// Syndrome points outside the codeword: multi-bit damage.
+			return data, check, DoubleError
+		}
+	}
+
+	hamming := check & (uint64(1)<<uint(c.r) - 1)
+	storedP := check >> uint(c.r) & 1
+	overallBad := parity(data)^parity(Word{hamming, 0})^storedP != 0
+	switch {
+	case syndrome == 0 && !overallBad:
+		return data, check, Clean
+	case syndrome == 0 && overallBad:
+		// The overall parity bit itself flipped.
+		return data, check ^ 1<<uint(c.r), CorrectedCheck
+	case !overallBad:
+		// Non-zero syndrome with good overall parity: two bits flipped.
+		return data, check, DoubleError
+	case syndrome&(syndrome-1) == 0:
+		return data, check ^ uint64(syndrome), CorrectedCheck
+	case syndrome <= c.k+c.r && c.posToData[syndrome] >= 0:
+		return data.FlipBit(c.posToData[syndrome]), check, CorrectedData
+	default:
+		return data, check, DoubleError
+	}
+}
+
+// PtrCode returns the paper's register-pointer code: Hamming SEC over 7
+// data bits, 4 check bits.
+func PtrCode() *Code { return ptrCode }
+
+// RegCode returns the paper's register-file code: Hamming SEC-DED over 65
+// data bits, 8 check bits.
+func RegCode() *Code { return regCode }
+
+var (
+	ptrCode = NewCode(7, false)
+	regCode = NewCode(65, true)
+)
+
+// Parity32 returns the even-parity bit of a 32-bit instruction word.
+func Parity32(w uint32) uint64 {
+	return uint64(bits.OnesCount32(w)) & 1
+}
+
+// Parity64 returns the even-parity bit of a 64-bit value.
+func Parity64(w uint64) uint64 {
+	return uint64(bits.OnesCount64(w)) & 1
+}

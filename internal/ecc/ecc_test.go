@@ -1,0 +1,174 @@
+package ecc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCheckBitCountsMatchPaper(t *testing.T) {
+	if got := PtrCode().CheckBits(); got != 4 {
+		t.Errorf("pointer code uses %d check bits, paper says 4", got)
+	}
+	if got := RegCode().CheckBits(); got != 8 {
+		t.Errorf("register-file code uses %d check bits, paper says 8", got)
+	}
+	if PtrCode().K() != 7 || RegCode().K() != 65 {
+		t.Error("code widths wrong")
+	}
+}
+
+func TestEncodeDecodeClean(t *testing.T) {
+	for _, c := range []*Code{PtrCode(), RegCode(), NewCode(32, false), NewCode(64, true)} {
+		rng := rand.New(rand.NewSource(int64(c.K())))
+		for i := 0; i < 100; i++ {
+			data := Word{rng.Uint64(), rng.Uint64()}
+			check := c.Encode(data)
+			got, gotCheck, res := c.Decode(data, check)
+			want, _, _ := c.Decode(data, check)
+			_ = want
+			if res != Clean {
+				t.Fatalf("k=%d clean decode reported %v", c.K(), res)
+			}
+			if got != c.truncate(data) || gotCheck != check {
+				t.Fatalf("k=%d clean decode mutated data", c.K())
+			}
+		}
+	}
+}
+
+// TestSingleBitDataCorrectionProperty: every single-bit flip in the data
+// must be corrected, for every code.
+func TestSingleBitDataCorrectionProperty(t *testing.T) {
+	codes := []*Code{PtrCode(), RegCode(), NewCode(13, false), NewCode(64, true)}
+	f := func(lo, hi uint64, bitRaw uint8) bool {
+		for _, c := range codes {
+			data := c.truncate(Word{lo, hi})
+			check := c.Encode(data)
+			bit := int(bitRaw) % c.K()
+			corrupted := data.FlipBit(bit)
+			got, gotCheck, res := c.Decode(corrupted, check)
+			if res != CorrectedData || got != data || gotCheck != check {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSingleBitCheckCorrectionProperty: every single-bit flip in the check
+// bits must be recognized as a check-bit error, leaving data untouched.
+func TestSingleBitCheckCorrectionProperty(t *testing.T) {
+	codes := []*Code{PtrCode(), RegCode()}
+	f := func(lo, hi uint64, bitRaw uint8) bool {
+		for _, c := range codes {
+			data := c.truncate(Word{lo, hi})
+			check := c.Encode(data)
+			bit := int(bitRaw) % c.CheckBits()
+			corrupted := check ^ 1<<uint(bit)
+			got, gotCheck, res := c.Decode(data, corrupted)
+			if res != CorrectedCheck || got != data || gotCheck != check {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSecdedDoubleErrorDetectionProperty: for the SEC-DED register-file
+// code, every double-bit error within the data must be flagged DoubleError,
+// never silently miscorrected.
+func TestSecdedDoubleErrorDetectionProperty(t *testing.T) {
+	c := RegCode()
+	f := func(lo, hi uint64, b1, b2 uint8) bool {
+		i, j := int(b1)%c.K(), int(b2)%c.K()
+		if i == j {
+			return true
+		}
+		data := c.truncate(Word{lo, hi})
+		check := c.Encode(data)
+		corrupted := data.FlipBit(i).FlipBit(j)
+		_, _, res := c.Decode(corrupted, check)
+		return res == DoubleError
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSecdedDataPlusCheckDoubleError(t *testing.T) {
+	c := RegCode()
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 200; i++ {
+		data := c.truncate(Word{rng.Uint64(), rng.Uint64()})
+		check := c.Encode(data)
+		db := rng.Intn(c.K())
+		cb := rng.Intn(c.CheckBits())
+		_, _, res := c.Decode(data.FlipBit(db), check^1<<uint(cb))
+		if res == Clean {
+			t.Fatalf("data+check double error reported clean (db=%d cb=%d)", db, cb)
+		}
+		if res == CorrectedData || res == CorrectedCheck {
+			// SEC-DED must not claim a successful single-bit correction
+			// for a double error.
+			t.Fatalf("data+check double error miscorrected as %v", res)
+		}
+	}
+}
+
+func TestEncodeIgnoresBitsBeyondK(t *testing.T) {
+	c := PtrCode()
+	if c.Encode(Word{0x7F, 0}) != c.Encode(Word{0xFFFF_FFFF_FFFF_FF7F, 123}) {
+		t.Error("Encode sensitive to bits beyond K")
+	}
+}
+
+func TestParity(t *testing.T) {
+	tests := []struct {
+		w    uint32
+		want uint64
+	}{
+		{0, 0}, {1, 1}, {3, 0}, {0xFFFFFFFF, 0}, {0x80000001, 0}, {0x80000000, 1},
+	}
+	for _, tt := range tests {
+		if got := Parity32(tt.w); got != tt.want {
+			t.Errorf("Parity32(%#x) = %d, want %d", tt.w, got, tt.want)
+		}
+	}
+	if Parity64(1<<63|1) != 0 || Parity64(1<<40) != 1 {
+		t.Error("Parity64 wrong")
+	}
+}
+
+// TestParityDetectsSingleFlipProperty: parity must flip for any single-bit
+// corruption of the word.
+func TestParityDetectsSingleFlipProperty(t *testing.T) {
+	f := func(w uint32, bit uint8) bool {
+		return Parity32(w) != Parity32(w^1<<(bit%32))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkRegEncode(b *testing.B) {
+	c := RegCode()
+	for i := 0; i < b.N; i++ {
+		_ = c.Encode(Word{uint64(i) * 0x9E3779B97F4A7C15, uint64(i) & 1})
+	}
+}
+
+func BenchmarkRegDecodeClean(b *testing.B) {
+	c := RegCode()
+	data := Word{0xDEADBEEF, 1}
+	check := c.Encode(data)
+	for i := 0; i < b.N; i++ {
+		_, _, _ = c.Decode(data, check)
+	}
+}

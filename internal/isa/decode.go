@@ -1,0 +1,269 @@
+package isa
+
+// signExtend sign-extends the low n bits of v.
+func signExtend(v uint32, n uint) int32 {
+	shift := 32 - n
+	return int32(v<<shift) >> shift
+}
+
+// operateOp maps an (opcode, function) pair of the operate formats to an Op.
+// It returns OpIllegal for unimplemented function codes.
+func operateOp(opcode, fn uint32) Op {
+	switch opcode {
+	case OpINTA:
+		switch fn {
+		case FnADDL:
+			return OpAddl
+		case FnS4ADDL:
+			return OpS4addl
+		case FnS8ADDL:
+			return OpS8addl
+		case FnSUBL:
+			return OpSubl
+		case FnS4SUBL:
+			return OpS4subl
+		case FnS8SUBL:
+			return OpS8subl
+		case FnADDQ:
+			return OpAddq
+		case FnS4ADDQ:
+			return OpS4addq
+		case FnS8ADDQ:
+			return OpS8addq
+		case FnSUBQ:
+			return OpSubq
+		case FnS4SUBQ:
+			return OpS4subq
+		case FnS8SUBQ:
+			return OpS8subq
+		case FnCMPEQ:
+			return OpCmpeq
+		case FnCMPLT:
+			return OpCmplt
+		case FnCMPLE:
+			return OpCmple
+		case FnCMPULT:
+			return OpCmpult
+		case FnCMPULE:
+			return OpCmpule
+		case FnCMPBGE:
+			return OpCmpbge
+		}
+	case OpINTL:
+		switch fn {
+		case FnAND:
+			return OpAnd
+		case FnBIC:
+			return OpBic
+		case FnBIS:
+			return OpBis
+		case FnORNOT:
+			return OpOrnot
+		case FnXOR:
+			return OpXor
+		case FnEQV:
+			return OpEqv
+		case FnCMOVEQ:
+			return OpCmoveq
+		case FnCMOVNE:
+			return OpCmovne
+		case FnCMOVLT:
+			return OpCmovlt
+		case FnCMOVGE:
+			return OpCmovge
+		case FnCMOVLE:
+			return OpCmovle
+		case FnCMOVGT:
+			return OpCmovgt
+		case FnCMOVLBS:
+			return OpCmovlbs
+		case FnCMOVLBC:
+			return OpCmovlbc
+		}
+	case OpINTS:
+		switch fn {
+		case FnSLL:
+			return OpSll
+		case FnSRL:
+			return OpSrl
+		case FnSRA:
+			return OpSra
+		case FnZAP:
+			return OpZap
+		case FnZAPNOT:
+			return OpZapnot
+		case FnEXTBL:
+			return OpExtbl
+		case FnINSBL:
+			return OpInsbl
+		case FnMSKBL:
+			return OpMskbl
+		}
+	case OpINTM:
+		switch fn {
+		case FnMULL:
+			return OpMull
+		case FnMULQ:
+			return OpMulq
+		case FnUMULH:
+			return OpUmulh
+		}
+	}
+	return OpIllegal
+}
+
+var memoryOps = map[uint32]Op{
+	OpLDA: OpLda, OpLDAH: OpLdah,
+	OpLDBU: OpLdbu, OpLDWU: OpLdwu, OpLDL: OpLdl, OpLDQ: OpLdq,
+	OpSTB: OpStb, OpSTW: OpStw, OpSTL: OpStl, OpSTQ: OpStq,
+}
+
+var branchOps = map[uint32]Op{
+	OpBR: OpBr, OpBSR: OpBsr,
+	OpBLBC: OpBlbc, OpBEQ: OpBeq, OpBLT: OpBlt, OpBLE: OpBle,
+	OpBLBS: OpBlbs, OpBNE: OpBne, OpBGE: OpBge, OpBGT: OpBgt,
+}
+
+// Decode decodes one 32-bit instruction word. Decoding never fails;
+// unimplemented or malformed encodings decode to an Inst with Op ==
+// OpIllegal, which raises an illegal-instruction exception when executed.
+func Decode(raw uint32) Inst {
+	opcode := raw >> 26
+	ra := uint8(raw >> 21 & 31)
+	rb := uint8(raw >> 16 & 31)
+
+	inst := Inst{Raw: raw, Ra: ra, Rb: rb}
+
+	switch {
+	case opcode == OpPAL:
+		inst.Op = OpCallPal
+		inst.Class = ClassPal
+		inst.PalFn = raw & 0x03FFFFFF
+		return inst
+
+	case opcode == OpJSR:
+		inst.JmpSub = uint8(raw >> 14 & 3)
+		inst.Disp = signExtend(raw&0x3FFF, 14) // low hint bits, unused semantically
+		switch inst.JmpSub {
+		case JmpJMP:
+			inst.Op = OpJmp
+		case JmpJSR:
+			inst.Op = OpJsr
+		case JmpRET:
+			inst.Op = OpRet
+		case JmpJCR:
+			inst.Op = OpJcr
+		}
+		inst.Rc = ra // jump group writes the return address to Ra
+		inst.Class = ClassBranch
+		return inst
+
+	case opcode == OpINTA || opcode == OpINTL || opcode == OpINTS || opcode == OpINTM:
+		fn := raw >> 5 & 0x7F
+		inst.Op = operateOp(opcode, fn)
+		inst.Rc = uint8(raw & 31)
+		if raw>>12&1 == 1 {
+			inst.LitValid = true
+			inst.Lit = uint8(raw >> 13 & 0xFF)
+			inst.Rb = 0
+		}
+		switch {
+		case inst.Op == OpIllegal:
+			inst.Class = 0
+		case opcode == OpINTM:
+			inst.Class = ClassComplex
+		default:
+			inst.Class = ClassSimple
+		}
+		// Writes to r31 are architected no-ops; the canonical NOP is
+		// "bis r31,r31,r31".
+		if inst.Op != OpIllegal && inst.Rc == RegZero {
+			inst.Op = OpNop
+			inst.Class = ClassNop
+		}
+		return inst
+
+	case memoryOps[opcode] != 0:
+		op := memoryOps[opcode]
+		inst.Op = op
+		inst.Disp = signExtend(raw&0xFFFF, 16)
+		switch {
+		case op == OpLda || op == OpLdah:
+			inst.Class = ClassSimple
+			inst.Rc = ra
+			if ra == RegZero {
+				inst.Op = OpNop
+				inst.Class = ClassNop
+			}
+		case op.IsLoad():
+			inst.Class = ClassLoad
+			inst.Rc = ra
+			if ra == RegZero {
+				// A load to r31 is an architected prefetch; model as NOP.
+				inst.Op = OpNop
+				inst.Class = ClassNop
+			}
+		default:
+			inst.Class = ClassStore
+			inst.Rc = RegZero
+		}
+		return inst
+
+	case branchOps[opcode] != 0:
+		op := branchOps[opcode]
+		inst.Op = op
+		inst.Disp = signExtend(raw&0x1FFFFF, 21)
+		inst.Class = ClassBranch
+		if op == OpBr || op == OpBsr {
+			inst.Rc = ra // BR/BSR write the return address to Ra
+		}
+		return inst
+	}
+
+	inst.Op = OpIllegal
+	return inst
+}
+
+// DestReg returns the architectural destination register of the instruction,
+// or RegZero if it writes no register.
+func (i Inst) DestReg() uint8 {
+	switch {
+	case i.Op == OpIllegal, i.Op == OpNop, i.Op == OpCallPal:
+		return RegZero
+	case i.Op.IsStore(), i.Op.IsCondBranch():
+		return RegZero
+	default:
+		return i.Rc
+	}
+}
+
+// SrcRegs returns the architectural source registers (RegZero means unused).
+func (i Inst) SrcRegs() (s1, s2 uint8) {
+	switch {
+	case i.Op == OpIllegal, i.Op == OpNop, i.Op == OpCallPal:
+		return RegZero, RegZero
+	case i.Op == OpLda || i.Op == OpLdah:
+		return i.Rb, RegZero
+	case i.Op.IsLoad():
+		return i.Rb, RegZero
+	case i.Op.IsStore():
+		return i.Rb, i.Ra // base, store data
+	case i.Op.IsCondBranch():
+		return i.Ra, RegZero
+	case i.Op.IsUncondBranch():
+		return RegZero, RegZero
+	case i.Op.IsJump():
+		return i.Rb, RegZero
+	default:
+		if i.LitValid {
+			return i.Ra, RegZero
+		}
+		return i.Ra, i.Rb
+	}
+}
+
+// IsCmov reports whether the instruction is a conditional move, which
+// additionally reads its destination register as a third operand.
+func (i Inst) IsCmov() bool {
+	return i.Op >= OpCmoveq && i.Op <= OpCmovlbc
+}

@@ -1,0 +1,45 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// regName returns the assembler name of an integer register.
+func regName(r uint8) string {
+	if r == RegZero {
+		return "$31"
+	}
+	return "$" + strconv.Itoa(int(r))
+}
+
+// Disassemble renders a decoded instruction at address pc in assembler
+// syntax. Branch targets are rendered as absolute addresses.
+func Disassemble(i Inst, pc uint64) string {
+	var sb strings.Builder
+	switch {
+	case i.Op == OpIllegal:
+		fmt.Fprintf(&sb, ".word 0x%08x", i.Raw)
+	case i.Op == OpNop:
+		sb.WriteString("nop")
+	case i.Op == OpCallPal:
+		fmt.Fprintf(&sb, "call_pal 0x%x", i.PalFn)
+	case i.Op == OpLda || i.Op == OpLdah || i.Op.IsLoad():
+		fmt.Fprintf(&sb, "%s %s, %d(%s)", i.Op, regName(i.Ra), i.Disp, regName(i.Rb))
+	case i.Op.IsStore():
+		fmt.Fprintf(&sb, "%s %s, %d(%s)", i.Op, regName(i.Ra), i.Disp, regName(i.Rb))
+	case i.Op.IsCondBranch() || i.Op.IsUncondBranch():
+		target := pc + WordSize + uint64(int64(i.Disp))*WordSize
+		fmt.Fprintf(&sb, "%s %s, 0x%x", i.Op, regName(i.Ra), target)
+	case i.Op.IsJump():
+		fmt.Fprintf(&sb, "%s %s, (%s)", i.Op, regName(i.Ra), regName(i.Rb))
+	default: // operate
+		if i.LitValid {
+			fmt.Fprintf(&sb, "%s %s, %d, %s", i.Op, regName(i.Ra), i.Lit, regName(i.Rc))
+		} else {
+			fmt.Fprintf(&sb, "%s %s, %s, %s", i.Op, regName(i.Ra), regName(i.Rb), regName(i.Rc))
+		}
+	}
+	return sb.String()
+}

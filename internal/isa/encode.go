@@ -1,0 +1,147 @@
+package isa
+
+import "fmt"
+
+// opcodeOf maps an Op back to its primary opcode and (for operate formats)
+// function code. The tables are the inverse of the decode tables and are
+// exercised by round-trip tests.
+type encInfo struct {
+	opcode uint32
+	fn     uint32
+	format format
+}
+
+type format uint8
+
+const (
+	fmtMemory format = iota + 1
+	fmtBranch
+	fmtOperate
+	fmtJump
+	fmtPal
+)
+
+var encTable = map[Op]encInfo{
+	OpLda:  {OpLDA, 0, fmtMemory},
+	OpLdah: {OpLDAH, 0, fmtMemory},
+	OpLdbu: {OpLDBU, 0, fmtMemory},
+	OpLdwu: {OpLDWU, 0, fmtMemory},
+	OpLdl:  {OpLDL, 0, fmtMemory},
+	OpLdq:  {OpLDQ, 0, fmtMemory},
+	OpStb:  {OpSTB, 0, fmtMemory},
+	OpStw:  {OpSTW, 0, fmtMemory},
+	OpStl:  {OpSTL, 0, fmtMemory},
+	OpStq:  {OpSTQ, 0, fmtMemory},
+
+	OpAddl: {OpINTA, FnADDL, fmtOperate}, OpS4addl: {OpINTA, FnS4ADDL, fmtOperate},
+	OpS8addl: {OpINTA, FnS8ADDL, fmtOperate},
+	OpSubl:   {OpINTA, FnSUBL, fmtOperate}, OpS4subl: {OpINTA, FnS4SUBL, fmtOperate},
+	OpS8subl: {OpINTA, FnS8SUBL, fmtOperate},
+	OpAddq:   {OpINTA, FnADDQ, fmtOperate}, OpS4addq: {OpINTA, FnS4ADDQ, fmtOperate},
+	OpS8addq: {OpINTA, FnS8ADDQ, fmtOperate},
+	OpSubq:   {OpINTA, FnSUBQ, fmtOperate}, OpS4subq: {OpINTA, FnS4SUBQ, fmtOperate},
+	OpS8subq: {OpINTA, FnS8SUBQ, fmtOperate},
+	OpCmpeq:  {OpINTA, FnCMPEQ, fmtOperate}, OpCmplt: {OpINTA, FnCMPLT, fmtOperate},
+	OpCmple: {OpINTA, FnCMPLE, fmtOperate}, OpCmpult: {OpINTA, FnCMPULT, fmtOperate},
+	OpCmpule: {OpINTA, FnCMPULE, fmtOperate}, OpCmpbge: {OpINTA, FnCMPBGE, fmtOperate},
+
+	OpAnd: {OpINTL, FnAND, fmtOperate}, OpBic: {OpINTL, FnBIC, fmtOperate},
+	OpBis: {OpINTL, FnBIS, fmtOperate}, OpOrnot: {OpINTL, FnORNOT, fmtOperate},
+	OpXor: {OpINTL, FnXOR, fmtOperate}, OpEqv: {OpINTL, FnEQV, fmtOperate},
+	OpCmoveq: {OpINTL, FnCMOVEQ, fmtOperate}, OpCmovne: {OpINTL, FnCMOVNE, fmtOperate},
+	OpCmovlt: {OpINTL, FnCMOVLT, fmtOperate}, OpCmovge: {OpINTL, FnCMOVGE, fmtOperate},
+	OpCmovle: {OpINTL, FnCMOVLE, fmtOperate}, OpCmovgt: {OpINTL, FnCMOVGT, fmtOperate},
+	OpCmovlbs: {OpINTL, FnCMOVLBS, fmtOperate}, OpCmovlbc: {OpINTL, FnCMOVLBC, fmtOperate},
+
+	OpSll: {OpINTS, FnSLL, fmtOperate}, OpSrl: {OpINTS, FnSRL, fmtOperate},
+	OpSra: {OpINTS, FnSRA, fmtOperate},
+	OpZap: {OpINTS, FnZAP, fmtOperate}, OpZapnot: {OpINTS, FnZAPNOT, fmtOperate},
+	OpExtbl: {OpINTS, FnEXTBL, fmtOperate}, OpInsbl: {OpINTS, FnINSBL, fmtOperate},
+	OpMskbl: {OpINTS, FnMSKBL, fmtOperate},
+
+	OpMull: {OpINTM, FnMULL, fmtOperate}, OpMulq: {OpINTM, FnMULQ, fmtOperate},
+	OpUmulh: {OpINTM, FnUMULH, fmtOperate},
+
+	OpBr: {OpBR, 0, fmtBranch}, OpBsr: {OpBSR, 0, fmtBranch},
+	OpBlbc: {OpBLBC, 0, fmtBranch}, OpBeq: {OpBEQ, 0, fmtBranch},
+	OpBlt: {OpBLT, 0, fmtBranch}, OpBle: {OpBLE, 0, fmtBranch},
+	OpBlbs: {OpBLBS, 0, fmtBranch}, OpBne: {OpBNE, 0, fmtBranch},
+	OpBge: {OpBGE, 0, fmtBranch}, OpBgt: {OpBGT, 0, fmtBranch},
+
+	OpJmp: {OpJSR, JmpJMP, fmtJump}, OpJsr: {OpJSR, JmpJSR, fmtJump},
+	OpRet: {OpJSR, JmpRET, fmtJump}, OpJcr: {OpJSR, JmpJCR, fmtJump},
+
+	OpCallPal: {OpPAL, 0, fmtPal},
+}
+
+// EncodeMemory builds a memory-format instruction (loads, stores, LDA/LDAH).
+// ra is the data register, rb the base register.
+func EncodeMemory(op Op, ra, rb uint8, disp int16) (uint32, error) {
+	info, ok := encTable[op]
+	if !ok || info.format != fmtMemory {
+		return 0, fmt.Errorf("isa: %v is not a memory-format operation", op)
+	}
+	return info.opcode<<26 | uint32(ra&31)<<21 | uint32(rb&31)<<16 |
+		uint32(uint16(disp)), nil
+}
+
+// EncodeBranch builds a branch-format instruction. disp is in instruction
+// words (target = PC+4 + 4*disp) and must fit in 21 signed bits.
+func EncodeBranch(op Op, ra uint8, disp int32) (uint32, error) {
+	info, ok := encTable[op]
+	if !ok || info.format != fmtBranch {
+		return 0, fmt.Errorf("isa: %v is not a branch-format operation", op)
+	}
+	if disp < -(1<<20) || disp >= 1<<20 {
+		return 0, fmt.Errorf("isa: branch displacement %d out of 21-bit range", disp)
+	}
+	return info.opcode<<26 | uint32(ra&31)<<21 | uint32(disp)&0x1FFFFF, nil
+}
+
+// EncodeOperate builds a register-form operate instruction rc = ra op rb.
+func EncodeOperate(op Op, ra, rb, rc uint8) (uint32, error) {
+	info, ok := encTable[op]
+	if !ok || info.format != fmtOperate {
+		return 0, fmt.Errorf("isa: %v is not an operate-format operation", op)
+	}
+	return info.opcode<<26 | uint32(ra&31)<<21 | uint32(rb&31)<<16 |
+		info.fn<<5 | uint32(rc&31), nil
+}
+
+// EncodeOperateLit builds a literal-form operate instruction rc = ra op #lit.
+func EncodeOperateLit(op Op, ra uint8, lit uint8, rc uint8) (uint32, error) {
+	info, ok := encTable[op]
+	if !ok || info.format != fmtOperate {
+		return 0, fmt.Errorf("isa: %v is not an operate-format operation", op)
+	}
+	return info.opcode<<26 | uint32(ra&31)<<21 | uint32(lit)<<13 | 1<<12 |
+		info.fn<<5 | uint32(rc&31), nil
+}
+
+// EncodeJump builds a jump-group instruction (JMP/JSR/RET/JSR_COROUTINE).
+func EncodeJump(op Op, ra, rb uint8) (uint32, error) {
+	info, ok := encTable[op]
+	if !ok || info.format != fmtJump {
+		return 0, fmt.Errorf("isa: %v is not a jump-group operation", op)
+	}
+	return info.opcode<<26 | uint32(ra&31)<<21 | uint32(rb&31)<<16 |
+		info.fn<<14, nil
+}
+
+// EncodePal builds a CALL_PAL instruction.
+func EncodePal(fn uint32) (uint32, error) {
+	if fn >= 1<<26 {
+		return 0, fmt.Errorf("isa: PAL function %#x out of 26-bit range", fn)
+	}
+	return fn, nil
+}
+
+// EncodeNop returns the canonical no-op encoding (bis r31,r31,r31).
+func EncodeNop() uint32 {
+	w, err := EncodeOperate(OpBis, RegZero, RegZero, RegZero)
+	if err != nil {
+		// Unreachable: OpBis is always in the table.
+		return 0
+	}
+	return w
+}

@@ -1,0 +1,199 @@
+package isa
+
+import "math/bits"
+
+// sext32 sign-extends the low 32 bits of v to 64 bits, the canonical result
+// form of all Alpha longword operations.
+func sext32(v uint64) uint64 {
+	return uint64(int64(int32(uint32(v))))
+}
+
+func boolToU64(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// EvalOperate computes the result of an operate-class instruction given its
+// two operand values. For conditional moves, old is the prior value of the
+// destination register and the returned value equals old when the move does
+// not fire. It is the single source of truth for ALU semantics, shared by
+// the functional simulator and the pipeline execution units.
+func EvalOperate(op Op, a, b, old uint64) uint64 {
+	switch op {
+	case OpAddl:
+		return sext32(a + b)
+	case OpS4addl:
+		return sext32(a*4 + b)
+	case OpS8addl:
+		return sext32(a*8 + b)
+	case OpSubl:
+		return sext32(a - b)
+	case OpS4subl:
+		return sext32(a*4 - b)
+	case OpS8subl:
+		return sext32(a*8 - b)
+	case OpAddq:
+		return a + b
+	case OpS4addq:
+		return a*4 + b
+	case OpS8addq:
+		return a*8 + b
+	case OpSubq:
+		return a - b
+	case OpS4subq:
+		return a*4 - b
+	case OpS8subq:
+		return a*8 - b
+	case OpCmpeq:
+		return boolToU64(a == b)
+	case OpCmplt:
+		return boolToU64(int64(a) < int64(b))
+	case OpCmple:
+		return boolToU64(int64(a) <= int64(b))
+	case OpCmpult:
+		return boolToU64(a < b)
+	case OpCmpule:
+		return boolToU64(a <= b)
+	case OpCmpbge:
+		var mask uint64
+		for i := 0; i < 8; i++ {
+			ab := a >> (8 * i) & 0xFF
+			bb := b >> (8 * i) & 0xFF
+			if ab >= bb {
+				mask |= 1 << i
+			}
+		}
+		return mask
+
+	case OpAnd:
+		return a & b
+	case OpBic:
+		return a &^ b
+	case OpBis:
+		return a | b
+	case OpOrnot:
+		return a | ^b
+	case OpXor:
+		return a ^ b
+	case OpEqv:
+		return a ^ ^b
+
+	case OpCmoveq:
+		if a == 0 {
+			return b
+		}
+		return old
+	case OpCmovne:
+		if a != 0 {
+			return b
+		}
+		return old
+	case OpCmovlt:
+		if int64(a) < 0 {
+			return b
+		}
+		return old
+	case OpCmovge:
+		if int64(a) >= 0 {
+			return b
+		}
+		return old
+	case OpCmovle:
+		if int64(a) <= 0 {
+			return b
+		}
+		return old
+	case OpCmovgt:
+		if int64(a) > 0 {
+			return b
+		}
+		return old
+	case OpCmovlbs:
+		if a&1 == 1 {
+			return b
+		}
+		return old
+	case OpCmovlbc:
+		if a&1 == 0 {
+			return b
+		}
+		return old
+
+	case OpSll:
+		return a << (b & 63)
+	case OpSrl:
+		return a >> (b & 63)
+	case OpSra:
+		return uint64(int64(a) >> (b & 63))
+	case OpZap:
+		return a &^ byteMask(uint8(b))
+	case OpZapnot:
+		return a & byteMask(uint8(b))
+	case OpExtbl:
+		return a >> ((b & 7) * 8) & 0xFF
+	case OpInsbl:
+		return (a & 0xFF) << ((b & 7) * 8)
+	case OpMskbl:
+		return a &^ (0xFF << ((b & 7) * 8))
+
+	case OpMull:
+		return sext32(a * b)
+	case OpMulq:
+		return a * b
+	case OpUmulh:
+		hi, _ := bits.Mul64(a, b)
+		return hi
+	}
+	return 0
+}
+
+// byteMask expands an 8-bit byte-select mask into a 64-bit bit mask.
+func byteMask(sel uint8) uint64 {
+	var m uint64
+	for i := 0; i < 8; i++ {
+		if sel>>i&1 == 1 {
+			m |= 0xFF << (8 * i)
+		}
+	}
+	return m
+}
+
+// CondTaken evaluates a conditional branch's condition on the value of Ra.
+func CondTaken(op Op, a uint64) bool {
+	switch op {
+	case OpBlbc:
+		return a&1 == 0
+	case OpBlbs:
+		return a&1 == 1
+	case OpBeq:
+		return a == 0
+	case OpBne:
+		return a != 0
+	case OpBlt:
+		return int64(a) < 0
+	case OpBle:
+		return int64(a) <= 0
+	case OpBge:
+		return int64(a) >= 0
+	case OpBgt:
+		return int64(a) > 0
+	}
+	return false
+}
+
+// ComplexLatency returns the complex-ALU latency in cycles for a
+// multiply-class operation (the paper's complex ALU takes 2-5 cycles).
+func ComplexLatency(op Op) int {
+	switch op {
+	case OpMull:
+		return 3
+	case OpMulq:
+		return 4
+	case OpUmulh:
+		return 5
+	default:
+		return 2
+	}
+}

@@ -1,0 +1,349 @@
+// Package isa implements the integer subset of the Alpha instruction set
+// used by the processor model: the same subset the DSN'04 paper's pipeline
+// implements (no floating point, no synchronizing memory operations).
+//
+// Instruction words are 32 bits and use the genuine Alpha AXP encodings:
+//
+//	Memory   format: opcode[31:26] ra[25:21] rb[20:16] disp[15:0]
+//	Branch   format: opcode[31:26] ra[25:21] disp[20:0]
+//	Operate  format: opcode[31:26] ra[25:21] rb[20:16] 000 0 func[11:5] rc[4:0]
+//	Literal  format: opcode[31:26] ra[25:21] lit[20:13]    1 func[11:5] rc[4:0]
+//	Jump     format: opcode[31:26] ra[25:21] rb[20:16] hint[15:0] (hint[15:14]=subop)
+//	CALL_PAL format: opcode[31:26] func[25:0]
+package isa
+
+import "fmt"
+
+// WordSize is the size of one instruction word in bytes.
+const WordSize = 4
+
+// RegZero is the architectural register hardwired to zero (Alpha r31).
+const RegZero = 31
+
+// NumArchRegs is the number of architectural integer registers.
+const NumArchRegs = 32
+
+// Conventional register assignments (OSF/1 Alpha calling convention subset).
+const (
+	RegV0 = 0  // function return value
+	RegA0 = 16 // first argument
+	RegA1 = 17
+	RegA2 = 18
+	RegRA = 26 // return address
+	RegGP = 29 // global pointer
+	RegSP = 30 // stack pointer
+)
+
+// Primary opcodes (bits [31:26]).
+const (
+	OpPAL  = 0x00
+	OpLDA  = 0x08
+	OpLDAH = 0x09
+	OpLDBU = 0x0A
+	OpLDWU = 0x0C
+	OpSTW  = 0x0D
+	OpSTB  = 0x0E
+	OpINTA = 0x10 // integer arithmetic
+	OpINTL = 0x11 // integer logical
+	OpINTS = 0x12 // integer shift
+	OpINTM = 0x13 // integer multiply
+	OpJSR  = 0x1A // jump group (JMP/JSR/RET/JSR_COROUTINE)
+	OpLDL  = 0x28
+	OpLDQ  = 0x29
+	OpSTL  = 0x2C
+	OpSTQ  = 0x2D
+	OpBR   = 0x30
+	OpBSR  = 0x34
+	OpBLBC = 0x38
+	OpBEQ  = 0x39
+	OpBLT  = 0x3A
+	OpBLE  = 0x3B
+	OpBLBS = 0x3C
+	OpBNE  = 0x3D
+	OpBGE  = 0x3E
+	OpBGT  = 0x3F
+)
+
+// INTA (opcode 0x10) function codes.
+const (
+	FnADDL   = 0x00
+	FnS4ADDL = 0x02
+	FnSUBL   = 0x09
+	FnS4SUBL = 0x0B
+	FnCMPBGE = 0x0F
+	FnS8ADDL = 0x12
+	FnS8SUBL = 0x1B
+	FnCMPULT = 0x1D
+	FnADDQ   = 0x20
+	FnS4ADDQ = 0x22
+	FnSUBQ   = 0x29
+	FnS4SUBQ = 0x2B
+	FnCMPEQ  = 0x2D
+	FnS8ADDQ = 0x32
+	FnS8SUBQ = 0x3B
+	FnCMPULE = 0x3D
+	FnCMPLT  = 0x4D
+	FnCMPLE  = 0x6D
+)
+
+// INTL (opcode 0x11) function codes.
+const (
+	FnAND     = 0x00
+	FnBIC     = 0x08
+	FnCMOVLBS = 0x14
+	FnCMOVLBC = 0x16
+	FnBIS     = 0x20
+	FnCMOVEQ  = 0x24
+	FnCMOVNE  = 0x26
+	FnORNOT   = 0x28
+	FnXOR     = 0x40
+	FnCMOVLT  = 0x44
+	FnCMOVGE  = 0x46
+	FnEQV     = 0x48
+	FnCMOVLE  = 0x64
+	FnCMOVGT  = 0x66
+)
+
+// INTS (opcode 0x12) function codes.
+const (
+	FnMSKBL  = 0x02
+	FnEXTBL  = 0x06
+	FnINSBL  = 0x0B
+	FnSRL    = 0x34
+	FnZAP    = 0x30
+	FnZAPNOT = 0x31
+	FnSLL    = 0x39
+	FnSRA    = 0x3C
+)
+
+// INTM (opcode 0x13) function codes.
+const (
+	FnMULL  = 0x00
+	FnMULQ  = 0x20
+	FnUMULH = 0x30
+)
+
+// Jump-group subopcodes (bits [15:14] of the hint field).
+const (
+	JmpJMP = 0
+	JmpJSR = 1
+	JmpRET = 2
+	JmpJCR = 3
+)
+
+// PAL function codes. These are simulator conventions standing in for the
+// operating-system PALcode interface (the paper's workloads similarly rely on
+// a thin syscall layer for output).
+// Function 0 is deliberately left undefined so that executing zero-filled
+// memory raises an exception instead of halting cleanly.
+const (
+	PalHalt   = 0x01 // stop the program
+	PalPutC   = 0x02 // write byte in a0 to the output stream
+	PalPutInt = 0x03 // write decimal integer in a0 plus newline
+	PalPutHex = 0x04 // write hexadecimal integer in a0 plus newline
+)
+
+// Class describes the execution resource class of an instruction.
+type Class uint8
+
+// Instruction classes, used by the scheduler to pick an issue port.
+const (
+	ClassSimple  Class = iota + 1 // simple ALU ops (2 units)
+	ClassComplex                  // multiplies (2-5 cycle complex ALU)
+	ClassBranch                   // control transfers (branch ALU)
+	ClassLoad                     // memory loads (AGU + cache)
+	ClassStore                    // memory stores (AGU + store queue)
+	ClassPal                      // CALL_PAL: serializing
+	ClassNop                      // architected no-ops
+)
+
+// Inst is a decoded instruction. Fields not applicable to the format are
+// zero. It is a pure value type: decoding never fails; invalid encodings
+// produce Op == OpIllegal.
+type Inst struct {
+	Raw    uint32
+	Op     Op
+	Class  Class
+	Ra     uint8 // source/destination per format
+	Rb     uint8
+	Rc     uint8
+	Lit    uint8  // 8-bit literal (LitValid)
+	Disp   int32  // sign-extended 16- or 21-bit displacement
+	PalFn  uint32 // CALL_PAL function
+	JmpSub uint8  // jump-group subopcode
+
+	LitValid bool // operate format used the literal form
+}
+
+// Op enumerates every operation the model implements, independent of
+// encoding format.
+type Op uint8
+
+// Operations.
+const (
+	OpIllegal Op = iota
+	OpNop
+
+	// Memory.
+	OpLda
+	OpLdah
+	OpLdbu
+	OpLdwu
+	OpLdl
+	OpLdq
+	OpStb
+	OpStw
+	OpStl
+	OpStq
+
+	// Arithmetic.
+	OpAddl
+	OpS4addl
+	OpS8addl
+	OpSubl
+	OpS4subl
+	OpS8subl
+	OpAddq
+	OpS4addq
+	OpS8addq
+	OpSubq
+	OpS4subq
+	OpS8subq
+	OpCmpeq
+	OpCmplt
+	OpCmple
+	OpCmpult
+	OpCmpule
+	OpCmpbge
+
+	// Logical / conditional move.
+	OpAnd
+	OpBic
+	OpBis
+	OpOrnot
+	OpXor
+	OpEqv
+	OpCmoveq
+	OpCmovne
+	OpCmovlt
+	OpCmovge
+	OpCmovle
+	OpCmovgt
+	OpCmovlbs
+	OpCmovlbc
+
+	// Shift / byte manipulation.
+	OpSll
+	OpSrl
+	OpSra
+	OpZap
+	OpZapnot
+	OpExtbl
+	OpInsbl
+	OpMskbl
+
+	// Multiply.
+	OpMull
+	OpMulq
+	OpUmulh
+
+	// Control.
+	OpBr
+	OpBsr
+	OpBlbc
+	OpBeq
+	OpBlt
+	OpBle
+	OpBlbs
+	OpBne
+	OpBge
+	OpBgt
+	OpJmp
+	OpJsr
+	OpRet
+	OpJcr
+
+	OpCallPal
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	OpIllegal: "illegal",
+	OpNop:     "nop",
+	OpLda:     "lda", OpLdah: "ldah", OpLdbu: "ldbu", OpLdwu: "ldwu",
+	OpLdl: "ldl", OpLdq: "ldq", OpStb: "stb", OpStw: "stw",
+	OpStl: "stl", OpStq: "stq",
+	OpAddl: "addl", OpS4addl: "s4addl", OpS8addl: "s8addl",
+	OpSubl: "subl", OpS4subl: "s4subl", OpS8subl: "s8subl",
+	OpAddq: "addq", OpS4addq: "s4addq", OpS8addq: "s8addq",
+	OpSubq: "subq", OpS4subq: "s4subq", OpS8subq: "s8subq",
+	OpCmpeq: "cmpeq", OpCmplt: "cmplt", OpCmple: "cmple",
+	OpCmpult: "cmpult", OpCmpule: "cmpule", OpCmpbge: "cmpbge",
+	OpAnd: "and", OpBic: "bic", OpBis: "bis", OpOrnot: "ornot",
+	OpXor: "xor", OpEqv: "eqv",
+	OpCmoveq: "cmoveq", OpCmovne: "cmovne", OpCmovlt: "cmovlt",
+	OpCmovge: "cmovge", OpCmovle: "cmovle", OpCmovgt: "cmovgt",
+	OpCmovlbs: "cmovlbs", OpCmovlbc: "cmovlbc",
+	OpSll: "sll", OpSrl: "srl", OpSra: "sra",
+	OpZap: "zap", OpZapnot: "zapnot",
+	OpExtbl: "extbl", OpInsbl: "insbl", OpMskbl: "mskbl",
+	OpMull: "mull", OpMulq: "mulq", OpUmulh: "umulh",
+	OpBr: "br", OpBsr: "bsr",
+	OpBlbc: "blbc", OpBeq: "beq", OpBlt: "blt", OpBle: "ble",
+	OpBlbs: "blbs", OpBne: "bne", OpBge: "bge", OpBgt: "bgt",
+	OpJmp: "jmp", OpJsr: "jsr", OpRet: "ret", OpJcr: "jsr_coroutine",
+	OpCallPal: "call_pal",
+}
+
+// String returns the assembler mnemonic for the operation.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// IsLoad reports whether the operation reads data memory.
+func (o Op) IsLoad() bool { return o >= OpLdbu && o <= OpLdq }
+
+// IsStore reports whether the operation writes data memory.
+func (o Op) IsStore() bool { return o >= OpStb && o <= OpStq }
+
+// IsCondBranch reports whether the operation is a conditional branch.
+func (o Op) IsCondBranch() bool { return o >= OpBlbc && o <= OpBgt }
+
+// IsUncondBranch reports whether the operation is an unconditional,
+// direct control transfer (BR/BSR).
+func (o Op) IsUncondBranch() bool { return o == OpBr || o == OpBsr }
+
+// IsJump reports whether the operation is an indirect control transfer.
+func (o Op) IsJump() bool { return o >= OpJmp && o <= OpJcr }
+
+// IsControl reports whether the operation can redirect the PC.
+func (o Op) IsControl() bool {
+	return o.IsCondBranch() || o.IsUncondBranch() || o.IsJump() || o == OpCallPal
+}
+
+// IsCall reports whether the operation pushes a return address
+// (for return-address-stack maintenance).
+func (o Op) IsCall() bool { return o == OpBsr || o == OpJsr }
+
+// IsReturn reports whether the operation pops the return address stack.
+func (o Op) IsReturn() bool { return o == OpRet }
+
+// MemBytes returns the access size in bytes for loads and stores, and 0
+// for other operations.
+func (o Op) MemBytes() int {
+	switch o {
+	case OpLdbu, OpStb:
+		return 1
+	case OpLdwu, OpStw:
+		return 2
+	case OpLdl, OpStl:
+		return 4
+	case OpLdq, OpStq:
+		return 8
+	}
+	return 0
+}

@@ -1,0 +1,385 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDecodeOperateRegisterForm(t *testing.T) {
+	tests := []struct {
+		name string
+		op   Op
+		ra   uint8
+		rb   uint8
+		rc   uint8
+	}{
+		{"addq", OpAddq, 1, 2, 3},
+		{"subl", OpSubl, 10, 11, 12},
+		{"and", OpAnd, 4, 5, 6},
+		{"xor", OpXor, 7, 8, 9},
+		{"sll", OpSll, 13, 14, 15},
+		{"mulq", OpMulq, 16, 17, 18},
+		{"cmpeq", OpCmpeq, 19, 20, 21},
+		{"zapnot", OpZapnot, 22, 23, 24},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			raw, err := EncodeOperate(tt.op, tt.ra, tt.rb, tt.rc)
+			if err != nil {
+				t.Fatalf("EncodeOperate: %v", err)
+			}
+			got := Decode(raw)
+			if got.Op != tt.op || got.Ra != tt.ra || got.Rb != tt.rb || got.Rc != tt.rc {
+				t.Errorf("Decode(%#x) = %+v, want op=%v ra=%d rb=%d rc=%d",
+					raw, got, tt.op, tt.ra, tt.rb, tt.rc)
+			}
+			if got.LitValid {
+				t.Error("register form decoded as literal form")
+			}
+		})
+	}
+}
+
+func TestDecodeOperateLiteralForm(t *testing.T) {
+	raw, err := EncodeOperateLit(OpAddq, 5, 200, 7)
+	if err != nil {
+		t.Fatalf("EncodeOperateLit: %v", err)
+	}
+	got := Decode(raw)
+	if got.Op != OpAddq || got.Ra != 5 || got.Lit != 200 || got.Rc != 7 || !got.LitValid {
+		t.Errorf("Decode(%#x) = %+v, want addq $5, 200, $7", raw, got)
+	}
+}
+
+func TestDecodeMemory(t *testing.T) {
+	tests := []struct {
+		op    Op
+		ra    uint8
+		rb    uint8
+		disp  int16
+		class Class
+	}{
+		{OpLdq, 3, 4, -8, ClassLoad},
+		{OpLdl, 5, 6, 100, ClassLoad},
+		{OpLdbu, 7, 8, 0, ClassLoad},
+		{OpStq, 9, 10, -32768, ClassStore},
+		{OpStb, 11, 12, 32767, ClassStore},
+		{OpLda, 13, 14, 42, ClassSimple},
+		{OpLdah, 15, 16, -1, ClassSimple},
+	}
+	for _, tt := range tests {
+		raw, err := EncodeMemory(tt.op, tt.ra, tt.rb, tt.disp)
+		if err != nil {
+			t.Fatalf("EncodeMemory(%v): %v", tt.op, err)
+		}
+		got := Decode(raw)
+		if got.Op != tt.op || got.Ra != tt.ra || got.Rb != tt.rb ||
+			got.Disp != int32(tt.disp) || got.Class != tt.class {
+			t.Errorf("Decode(%#x) = %+v, want %v $%d, %d($%d) class=%d",
+				raw, got, tt.op, tt.ra, tt.disp, tt.rb, tt.class)
+		}
+	}
+}
+
+func TestDecodeBranch(t *testing.T) {
+	for _, op := range []Op{OpBr, OpBsr, OpBeq, OpBne, OpBlt, OpBle, OpBge, OpBgt, OpBlbc, OpBlbs} {
+		for _, disp := range []int32{0, 1, -1, 1<<20 - 1, -(1 << 20)} {
+			raw, err := EncodeBranch(op, 9, disp)
+			if err != nil {
+				t.Fatalf("EncodeBranch(%v, %d): %v", op, disp, err)
+			}
+			got := Decode(raw)
+			if got.Op != op || got.Ra != 9 || got.Disp != disp {
+				t.Errorf("Decode(%#x) = %+v, want %v $9, disp=%d", raw, got, op, disp)
+			}
+		}
+	}
+	if _, err := EncodeBranch(OpBr, 0, 1<<20); err == nil {
+		t.Error("EncodeBranch accepted out-of-range displacement")
+	}
+}
+
+func TestDecodeJumpGroup(t *testing.T) {
+	for _, tt := range []struct {
+		op  Op
+		sub uint8
+	}{{OpJmp, JmpJMP}, {OpJsr, JmpJSR}, {OpRet, JmpRET}, {OpJcr, JmpJCR}} {
+		raw, err := EncodeJump(tt.op, 26, 27)
+		if err != nil {
+			t.Fatalf("EncodeJump(%v): %v", tt.op, err)
+		}
+		got := Decode(raw)
+		if got.Op != tt.op || got.Ra != 26 || got.Rb != 27 || got.JmpSub != tt.sub {
+			t.Errorf("Decode(%#x) = %+v, want %v", raw, got, tt.op)
+		}
+		if got.Class != ClassBranch {
+			t.Errorf("jump class = %d, want ClassBranch", got.Class)
+		}
+	}
+}
+
+func TestDecodeCallPal(t *testing.T) {
+	raw, err := EncodePal(PalPutInt)
+	if err != nil {
+		t.Fatalf("EncodePal: %v", err)
+	}
+	got := Decode(raw)
+	if got.Op != OpCallPal || got.PalFn != PalPutInt {
+		t.Errorf("Decode(%#x) = %+v, want call_pal %d", raw, got, PalPutInt)
+	}
+	if _, err := EncodePal(1 << 26); err == nil {
+		t.Error("EncodePal accepted out-of-range function")
+	}
+}
+
+func TestDecodeNop(t *testing.T) {
+	got := Decode(EncodeNop())
+	if got.Op != OpNop || got.Class != ClassNop {
+		t.Errorf("canonical NOP decoded as %+v", got)
+	}
+}
+
+func TestWriteToR31IsNop(t *testing.T) {
+	raw, err := EncodeOperate(OpAddq, 1, 2, RegZero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Decode(raw); got.Op != OpNop {
+		t.Errorf("addq with rc=r31 decoded as %v, want nop", got.Op)
+	}
+	raw, err = EncodeMemory(OpLdq, RegZero, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Decode(raw); got.Op != OpNop {
+		t.Errorf("ldq to r31 decoded as %v, want nop (prefetch)", got.Op)
+	}
+}
+
+func TestDecodeIllegal(t *testing.T) {
+	// Opcode 0x07 is not implemented.
+	if got := Decode(0x07 << 26); got.Op != OpIllegal {
+		t.Errorf("unimplemented opcode decoded as %v", got.Op)
+	}
+	// INTA with a bogus function code.
+	if got := Decode(OpINTA<<26 | 0x7F<<5); got.Op != OpIllegal {
+		t.Errorf("bogus INTA function decoded as %v", got.Op)
+	}
+}
+
+// TestEncodeDecodeRoundTripProperty checks, for random operands, that every
+// encodable operation decodes back to itself.
+func TestEncodeDecodeRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(rawRA, rawRB, rawRC uint8, disp int16) bool {
+		ra, rb, rc := rawRA&31, rawRB&31, rawRC&31
+		if rc == RegZero {
+			rc = 1 // avoid the architected-NOP folding
+		}
+		for op, info := range encTable {
+			var raw uint32
+			var err error
+			switch info.format {
+			case fmtMemory:
+				raw, err = EncodeMemory(op, ra, rb, disp)
+			case fmtBranch:
+				raw, err = EncodeBranch(op, ra, int32(disp))
+			case fmtOperate:
+				if rng.Intn(2) == 0 {
+					raw, err = EncodeOperate(op, ra, rb, rc)
+				} else {
+					raw, err = EncodeOperateLit(op, ra, uint8(disp), rc)
+				}
+			case fmtJump:
+				raw, err = EncodeJump(op, ra, rb)
+			case fmtPal:
+				raw, err = EncodePal(uint32(disp) & 0x3FF)
+			}
+			if err != nil {
+				return false
+			}
+			got := Decode(raw)
+			// Loads/LDA to r31 and stores legitimately change Op/dest.
+			if got.Op != op && got.Op != OpNop {
+				t.Logf("op %v decoded as %v (raw %#x)", op, got.Op, raw)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalOperateSemantics(t *testing.T) {
+	tests := []struct {
+		name string
+		op   Op
+		a, b uint64
+		old  uint64
+		want uint64
+	}{
+		{"addl wraps and sign-extends", OpAddl, 0x7FFFFFFF, 1, 0, 0xFFFFFFFF80000000},
+		{"addq", OpAddq, 1 << 40, 1, 0, 1<<40 + 1},
+		{"subq", OpSubq, 5, 7, 0, ^uint64(1)},
+		{"subl sign-extends", OpSubl, 0, 1, 0, ^uint64(0)},
+		{"s4addq", OpS4addq, 3, 10, 0, 22},
+		{"s8addq", OpS8addq, 3, 10, 0, 34},
+		{"s4addl", OpS4addl, 0x40000000, 0, 0, 0},
+		{"cmpeq true", OpCmpeq, 9, 9, 0, 1},
+		{"cmpeq false", OpCmpeq, 9, 8, 0, 0},
+		{"cmplt signed", OpCmplt, ^uint64(0), 0, 0, 1},
+		{"cmpult unsigned", OpCmpult, ^uint64(0), 0, 0, 0},
+		{"cmple equal", OpCmple, 4, 4, 0, 1},
+		{"cmpule", OpCmpule, 5, 4, 0, 0},
+		{"cmpbge", OpCmpbge, 0x0102030405060708, 0x0102030405060708, 0, 0xFF},
+		{"and", OpAnd, 0xF0F0, 0xFF00, 0, 0xF000},
+		{"bic", OpBic, 0xF0F0, 0xFF00, 0, 0x00F0},
+		{"bis", OpBis, 0xF0F0, 0x0F0F, 0, 0xFFFF},
+		{"ornot", OpOrnot, 0, 0, 0, ^uint64(0)},
+		{"xor", OpXor, 0xFF, 0x0F, 0, 0xF0},
+		{"eqv", OpEqv, 0xFF, 0xFF, 0, ^uint64(0)},
+		{"cmoveq fires", OpCmoveq, 0, 42, 7, 42},
+		{"cmoveq holds", OpCmoveq, 1, 42, 7, 7},
+		{"cmovgt fires", OpCmovgt, 5, 42, 7, 42},
+		{"cmovlbs fires", OpCmovlbs, 3, 42, 7, 42},
+		{"sll", OpSll, 1, 63, 0, 1 << 63},
+		{"sll masks shift", OpSll, 1, 64, 0, 1},
+		{"srl", OpSrl, 1 << 63, 63, 0, 1},
+		{"sra", OpSra, 1 << 63, 63, 0, ^uint64(0)},
+		{"zap", OpZap, 0x1122334455667788, 0x0F, 0, 0x1122334400000000},
+		{"zapnot", OpZapnot, 0x1122334455667788, 0x0F, 0, 0x55667788},
+		{"extbl", OpExtbl, 0x1122334455667788, 6, 0, 0x22},
+		{"insbl", OpInsbl, 0xAB, 2, 0, 0xAB0000},
+		{"mskbl", OpMskbl, 0xFFFFFF, 1, 0, 0xFF00FF},
+		{"mull", OpMull, 0x10000, 0x10000, 0, 0},
+		{"mulq", OpMulq, 1 << 32, 1 << 32, 0, 0},
+		{"umulh", OpUmulh, 1 << 32, 1 << 32, 0, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := EvalOperate(tt.op, tt.a, tt.b, tt.old); got != tt.want {
+				t.Errorf("EvalOperate(%v, %#x, %#x, %#x) = %#x, want %#x",
+					tt.op, tt.a, tt.b, tt.old, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCondTaken(t *testing.T) {
+	tests := []struct {
+		op   Op
+		a    uint64
+		want bool
+	}{
+		{OpBeq, 0, true}, {OpBeq, 1, false},
+		{OpBne, 0, false}, {OpBne, 5, true},
+		{OpBlt, ^uint64(0), true}, {OpBlt, 0, false},
+		{OpBle, 0, true}, {OpBle, 1, false},
+		{OpBge, 0, true}, {OpBge, ^uint64(0), false},
+		{OpBgt, 1, true}, {OpBgt, 0, false},
+		{OpBlbc, 2, true}, {OpBlbc, 3, false},
+		{OpBlbs, 3, true}, {OpBlbs, 2, false},
+	}
+	for _, tt := range tests {
+		if got := CondTaken(tt.op, tt.a); got != tt.want {
+			t.Errorf("CondTaken(%v, %#x) = %v, want %v", tt.op, tt.a, got, tt.want)
+		}
+	}
+}
+
+// TestEvalCmovWriteSemanticsProperty: for every non-firing cmov the result
+// must equal the old destination value; for every firing cmov it must equal b.
+func TestEvalCmovWriteSemanticsProperty(t *testing.T) {
+	f := func(a, b, old uint64) bool {
+		for _, op := range []Op{OpCmoveq, OpCmovne, OpCmovlt, OpCmovge, OpCmovle, OpCmovgt, OpCmovlbs, OpCmovlbc} {
+			got := EvalOperate(op, a, b, old)
+			if got != b && got != old {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestShiftMaskProperty: shifts must only use the low 6 bits of the count,
+// as on real Alpha hardware.
+func TestShiftMaskProperty(t *testing.T) {
+	f := func(a, b uint64) bool {
+		return EvalOperate(OpSll, a, b, 0) == EvalOperate(OpSll, a, b&63, 0) &&
+			EvalOperate(OpSrl, a, b, 0) == EvalOperate(OpSrl, a, b&63, 0) &&
+			EvalOperate(OpSra, a, b, 0) == EvalOperate(OpSra, a, b&63, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSrcDestRegs(t *testing.T) {
+	st := Decode(mustEnc(t)(EncodeMemory(OpStq, 7, 8, 16)))
+	s1, s2 := st.SrcRegs()
+	if s1 != 8 || s2 != 7 {
+		t.Errorf("stq sources = (%d,%d), want (8,7)", s1, s2)
+	}
+	if st.DestReg() != RegZero {
+		t.Errorf("stq dest = %d, want r31", st.DestReg())
+	}
+
+	ld := Decode(mustEnc(t)(EncodeMemory(OpLdq, 7, 8, 16)))
+	s1, s2 = ld.SrcRegs()
+	if s1 != 8 || s2 != RegZero || ld.DestReg() != 7 {
+		t.Errorf("ldq srcs=(%d,%d) dest=%d, want (8,31) 7", s1, s2, ld.DestReg())
+	}
+
+	bsr := Decode(mustEnc(t)(EncodeBranch(OpBsr, RegRA, 10)))
+	if bsr.DestReg() != RegRA {
+		t.Errorf("bsr dest = %d, want ra", bsr.DestReg())
+	}
+
+	cm := Decode(mustEnc(t)(EncodeOperate(OpCmoveq, 1, 2, 3)))
+	if !cm.IsCmov() {
+		t.Error("cmoveq not detected as cmov")
+	}
+}
+
+func TestComplexLatencyRange(t *testing.T) {
+	for _, op := range []Op{OpMull, OpMulq, OpUmulh} {
+		l := ComplexLatency(op)
+		if l < 2 || l > 5 {
+			t.Errorf("ComplexLatency(%v) = %d, want within [2,5]", op, l)
+		}
+	}
+}
+
+func TestDisassembleSmoke(t *testing.T) {
+	tests := []struct {
+		raw  uint32
+		want string
+	}{
+		{mustEnc(t)(EncodeOperate(OpAddq, 1, 2, 3)), "addq $1, $2, $3"},
+		{mustEnc(t)(EncodeOperateLit(OpAddq, 1, 8, 3)), "addq $1, 8, $3"},
+		{mustEnc(t)(EncodeMemory(OpLdq, 1, 2, -8)), "ldq $1, -8($2)"},
+		{EncodeNop(), "nop"},
+		{mustEnc(t)(EncodeJump(OpRet, 31, 26)), "ret $31, ($26)"},
+	}
+	for _, tt := range tests {
+		if got := Disassemble(Decode(tt.raw), 0x1000); got != tt.want {
+			t.Errorf("Disassemble(%#x) = %q, want %q", tt.raw, got, tt.want)
+		}
+	}
+}
+
+func mustEnc(t *testing.T) func(raw uint32, err error) uint32 {
+	t.Helper()
+	return func(raw uint32, err error) uint32 {
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+}

@@ -1,0 +1,246 @@
+// Package mem implements the sparse, paged physical memory used by both the
+// functional simulator and the pipeline model.
+//
+// Memory is allocated lazily in fixed-size pages. The page set doubles as
+// the model's TLB contents: the fault-injection campaigns preload "legal"
+// pages from a fault-free reference run, and any faulty access outside that
+// set is classified as an iTLB/dTLB miss (an SDC outcome in the paper).
+//
+// An undo log supports cheap trial rollback: a fault-injection trial runs
+// against the checkpoint's memory image and is rolled back afterwards, so
+// thousands of trials can share one image without copying it.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// PageShift is log2 of the page size. 8 KiB pages, as on Alpha.
+const PageShift = 13
+
+// PageSize is the size of one memory page in bytes.
+const PageSize = 1 << PageShift
+
+const offsetMask = PageSize - 1
+
+// Memory is a sparse 64-bit byte-addressable memory. The zero value is not
+// usable; call New.
+type Memory struct {
+	pages map[uint64]*[PageSize]byte
+
+	// One-entry page translation cache; avoids a map lookup on the
+	// overwhelmingly common same-page access pattern.
+	lastVPN  uint64
+	lastPage *[PageSize]byte
+
+	undo     []undoEntry
+	undoOn   bool
+	undoBase int
+}
+
+type undoEntry struct {
+	addr uint64
+	old  byte
+}
+
+// New returns an empty memory.
+func New() *Memory {
+	return &Memory{pages: make(map[uint64]*[PageSize]byte), lastVPN: ^uint64(0)}
+}
+
+// page returns the page containing addr, allocating it if needed.
+func (m *Memory) page(addr uint64) *[PageSize]byte {
+	vpn := addr >> PageShift
+	if vpn == m.lastVPN {
+		return m.lastPage
+	}
+	p := m.pages[vpn]
+	if p == nil {
+		p = new([PageSize]byte)
+		m.pages[vpn] = p
+	}
+	m.lastVPN, m.lastPage = vpn, p
+	return p
+}
+
+// peek returns the page containing addr or nil without allocating.
+func (m *Memory) peek(addr uint64) *[PageSize]byte {
+	vpn := addr >> PageShift
+	if vpn == m.lastVPN {
+		return m.lastPage
+	}
+	return m.pages[vpn]
+}
+
+// LoadByte reads one byte. Unwritten memory reads as zero.
+func (m *Memory) LoadByte(addr uint64) byte {
+	p := m.peek(addr)
+	if p == nil {
+		return 0
+	}
+	return p[addr&offsetMask]
+}
+
+// StoreByte writes one byte.
+func (m *Memory) StoreByte(addr uint64, v byte) {
+	p := m.page(addr)
+	if m.undoOn {
+		m.undo = append(m.undo, undoEntry{addr: addr, old: p[addr&offsetMask]})
+	}
+	p[addr&offsetMask] = v
+}
+
+// Read reads size bytes (1, 2, 4 or 8) in little-endian order. The access
+// may straddle a page boundary.
+func (m *Memory) Read(addr uint64, size int) uint64 {
+	if addr&offsetMask <= PageSize-uint64(size) {
+		p := m.peek(addr)
+		if p == nil {
+			return 0
+		}
+		off := addr & offsetMask
+		switch size {
+		case 1:
+			return uint64(p[off])
+		case 2:
+			return uint64(binary.LittleEndian.Uint16(p[off : off+2]))
+		case 4:
+			return uint64(binary.LittleEndian.Uint32(p[off : off+4]))
+		case 8:
+			return binary.LittleEndian.Uint64(p[off : off+8])
+		}
+	}
+	var v uint64
+	for i := 0; i < size; i++ {
+		v |= uint64(m.LoadByte(addr+uint64(i))) << (8 * i)
+	}
+	return v
+}
+
+// Write writes size bytes (1, 2, 4 or 8) in little-endian order.
+func (m *Memory) Write(addr uint64, v uint64, size int) {
+	for i := 0; i < size; i++ {
+		m.StoreByte(addr+uint64(i), byte(v>>(8*i)))
+	}
+}
+
+// HasPage reports whether the page containing addr has been touched.
+func (m *Memory) HasPage(addr uint64) bool {
+	_, ok := m.pages[addr>>PageShift]
+	return ok
+}
+
+// Pages returns the sorted set of touched virtual page numbers.
+func (m *Memory) Pages() []uint64 {
+	vpns := make([]uint64, 0, len(m.pages))
+	for vpn := range m.pages {
+		vpns = append(vpns, vpn)
+	}
+	sort.Slice(vpns, func(i, j int) bool { return vpns[i] < vpns[j] })
+	return vpns
+}
+
+// BeginUndo starts (or restarts) undo logging. Writes after this point are
+// recorded and can be reverted with Rollback.
+func (m *Memory) BeginUndo() {
+	m.undoOn = true
+	m.undoBase = len(m.undo)
+}
+
+// Mark returns a position in the undo log that RollbackTo can revert to.
+func (m *Memory) Mark() int { return len(m.undo) }
+
+// RollbackTo reverts all writes made since the given Mark, in reverse order.
+func (m *Memory) RollbackTo(mark int) {
+	for i := len(m.undo) - 1; i >= mark; i-- {
+		e := m.undo[i]
+		// Restore directly; do not re-log.
+		m.page(e.addr)[e.addr&offsetMask] = e.old
+	}
+	m.undo = m.undo[:mark]
+}
+
+// Rollback reverts all writes made since BeginUndo and stops logging.
+func (m *Memory) Rollback() {
+	m.RollbackTo(m.undoBase)
+	m.undoOn = false
+}
+
+// Commit discards the undo log without reverting and stops logging.
+func (m *Memory) Commit() {
+	m.undo = m.undo[:m.undoBase]
+	m.undoOn = false
+}
+
+// UndoLen returns the current number of logged writes (for tests and
+// instrumentation).
+func (m *Memory) UndoLen() int { return len(m.undo) }
+
+// Clone returns a deep copy of the memory image. The undo log is not cloned.
+func (m *Memory) Clone() *Memory {
+	c := New()
+	for vpn, p := range m.pages {
+		cp := new([PageSize]byte)
+		*cp = *p
+		c.pages[vpn] = cp
+	}
+	return c
+}
+
+// Equal reports whether two memories have identical contents. Pages absent
+// on one side compare equal to all-zero pages on the other.
+func (m *Memory) Equal(o *Memory) bool {
+	return m.diffAgainst(o) && o.diffAgainst(m)
+}
+
+func (m *Memory) diffAgainst(o *Memory) bool {
+	for vpn, p := range m.pages {
+		op := o.pages[vpn]
+		if op == nil {
+			if *p != ([PageSize]byte{}) {
+				return false
+			}
+			continue
+		}
+		if *p != *op {
+			return false
+		}
+	}
+	return true
+}
+
+// String summarizes the memory for debugging.
+func (m *Memory) String() string {
+	return fmt.Sprintf("mem{%d pages, %d undo entries}", len(m.pages), len(m.undo))
+}
+
+// PageSet is an immutable set of legal virtual page numbers, standing in for
+// preloaded TLB contents.
+type PageSet struct {
+	vpns map[uint64]struct{}
+}
+
+// NewPageSet builds a PageSet from the pages currently present in m.
+func NewPageSet(m *Memory) *PageSet {
+	s := &PageSet{vpns: make(map[uint64]struct{}, len(m.pages))}
+	for vpn := range m.pages {
+		s.vpns[vpn] = struct{}{}
+	}
+	return s
+}
+
+// Contains reports whether the page holding addr is legal.
+func (s *PageSet) Contains(addr uint64) bool {
+	_, ok := s.vpns[addr>>PageShift]
+	return ok
+}
+
+// ContainsRange reports whether every byte of [addr, addr+size) is legal.
+func (s *PageSet) ContainsRange(addr uint64, size int) bool {
+	return s.Contains(addr) && s.Contains(addr+uint64(size)-1)
+}
+
+// Len returns the number of legal pages.
+func (s *PageSet) Len() int { return len(s.vpns) }

@@ -1,0 +1,388 @@
+// Package report renders every table and figure of the paper's evaluation
+// as text: Table 1 (state inventory), Figures 3-5 and 9 (outcome
+// breakdowns), Figure 6 (utilization scatter + trendline), Figures 7, 8 and
+// 10 (failure modes and contributions), and Figure 11 (software-level fault
+// models).
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pipefault/internal/core"
+	"pipefault/internal/state"
+	"pipefault/internal/stats"
+)
+
+// bar renders an ASCII proportion bar of the given width.
+func bar(frac float64, width int) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	n := int(frac*float64(width) + 0.5)
+	return strings.Repeat("#", n) + strings.Repeat(".", width-n)
+}
+
+// Table1 renders the per-category bit inventory of a machine's injectable
+// state (the paper's Table 1).
+func Table1(f *state.File) string {
+	cb := f.CategoryBits()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table 1. Bits of state per category (this model).\n")
+	fmt.Fprintf(&sb, "%-14s %12s %12s\n", "Category", "Latch bits", "RAM bits")
+	var totL, totR int
+	for _, c := range state.Categories() {
+		v, ok := cb[c]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&sb, "%-14s %12d %12d\n", c, v.Latch, v.RAM)
+		totL += v.Latch
+		totR += v.RAM
+	}
+	fmt.Fprintf(&sb, "%-14s %12d %12d   (total %d)\n", "TOTAL", totL, totR, totL+totR)
+	return sb.String()
+}
+
+// Figure3 renders per-benchmark outcome mixes for the latch+RAM and
+// latch-only populations.
+func Figure3(results []*core.Result, pops []string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 3. Fault injection results by benchmark.\n")
+	fmt.Fprintf(&sb, "%-12s %9s %9s %9s %9s %9s %7s\n",
+		"benchmark", "trials", "match%", "gray%", "SDC%", "term%", "ci95")
+	for _, pop := range pops {
+		for _, r := range append(results, core.Merge("average", results)) {
+			p, ok := r.Pops[pop]
+			if !ok || p.Total() == 0 {
+				continue
+			}
+			c := p.OutcomeCounts()
+			n := p.Total()
+			fmt.Fprintf(&sb, "%-12s %9d %9.1f %9.1f %9.1f %9.1f %6.1f%%  |%s|\n",
+				r.Benchmark+"_"+pop, n,
+				pct(c[core.OutMatch], n), pct(c[core.OutGray], n),
+				pct(c[core.OutSDC], n), pct(c[core.OutTerminated], n),
+				100*stats.WorstCaseCI95(n),
+				bar(float64(c[core.OutMatch])/float64(n), 30))
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func pct(k, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return 100 * float64(k) / float64(n)
+}
+
+// ByCategory renders an outcome breakdown per state category: Figure 4
+// (latch+RAM), Figure 5 (latches only), or Figure 9 (protected) depending
+// on the inputs.
+func ByCategory(title string, p *core.PopResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	fmt.Fprintf(&sb, "%-14s %7s %8s %8s %8s %8s   fail%%\n",
+		"category", "trials", "match%", "gray%", "SDC%", "term%")
+	byCat := p.ByCategory()
+	cats := make([]state.Category, 0, len(byCat))
+	for c := range byCat {
+		cats = append(cats, c)
+	}
+	sort.Slice(cats, func(i, j int) bool { return cats[i].String() < cats[j].String() })
+	for _, cat := range cats {
+		c := byCat[cat]
+		n := c[core.OutMatch] + c[core.OutGray] + c[core.OutSDC] + c[core.OutTerminated]
+		if n == 0 {
+			continue
+		}
+		fail := pct(c[core.OutSDC]+c[core.OutTerminated], n)
+		fmt.Fprintf(&sb, "%-14s %7d %8.1f %8.1f %8.1f %8.1f  |%s| %.1f%%\n",
+			cat, n,
+			pct(c[core.OutMatch], n), pct(c[core.OutGray], n),
+			pct(c[core.OutSDC], n), pct(c[core.OutTerminated], n),
+			bar(fail/100, 25), fail)
+	}
+	tot := p.OutcomeCounts()
+	n := p.Total()
+	fmt.Fprintf(&sb, "%-14s %7d %8.1f %8.1f %8.1f %8.1f  (aggregate, ci95 %.1f%%)\n",
+		"ALL", n,
+		pct(tot[core.OutMatch], n), pct(tot[core.OutGray], n),
+		pct(tot[core.OutSDC], n), pct(tot[core.OutTerminated], n),
+		100*stats.WorstCaseCI95(n))
+	return sb.String()
+}
+
+// Figure6 renders the benign-rate vs valid-instruction scatter with its
+// least-mean-squares trendline.
+func Figure6(points []core.ScatterPoint) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 6. Benign fault rate vs valid instructions in flight.\n")
+	var xs, ys []float64
+	// Bucket points by valid-instruction count for display.
+	type bucket struct{ benign, trials int }
+	buckets := map[int]*bucket{}
+	const bucketWidth = 12
+	for _, pt := range points {
+		if pt.Trials == 0 {
+			continue
+		}
+		xs = append(xs, float64(pt.ValidInsns))
+		ys = append(ys, float64(pt.Benign)/float64(pt.Trials))
+		b := buckets[pt.ValidInsns/bucketWidth]
+		if b == nil {
+			b = &bucket{}
+			buckets[pt.ValidInsns/bucketWidth] = b
+		}
+		b.benign += pt.Benign
+		b.trials += pt.Trials
+	}
+	fit := stats.FitLinear(xs, ys)
+	keys := make([]int, 0, len(buckets))
+	for k := range buckets {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	fmt.Fprintf(&sb, "%-18s %8s %9s\n", "valid insns", "trials", "benign%")
+	for _, k := range keys {
+		b := buckets[k]
+		frac := float64(b.benign) / float64(b.trials)
+		fmt.Fprintf(&sb, "%4d..%-4d         %8d %8.1f%%  |%s|\n",
+			k*bucketWidth, (k+1)*bucketWidth-1, b.trials, 100*frac, bar(frac, 30))
+	}
+	fmt.Fprintf(&sb, "LLSQ trendline: benign%% = %.1f%% %+.3f%% per valid insn (n=%d checkpoints)\n",
+		100*fit.A, 100*fit.B, fit.N)
+	fmt.Fprintf(&sb, "trend at 0 insns: %.1f%%   at 132 insns (full): %.1f%%\n",
+		100*fit.At(0), 100*fit.At(132))
+	return sb.String()
+}
+
+// Figure7 renders the failure-mode breakdown per category.
+func Figure7(title string, p *core.PopResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	modes := core.FailureModes()
+	fmt.Fprintf(&sb, "%-14s", "category")
+	for _, m := range modes {
+		fmt.Fprintf(&sb, " %8s", m)
+	}
+	fmt.Fprintf(&sb, " %8s\n", "total")
+	mc := p.ModesByCategory()
+	cats := make([]state.Category, 0, len(mc))
+	for c := range mc {
+		cats = append(cats, c)
+	}
+	sort.Slice(cats, func(i, j int) bool { return cats[i].String() < cats[j].String() })
+	var colTot [core.NumFailureModes]int
+	for _, cat := range cats {
+		row := mc[cat]
+		tot := 0
+		fmt.Fprintf(&sb, "%-14s", cat)
+		for _, m := range modes {
+			fmt.Fprintf(&sb, " %8d", row[m])
+			tot += row[m]
+			colTot[m] += row[m]
+		}
+		fmt.Fprintf(&sb, " %8d\n", tot)
+	}
+	fmt.Fprintf(&sb, "%-14s", "ALL")
+	all := 0
+	for _, m := range modes {
+		fmt.Fprintf(&sb, " %8d", colTot[m])
+		all += colTot[m]
+	}
+	fmt.Fprintf(&sb, " %8d\n", all)
+	return sb.String()
+}
+
+// Figure8 renders the relative contribution of each state category to all
+// failures (the paper's pie charts, Figures 8 and 10).
+func Figure8(title string, p *core.PopResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	mc := p.ModesByCategory()
+	total := 0
+	type row struct {
+		cat state.Category
+		n   int
+	}
+	var rows []row
+	for cat, ms := range mc {
+		n := 0
+		for _, c := range ms {
+			n += c
+		}
+		rows = append(rows, row{cat, n})
+		total += n
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].n != rows[j].n {
+			return rows[i].n > rows[j].n
+		}
+		return rows[i].cat.String() < rows[j].cat.String()
+	})
+	if total == 0 {
+		sb.WriteString("(no failures)\n")
+		return sb.String()
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-14s %6.1f%%  (%d)  |%s|\n",
+			r.cat, pct(r.n, total), r.n, bar(float64(r.n)/float64(total), 30))
+	}
+	fmt.Fprintf(&sb, "total failures: %d\n", total)
+	return sb.String()
+}
+
+// Figure11 renders the software-level fault model outcomes.
+func Figure11(results []*core.SoftResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 11. Results of various fault models on software.\n")
+	fmt.Fprintf(&sb, "%-14s %8s %8s %8s %8s %8s %10s\n",
+		"model", "trials", "exc%", "state%", "output%", "bad%", "cf-diverged")
+	type key struct{ m core.FaultModel }
+	agg := map[key]*core.SoftResult{}
+	var order []core.FaultModel
+	for _, r := range results {
+		k := key{r.Model}
+		a := agg[k]
+		if a == nil {
+			a = &core.SoftResult{Model: r.Model, Benchmark: "average"}
+			agg[k] = a
+			order = append(order, r.Model)
+		}
+		for i, c := range r.Counts {
+			a.Counts[i] += c
+		}
+		a.DivergedThenConverged += r.DivergedThenConverged
+		a.Trials += r.Trials
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for _, m := range order {
+		a := agg[key{m}]
+		n := a.Trials
+		fmt.Fprintf(&sb, "%-14s %8d %8.1f %8.1f %8.1f %8.1f %9.1f%%  |%s|\n",
+			a.Model, n,
+			pct(a.Counts[core.SoftException], n),
+			pct(a.Counts[core.SoftStateOK], n),
+			pct(a.Counts[core.SoftOutputOK], n),
+			pct(a.Counts[core.SoftOutputBad], n),
+			pct(a.DivergedThenConverged, max(a.Counts[core.SoftStateOK], 1)),
+			bar(float64(a.Counts[core.SoftStateOK])/float64(max(n, 1)), 25))
+	}
+	sb.WriteString("(cf-diverged: State OK trials whose control flow diverged before reconverging)\n")
+	return sb.String()
+}
+
+// FailureReduction compares an unprotected and a protected campaign,
+// applying the paper's fault-rate adjustment for the extra protection state
+// (Section 4.4: "after accounting for a 7% higher transient fault rate").
+func FailureReduction(unprot, prot *core.PopResult, overheadFrac float64) string {
+	u := unprot.FailureRate()
+	p := prot.FailureRate() * (1 + overheadFrac)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Failure-rate reduction (Section 4.4):\n")
+	fmt.Fprintf(&sb, "  unprotected: %5.2f%%  (%d trials)\n", 100*u, unprot.Total())
+	fmt.Fprintf(&sb, "  protected:   %5.2f%%  (%d trials, x%.2f state-overhead adjustment)\n",
+		100*p, prot.Total(), 1+overheadFrac)
+	if u > 0 {
+		fmt.Fprintf(&sb, "  reduction:   %5.1f%%  (paper: ~75%%)\n", 100*(1-p/u))
+	}
+	return sb.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Hotspots renders the most vulnerable individual state elements: the
+// fine-grained version of the paper's "identify vulnerable portions of the
+// processor" methodology (Section 4.1).
+func Hotspots(title string, p *core.PopResult, minTrials, topN int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	fmt.Fprintf(&sb, "%-16s %-14s %-6s %7s %7s %8s\n",
+		"element", "category", "kind", "trials", "fails", "fail%")
+	stats := p.ByElement(minTrials)
+	if topN > 0 && len(stats) > topN {
+		stats = stats[:topN]
+	}
+	for _, st := range stats {
+		fmt.Fprintf(&sb, "%-16s %-14s %-6s %7d %7d %7.1f%%  |%s|\n",
+			st.Elem, st.Category, st.Kind, st.Trials, st.Failures,
+			100*st.FailRate(), bar(st.FailRate(), 20))
+	}
+	return sb.String()
+}
+
+// UtilizationTable renders per-benchmark structure occupancies next to the
+// benchmark's masking rate: the structural view of the Section 3.3
+// utilization/masking correlation (and of the AVF analysis of [21]).
+func UtilizationTable(us []*core.Utilization, results []*core.Result, pop string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Structure occupancy vs masking (fault-free averages).\n")
+	fmt.Fprintf(&sb, "%-10s %5s %6s %6s %6s %6s %6s %6s %8s\n",
+		"benchmark", "ipc", "rob%", "sched%", "lq%", "sq%", "fq%", "sb%", "match%")
+	byName := map[string]*core.Result{}
+	for _, r := range results {
+		byName[r.Benchmark] = r
+	}
+	for _, u := range us {
+		match := -1.0
+		if r, ok := byName[u.Benchmark]; ok {
+			if p, ok := r.Pops[pop]; ok && p.Total() > 0 {
+				match = 100 * p.MaskRate()
+			}
+		}
+		fmt.Fprintf(&sb, "%-10s %5.2f %6.1f %6.1f %6.1f %6.1f %6.1f %6.1f",
+			u.Benchmark, u.IPC, 100*u.Avg.ROB, 100*u.Avg.Sched,
+			100*u.Avg.LQ, 100*u.Avg.SQ, 100*u.Avg.FetchQ, 100*u.Avg.StoreBuf)
+		if match >= 0 {
+			fmt.Fprintf(&sb, " %7.1f%%", match)
+		} else {
+			fmt.Fprintf(&sb, " %8s", "-")
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// YBranch renders forced-branch-inversion results: how often corrupted
+// control flow rejoins the fault-free path (the paper's Section 5
+// control-divergence observation; explored by the authors as "Y-branches").
+func YBranch(results []*core.YBranchResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Forced branch inversions: wrong-path reconvergence.\n")
+	fmt.Fprintf(&sb, "%-10s %7s %12s %12s %14s\n",
+		"benchmark", "trials", "reconverge%", "masked%", "mean wrongpath")
+	var tTr, tRe, tMa int
+	var tWp uint64
+	for _, r := range results {
+		fmt.Fprintf(&sb, "%-10s %7d %11.1f%% %11.1f%% %11.1f in\n",
+			r.Benchmark, r.Trials,
+			100*float64(r.Reconverged)/float64(max(r.Trials, 1)),
+			100*float64(r.StateMatched)/float64(max(r.Trials, 1)),
+			r.MeanWrongPath())
+		tTr += r.Trials
+		tRe += r.Reconverged
+		tMa += r.StateMatched
+		tWp += r.WrongPathSum
+	}
+	if tTr > 0 {
+		mean := 0.0
+		if tRe > 0 {
+			mean = float64(tWp) / float64(tRe)
+		}
+		fmt.Fprintf(&sb, "%-10s %7d %11.1f%% %11.1f%% %11.1f in\n",
+			"ALL", tTr, 100*float64(tRe)/float64(tTr), 100*float64(tMa)/float64(tTr), mean)
+	}
+	return sb.String()
+}

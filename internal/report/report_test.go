@@ -1,0 +1,223 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"pipefault/internal/core"
+	"pipefault/internal/state"
+	"pipefault/internal/uarch"
+)
+
+// fakePop builds a PopResult with a controlled trial mix.
+func fakePop(name string) *core.PopResult {
+	p := &core.PopResult{Name: name}
+	add := func(n int, o core.Outcome, m core.FailureMode, cat state.Category, k state.Kind) {
+		for i := 0; i < n; i++ {
+			p.Trials = append(p.Trials, core.Trial{
+				Outcome: o, Mode: m, Category: cat, Kind: k,
+			})
+		}
+	}
+	add(70, core.OutMatch, core.FailNone, state.CatData, state.KindLatch)
+	add(10, core.OutGray, core.FailNone, state.CatPC, state.KindRAM)
+	add(12, core.OutSDC, core.FailRegfile, state.CatRegFile, state.KindRAM)
+	add(5, core.OutSDC, core.FailMem, state.CatAddr, state.KindRAM)
+	add(3, core.OutTerminated, core.FailLocked, state.CatQCtrl, state.KindLatch)
+	return p
+}
+
+func fakeResult(bench string) *core.Result {
+	return &core.Result{
+		Benchmark: bench,
+		Pops:      map[string]*core.PopResult{"l+r": fakePop("l+r")},
+		Scatter: map[string][]core.ScatterPoint{
+			"l+r": {
+				{Checkpoint: 0, ValidInsns: 10, Benign: 9, Trials: 10},
+				{Checkpoint: 1, ValidInsns: 100, Benign: 6, Trials: 10},
+			},
+		},
+		IPC: 1.5,
+	}
+}
+
+func TestTable1(t *testing.T) {
+	f := state.New()
+	uarch.BuildStateFile(f, uarch.ProtectConfig{})
+	f.Freeze()
+	out := Table1(f)
+	for _, want := range []string{"regfile", "archrat", "specrat", "qctrl", "TOTAL"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "ecc") {
+		t.Error("unprotected Table1 contains ecc rows")
+	}
+	f2 := state.New()
+	uarch.BuildStateFile(f2, uarch.AllProtections())
+	f2.Freeze()
+	if out2 := Table1(f2); !strings.Contains(out2, "ecc") || !strings.Contains(out2, "parity") {
+		t.Error("protected Table1 missing ecc/parity rows")
+	}
+}
+
+func TestFigure3(t *testing.T) {
+	out := Figure3([]*core.Result{fakeResult("gzip"), fakeResult("mcf")}, []string{"l+r"})
+	for _, want := range []string{"gzip_l+r", "mcf_l+r", "average_l+r", "70.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure3 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestByCategory(t *testing.T) {
+	out := ByCategory("Figure 4 test.", fakePop("l+r"))
+	for _, want := range []string{"regfile", "addr", "qctrl", "ALL", "100"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ByCategory missing %q:\n%s", want, out)
+		}
+	}
+	// regfile row: 12 trials, 100% SDC.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "regfile") && !strings.Contains(line, "100.0") {
+			t.Errorf("regfile row wrong: %s", line)
+		}
+	}
+}
+
+func TestFigure6(t *testing.T) {
+	out := Figure6(fakeResult("x").Scatter["l+r"])
+	if !strings.Contains(out, "LLSQ trendline") {
+		t.Errorf("Figure6 missing trendline:\n%s", out)
+	}
+	// Benign rate falls from 90% at 10 insns to 60% at 100: slope < 0.
+	if !strings.Contains(out, "-0.") {
+		t.Errorf("Figure6 should show a negative slope:\n%s", out)
+	}
+}
+
+func TestFigure7And8(t *testing.T) {
+	p := fakePop("l+r")
+	out7 := Figure7("Figure 7 test.", p)
+	for _, want := range []string{"regfile", "locked", "mem", "ALL"} {
+		if !strings.Contains(out7, want) {
+			t.Errorf("Figure7 missing %q:\n%s", want, out7)
+		}
+	}
+	out8 := Figure8("Figure 8 test.", p)
+	if !strings.Contains(out8, "total failures: 20") {
+		t.Errorf("Figure8 wrong total:\n%s", out8)
+	}
+	// regfile should dominate with 12/20 = 60%.
+	if !strings.Contains(out8, "60.0%") {
+		t.Errorf("Figure8 missing dominant share:\n%s", out8)
+	}
+}
+
+func TestFigure8Empty(t *testing.T) {
+	if out := Figure8("t", &core.PopResult{}); !strings.Contains(out, "no failures") {
+		t.Errorf("empty Figure8 = %q", out)
+	}
+}
+
+func TestFigure11(t *testing.T) {
+	rs := []*core.SoftResult{
+		{Benchmark: "a", Model: core.ModelNop, Trials: 10,
+			Counts: [core.NumSoftOutcomes]int{core.SoftStateOK: 6, core.SoftOutputBad: 4}},
+		{Benchmark: "b", Model: core.ModelNop, Trials: 10,
+			Counts: [core.NumSoftOutcomes]int{core.SoftStateOK: 4, core.SoftException: 6}},
+	}
+	out := Figure11(rs)
+	if !strings.Contains(out, "insn nop") || !strings.Contains(out, "50.0") {
+		t.Errorf("Figure11 aggregation wrong:\n%s", out)
+	}
+}
+
+func TestFailureReduction(t *testing.T) {
+	u := fakePop("u") // 20% failures
+	p := &core.PopResult{Name: "p"}
+	for i := 0; i < 95; i++ {
+		p.Trials = append(p.Trials, core.Trial{Outcome: core.OutMatch})
+	}
+	for i := 0; i < 5; i++ {
+		p.Trials = append(p.Trials, core.Trial{Outcome: core.OutSDC, Mode: core.FailCtrl})
+	}
+	out := FailureReduction(u, p, 0.07)
+	if !strings.Contains(out, "reduction") {
+		t.Errorf("FailureReduction missing reduction line:\n%s", out)
+	}
+	// u=20%, p=5%*1.07=5.35% -> reduction ~73.2%.
+	if !strings.Contains(out, "73.2") {
+		t.Errorf("reduction arithmetic wrong:\n%s", out)
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := bar(0.5, 10); got != "#####....." {
+		t.Errorf("bar(0.5) = %q", got)
+	}
+	if got := bar(-1, 4); got != "...." {
+		t.Errorf("bar(-1) = %q", got)
+	}
+	if got := bar(2, 4); got != "####" {
+		t.Errorf("bar(2) = %q", got)
+	}
+}
+
+func TestHotspots(t *testing.T) {
+	p := &core.PopResult{}
+	for i := 0; i < 30; i++ {
+		tr := core.Trial{Outcome: core.OutMatch, Category: state.CatPC,
+			Kind: state.KindRAM, Elem: "rob.pc"}
+		if i < 12 {
+			tr.Outcome = core.OutSDC
+			tr.Mode = core.FailCtrl
+		}
+		p.Trials = append(p.Trials, tr)
+	}
+	for i := 0; i < 5; i++ {
+		p.Trials = append(p.Trials, core.Trial{Outcome: core.OutMatch,
+			Category: state.CatData, Kind: state.KindLatch, Elem: "ex.a"})
+	}
+	out := Hotspots("t", p, 10, 5)
+	if !strings.Contains(out, "rob.pc") || !strings.Contains(out, "40.0%") {
+		t.Errorf("Hotspots wrong:\n%s", out)
+	}
+	if strings.Contains(out, "ex.a") {
+		t.Error("element below minTrials included")
+	}
+	stats := p.ByElement(1)
+	if len(stats) != 2 || stats[0].Elem != "rob.pc" {
+		t.Errorf("ByElement ordering wrong: %+v", stats)
+	}
+}
+
+func TestUtilizationTable(t *testing.T) {
+	us := []*core.Utilization{{
+		Benchmark: "gzip", Samples: 10, IPC: 1.5,
+		Avg: uarch.Utilization{ROB: 0.5, Sched: 0.25, LQ: 0.1, SQ: 0.2, FetchQ: 0.9, StoreBuf: 0.05},
+	}}
+	out := UtilizationTable(us, []*core.Result{fakeResult("gzip")}, "l+r")
+	if !strings.Contains(out, "gzip") || !strings.Contains(out, "50.0") {
+		t.Errorf("UtilizationTable wrong:\n%s", out)
+	}
+	// Unknown benchmark renders a dash.
+	out2 := UtilizationTable(us, nil, "l+r")
+	if !strings.Contains(out2, "-") {
+		t.Errorf("missing dash for unmatched benchmark:\n%s", out2)
+	}
+}
+
+func TestYBranchReport(t *testing.T) {
+	rs := []*core.YBranchResult{
+		{Benchmark: "parser", Trials: 10, Reconverged: 8, StateMatched: 3, WrongPathSum: 16},
+		{Benchmark: "gap", Trials: 10, Reconverged: 0, StateMatched: 0},
+	}
+	out := YBranch(rs)
+	for _, want := range []string{"parser", "80.0%", "2.0 in", "ALL", "40.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("YBranch missing %q:\n%s", want, out)
+		}
+	}
+}

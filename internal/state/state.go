@@ -1,0 +1,441 @@
+// Package state implements the bit-accurate storage substrate of the
+// pipeline model. Every microarchitectural state element — every pipeline
+// latch and every RAM cell — lives in a File as an Elem, making the whole
+// machine's state:
+//
+//   - enumerable: fault injection picks a uniformly random eligible bit,
+//     exactly as the paper's campaigns do;
+//   - mutable at bit granularity: the fault model is a single bit flip of a
+//     state element;
+//   - comparable in O(1): the File maintains a position-keyed XOR digest
+//     that is a pure function of current contents, so the paper's
+//     "ENTIRE microarchitectural state match" check against the golden run
+//     costs one word compare per cycle.
+//
+// Elements carry the paper's Table 1 taxonomy (kind: latch vs RAM; category:
+// addr, archrat, data, pc, ...) so campaign results can be broken down by
+// logic block, and an injectable flag so cache/predictor arrays can be
+// modeled for timing yet excluded from injection, as in the paper.
+package state
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Kind distinguishes pipeline latches from RAM arrays (the paper's two
+// fault-injection populations).
+type Kind uint8
+
+// Element kinds.
+const (
+	KindLatch Kind = iota + 1
+	KindRAM
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindLatch:
+		return "latch"
+	case KindRAM:
+		return "ram"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Category is the logic-block taxonomy of Table 1 (plus the two categories
+// the protection mechanisms introduce in Section 4).
+type Category uint8
+
+// State categories.
+const (
+	CatAddr Category = iota + 1
+	CatArchFreeList
+	CatArchRAT
+	CatCtrl
+	CatData
+	CatInsn
+	CatPC
+	CatQCtrl
+	CatRegFile
+	CatRegPtr
+	CatROBPtr
+	CatSpecFreeList
+	CatSpecRAT
+	CatValid
+	CatECC    // protection: ECC check bits
+	CatParity // protection: instruction-word parity bits
+	NumCategories
+)
+
+var catNames = [NumCategories]string{
+	CatAddr:         "addr",
+	CatArchFreeList: "archfreelist",
+	CatArchRAT:      "archrat",
+	CatCtrl:         "ctrl",
+	CatData:         "data",
+	CatInsn:         "insn",
+	CatPC:           "pc",
+	CatQCtrl:        "qctrl",
+	CatRegFile:      "regfile",
+	CatRegPtr:       "regptr",
+	CatROBPtr:       "robptr",
+	CatSpecFreeList: "specfreelist",
+	CatSpecRAT:      "specrat",
+	CatValid:        "valid",
+	CatECC:          "ecc",
+	CatParity:       "parity",
+}
+
+func (c Category) String() string {
+	if int(c) < len(catNames) && catNames[c] != "" {
+		return catNames[c]
+	}
+	return fmt.Sprintf("cat(%d)", uint8(c))
+}
+
+// Categories lists all injectable categories in display order.
+func Categories() []Category {
+	cats := make([]Category, 0, NumCategories-1)
+	for c := Category(1); c < NumCategories; c++ {
+		cats = append(cats, c)
+	}
+	return cats
+}
+
+// Elem is one named state element: an array of entries, each width bits
+// (width <= 64). A single latch is an Elem with entries == 1.
+type Elem struct {
+	name       string
+	kind       Kind
+	cat        Category
+	entries    int
+	width      int
+	mask       uint64
+	injectable bool
+
+	file    *File
+	bitBase uint64 // global bit offset of entry 0 (digest keying)
+	off     int    // word offset in file.words
+	injBase uint64 // cumulative injectable-bit index (if injectable)
+}
+
+// Name returns the element's name.
+func (e *Elem) Name() string { return e.name }
+
+// Kind returns latch or RAM.
+func (e *Elem) Kind() Kind { return e.kind }
+
+// Category returns the element's Table 1 category.
+func (e *Elem) Category() Category { return e.cat }
+
+// Entries returns the number of rows.
+func (e *Elem) Entries() int { return e.entries }
+
+// Width returns the bit width of one row.
+func (e *Elem) Width() int { return e.width }
+
+// Bits returns the total number of bits in the element.
+func (e *Elem) Bits() int { return e.entries * e.width }
+
+// Injectable reports whether the element participates in fault injection.
+func (e *Elem) Injectable() bool { return e.injectable }
+
+// Get reads entry i.
+func (e *Elem) Get(i int) uint64 {
+	bit := e.bitBase + uint64(i)*uint64(e.width)
+	w := int(bit >> 6)
+	sh := bit & 63
+	words := e.file.words
+	v := words[w] >> sh
+	if sh+uint64(e.width) > 64 {
+		v |= words[w+1] << (64 - sh)
+	}
+	return v & e.mask
+}
+
+// Set writes entry i (value truncated to the element width) and updates the
+// file digest.
+func (e *Elem) Set(i int, v uint64) {
+	v &= e.mask
+	old := e.Get(i)
+	if old == v {
+		return
+	}
+	bit := e.bitBase + uint64(i)*uint64(e.width)
+	e.file.digest ^= mix(bit, old) ^ mix(bit, v)
+	w := int(bit >> 6)
+	sh := bit & 63
+	words := e.file.words
+	words[w] = words[w]&^(e.mask<<sh) | v<<sh
+	if sh+uint64(e.width) > 64 {
+		rem := 64 - sh
+		words[w+1] = words[w+1]&^(e.mask>>rem) | v>>rem
+	}
+}
+
+// GetBit reads a single bit of entry i.
+func (e *Elem) GetBit(i, bit int) bool {
+	return e.Get(i)>>uint(bit)&1 == 1
+}
+
+// SetBool writes a 1-bit entry.
+func (e *Elem) SetBool(i int, v bool) {
+	if v {
+		e.Set(i, 1)
+	} else {
+		e.Set(i, 0)
+	}
+}
+
+// Bool reads a 1-bit entry.
+func (e *Elem) Bool(i int) bool { return e.Get(i) != 0 }
+
+// Flip inverts one bit of entry i.
+func (e *Elem) Flip(i, bit int) {
+	e.Set(i, e.Get(i)^uint64(1)<<uint(bit))
+}
+
+// mix hashes a (position, value) pair; the file digest is the XOR of mix
+// over every entry, making it a pure function of current state.
+func mix(key, val uint64) uint64 {
+	x := key*0x9E3779B97F4A7C15 ^ val
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// File is the complete state of one machine instance.
+type File struct {
+	elems  []*Elem
+	byName map[string]*Elem
+	words  []uint64
+	digest uint64
+	frozen bool
+
+	zeroDigest uint64
+
+	injElems   []*Elem // injectable elements, in registration order
+	injBits    uint64  // total injectable bits (latches + RAMs)
+	latchElems []*Elem
+	latchBits  uint64 // total injectable latch bits
+}
+
+// New returns an empty, unfrozen state file.
+func New() *File {
+	return &File{byName: make(map[string]*Elem)}
+}
+
+// Option configures an element at registration.
+type Option func(*Elem)
+
+// NotInjectable marks an element as excluded from fault injection (cache
+// data/tag arrays and predictor state, per the paper's methodology).
+func NotInjectable() Option {
+	return func(e *Elem) { e.injectable = false }
+}
+
+// Latch registers a latch-kind element.
+func (f *File) Latch(name string, cat Category, entries, width int, opts ...Option) *Elem {
+	return f.add(name, KindLatch, cat, entries, width, opts)
+}
+
+// RAM registers a RAM-kind element.
+func (f *File) RAM(name string, cat Category, entries, width int, opts ...Option) *Elem {
+	return f.add(name, KindRAM, cat, entries, width, opts)
+}
+
+func (f *File) add(name string, kind Kind, cat Category, entries, width int, opts []Option) *Elem {
+	if f.frozen {
+		panic("state: element registered after Freeze: " + name)
+	}
+	if entries <= 0 || width <= 0 || width > 64 {
+		panic(fmt.Sprintf("state: bad element geometry %s: %dx%d", name, entries, width))
+	}
+	if _, dup := f.byName[name]; dup {
+		panic("state: duplicate element " + name)
+	}
+	mask := ^uint64(0)
+	if width < 64 {
+		mask = uint64(1)<<uint(width) - 1
+	}
+	e := &Elem{
+		name: name, kind: kind, cat: cat,
+		entries: entries, width: width, mask: mask,
+		injectable: true, file: f,
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	f.elems = append(f.elems, e)
+	f.byName[name] = e
+	return e
+}
+
+// Freeze lays out storage. No elements may be registered afterwards.
+func (f *File) Freeze() {
+	if f.frozen {
+		return
+	}
+	f.frozen = true
+	var bit uint64
+	for _, e := range f.elems {
+		e.bitBase = bit
+		bit += uint64(e.entries * e.width)
+		bit = (bit + 63) &^ 63 // word-align each element
+		if e.injectable {
+			e.injBase = f.injBits
+			f.injBits += uint64(e.Bits())
+			f.injElems = append(f.injElems, e)
+			if e.kind == KindLatch {
+				f.latchBits += uint64(e.Bits())
+				f.latchElems = append(f.latchElems, e)
+			}
+		}
+	}
+	f.words = make([]uint64, bit>>6)
+	// Digest of the all-zero state.
+	var d uint64
+	for _, e := range f.elems {
+		for i := 0; i < e.entries; i++ {
+			d ^= mix(e.bitBase+uint64(i)*uint64(e.width), 0)
+		}
+	}
+	f.zeroDigest = d
+	f.digest = d
+}
+
+// Elem returns the named element, or nil.
+func (f *File) Elem(name string) *Elem { return f.byName[name] }
+
+// Elems returns all elements in registration order.
+func (f *File) Elems() []*Elem { return f.elems }
+
+// Digest returns the whole-machine state digest.
+func (f *File) Digest() uint64 { return f.digest }
+
+// InjectableBits returns the number of injectable bits, optionally
+// restricted to latches.
+func (f *File) InjectableBits(latchOnly bool) uint64 {
+	if latchOnly {
+		return f.latchBits
+	}
+	return f.injBits
+}
+
+// BitRef identifies one injectable bit.
+type BitRef struct {
+	Elem  *Elem
+	Entry int
+	Bit   int
+}
+
+// String renders the bit reference for logs.
+func (b BitRef) String() string {
+	return fmt.Sprintf("%s[%d].%d", b.Elem.name, b.Entry, b.Bit)
+}
+
+// Flip inverts the referenced bit.
+func (b BitRef) Flip() { b.Elem.Flip(b.Entry, b.Bit) }
+
+// RandomBit picks a uniformly random injectable bit. If latchOnly is true
+// the population is restricted to latch-kind elements, mirroring the
+// paper's latch-only campaigns.
+func (f *File) RandomBit(rng *rand.Rand, latchOnly bool) BitRef {
+	pop := f.injElems
+	total := f.injBits
+	if latchOnly {
+		pop, total = f.latchElems, f.latchBits
+	}
+	if total == 0 {
+		panic("state: no injectable bits")
+	}
+	n := uint64(rng.Int63n(int64(total)))
+	// Binary search over cumulative injectable-bit offsets.
+	idx := sort.Search(len(pop), func(i int) bool {
+		return f.cumBits(pop, i+1) > n
+	})
+	e := pop[idx]
+	off := n - f.cumBits(pop, idx)
+	return BitRef{Elem: e, Entry: int(off) / e.width, Bit: int(off) % e.width}
+}
+
+// cumBits returns the number of injectable bits in pop[:i]. The latch
+// population is not contiguous in injBase space, so compute per population.
+func (f *File) cumBits(pop []*Elem, i int) uint64 {
+	if len(pop) == len(f.injElems) {
+		// Fast path: contiguous injBase.
+		if i == len(pop) {
+			return f.injBits
+		}
+		return pop[i].injBase
+	}
+	var s uint64
+	for _, e := range pop[:i] {
+		s += uint64(e.Bits())
+	}
+	return s
+}
+
+// Snapshot is a copy of a File's contents.
+type Snapshot struct {
+	words  []uint64
+	digest uint64
+}
+
+// Snapshot captures the current contents.
+func (f *File) Snapshot() *Snapshot {
+	return &Snapshot{words: append([]uint64(nil), f.words...), digest: f.digest}
+}
+
+// Restore overwrites the file contents from a snapshot taken on a file with
+// the same layout.
+func (f *File) Restore(s *Snapshot) {
+	if len(s.words) != len(f.words) {
+		panic("state: snapshot layout mismatch")
+	}
+	copy(f.words, s.words)
+	f.digest = s.digest
+}
+
+// Reset zeroes all state.
+func (f *File) Reset() {
+	for i := range f.words {
+		f.words[i] = 0
+	}
+	f.digest = f.zeroDigest
+}
+
+// Equal reports deep equality of contents (for tests; production comparison
+// uses Digest).
+func (f *File) Equal(o *File) bool {
+	if len(f.words) != len(o.words) {
+		return false
+	}
+	for i, w := range f.words {
+		if o.words[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// CategoryBits tallies bits by (category, kind) over injectable elements:
+// the data behind the paper's Table 1.
+func (f *File) CategoryBits() map[Category]struct{ Latch, RAM int } {
+	out := make(map[Category]struct{ Latch, RAM int })
+	for _, e := range f.injElems {
+		c := out[e.cat]
+		if e.kind == KindLatch {
+			c.Latch += e.Bits()
+		} else {
+			c.RAM += e.Bits()
+		}
+		out[e.cat] = c
+	}
+	return out
+}

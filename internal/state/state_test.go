@@ -1,0 +1,327 @@
+package state
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// newTestFile builds a small file exercising odd widths and both kinds.
+func newTestFile() (*File, []*Elem) {
+	f := New()
+	elems := []*Elem{
+		f.Latch("pc", CatPC, 1, 62),
+		f.Latch("valid", CatValid, 13, 1),
+		f.RAM("regfile", CatRegFile, 80, 64),
+		f.RAM("rat", CatSpecRAT, 32, 7),
+		f.Latch("ctrl", CatCtrl, 5, 9),
+		f.RAM("icache", CatInsn, 64, 32, NotInjectable()),
+	}
+	f.Freeze()
+	return f, elems
+}
+
+func TestGetSetRoundTrip(t *testing.T) {
+	f, elems := newTestFile()
+	for _, e := range elems {
+		for i := 0; i < e.Entries(); i += 1 + e.Entries()/7 {
+			want := uint64(0xDEADBEEFCAFEBABE)
+			if e.Width() < 64 {
+				want &= uint64(1)<<uint(e.Width()) - 1
+			}
+			e.Set(i, 0xDEADBEEFCAFEBABE)
+			if got := e.Get(i); got != want {
+				t.Errorf("%s[%d] = %#x, want %#x (width %d)", e.Name(), i, got, want, e.Width())
+			}
+		}
+	}
+	_ = f
+}
+
+func TestSetTruncatesToWidth(t *testing.T) {
+	f := New()
+	e := f.RAM("x", CatData, 4, 7)
+	f.Freeze()
+	e.Set(2, 0xFFF)
+	if got := e.Get(2); got != 0x7F {
+		t.Errorf("Get = %#x, want 0x7F", got)
+	}
+	if got := e.Get(1); got != 0 {
+		t.Errorf("neighbour entry dirtied: %#x", got)
+	}
+	if got := e.Get(3); got != 0 {
+		t.Errorf("neighbour entry dirtied: %#x", got)
+	}
+}
+
+// TestPackedNeighboursProperty: writing any entry of a straddling-width
+// element must not disturb its neighbours.
+func TestPackedNeighboursProperty(t *testing.T) {
+	f := func(width8 uint8, seed int64) bool {
+		width := int(width8%63) + 1
+		file := New()
+		e := file.RAM("a", CatData, 20, width)
+		file.Freeze()
+		rng := rand.New(rand.NewSource(seed))
+		ref := make([]uint64, 20)
+		for k := 0; k < 200; k++ {
+			i := rng.Intn(20)
+			v := rng.Uint64()
+			e.Set(i, v)
+			ref[i] = v & (uint64(1)<<uint(width) - 1)
+			if width == 64 {
+				ref[i] = v
+			}
+		}
+		for i, want := range ref {
+			if e.Get(i) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDigestIsPureFunctionOfState: two different write sequences reaching
+// the same final contents must produce the same digest.
+func TestDigestIsPureFunctionOfState(t *testing.T) {
+	build := func(order []int, vals []uint64) uint64 {
+		f := New()
+		e := f.RAM("a", CatData, 8, 17)
+		f.Freeze()
+		// Scribble then settle to final values in the given order.
+		for _, i := range order {
+			e.Set(i, vals[(i+3)%8]^0x5A5A)
+		}
+		for _, i := range order {
+			e.Set(i, vals[i])
+		}
+		return f.Digest()
+	}
+	vals := []uint64{1, 2, 3, 0, 5, 0x1FFFF, 7, 8}
+	d1 := build([]int{0, 1, 2, 3, 4, 5, 6, 7}, vals)
+	d2 := build([]int{7, 3, 5, 1, 6, 0, 2, 4}, vals)
+	if d1 != d2 {
+		t.Errorf("digest depends on write order: %#x vs %#x", d1, d2)
+	}
+}
+
+func TestDigestDetectsAnySingleBitFlip(t *testing.T) {
+	f, _ := newTestFile()
+	rng := rand.New(rand.NewSource(7))
+	for _, e := range f.Elems() {
+		for i := 0; i < e.Entries(); i++ {
+			e.Set(i, rng.Uint64())
+		}
+	}
+	base := f.Digest()
+	for _, e := range f.Elems() {
+		for bit := 0; bit < e.Width(); bit++ {
+			e.Flip(0, bit)
+			if f.Digest() == base {
+				t.Fatalf("flip of %s[0].%d not reflected in digest", e.Name(), bit)
+			}
+			e.Flip(0, bit)
+			if f.Digest() != base {
+				t.Fatalf("double flip of %s[0].%d did not restore digest", e.Name(), bit)
+			}
+		}
+	}
+}
+
+// TestDigestMatchesEqualProperty: after random mutations, two files have
+// equal digests iff they have equal contents.
+func TestDigestMatchesEqualProperty(t *testing.T) {
+	prop := func(seedA, seedB int64) bool {
+		mutate := func(seed int64) *File {
+			f, _ := newTestFile()
+			rng := rand.New(rand.NewSource(seed))
+			for k := 0; k < 50; k++ {
+				es := f.Elems()
+				e := es[rng.Intn(len(es))]
+				e.Set(rng.Intn(e.Entries()), rng.Uint64())
+			}
+			return f
+		}
+		a, b := mutate(seedA), mutate(seedB)
+		return (a.Digest() == b.Digest()) == a.Equal(b)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	f, elems := newTestFile()
+	rng := rand.New(rand.NewSource(42))
+	for _, e := range elems {
+		for i := 0; i < e.Entries(); i++ {
+			e.Set(i, rng.Uint64())
+		}
+	}
+	snap := f.Snapshot()
+	digest := f.Digest()
+	for _, e := range elems {
+		e.Set(0, e.Get(0)^1)
+	}
+	if f.Digest() == digest {
+		t.Fatal("mutation not visible")
+	}
+	f.Restore(snap)
+	if f.Digest() != digest {
+		t.Error("digest not restored")
+	}
+	// Snapshot must be isolated from later mutation.
+	elems[0].Set(0, 0)
+	f2, _ := newTestFile()
+	f2.Restore(snap)
+	if f2.Digest() != digest {
+		t.Error("snapshot was aliased to live words")
+	}
+}
+
+func TestReset(t *testing.T) {
+	f, elems := newTestFile()
+	zero := f.Digest()
+	elems[2].Set(5, 123)
+	f.Reset()
+	if f.Digest() != zero {
+		t.Error("reset digest != zero digest")
+	}
+	if elems[2].Get(5) != 0 {
+		t.Error("reset left contents")
+	}
+}
+
+func TestInjectableAccounting(t *testing.T) {
+	f, _ := newTestFile()
+	wantAll := uint64(62 + 13 + 80*64 + 32*7 + 45) // icache excluded
+	if got := f.InjectableBits(false); got != wantAll {
+		t.Errorf("InjectableBits(all) = %d, want %d", got, wantAll)
+	}
+	wantLatch := uint64(62 + 13 + 45)
+	if got := f.InjectableBits(true); got != wantLatch {
+		t.Errorf("InjectableBits(latch) = %d, want %d", got, wantLatch)
+	}
+}
+
+func TestRandomBitUniformCoverage(t *testing.T) {
+	f, _ := newTestFile()
+	rng := rand.New(rand.NewSource(1))
+	counts := make(map[string]int)
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		b := f.RandomBit(rng, false)
+		if !b.Elem.Injectable() {
+			t.Fatalf("picked non-injectable element %s", b.Elem.Name())
+		}
+		if b.Entry >= b.Elem.Entries() || b.Bit >= b.Elem.Width() {
+			t.Fatalf("out of range pick %v", b)
+		}
+		counts[b.Elem.Name()]++
+	}
+	// regfile has 5120 of 5404 injectable bits ~ 94.7%.
+	frac := float64(counts["regfile"]) / trials
+	if frac < 0.92 || frac > 0.97 {
+		t.Errorf("regfile picked %.3f of the time, want ~0.947", frac)
+	}
+	// Latch-only campaigns must never pick RAM bits.
+	for i := 0; i < 2000; i++ {
+		b := f.RandomBit(rng, true)
+		if b.Elem.Kind() != KindLatch {
+			t.Fatalf("latch-only pick landed on %s (%v)", b.Elem.Name(), b.Elem.Kind())
+		}
+	}
+}
+
+func TestBitRefFlip(t *testing.T) {
+	f, elems := newTestFile()
+	ref := BitRef{Elem: elems[2], Entry: 10, Bit: 63}
+	before := f.Digest()
+	ref.Flip()
+	if elems[2].Get(10) != 1<<63 {
+		t.Errorf("flip produced %#x", elems[2].Get(10))
+	}
+	ref.Flip()
+	if f.Digest() != before {
+		t.Error("double flip not identity")
+	}
+}
+
+func TestCategoryBits(t *testing.T) {
+	f, _ := newTestFile()
+	cb := f.CategoryBits()
+	if cb[CatRegFile].RAM != 80*64 || cb[CatRegFile].Latch != 0 {
+		t.Errorf("regfile bits = %+v", cb[CatRegFile])
+	}
+	if cb[CatValid].Latch != 13 {
+		t.Errorf("valid bits = %+v", cb[CatValid])
+	}
+	if _, ok := cb[CatInsn]; ok {
+		t.Error("non-injectable icache counted in Table 1 data")
+	}
+}
+
+func TestRegistrationPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("duplicate", func() {
+		f := New()
+		f.Latch("x", CatCtrl, 1, 1)
+		f.Latch("x", CatCtrl, 1, 1)
+	})
+	mustPanic("width 65", func() {
+		f := New()
+		f.RAM("y", CatData, 1, 65)
+	})
+	mustPanic("after freeze", func() {
+		f := New()
+		f.Freeze()
+		f.Latch("z", CatCtrl, 1, 1)
+	})
+}
+
+func TestBoolHelpers(t *testing.T) {
+	f := New()
+	v := f.Latch("v", CatValid, 4, 1)
+	f.Freeze()
+	v.SetBool(2, true)
+	if !v.Bool(2) || v.Bool(1) {
+		t.Error("bool helpers broken")
+	}
+	if !v.GetBit(2, 0) {
+		t.Error("GetBit broken")
+	}
+	v.SetBool(2, false)
+	if v.Bool(2) {
+		t.Error("SetBool(false) broken")
+	}
+}
+
+func BenchmarkSet(b *testing.B) {
+	f := New()
+	e := f.RAM("x", CatData, 64, 62)
+	f.Freeze()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Set(i&63, uint64(i))
+	}
+}
+
+func BenchmarkRandomBit(b *testing.B) {
+	f, _ := newTestFile()
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = f.RandomBit(rng, false)
+	}
+}

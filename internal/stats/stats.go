@@ -1,0 +1,99 @@
+// Package stats provides the statistical machinery the paper uses to
+// qualify its results: binomial confidence intervals for outcome
+// proportions (Section 2.3) and least-mean-squares trendlines (Figure 6).
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// z95 is the two-sided 95% normal quantile.
+const z95 = 1.959963984540054
+
+// Proportion is an estimated binomial proportion with its sample size.
+type Proportion struct {
+	Successes int
+	Trials    int
+}
+
+// P returns the point estimate.
+func (p Proportion) P() float64 {
+	if p.Trials == 0 {
+		return 0
+	}
+	return float64(p.Successes) / float64(p.Trials)
+}
+
+// CI95 returns the half-width of the 95% confidence interval using the
+// normal approximation, as the paper does ("a confidence interval of less
+// than 0.7% at a 95% confidence level").
+func (p Proportion) CI95() float64 {
+	if p.Trials == 0 {
+		return 0
+	}
+	ph := p.P()
+	return z95 * math.Sqrt(ph*(1-ph)/float64(p.Trials))
+}
+
+// String renders the proportion as "p% ± ci%".
+func (p Proportion) String() string {
+	return fmt.Sprintf("%.1f%% ± %.1f%%", 100*p.P(), 100*p.CI95())
+}
+
+// WorstCaseCI95 returns the maximum CI half-width over any proportion for n
+// trials (at p = 0.5), matching the paper's headline significance numbers.
+func WorstCaseCI95(n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return z95 * 0.5 / math.Sqrt(float64(n))
+}
+
+// Linear is a least-mean-squares line fit y = A + B*x (the Figure 6
+// trendline).
+type Linear struct {
+	A, B float64
+	N    int
+}
+
+// FitLinear computes the least-squares fit through the points.
+func FitLinear(xs, ys []float64) Linear {
+	n := len(xs)
+	if n != len(ys) {
+		panic("stats: mismatched fit inputs")
+	}
+	if n == 0 {
+		return Linear{}
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	fn := float64(n)
+	den := fn*sxx - sx*sx
+	if den == 0 {
+		return Linear{A: sy / fn, N: n}
+	}
+	b := (fn*sxy - sx*sy) / den
+	a := (sy - b*sx) / fn
+	return Linear{A: a, B: b, N: n}
+}
+
+// At evaluates the fit at x.
+func (l Linear) At(x float64) float64 { return l.A + l.B*x }
+
+// Mean returns the arithmetic mean.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestProportion(t *testing.T) {
+	p := Proportion{Successes: 50, Trials: 100}
+	if p.P() != 0.5 {
+		t.Errorf("P = %v", p.P())
+	}
+	// At p=0.5, n=100: ci = 1.96*0.05 ~ 0.098.
+	if ci := p.CI95(); math.Abs(ci-0.098) > 0.001 {
+		t.Errorf("CI95 = %v", ci)
+	}
+	if (Proportion{}).P() != 0 || (Proportion{}).CI95() != 0 {
+		t.Error("zero-trial proportion not zero")
+	}
+}
+
+func TestPaperSignificanceClaims(t *testing.T) {
+	// "Each experiment's results are the compilation of 25,000-30,000
+	// trials ... a confidence interval of less than 0.7% at a 95%
+	// confidence level."
+	if ci := WorstCaseCI95(27_000); ci >= 0.007 {
+		t.Errorf("27k trials give CI %.4f, paper says < 0.007", ci)
+	}
+	// "the qctrl results ... approximately 100 trials ... about 10%".
+	if ci := WorstCaseCI95(100); math.Abs(ci-0.098) > 0.005 {
+		t.Errorf("100 trials give CI %.4f, paper says ~0.10", ci)
+	}
+}
+
+func TestFitLinearExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 1 + 2x
+	l := FitLinear(xs, ys)
+	if math.Abs(l.A-1) > 1e-12 || math.Abs(l.B-2) > 1e-12 {
+		t.Errorf("fit = %+v", l)
+	}
+	if math.Abs(l.At(10)-21) > 1e-9 {
+		t.Errorf("At(10) = %v", l.At(10))
+	}
+}
+
+// TestFitLinearRecoversLineProperty: fitting points generated from any
+// non-degenerate line recovers its coefficients.
+func TestFitLinearRecoversLineProperty(t *testing.T) {
+	f := func(a, b int16) bool {
+		af, bf := float64(a)/16, float64(b)/16
+		xs := make([]float64, 10)
+		ys := make([]float64, 10)
+		for i := range xs {
+			xs[i] = float64(i)
+			ys[i] = af + bf*xs[i]
+		}
+		l := FitLinear(xs, ys)
+		return math.Abs(l.A-af) < 1e-6 && math.Abs(l.B-bf) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFitLinearDegenerate(t *testing.T) {
+	l := FitLinear([]float64{2, 2, 2}, []float64{1, 3, 5})
+	if l.B != 0 || math.Abs(l.A-3) > 1e-12 {
+		t.Errorf("degenerate fit = %+v", l)
+	}
+	if FitLinear(nil, nil).N != 0 {
+		t.Error("empty fit")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Error("mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Error("empty mean")
+	}
+}

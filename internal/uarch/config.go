@@ -1,0 +1,140 @@
+// Package uarch implements the latch-accurate pipeline model: a superscalar,
+// dynamically scheduled, deeply pipelined processor comparable to the Alpha
+// 21264 / AMD Athlon, per the paper's Figure 2:
+//
+//   - 8-wide split-line fetch from an 8 KB 2-way L1 I-cache, 32-entry fetch
+//     queue, hybrid (bimodal/gshare + chooser) branch predictor, 1024-entry
+//     4-way BTB, 8-entry return address stack with pointer recovery
+//   - 4-wide decode and rename from 80 physical registers with speculative
+//     and architectural rename maps and free lists
+//   - 32-entry scheduler with speculative wakeup and instruction replay
+//   - 2 simple ALUs, 1 complex ALU (2-5 cycles), 1 branch ALU, 2 AGUs
+//   - 16-entry load and store queues, store-set memory dependence
+//     prediction, dual-ported 32 KB 2-way L1 D-cache (8 banks, 2-cycle),
+//     16 non-coalescing miss handling registers, constant 8-cycle miss
+//   - 64-entry reorder buffer with 8-wide retire, plus a post-retirement
+//     store buffer that drains across pipeline flushes
+//
+// Every microarchitectural state element lives in a state.File, giving the
+// fault-injection engine bit-granular access and O(1) whole-machine
+// comparison. Cache tag/data arrays and all predictor state are modeled for
+// timing but are excluded from injection, as in the paper.
+package uarch
+
+// Structure sizes (Figure 2 of the paper).
+const (
+	FetchWidth  = 8
+	FetchQSize  = 32
+	DecodeWidth = 4
+	RenameWidth = 4
+
+	SchedSize  = 32
+	IssueWidth = 6
+
+	NumPhysRegs  = 80
+	FreeListSize = NumPhysRegs - 32 // 48
+
+	ROBSize     = 64
+	RetireWidth = 8
+
+	LQSize        = 16
+	SQSize        = 16
+	StoreBufSize  = 8
+	NumMHR        = 16
+	DCacheMissCyc = 8 // constant L1 miss service time (paper Section 2.1)
+	ICacheMissCyc = 8
+
+	// Issue ports.
+	PortSimple0 = 0
+	PortSimple1 = 1
+	PortComplex = 2
+	PortBranch  = 3
+	PortAGU0    = 4
+	PortAGU1    = 5
+
+	// Complex ALU internal pipeline depth (max multiply latency).
+	ComplexDepth = 5
+
+	// Deadlock detection horizon: cycles without any retirement
+	// (Section 4.1, "100 cycles pass without any instructions exiting").
+	DeadlockCycles = 100
+
+	// PCBits is the width of stored program counter fields. Instructions
+	// are word aligned, so PCs are stored as pc>>2 in 62-bit fields.
+	PCBits = 62
+)
+
+// Cache geometry.
+const (
+	ICacheSets  = 128 // 8 KB, 2-way, 32 B lines
+	ICacheWays  = 2
+	DCacheSets  = 512 // 32 KB, 2-way, 32 B lines
+	DCacheWays  = 2
+	DCacheBanks = 8
+	LineShift   = 5 // 32-byte lines
+)
+
+// Predictor geometry.
+const (
+	BimodalSize = 2048
+	GShareSize  = 4096
+	ChooserSize = 4096
+	GHRBits     = 12
+	BTBSets     = 256 // 1024 entries, 4-way
+	BTBWays     = 4
+	RASSize     = 8
+	StoreSetTab = 256
+)
+
+// ProtectConfig enables the Section 4 lightweight protection mechanisms.
+type ProtectConfig struct {
+	// TimeoutFlush forces a full pipeline flush when no instruction has
+	// retired for DeadlockCycles cycles.
+	TimeoutFlush bool
+	// RegfileECC protects physical register file entries with SEC-DED
+	// ECC; check bits are generated one cycle after the data write
+	// (leaving the paper's one-cycle vulnerability window).
+	RegfileECC bool
+	// PointerECC protects physical-register pointers (RATs, free lists,
+	// ROB pointer fields) with 4-bit SEC Hamming codes, corrected at
+	// consume points.
+	PointerECC bool
+	// InsnParity protects instruction words from fetch through decode
+	// with parity; a parity error forces a pipeline flush and refetch
+	// before the instruction can commit.
+	InsnParity bool
+}
+
+// Any reports whether any mechanism is enabled.
+func (p ProtectConfig) Any() bool {
+	return p.TimeoutFlush || p.RegfileECC || p.PointerECC || p.InsnParity
+}
+
+// AllProtections returns the full Section 4 configuration.
+func AllProtections() ProtectConfig {
+	return ProtectConfig{TimeoutFlush: true, RegfileECC: true, PointerECC: true, InsnParity: true}
+}
+
+// RecoveryStyle selects how branch mispredictions repair the speculative
+// rename state.
+type RecoveryStyle uint8
+
+const (
+	// RecoveryArchCopy (the default, matching the paper's machine):
+	// younger work is squashed immediately, fetch stalls until the
+	// mispredicted branch retires, then the speculative RAT and free list
+	// are restored wholesale from the architectural copies. This is what
+	// makes the archrat/archfreelist state hot on every misprediction,
+	// as the paper's Figure 4 vulnerability data shows.
+	RecoveryArchCopy RecoveryStyle = iota
+	// RecoveryWalkback (ablation): an Alpha-21264-style reverse ROB walk
+	// undoes speculative mappings immediately; the architectural tables
+	// are only read by full flushes.
+	RecoveryWalkback
+)
+
+// Config parameterizes a Machine.
+type Config struct {
+	Protect  ProtectConfig
+	Recovery RecoveryStyle
+}

@@ -1,0 +1,389 @@
+package uarch
+
+import (
+	"pipefault/internal/isa"
+)
+
+// Decoded control-word layout (rn.ctrl, 12 bits). The decode stage computes
+// it; dispatch consumes it, so corrupted control words misroute
+// instructions exactly as in the paper's ctrl category.
+const (
+	ctrlClassShift = 0 // 3 bits: isa.Class
+	ctrlSizeShift  = 3 // 2 bits: log2 memory access size
+	ctrlWritesBit  = 5
+	ctrlIllegalBit = 6
+	ctrlCallBit    = 7
+	ctrlRetBit     = 8
+	ctrlCondBit    = 9
+)
+
+// encodeCtrl builds the decoded control word for an instruction.
+func encodeCtrl(inst isa.Inst) uint64 {
+	var w uint64
+	w |= uint64(inst.Class) << ctrlClassShift
+	if n := inst.Op.MemBytes(); n > 0 {
+		lg := uint64(0)
+		for 1<<lg < n {
+			lg++
+		}
+		w |= lg << ctrlSizeShift
+	}
+	if inst.DestReg() != isa.RegZero {
+		w |= 1 << ctrlWritesBit
+	}
+	if inst.Op == isa.OpIllegal {
+		w |= 1 << ctrlIllegalBit
+	}
+	if inst.Op.IsCall() {
+		w |= 1 << ctrlCallBit
+	}
+	if inst.Op.IsReturn() {
+		w |= 1 << ctrlRetBit
+	}
+	if inst.Op.IsCondBranch() {
+		w |= 1 << ctrlCondBit
+	}
+	return w
+}
+
+// decode advances the two decode stages: rename latch <- decode latch, then
+// decode latch <- fetch queue.
+func (m *Machine) decode() {
+	if m.Halted() {
+		return
+	}
+	e := m.e
+
+	// Stage D2: move decode latch into the rename latch when empty.
+	rnEmpty := true
+	for i := 0; i < RenameWidth; i++ {
+		if e.rnValid.Bool(i) {
+			rnEmpty = false
+			break
+		}
+	}
+	if rnEmpty {
+		for i := 0; i < DecodeWidth; i++ {
+			if !e.deValid.Bool(i) {
+				continue
+			}
+			raw := uint32(e.deInsn.Get(i))
+			if m.Cfg.Protect.InsnParity && parity32(raw) != e.deParity.Get(i) {
+				// Parity error: squash the corrupted instruction and
+				// everything younger (all still in the front end) and
+				// refetch, before the word can affect architectural
+				// state (Section 4.2). Older instructions, including
+				// the slots already moved to rename this cycle, are
+				// unaffected and drain normally.
+				for j := i; j < DecodeWidth; j++ {
+					e.deValid.SetBool(j, false)
+				}
+				e.fqHead.Set(0, 0)
+				e.fqTail.Set(0, 0)
+				e.fqCount.Set(0, 0)
+				e.f2Valid.SetBool(0, false)
+				e.feMiss.Set(0, 0)
+				e.fePC.Set(0, e.dePC.Get(i))
+				if m.OnFlush != nil {
+					m.OnFlush("parity")
+				}
+				return
+			}
+			inst := isa.Decode(raw)
+			e.rnValid.SetBool(i, true)
+			e.rnInsn.Set(i, uint64(raw))
+			e.rnPC.Set(i, e.dePC.Get(i))
+			e.rnTaken.SetBool(i, e.deTaken.Bool(i))
+			e.rnTarget.Set(i, e.deTarget.Get(i))
+			e.rnRASPtr.Set(i, e.deRASPtr.Get(i))
+			e.rnCtrl.Set(i, encodeCtrl(inst))
+			if m.Cfg.Protect.InsnParity {
+				e.rnParity.Set(i, e.deParity.Get(i))
+			}
+			m.seqRN[i] = m.seqDE[i]
+			e.deValid.SetBool(i, false)
+		}
+	}
+
+	// Stage D1: pop up to DecodeWidth instructions from the fetch queue.
+	deEmpty := true
+	for i := 0; i < DecodeWidth; i++ {
+		if e.deValid.Bool(i) {
+			deEmpty = false
+			break
+		}
+	}
+	if !deEmpty {
+		return
+	}
+	for i := 0; i < DecodeWidth; i++ {
+		cnt := e.fqCount.Get(0)
+		if cnt == 0 || cnt > FetchQSize {
+			break
+		}
+		h := int(e.fqHead.Get(0)) % FetchQSize
+		e.deValid.SetBool(i, true)
+		e.deInsn.Set(i, e.fqInsn.Get(h))
+		e.dePC.Set(i, e.fqPC.Get(h))
+		e.deTaken.SetBool(i, e.fqTaken.Bool(h))
+		e.deTarget.Set(i, e.fqTarget.Get(h))
+		e.deRASPtr.Set(i, e.fqRASPtr.Get(h))
+		if m.Cfg.Protect.InsnParity {
+			e.deParity.Set(i, e.fqParity.Get(h))
+		}
+		m.seqDE[i] = m.seqFQ[h]
+		e.fqHead.Set(0, uint64(h+1)%FetchQSize)
+		e.fqCount.Set(0, cnt-1)
+	}
+}
+
+// rename performs register renaming and dispatch into the ROB, scheduler
+// and load/store queues, in program order, stalling at the first
+// instruction that cannot proceed.
+func (m *Machine) rename() {
+	if m.Halted() {
+		return
+	}
+	e := m.e
+	for i := 0; i < RenameWidth; i++ {
+		if !e.rnValid.Bool(i) {
+			continue
+		}
+		ctrl := e.rnCtrl.Get(i)
+		class := isa.Class(ctrl >> ctrlClassShift & 7)
+		writes := ctrl>>ctrlWritesBit&1 == 1
+		illegal := ctrl>>ctrlIllegalBit&1 == 1
+		raw := uint32(e.rnInsn.Get(i))
+		inst := isa.Decode(raw)
+
+		if e.robCount.Get(0) >= ROBSize {
+			return
+		}
+		needsSched := class == isa.ClassSimple || class == isa.ClassComplex ||
+			class == isa.ClassBranch || class == isa.ClassLoad || class == isa.ClassStore
+		schedIdx := -1
+		if needsSched && !illegal {
+			for s := 0; s < SchedSize; s++ {
+				if !e.isValid.Bool(s) {
+					schedIdx = s
+					break
+				}
+			}
+			if schedIdx < 0 {
+				return // scheduler full
+			}
+		}
+		if class == isa.ClassLoad && !illegal && e.lqCount.Get(0) >= LQSize {
+			return
+		}
+		if class == isa.ClassStore && !illegal && e.sqCount.Get(0) >= SQSize {
+			return
+		}
+		if class == isa.ClassPal && e.robCount.Get(0) != 0 {
+			return // CALL_PAL serializes: wait for an empty ROB
+		}
+
+		// Rename sources.
+		s1a, s2a := inst.SrcRegs()
+		src1 := m.ratRead(int(s1a))
+		src2 := m.ratRead(int(s2a))
+
+		// Rename destination.
+		dest := uint64(zeroPtr)
+		oldPhys := uint64(zeroPtr)
+		archDest := inst.DestReg()
+		if writes && archDest != isa.RegZero && !illegal {
+			if e.specFLCount.Get(0) == 0 || e.specFLCount.Get(0) > FreeListSize {
+				return // no free physical register
+			}
+			dest = m.specFLPop()
+			oldPhys = m.ratRead(int(archDest))
+			m.ratWrite(int(archDest), dest)
+			if dest < NumPhysRegs {
+				e.prfReady.SetBool(int(dest), false)
+			}
+		}
+
+		// Allocate the ROB entry.
+		tag := int(e.robTail.Get(0)) % ROBSize
+		e.robValid.SetBool(tag, true)
+		e.robPC.Set(tag, e.rnPC.Get(i))
+		e.robPhysDest.Set(tag, dest)
+		e.robOldPhys.Set(tag, oldPhys)
+		e.robArchDest.Set(tag, uint64(archDest&31))
+		e.robWrites.SetBool(tag, writes && archDest != isa.RegZero && !illegal)
+		e.robIsStore.SetBool(tag, class == isa.ClassStore && !illegal)
+		e.robIsLoad.SetBool(tag, class == isa.ClassLoad && !illegal)
+		e.robIsBranch.SetBool(tag, class == isa.ClassBranch)
+		e.robIsPal.SetBool(tag, class == isa.ClassPal && !illegal)
+		e.robPalFn.Set(tag, uint64(inst.PalFn&0xFF))
+		e.robLSQIdx.Set(tag, 0)
+		if m.Cfg.Protect.PointerECC {
+			m.genRobPtrECC(tag)
+		}
+
+		exc := ExcNone
+		done := false
+		switch {
+		case illegal:
+			exc, done = ExcIllegal, true
+		case class == isa.ClassNop:
+			done = true
+		case class == isa.ClassPal:
+			done = true
+			switch inst.PalFn {
+			case isa.PalHalt, isa.PalPutC, isa.PalPutInt, isa.PalPutHex:
+			default:
+				exc = ExcPal
+			}
+		}
+		e.robExc.Set(tag, uint64(exc))
+		e.robDone.SetBool(tag, done)
+
+		// Allocate LSQ entries.
+		if e.robIsLoad.Bool(tag) {
+			lt := int(e.lqTail.Get(0)) % LQSize
+			e.lqAddrV.SetBool(lt, false)
+			e.lqDone.SetBool(lt, false)
+			e.lqBusy.SetBool(lt, false)
+			e.lqFwd.SetBool(lt, false)
+			e.lqRobTag.Set(lt, uint64(tag))
+			e.lqDest.Set(lt, dest)
+			e.lqTail.Set(0, uint64(lt+1)%LQSize)
+			e.lqCount.Set(0, e.lqCount.Get(0)+1)
+			e.robLSQIdx.Set(tag, uint64(lt))
+		}
+		if e.robIsStore.Bool(tag) {
+			st := int(e.sqTail.Get(0)) % SQSize
+			e.sqAddrV.SetBool(st, false)
+			e.sqDataV.SetBool(st, false)
+			e.sqRobTag.Set(st, uint64(tag))
+			e.sqTail.Set(0, uint64(st+1)%SQSize)
+			e.sqCount.Set(0, e.sqCount.Get(0)+1)
+			e.robLSQIdx.Set(tag, uint64(st))
+		}
+
+		// Fill the scheduler entry.
+		if schedIdx >= 0 && !done {
+			e.isValid.SetBool(schedIdx, true)
+			e.isIssued.SetBool(schedIdx, false)
+			e.isInsn.Set(schedIdx, uint64(raw))
+			e.isClass.Set(schedIdx, uint64(class))
+			e.isRobTag.Set(schedIdx, uint64(tag))
+			e.isDest.Set(schedIdx, dest)
+			e.isWrites.SetBool(schedIdx, e.robWrites.Bool(tag))
+			e.isSrc1.Set(schedIdx, src1)
+			e.isSrc2.Set(schedIdx, src2)
+			e.isS1Ready.SetBool(schedIdx, m.prfReadyAt(src1))
+			e.isS2Ready.SetBool(schedIdx, inst.LitValid || m.prfReadyAt(src2))
+			e.isUseLit.SetBool(schedIdx, inst.LitValid)
+			e.isLit.Set(schedIdx, uint64(inst.Lit))
+			e.isPC.Set(schedIdx, e.rnPC.Get(i))
+			e.isTaken.SetBool(schedIdx, e.rnTaken.Bool(i))
+			e.isTarget.Set(schedIdx, e.rnTarget.Get(i))
+			e.isRASPtr.Set(schedIdx, e.rnRASPtr.Get(i))
+			e.isLSQIdx.Set(schedIdx, e.robLSQIdx.Get(tag))
+		} else if needsSched && done {
+			// Nothing: completed at dispatch (exceptions).
+		}
+
+		e.robTail.Set(0, uint64(tag+1)%ROBSize)
+		e.robCount.Set(0, e.robCount.Get(0)+1)
+		m.seqROB[tag] = m.seqRN[i]
+		e.rnValid.SetBool(i, false)
+	}
+}
+
+// ratRead reads the speculative RAT (with pointer-ECC correction when
+// enabled); the architectural zero register maps to the zeroPtr encoding.
+func (m *Machine) ratRead(arch int) uint64 {
+	if arch == isa.RegZero {
+		return zeroPtr
+	}
+	if m.Cfg.Protect.PointerECC {
+		return m.readSpecRATECC(arch)
+	}
+	return m.e.specRAT.Get(arch)
+}
+
+// ratWrite updates the speculative RAT.
+func (m *Machine) ratWrite(arch int, phys uint64) {
+	m.e.specRAT.Set(arch, phys)
+	if m.Cfg.Protect.PointerECC {
+		m.genSpecRATECC(arch)
+	}
+}
+
+// specFLPop allocates a physical register from the speculative free list.
+func (m *Machine) specFLPop() uint64 {
+	e := m.e
+	h := int(e.specFLHead.Get(0)) % FreeListSize
+	var p uint64
+	if m.Cfg.Protect.PointerECC {
+		p = m.readSpecFLECC(h)
+	} else {
+		p = e.specFL.Get(h)
+	}
+	e.specFLHead.Set(0, uint64(h+1)%FreeListSize)
+	e.specFLCount.Set(0, e.specFLCount.Get(0)-1)
+	return p
+}
+
+// specFLPushFront returns a register to the head of the speculative free
+// list (mispredict recovery walk).
+func (m *Machine) specFLPushFront(p uint64) {
+	e := m.e
+	h := (int(e.specFLHead.Get(0)) + FreeListSize - 1) % FreeListSize
+	e.specFL.Set(h, p)
+	e.specFLHead.Set(0, uint64(h))
+	e.specFLCount.Set(0, e.specFLCount.Get(0)+1)
+	if m.Cfg.Protect.PointerECC {
+		m.genSpecFLECC(h)
+	}
+}
+
+// specFLPushBack appends a freed register at retirement.
+func (m *Machine) specFLPushBack(p uint64) {
+	e := m.e
+	cnt := e.specFLCount.Get(0)
+	if cnt >= FreeListSize {
+		return // corrupted count: drop (a leaked register)
+	}
+	t := (int(e.specFLHead.Get(0)) + int(cnt)) % FreeListSize
+	e.specFL.Set(t, p)
+	e.specFLCount.Set(0, cnt+1)
+	if m.Cfg.Protect.PointerECC {
+		m.genSpecFLECC(t)
+	}
+}
+
+// archFLPushBack appends a freed register to the architectural free list.
+func (m *Machine) archFLPushBack(p uint64) {
+	e := m.e
+	cnt := e.archFLCount.Get(0)
+	if cnt >= FreeListSize {
+		return
+	}
+	t := (int(e.archFLHead.Get(0)) + int(cnt)) % FreeListSize
+	e.archFL.Set(t, p)
+	e.archFLCount.Set(0, cnt+1)
+	if m.Cfg.Protect.PointerECC {
+		m.genArchFLECC(t)
+	}
+}
+
+// archFLPop consumes from the architectural free list head (kept in
+// lockstep with retirement-time allocation).
+func (m *Machine) archFLPop() uint64 {
+	e := m.e
+	h := int(e.archFLHead.Get(0)) % FreeListSize
+	var p uint64
+	if m.Cfg.Protect.PointerECC {
+		p = m.readArchFLECC(h)
+	} else {
+		p = e.archFL.Get(h)
+	}
+	e.archFLHead.Set(0, uint64(h+1)%FreeListSize)
+	e.archFLCount.Set(0, e.archFLCount.Get(0)-1)
+	return p
+}

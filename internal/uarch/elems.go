@@ -1,0 +1,526 @@
+package uarch
+
+import (
+	"pipefault/internal/state"
+)
+
+// elems bundles every state element of the machine. All persistent
+// microarchitectural state lives here (or in main memory); the Go-side
+// Machine fields are wiring, configuration, and derived instrumentation
+// only, so that Snapshot/Restore and the state digest are complete.
+type elems struct {
+	// Front end.
+	fePC     *state.Elem // latch 1x62: next fetch PC (>>2)
+	feMiss   *state.Elem // latch 1x4: icache miss countdown
+	f2Valid  *state.Elem // latch 1x1: F1->F2 bundle valid
+	f2PC     *state.Elem // latch 1x62
+	f2Count  *state.Elem // latch 1x4: instructions in bundle
+	f2Taken  *state.Elem // latch 1x1: bundle ends in predicted-taken control
+	f2Target *state.Elem // latch 1x62
+	f2BrSlot *state.Elem // latch 1x3: slot of the control instruction
+	f2RASPtr *state.Elem // latch 1x3: RAS pointer checkpoint
+
+	// Fetch queue (RAM payloads + qctrl pointers).
+	fqInsn   *state.Elem // ram 32x32
+	fqPC     *state.Elem // ram 32x62
+	fqTaken  *state.Elem // ram 32x1
+	fqTarget *state.Elem // ram 32x62
+	fqRASPtr *state.Elem // ram 32x3
+	fqHead   *state.Elem // latch 1x5
+	fqTail   *state.Elem // latch 1x5
+	fqCount  *state.Elem // latch 1x6
+
+	// Decode stage latches (2 decode stages x 4 slots).
+	deValid  *state.Elem // latch 4x1
+	deInsn   *state.Elem // latch 4x32
+	dePC     *state.Elem // latch 4x62
+	deTaken  *state.Elem // latch 4x1
+	deTarget *state.Elem // latch 4x62
+	deRASPtr *state.Elem // latch 4x3
+
+	rnValid  *state.Elem // latch 4x1
+	rnInsn   *state.Elem // latch 4x32
+	rnPC     *state.Elem // latch 4x62
+	rnTaken  *state.Elem // latch 4x1
+	rnTarget *state.Elem // latch 4x62
+	rnRASPtr *state.Elem // latch 4x3
+	rnCtrl   *state.Elem // latch 4x12: decoded control word
+
+	// Rename state.
+	specRAT     *state.Elem // ram 32x7
+	archRAT     *state.Elem // ram 32x7
+	specFL      *state.Elem // ram 48x7
+	archFL      *state.Elem // ram 48x7
+	specFLHead  *state.Elem // latch 1x6
+	specFLCount *state.Elem // latch 1x6
+	archFLHead  *state.Elem // latch 1x6
+	archFLCount *state.Elem // latch 1x6
+
+	// Physical register file.
+	prfValue *state.Elem // ram 80x64
+	prfReady *state.Elem // latch 80x1 (scoreboard)
+
+	// Scheduler.
+	isValid   *state.Elem // ram 32x1
+	isIssued  *state.Elem // ram 32x1
+	isInsn    *state.Elem // ram 32x32
+	isClass   *state.Elem // ram 32x3
+	isRobTag  *state.Elem // ram 32x6
+	isDest    *state.Elem // ram 32x7
+	isWrites  *state.Elem // ram 32x1
+	isSrc1    *state.Elem // ram 32x7
+	isSrc2    *state.Elem // ram 32x7
+	isS1Ready *state.Elem // ram 32x1
+	isS2Ready *state.Elem // ram 32x1
+	isUseLit  *state.Elem // ram 32x1
+	isLit     *state.Elem // ram 32x8
+	isPC      *state.Elem // ram 32x62
+	isTaken   *state.Elem // ram 32x1
+	isTarget  *state.Elem // ram 32x62
+	isRASPtr  *state.Elem // ram 32x3
+	isLSQIdx  *state.Elem // ram 32x5
+
+	// Reorder buffer.
+	robPC       *state.Elem // ram 64x62
+	robPhysDest *state.Elem // ram 64x7
+	robOldPhys  *state.Elem // ram 64x7
+	robArchDest *state.Elem // ram 64x5
+	robValid    *state.Elem // ram 64x1
+	robDone     *state.Elem // ram 64x1
+	robIsStore  *state.Elem // ram 64x1
+	robIsLoad   *state.Elem // ram 64x1
+	robIsBranch *state.Elem // ram 64x1
+	robIsPal    *state.Elem // ram 64x1
+	robPalFn    *state.Elem // ram 64x8
+	robWrites   *state.Elem // ram 64x1
+	robExc      *state.Elem // ram 64x3
+	robLSQIdx   *state.Elem // ram 64x5
+	robHead     *state.Elem // latch 1x6
+	robTail     *state.Elem // latch 1x6
+	robCount    *state.Elem // latch 1x7
+
+	// Load queue.
+	lqAddr     *state.Elem // ram 16x64
+	lqSize     *state.Elem // ram 16x2
+	lqAddrV    *state.Elem // ram 16x1
+	lqDone     *state.Elem // ram 16x1
+	lqRobTag   *state.Elem // ram 16x6
+	lqDest     *state.Elem // ram 16x7
+	lqFwd      *state.Elem // ram 16x1 (store-to-load forwarding record)
+	lqFwdIdx   *state.Elem // ram 16x4
+	lqBusy     *state.Elem // ram 16x1 (in the cache pipeline or an MHR)
+	lqSchedIdx *state.Elem // ram 16x5 (scheduler entry, freed at completion)
+	lqHead     *state.Elem // latch 1x4
+	lqTail     *state.Elem // latch 1x4
+	lqCount    *state.Elem // latch 1x5
+
+	// Store queue.
+	sqAddr   *state.Elem // ram 16x64
+	sqData   *state.Elem // ram 16x64
+	sqSize   *state.Elem // ram 16x2
+	sqAddrV  *state.Elem // ram 16x1
+	sqDataV  *state.Elem // ram 16x1
+	sqRobTag *state.Elem // ram 16x6
+	sqHead   *state.Elem // latch 1x4
+	sqTail   *state.Elem // latch 1x4
+	sqCount  *state.Elem // latch 1x5
+
+	// Post-retirement store buffer (drains across pipeline flushes).
+	sbAddr  *state.Elem // ram 8x64
+	sbData  *state.Elem // ram 8x64
+	sbSize  *state.Elem // ram 8x2
+	sbHead  *state.Elem // latch 1x3
+	sbCount *state.Elem // latch 1x4
+
+	// Miss handling registers.
+	mhrAddr  *state.Elem // ram 16x64 (line address)
+	mhrValid *state.Elem // ram 16x1
+	mhrCnt   *state.Elem // ram 16x4
+	mhrLQIdx *state.Elem // ram 16x4
+
+	// Issue port latches (schedule -> register read).
+	ipValid    *state.Elem // latch 6x1
+	ipInsn     *state.Elem // latch 6x32
+	ipRobTag   *state.Elem // latch 6x6
+	ipDest     *state.Elem // latch 6x7
+	ipWrites   *state.Elem // latch 6x1
+	ipSrc1     *state.Elem // latch 6x7
+	ipSrc2     *state.Elem // latch 6x7
+	ipUseLit   *state.Elem // latch 6x1
+	ipLit      *state.Elem // latch 6x8
+	ipPC       *state.Elem // latch 6x62
+	ipTaken    *state.Elem // latch 6x1
+	ipTarget   *state.Elem // latch 6x62
+	ipRASPtr   *state.Elem // latch 6x3
+	ipLSQIdx   *state.Elem // latch 6x5
+	ipSchedIdx *state.Elem // latch 6x5
+
+	// Register read -> execute latches.
+	exValid    *state.Elem // latch 6x1
+	exA        *state.Elem // latch 6x64 (operand datapath)
+	exB        *state.Elem // latch 6x64
+	exAReady   *state.Elem // latch 6x1 (operand captured; else bypass at EX)
+	exBReady   *state.Elem // latch 6x1
+	exInsn     *state.Elem // latch 6x32
+	exRobTag   *state.Elem // latch 6x6
+	exDest     *state.Elem // latch 6x7
+	exWrites   *state.Elem // latch 6x1
+	exSrc1     *state.Elem // latch 6x7
+	exSrc2     *state.Elem // latch 6x7
+	exPC       *state.Elem // latch 6x62
+	exTaken    *state.Elem // latch 6x1
+	exTarget   *state.Elem // latch 6x62
+	exRASPtr   *state.Elem // latch 6x3
+	exLSQIdx   *state.Elem // latch 6x5
+	exSchedIdx *state.Elem // latch 6x5
+
+	// Complex ALU internal pipeline.
+	cpValid    *state.Elem // latch 5x1
+	cpValue    *state.Elem // latch 5x64
+	cpDest     *state.Elem // latch 5x7
+	cpWrites   *state.Elem // latch 5x1
+	cpRobTag   *state.Elem // latch 5x6
+	cpSchedIdx *state.Elem // latch 5x5
+	cpCnt      *state.Elem // latch 5x3
+
+	// Memory pipeline latches (2 ports, M1 and M2).
+	m1Valid    *state.Elem // latch 2x1
+	m1IsLoad   *state.Elem // latch 2x1
+	m1Addr     *state.Elem // latch 2x64
+	m1Size     *state.Elem // latch 2x2
+	m1Dest     *state.Elem // latch 2x7
+	m1Writes   *state.Elem // latch 2x1
+	m1RobTag   *state.Elem // latch 2x6
+	m1LSQIdx   *state.Elem // latch 2x5
+	m1SchedIdx *state.Elem // latch 2x5
+
+	m2Valid    *state.Elem // latch 2x1
+	m2IsLoad   *state.Elem // latch 2x1
+	m2Addr     *state.Elem // latch 2x64
+	m2Size     *state.Elem // latch 2x2
+	m2Dest     *state.Elem // latch 2x7
+	m2Writes   *state.Elem // latch 2x1
+	m2RobTag   *state.Elem // latch 2x6
+	m2LSQIdx   *state.Elem // latch 2x5
+	m2SchedIdx *state.Elem // latch 2x5
+	m2Fwd      *state.Elem // latch 2x1 (forwarded; data in m2Data)
+	m2Data     *state.Elem // latch 2x64
+
+	// Writeback port latches (7 register-file write ports).
+	wbValid    *state.Elem // latch 7x1
+	wbValue    *state.Elem // latch 7x64
+	wbDest     *state.Elem // latch 7x7
+	wbWrites   *state.Elem // latch 7x1
+	wbRobTag   *state.Elem // latch 7x6
+	wbSchedIdx *state.Elem // latch 7x5
+	wbHasSched *state.Elem // latch 7x1
+
+	// Miscellaneous machine control.
+	msHalted  *state.Elem // latch 1x1
+	swValid   *state.Elem // latch 6x1: spec-wakeup delay line (3 stages x 2 ports)
+	swTag     *state.Elem // latch 6x7
+	rcPending *state.Elem // latch 1x1: drain-recovery pending
+	rcTarget  *state.Elem // latch 1x62: redirect target
+	rcTag     *state.Elem // latch 1x6: mispredicted branch ROB tag
+
+	// Branch prediction (timing only: excluded from injection).
+	bpBimodal *state.Elem // ram 2048x2
+	bpGShare  *state.Elem // ram 4096x2
+	bpChooser *state.Elem // ram 4096x2
+	bpGHR     *state.Elem // latch 1x12
+	btbTag    *state.Elem // ram 1024x50
+	btbTarget *state.Elem // ram 1024x62
+	btbValid  *state.Elem // ram 1024x1
+	btbRR     *state.Elem // ram 256x2 (round-robin way pointer)
+	rasStack  *state.Elem // ram 8x62
+	rasPtr    *state.Elem // latch 1x3
+
+	// Store-set memory dependence predictor (timing only).
+	ssWait *state.Elem // ram 256x1
+
+	// Cache tag arrays (timing only; data comes from main memory).
+	icTag   *state.Elem // ram 256x57
+	icValid *state.Elem // ram 256x1
+	icLRU   *state.Elem // ram 128x1
+	dcTag   *state.Elem // ram 1024x54
+	dcValid *state.Elem // ram 1024x1
+	dcLRU   *state.Elem // ram 512x1
+
+	// Protection state (Section 4; registered only when enabled).
+	fqParity   *state.Elem // ram 32x1
+	deParity   *state.Elem // latch 4x1
+	rnParity   *state.Elem // latch 4x1
+	prfECC     *state.Elem // ram 80x8
+	eccPendR   *state.Elem // latch 6x7 (registers awaiting ECC generation)
+	eccPendV   *state.Elem // latch 6x1
+	specRATEcc *state.Elem // ram 32x4
+	archRATEcc *state.Elem // ram 32x4
+	specFLEcc  *state.Elem // ram 48x4
+	archFLEcc  *state.Elem // ram 48x4
+	robDestEcc *state.Elem // ram 64x4
+	robOldEcc  *state.Elem // ram 64x4
+	toCnt      *state.Elem // latch 1x7 (timeout counter)
+}
+
+// buildElems registers every element into f. The geometry mirrors the
+// paper's Figure 2 structures; Table 1 is reproduced from these
+// declarations via state.File.CategoryBits.
+func buildElems(f *state.File, p ProtectConfig) *elems {
+	e := &elems{}
+	lat := f.Latch
+	ram := f.RAM
+	ni := state.NotInjectable()
+
+	// Front end.
+	e.fePC = lat("fe.pc", state.CatPC, 1, PCBits)
+	e.feMiss = lat("fe.miss", state.CatCtrl, 1, 4)
+	e.f2Valid = lat("f2.valid", state.CatValid, 1, 1)
+	e.f2PC = lat("f2.pc", state.CatPC, 1, PCBits)
+	e.f2Count = lat("f2.count", state.CatCtrl, 1, 4)
+	e.f2Taken = lat("f2.taken", state.CatCtrl, 1, 1)
+	e.f2Target = lat("f2.target", state.CatPC, 1, PCBits)
+	e.f2BrSlot = lat("f2.brslot", state.CatCtrl, 1, 3)
+	e.f2RASPtr = lat("f2.rasptr", state.CatCtrl, 1, 3)
+
+	e.fqInsn = ram("fq.insn", state.CatInsn, FetchQSize, 32)
+	e.fqPC = ram("fq.pc", state.CatPC, FetchQSize, PCBits)
+	e.fqTaken = ram("fq.taken", state.CatCtrl, FetchQSize, 1)
+	e.fqTarget = ram("fq.target", state.CatPC, FetchQSize, PCBits)
+	e.fqRASPtr = ram("fq.rasptr", state.CatCtrl, FetchQSize, 3)
+	e.fqHead = lat("fq.head", state.CatQCtrl, 1, 5)
+	e.fqTail = lat("fq.tail", state.CatQCtrl, 1, 5)
+	e.fqCount = lat("fq.count", state.CatQCtrl, 1, 6)
+
+	e.deValid = lat("de.valid", state.CatValid, DecodeWidth, 1)
+	e.deInsn = lat("de.insn", state.CatInsn, DecodeWidth, 32)
+	e.dePC = lat("de.pc", state.CatPC, DecodeWidth, PCBits)
+	e.deTaken = lat("de.taken", state.CatCtrl, DecodeWidth, 1)
+	e.deTarget = lat("de.target", state.CatPC, DecodeWidth, PCBits)
+	e.deRASPtr = lat("de.rasptr", state.CatCtrl, DecodeWidth, 3)
+
+	e.rnValid = lat("rn.valid", state.CatValid, RenameWidth, 1)
+	e.rnInsn = lat("rn.insn", state.CatInsn, RenameWidth, 32)
+	e.rnPC = lat("rn.pc", state.CatPC, RenameWidth, PCBits)
+	e.rnTaken = lat("rn.taken", state.CatCtrl, RenameWidth, 1)
+	e.rnTarget = lat("rn.target", state.CatPC, RenameWidth, PCBits)
+	e.rnRASPtr = lat("rn.rasptr", state.CatCtrl, RenameWidth, 3)
+	e.rnCtrl = lat("rn.ctrl", state.CatCtrl, RenameWidth, 12)
+
+	e.specRAT = ram("rat.spec", state.CatSpecRAT, 32, 7)
+	e.archRAT = ram("rat.arch", state.CatArchRAT, 32, 7)
+	e.specFL = ram("fl.spec", state.CatSpecFreeList, FreeListSize, 7)
+	e.archFL = ram("fl.arch", state.CatArchFreeList, FreeListSize, 7)
+	e.specFLHead = lat("fl.spechead", state.CatQCtrl, 1, 6)
+	e.specFLCount = lat("fl.speccount", state.CatQCtrl, 1, 6)
+	e.archFLHead = lat("fl.archhead", state.CatQCtrl, 1, 6)
+	e.archFLCount = lat("fl.archcount", state.CatQCtrl, 1, 6)
+
+	e.prfValue = ram("prf.value", state.CatRegFile, NumPhysRegs, 64)
+	e.prfReady = lat("prf.ready", state.CatRegFile, NumPhysRegs, 1)
+
+	e.isValid = ram("is.valid", state.CatValid, SchedSize, 1)
+	e.isIssued = ram("is.issued", state.CatCtrl, SchedSize, 1)
+	e.isInsn = ram("is.insn", state.CatInsn, SchedSize, 32)
+	e.isClass = ram("is.class", state.CatCtrl, SchedSize, 3)
+	e.isRobTag = ram("is.robtag", state.CatROBPtr, SchedSize, 6)
+	e.isDest = ram("is.dest", state.CatRegPtr, SchedSize, 7)
+	e.isWrites = ram("is.writes", state.CatCtrl, SchedSize, 1)
+	e.isSrc1 = ram("is.src1", state.CatRegPtr, SchedSize, 7)
+	e.isSrc2 = ram("is.src2", state.CatRegPtr, SchedSize, 7)
+	e.isS1Ready = ram("is.s1ready", state.CatCtrl, SchedSize, 1)
+	e.isS2Ready = ram("is.s2ready", state.CatCtrl, SchedSize, 1)
+	e.isUseLit = ram("is.uselit", state.CatCtrl, SchedSize, 1)
+	e.isLit = ram("is.lit", state.CatData, SchedSize, 8)
+	e.isPC = ram("is.pc", state.CatPC, SchedSize, PCBits)
+	e.isTaken = ram("is.taken", state.CatCtrl, SchedSize, 1)
+	e.isTarget = ram("is.target", state.CatPC, SchedSize, PCBits)
+	e.isRASPtr = ram("is.rasptr", state.CatCtrl, SchedSize, 3)
+	e.isLSQIdx = ram("is.lsqidx", state.CatQCtrl, SchedSize, 5)
+
+	e.robPC = ram("rob.pc", state.CatPC, ROBSize, PCBits)
+	e.robPhysDest = ram("rob.physdest", state.CatRegPtr, ROBSize, 7)
+	e.robOldPhys = ram("rob.oldphys", state.CatRegPtr, ROBSize, 7)
+	e.robArchDest = ram("rob.archdest", state.CatCtrl, ROBSize, 5)
+	e.robValid = ram("rob.valid", state.CatValid, ROBSize, 1)
+	e.robDone = ram("rob.done", state.CatValid, ROBSize, 1)
+	e.robIsStore = ram("rob.isstore", state.CatCtrl, ROBSize, 1)
+	e.robIsLoad = ram("rob.isload", state.CatCtrl, ROBSize, 1)
+	e.robIsBranch = ram("rob.isbranch", state.CatCtrl, ROBSize, 1)
+	e.robIsPal = ram("rob.ispal", state.CatCtrl, ROBSize, 1)
+	e.robPalFn = ram("rob.palfn", state.CatCtrl, ROBSize, 8)
+	e.robWrites = ram("rob.writes", state.CatCtrl, ROBSize, 1)
+	e.robExc = ram("rob.exc", state.CatCtrl, ROBSize, 3)
+	e.robLSQIdx = ram("rob.lsqidx", state.CatQCtrl, ROBSize, 5)
+	e.robHead = lat("rob.head", state.CatQCtrl, 1, 6)
+	e.robTail = lat("rob.tail", state.CatQCtrl, 1, 6)
+	e.robCount = lat("rob.count", state.CatQCtrl, 1, 7)
+
+	e.lqAddr = ram("lq.addr", state.CatAddr, LQSize, 64)
+	e.lqSize = ram("lq.size", state.CatCtrl, LQSize, 2)
+	e.lqAddrV = ram("lq.addrv", state.CatValid, LQSize, 1)
+	e.lqDone = ram("lq.done", state.CatValid, LQSize, 1)
+	e.lqRobTag = ram("lq.robtag", state.CatROBPtr, LQSize, 6)
+	e.lqDest = ram("lq.dest", state.CatRegPtr, LQSize, 7)
+	e.lqFwd = ram("lq.fwd", state.CatCtrl, LQSize, 1)
+	e.lqFwdIdx = ram("lq.fwdidx", state.CatQCtrl, LQSize, 4)
+	e.lqBusy = ram("lq.busy", state.CatCtrl, LQSize, 1)
+	e.lqSchedIdx = ram("lq.schedidx", state.CatQCtrl, LQSize, 5)
+	e.lqHead = lat("lq.head", state.CatQCtrl, 1, 4)
+	e.lqTail = lat("lq.tail", state.CatQCtrl, 1, 4)
+	e.lqCount = lat("lq.count", state.CatQCtrl, 1, 5)
+
+	e.sqAddr = ram("sq.addr", state.CatAddr, SQSize, 64)
+	e.sqData = ram("sq.data", state.CatData, SQSize, 64)
+	e.sqSize = ram("sq.size", state.CatCtrl, SQSize, 2)
+	e.sqAddrV = ram("sq.addrv", state.CatValid, SQSize, 1)
+	e.sqDataV = ram("sq.datav", state.CatValid, SQSize, 1)
+	e.sqRobTag = ram("sq.robtag", state.CatROBPtr, SQSize, 6)
+	e.sqHead = lat("sq.head", state.CatQCtrl, 1, 4)
+	e.sqTail = lat("sq.tail", state.CatQCtrl, 1, 4)
+	e.sqCount = lat("sq.count", state.CatQCtrl, 1, 5)
+
+	e.sbAddr = ram("sb.addr", state.CatAddr, StoreBufSize, 64)
+	e.sbData = ram("sb.data", state.CatData, StoreBufSize, 64)
+	e.sbSize = ram("sb.size", state.CatCtrl, StoreBufSize, 2)
+	e.sbHead = lat("sb.head", state.CatQCtrl, 1, 3)
+	e.sbCount = lat("sb.count", state.CatQCtrl, 1, 4)
+
+	e.mhrAddr = ram("mhr.addr", state.CatAddr, NumMHR, 64)
+	e.mhrValid = ram("mhr.valid", state.CatValid, NumMHR, 1)
+	e.mhrCnt = ram("mhr.cnt", state.CatCtrl, NumMHR, 4)
+	e.mhrLQIdx = ram("mhr.lqidx", state.CatQCtrl, NumMHR, 4)
+
+	e.ipValid = lat("ip.valid", state.CatValid, IssueWidth, 1)
+	e.ipInsn = lat("ip.insn", state.CatInsn, IssueWidth, 32)
+	e.ipRobTag = lat("ip.robtag", state.CatROBPtr, IssueWidth, 6)
+	e.ipDest = lat("ip.dest", state.CatRegPtr, IssueWidth, 7)
+	e.ipWrites = lat("ip.writes", state.CatCtrl, IssueWidth, 1)
+	e.ipSrc1 = lat("ip.src1", state.CatRegPtr, IssueWidth, 7)
+	e.ipSrc2 = lat("ip.src2", state.CatRegPtr, IssueWidth, 7)
+	e.ipUseLit = lat("ip.uselit", state.CatCtrl, IssueWidth, 1)
+	e.ipLit = lat("ip.lit", state.CatData, IssueWidth, 8)
+	e.ipPC = lat("ip.pc", state.CatPC, IssueWidth, PCBits)
+	e.ipTaken = lat("ip.taken", state.CatCtrl, IssueWidth, 1)
+	e.ipTarget = lat("ip.target", state.CatPC, IssueWidth, PCBits)
+	e.ipRASPtr = lat("ip.rasptr", state.CatCtrl, IssueWidth, 3)
+	e.ipLSQIdx = lat("ip.lsqidx", state.CatQCtrl, IssueWidth, 5)
+	e.ipSchedIdx = lat("ip.schedidx", state.CatQCtrl, IssueWidth, 5)
+
+	e.exValid = lat("ex.valid", state.CatValid, IssueWidth, 1)
+	e.exA = lat("ex.a", state.CatData, IssueWidth, 64)
+	e.exB = lat("ex.b", state.CatData, IssueWidth, 64)
+	e.exAReady = lat("ex.aready", state.CatCtrl, IssueWidth, 1)
+	e.exBReady = lat("ex.bready", state.CatCtrl, IssueWidth, 1)
+	e.exInsn = lat("ex.insn", state.CatInsn, IssueWidth, 32)
+	e.exRobTag = lat("ex.robtag", state.CatROBPtr, IssueWidth, 6)
+	e.exDest = lat("ex.dest", state.CatRegPtr, IssueWidth, 7)
+	e.exWrites = lat("ex.writes", state.CatCtrl, IssueWidth, 1)
+	e.exSrc1 = lat("ex.src1", state.CatRegPtr, IssueWidth, 7)
+	e.exSrc2 = lat("ex.src2", state.CatRegPtr, IssueWidth, 7)
+	e.exPC = lat("ex.pc", state.CatPC, IssueWidth, PCBits)
+	e.exTaken = lat("ex.taken", state.CatCtrl, IssueWidth, 1)
+	e.exTarget = lat("ex.target", state.CatPC, IssueWidth, PCBits)
+	e.exRASPtr = lat("ex.rasptr", state.CatCtrl, IssueWidth, 3)
+	e.exLSQIdx = lat("ex.lsqidx", state.CatQCtrl, IssueWidth, 5)
+	e.exSchedIdx = lat("ex.schedidx", state.CatQCtrl, IssueWidth, 5)
+
+	e.cpValid = lat("cp.valid", state.CatValid, ComplexDepth, 1)
+	e.cpValue = lat("cp.value", state.CatData, ComplexDepth, 64)
+	e.cpDest = lat("cp.dest", state.CatRegPtr, ComplexDepth, 7)
+	e.cpWrites = lat("cp.writes", state.CatCtrl, ComplexDepth, 1)
+	e.cpRobTag = lat("cp.robtag", state.CatROBPtr, ComplexDepth, 6)
+	e.cpSchedIdx = lat("cp.schedidx", state.CatQCtrl, ComplexDepth, 5)
+	e.cpCnt = lat("cp.cnt", state.CatCtrl, ComplexDepth, 3)
+
+	e.m1Valid = lat("m1.valid", state.CatValid, 2, 1)
+	e.m1IsLoad = lat("m1.isload", state.CatCtrl, 2, 1)
+	e.m1Addr = lat("m1.addr", state.CatAddr, 2, 64)
+	e.m1Size = lat("m1.size", state.CatCtrl, 2, 2)
+	e.m1Dest = lat("m1.dest", state.CatRegPtr, 2, 7)
+	e.m1Writes = lat("m1.writes", state.CatCtrl, 2, 1)
+	e.m1RobTag = lat("m1.robtag", state.CatROBPtr, 2, 6)
+	e.m1LSQIdx = lat("m1.lsqidx", state.CatQCtrl, 2, 5)
+	e.m1SchedIdx = lat("m1.schedidx", state.CatQCtrl, 2, 5)
+
+	e.m2Valid = lat("m2.valid", state.CatValid, 2, 1)
+	e.m2IsLoad = lat("m2.isload", state.CatCtrl, 2, 1)
+	e.m2Addr = lat("m2.addr", state.CatAddr, 2, 64)
+	e.m2Size = lat("m2.size", state.CatCtrl, 2, 2)
+	e.m2Dest = lat("m2.dest", state.CatRegPtr, 2, 7)
+	e.m2Writes = lat("m2.writes", state.CatCtrl, 2, 1)
+	e.m2RobTag = lat("m2.robtag", state.CatROBPtr, 2, 6)
+	e.m2LSQIdx = lat("m2.lsqidx", state.CatQCtrl, 2, 5)
+	e.m2SchedIdx = lat("m2.schedidx", state.CatQCtrl, 2, 5)
+	e.m2Fwd = lat("m2.fwd", state.CatCtrl, 2, 1)
+	e.m2Data = lat("m2.data", state.CatData, 2, 64)
+
+	e.wbValid = lat("wb.valid", state.CatValid, 7, 1)
+	e.wbValue = lat("wb.value", state.CatData, 7, 64)
+	e.wbDest = lat("wb.dest", state.CatRegPtr, 7, 7)
+	e.wbWrites = lat("wb.writes", state.CatCtrl, 7, 1)
+	e.wbRobTag = lat("wb.robtag", state.CatROBPtr, 7, 6)
+	e.wbSchedIdx = lat("wb.schedidx", state.CatQCtrl, 7, 5)
+	e.wbHasSched = lat("wb.hassched", state.CatCtrl, 7, 1)
+
+	e.msHalted = lat("ms.halted", state.CatCtrl, 1, 1)
+
+	// Speculative-wakeup delay line (load hit speculation, [8]).
+	e.swValid = lat("sw.valid", state.CatCtrl, 6, 1)
+	e.swTag = lat("sw.tag", state.CatCtrl, 6, 7)
+
+	// Misprediction recovery latches (arch-copy recovery style).
+	e.rcPending = lat("rc.pending", state.CatCtrl, 1, 1)
+	e.rcTarget = lat("rc.target", state.CatPC, 1, PCBits)
+	e.rcTag = lat("rc.tag", state.CatROBPtr, 1, 6)
+
+	// Timing-only structures (excluded from injection).
+	e.bpBimodal = ram("bp.bimodal", state.CatCtrl, BimodalSize, 2, ni)
+	e.bpGShare = ram("bp.gshare", state.CatCtrl, GShareSize, 2, ni)
+	e.bpChooser = ram("bp.chooser", state.CatCtrl, ChooserSize, 2, ni)
+	e.bpGHR = lat("bp.ghr", state.CatCtrl, 1, GHRBits, ni)
+	e.btbTag = ram("btb.tag", state.CatCtrl, BTBSets*BTBWays, 50, ni)
+	e.btbTarget = ram("btb.target", state.CatPC, BTBSets*BTBWays, PCBits, ni)
+	e.btbValid = ram("btb.valid", state.CatValid, BTBSets*BTBWays, 1, ni)
+	e.btbRR = ram("btb.rr", state.CatCtrl, BTBSets, 2, ni)
+	e.rasStack = ram("ras.stack", state.CatPC, RASSize, PCBits, ni)
+	e.rasPtr = lat("ras.ptr", state.CatCtrl, 1, 3, ni)
+	e.ssWait = ram("ss.wait", state.CatCtrl, StoreSetTab, 1, ni)
+
+	e.icTag = ram("ic.tag", state.CatCtrl, ICacheSets*ICacheWays, 57, ni)
+	e.icValid = ram("ic.valid", state.CatValid, ICacheSets*ICacheWays, 1, ni)
+	e.icLRU = ram("ic.lru", state.CatCtrl, ICacheSets, 1, ni)
+	e.dcTag = ram("dc.tag", state.CatCtrl, DCacheSets*DCacheWays, 54, ni)
+	e.dcValid = ram("dc.valid", state.CatValid, DCacheSets*DCacheWays, 1, ni)
+	e.dcLRU = ram("dc.lru", state.CatCtrl, DCacheSets, 1, ni)
+
+	// Protection state, injectable (Section 4.4 injects it too).
+	if p.InsnParity {
+		e.fqParity = ram("fq.parity", state.CatParity, FetchQSize, 1)
+		e.deParity = lat("de.parity", state.CatParity, DecodeWidth, 1)
+		e.rnParity = lat("rn.parity", state.CatParity, RenameWidth, 1)
+	}
+	if p.RegfileECC {
+		e.prfECC = ram("prf.ecc", state.CatECC, NumPhysRegs, 8)
+		e.eccPendR = lat("prf.eccpendr", state.CatECC, 7, 7)
+		e.eccPendV = lat("prf.eccpendv", state.CatECC, 7, 1)
+	}
+	if p.PointerECC {
+		e.specRATEcc = ram("rat.specEcc", state.CatECC, 32, 4)
+		e.archRATEcc = ram("rat.archEcc", state.CatECC, 32, 4)
+		e.specFLEcc = ram("fl.specEcc", state.CatECC, FreeListSize, 4)
+		e.archFLEcc = ram("fl.archEcc", state.CatECC, FreeListSize, 4)
+		e.robDestEcc = ram("rob.destEcc", state.CatECC, ROBSize, 4)
+		e.robOldEcc = ram("rob.oldEcc", state.CatECC, ROBSize, 4)
+	}
+	if p.TimeoutFlush {
+		e.toCnt = lat("to.cnt", state.CatCtrl, 1, 7)
+	}
+	return e
+}
+
+// BuildStateFile registers the machine's complete state-element inventory
+// into f without constructing a runnable machine. It backs the Table 1
+// report (per-category bit counts).
+func BuildStateFile(f *state.File, p ProtectConfig) {
+	buildElems(f, p)
+}

@@ -1,0 +1,126 @@
+package uarch
+
+import (
+	"testing"
+
+	"pipefault/internal/arch"
+	"pipefault/internal/asm"
+	"pipefault/internal/isa"
+	"pipefault/internal/mem"
+	"pipefault/internal/workload"
+)
+
+// lockstep runs a program on the pipeline, validating every retirement
+// event against the functional simulator, up to maxCycles. It returns the
+// machine and the number of instructions verified.
+func lockstep(t *testing.T, cfg Config, prog *asm.Program, maxCycles uint64) (*Machine, uint64) {
+	t.Helper()
+
+	refMem := mem.New()
+	refRegs := prog.Load(refMem)
+	ref := arch.New(refMem, refRegs, prog.Entry)
+
+	m := New(cfg, prog)
+	verified := uint64(0)
+	bad := 0
+	m.OnRetire = func(ev RetireEvent) {
+		if bad > 3 {
+			return
+		}
+		refPC := ref.PC
+		info, exc := ref.Step()
+		if exc != nil {
+			t.Errorf("reference exception at pc=%#x: %v", refPC, exc)
+			bad++
+			return
+		}
+		if ev.PC != refPC {
+			t.Errorf("retire %d: pc=%#x, reference pc=%#x (%s)",
+				verified, ev.PC, refPC, isa.Disassemble(info.Inst, refPC))
+			bad++
+			return
+		}
+		switch ev.Kind {
+		case RetReg:
+			if !info.WroteReg || info.Dest != ev.Dest || info.Value != ev.Value {
+				t.Errorf("retire %d pc=%#x (%s): wrote r%d=%#x, reference r%d=%#x (wrote=%v)",
+					verified, ev.PC, isa.Disassemble(info.Inst, refPC),
+					ev.Dest, ev.Value, info.Dest, info.Value, info.WroteReg)
+				bad++
+			}
+		case RetStore:
+			mask := ^uint64(0)
+			if ev.Size < 8 {
+				mask = uint64(1)<<(8*uint(ev.Size)) - 1
+			}
+			if !info.IsMem || info.MemAddr != ev.Addr || info.MemValue&mask != ev.Data&mask {
+				t.Errorf("retire %d pc=%#x: store [%#x]=%#x, reference [%#x]=%#x",
+					verified, ev.PC, ev.Addr, ev.Data, info.MemAddr, info.MemValue)
+				bad++
+			}
+		case RetPal:
+			if info.Inst.Op != isa.OpCallPal || info.Inst.PalFn != ev.PalFn {
+				t.Errorf("retire %d pc=%#x: pal %#x, reference %v", verified, ev.PC, ev.PalFn, info.Inst.Op)
+				bad++
+			}
+		}
+		verified++
+	}
+	m.OnExc = func(ev ExcEvent) {
+		t.Errorf("unexpected pipeline exception %v at pc=%#x (cycle %d)", ev.Kind, ev.PC, m.Cycle)
+	}
+	m.Run(maxCycles)
+	if bad > 0 {
+		t.Fatalf("lockstep divergence after %d verified instructions", verified)
+	}
+	return m, verified
+}
+
+func TestLockstepTiny(t *testing.T) {
+	prog, err := workload.Tiny.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, verified := lockstep(t, Config{}, prog, 200_000)
+	if !m.Halted() {
+		t.Fatalf("pipeline did not halt (verified %d, cycle %d, %s)", verified, m.Cycle, m)
+	}
+	if verified < 7000 {
+		t.Errorf("verified only %d instructions", verified)
+	}
+	t.Logf("tiny: %d instructions in %d cycles (IPC %.2f)", verified, m.Cycle, float64(verified)/float64(m.Cycle))
+}
+
+func TestLockstepTinyProtected(t *testing.T) {
+	prog, err := workload.Tiny.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := lockstep(t, Config{Protect: AllProtections()}, prog, 200_000)
+	if !m.Halted() {
+		t.Fatal("protected pipeline did not halt")
+	}
+}
+
+// TestLockstepSuite verifies every workload's full retirement stream
+// against the functional simulator.
+func TestLockstepSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long lockstep run")
+	}
+	for _, w := range workload.Suite() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			prog, err := w.Program()
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, verified := lockstep(t, Config{}, prog, 6_000_000)
+			if !m.Halted() {
+				t.Fatalf("did not halt: verified=%d cycle=%d %s", verified, m.Cycle, m)
+			}
+			t.Logf("%s: %d instructions, %d cycles, IPC %.2f",
+				w.Name, verified, m.Cycle, float64(verified)/float64(m.Cycle))
+		})
+	}
+}

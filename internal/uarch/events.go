@@ -1,0 +1,78 @@
+package uarch
+
+import "fmt"
+
+// RetireKind classifies a retirement event.
+type RetireKind uint8
+
+// Retirement event kinds.
+const (
+	RetOther  RetireKind = iota + 1 // no architectural side effect beyond PC
+	RetReg                          // wrote an architectural register
+	RetStore                        // committed a store
+	RetPal                          // CALL_PAL side effect (output/halt)
+	RetBranch                       // control transfer (taken or not)
+)
+
+// RetireEvent describes one retired instruction's architectural effects.
+// The fault-injection engine compares the injected run's stream of events
+// against the golden run's: this is the paper's every-cycle architectural
+// state verification.
+type RetireEvent struct {
+	PC    uint64
+	Kind  RetireKind
+	Dest  uint8  // architectural register written (RetReg)
+	Value uint64 // value written (RetReg) or PAL argument (RetPal)
+	Addr  uint64 // store address (RetStore)
+	Data  uint64 // store data (RetStore)
+	Size  uint8  // store size in bytes (RetStore)
+	PalFn uint32 // PAL function (RetPal)
+	Seq   uint64 // shadow sequence number (instrumentation only)
+}
+
+func (e RetireEvent) String() string {
+	switch e.Kind {
+	case RetReg:
+		return fmt.Sprintf("pc=%#x r%d=%#x", e.PC, e.Dest, e.Value)
+	case RetStore:
+		return fmt.Sprintf("pc=%#x [%#x]=%#x/%d", e.PC, e.Addr, e.Data, e.Size)
+	case RetPal:
+		return fmt.Sprintf("pc=%#x pal %#x(%#x)", e.PC, e.PalFn, e.Value)
+	default:
+		return fmt.Sprintf("pc=%#x", e.PC)
+	}
+}
+
+// ExcKind classifies exceptions raised at retirement.
+type ExcKind uint8
+
+// Exception kinds recorded in ROB entries (3-bit field).
+const (
+	ExcNone      ExcKind = 0
+	ExcIllegal   ExcKind = 1 // illegal instruction
+	ExcUnaligned ExcKind = 2 // misaligned memory address
+	ExcDTLB      ExcKind = 3 // data access outside the legal page set
+	ExcPal       ExcKind = 4 // undefined PAL function
+)
+
+func (k ExcKind) String() string {
+	switch k {
+	case ExcNone:
+		return "none"
+	case ExcIllegal:
+		return "illegal"
+	case ExcUnaligned:
+		return "unaligned"
+	case ExcDTLB:
+		return "dtlb"
+	case ExcPal:
+		return "pal"
+	}
+	return fmt.Sprintf("exc(%d)", uint8(k))
+}
+
+// ExcEvent is an exception that reached retirement.
+type ExcEvent struct {
+	Kind ExcKind
+	PC   uint64
+}

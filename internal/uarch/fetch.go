@@ -1,0 +1,316 @@
+package uarch
+
+import (
+	"pipefault/internal/isa"
+)
+
+// --- branch prediction (timing-only state) ---
+
+// predictCond returns the hybrid predictor's taken/not-taken prediction for
+// a conditional branch at the given (word) pc.
+func (m *Machine) predictCond(pc uint64) bool {
+	e := m.e
+	bi := int(pc % BimodalSize)
+	gi := int((pc ^ e.bpGHR.Get(0)) % GShareSize)
+	ci := int(pc % ChooserSize)
+	bim := e.bpBimodal.Get(bi) >= 2
+	gsh := e.bpGShare.Get(gi) >= 2
+	if e.bpChooser.Get(ci) >= 2 {
+		return gsh
+	}
+	return bim
+}
+
+// updateCond trains the hybrid predictor with a resolved conditional branch.
+func (m *Machine) updateCond(pc uint64, taken bool) {
+	e := m.e
+	bi := int(pc % BimodalSize)
+	gi := int((pc ^ e.bpGHR.Get(0)) % GShareSize)
+	ci := int(pc % ChooserSize)
+	bim := e.bpBimodal.Get(bi) >= 2
+	gsh := e.bpGShare.Get(gi) >= 2
+	// Chooser trains toward the component that was right.
+	if bim != gsh {
+		c := e.bpChooser.Get(ci)
+		if gsh == taken && c < 3 {
+			e.bpChooser.Set(ci, c+1)
+		} else if bim == taken && c > 0 {
+			e.bpChooser.Set(ci, c-1)
+		}
+	}
+	b := e.bpBimodal.Get(bi)
+	g := e.bpGShare.Get(gi)
+	if taken {
+		if b < 3 {
+			e.bpBimodal.Set(bi, b+1)
+		}
+		if g < 3 {
+			e.bpGShare.Set(gi, g+1)
+		}
+	} else {
+		if b > 0 {
+			e.bpBimodal.Set(bi, b-1)
+		}
+		if g > 0 {
+			e.bpGShare.Set(gi, g-1)
+		}
+	}
+	e.bpGHR.Set(0, e.bpGHR.Get(0)<<1|boolBit(taken))
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// btbLookup returns the predicted target (word pc) for an indirect jump.
+func (m *Machine) btbLookup(pc uint64) (uint64, bool) {
+	e := m.e
+	set := int(pc % BTBSets)
+	tag := pc >> 8 // bits above the set index
+	for w := 0; w < BTBWays; w++ {
+		i := set*BTBWays + w
+		if e.btbValid.Bool(i) && e.btbTag.Get(i) == tag&((1<<50)-1) {
+			return e.btbTarget.Get(i), true
+		}
+	}
+	return 0, false
+}
+
+// btbInsert records a taken indirect target.
+func (m *Machine) btbInsert(pc, target uint64) {
+	e := m.e
+	set := int(pc % BTBSets)
+	tag := pc >> 8 & ((1 << 50) - 1)
+	// Update an existing way if present.
+	for w := 0; w < BTBWays; w++ {
+		i := set*BTBWays + w
+		if e.btbValid.Bool(i) && e.btbTag.Get(i) == tag {
+			e.btbTarget.Set(i, target)
+			return
+		}
+	}
+	w := int(e.btbRR.Get(set))
+	e.btbRR.Set(set, uint64(w+1)%BTBWays)
+	i := set*BTBWays + w
+	e.btbValid.SetBool(i, true)
+	e.btbTag.Set(i, tag)
+	e.btbTarget.Set(i, target)
+}
+
+// rasPush pushes a return address (word pc).
+func (m *Machine) rasPush(ret uint64) {
+	e := m.e
+	p := e.rasPtr.Get(0)
+	e.rasStack.Set(int(p%RASSize), ret)
+	e.rasPtr.Set(0, (p+1)%RASSize)
+}
+
+// rasPop pops the predicted return target.
+func (m *Machine) rasPop() uint64 {
+	e := m.e
+	p := (e.rasPtr.Get(0) + RASSize - 1) % RASSize
+	e.rasPtr.Set(0, p)
+	return e.rasStack.Get(int(p))
+}
+
+// --- instruction cache (timing only; data comes from memory) ---
+
+// icProbe checks the I-cache for the line holding byte address addr, and
+// fills on miss probes are handled by the caller via feMiss.
+func (m *Machine) icProbe(addr uint64) bool {
+	e := m.e
+	line := addr >> LineShift
+	set := int(line % ICacheSets)
+	tag := line >> 7 & ((1 << 57) - 1)
+	for w := 0; w < ICacheWays; w++ {
+		i := set*ICacheWays + w
+		if e.icValid.Bool(i) && e.icTag.Get(i) == tag {
+			e.icLRU.Set(set, uint64(w))
+			return true
+		}
+	}
+	return false
+}
+
+// icFill installs the line holding addr.
+func (m *Machine) icFill(addr uint64) {
+	e := m.e
+	line := addr >> LineShift
+	set := int(line % ICacheSets)
+	tag := line >> 7 & ((1 << 57) - 1)
+	w := int(e.icLRU.Get(set)) ^ 1 // evict the non-MRU way
+	i := set*ICacheWays + w
+	e.icValid.SetBool(i, true)
+	e.icTag.Set(i, tag)
+	e.icLRU.Set(set, uint64(w))
+}
+
+// --- fetch stages ---
+
+// fetch runs F2 (bundle delivery into the fetch queue) then F1 (predict and
+// probe for the next bundle).
+func (m *Machine) fetch() {
+	if m.Halted() {
+		return
+	}
+	m.fetchF2()
+	m.fetchF1()
+}
+
+// fetchF2 pushes the staged bundle into the fetch queue.
+func (m *Machine) fetchF2() {
+	e := m.e
+	if !e.f2Valid.Bool(0) {
+		return
+	}
+	count := int(e.f2Count.Get(0))
+	pc := e.f2PC.Get(0)
+	taken := e.f2Taken.Bool(0)
+	brSlot := int(e.f2BrSlot.Get(0))
+	target := e.f2Target.Get(0)
+	rasPtr := e.f2RASPtr.Get(0)
+
+	for i := 0; i < count; i++ {
+		if e.fqCount.Get(0) >= FetchQSize {
+			// Queue full mid-bundle: refetch the remainder.
+			if !e.f2Taken.Bool(0) || i <= brSlot {
+				e.fePC.Set(0, pc+uint64(i))
+				// A re-fetched control instruction will re-predict;
+				// roll the RAS pointer back to this bundle's checkpoint.
+				e.rasPtr.Set(0, rasPtr)
+			}
+			break
+		}
+		wpc := pc + uint64(i)
+		raw := uint32(m.Mem.Read(wpc<<2, isa.WordSize))
+		tail := int(e.fqTail.Get(0)) % FetchQSize
+		e.fqInsn.Set(tail, uint64(raw))
+		e.fqPC.Set(tail, wpc)
+		slotTaken := taken && i == brSlot
+		e.fqTaken.SetBool(tail, slotTaken)
+		if slotTaken {
+			e.fqTarget.Set(tail, target)
+		} else {
+			e.fqTarget.Set(tail, wpc+1)
+		}
+		e.fqRASPtr.Set(tail, rasPtr)
+		if m.Cfg.Protect.InsnParity {
+			e.fqParity.Set(tail, parity32(raw))
+		}
+		m.seqFQ[tail] = m.nextSeq
+		m.nextSeq++
+		e.fqTail.Set(0, uint64(tail+1)%FetchQSize)
+		e.fqCount.Set(0, e.fqCount.Get(0)+1)
+	}
+	e.f2Valid.SetBool(0, false)
+}
+
+// fetchF1 predicts and stages the next fetch bundle.
+func (m *Machine) fetchF1() {
+	e := m.e
+	if e.rcPending.Bool(0) {
+		return // draining toward a misprediction recovery
+	}
+	if e.f2Valid.Bool(0) {
+		return // F2 stalled (queue full path cleared it otherwise)
+	}
+	if miss := e.feMiss.Get(0); miss > 0 {
+		e.feMiss.Set(0, miss-1)
+		if miss-1 == 0 {
+			m.icFill(e.fePC.Get(0) << 2)
+		}
+		return
+	}
+	pc := e.fePC.Get(0)
+	addr := pc << 2
+	if !m.Legal.ContainsRange(addr, isa.WordSize) {
+		return // iTLB stall: fetch waits (harmless if later squashed)
+	}
+	if !m.icProbe(addr) {
+		e.feMiss.Set(0, ICacheMissCyc)
+		return
+	}
+
+	rasCkpt := e.rasPtr.Get(0)
+	count := 0
+	taken := false
+	brSlot := 0
+	var target uint64
+	for count < FetchWidth {
+		wpc := pc + uint64(count)
+		a := wpc << 2
+		if !m.Legal.ContainsRange(a, isa.WordSize) {
+			break
+		}
+		// Split-line fetch: crossing a line boundary requires the next
+		// line to hit too.
+		if a>>LineShift != addr>>LineShift && !m.icProbe(a) {
+			break
+		}
+		raw := uint32(m.Mem.Read(a, isa.WordSize))
+		inst := isa.Decode(raw)
+		count++
+		if !inst.Op.IsControl() || inst.Op == isa.OpCallPal {
+			continue
+		}
+		brSlot = count - 1
+		switch {
+		case inst.Op.IsUncondBranch():
+			taken = true
+			target = wpc + 1 + uint64(int64(inst.Disp))
+		case inst.Op.IsCondBranch():
+			if m.predictCond(wpc) {
+				taken = true
+				target = wpc + 1 + uint64(int64(inst.Disp))
+			}
+		case inst.Op.IsReturn():
+			taken = true
+			target = m.rasPop()
+		default: // JMP/JSR/JSR_COROUTINE
+			if t, ok := m.btbLookup(wpc); ok {
+				taken = true
+				target = t
+			}
+		}
+		if inst.Op.IsCall() && taken {
+			m.rasPush(wpc + 1)
+		}
+		if taken {
+			break
+		}
+	}
+	if count == 0 {
+		return
+	}
+	e.f2Valid.SetBool(0, true)
+	e.f2PC.Set(0, pc)
+	e.f2Count.Set(0, uint64(count))
+	e.f2Taken.SetBool(0, taken)
+	e.f2Target.Set(0, target)
+	e.f2BrSlot.Set(0, uint64(brSlot))
+	e.f2RASPtr.Set(0, rasCkpt)
+	if taken {
+		e.fePC.Set(0, target)
+	} else {
+		e.fePC.Set(0, pc+uint64(count))
+	}
+}
+
+// frontEndSquash clears all fetch/decode/rename staging state and redirects
+// fetch to newPC (a word pc).
+func (m *Machine) frontEndSquash(newPC uint64) {
+	e := m.e
+	e.fePC.Set(0, newPC)
+	e.feMiss.Set(0, 0)
+	e.f2Valid.SetBool(0, false)
+	e.fqHead.Set(0, 0)
+	e.fqTail.Set(0, 0)
+	e.fqCount.Set(0, 0)
+	for i := 0; i < DecodeWidth; i++ {
+		e.deValid.SetBool(i, false)
+		e.rnValid.SetBool(i, false)
+	}
+}

@@ -1,0 +1,140 @@
+package uarch
+
+import (
+	"testing"
+
+	"pipefault/internal/workload"
+)
+
+// physRegMultiset collects {specRAT} ∪ {live specFL window} as a multiset.
+func physRegMultiset(m *Machine) map[uint64]int {
+	e := m.e
+	set := map[uint64]int{}
+	for i := 0; i < 32; i++ {
+		set[e.specRAT.Get(i)]++
+	}
+	cnt := int(e.specFLCount.Get(0))
+	head := int(e.specFLHead.Get(0)) % FreeListSize
+	for i := 0; i < cnt && i < FreeListSize; i++ {
+		set[e.specFL.Get((head+i)%FreeListSize)]++
+	}
+	return set
+}
+
+// TestRenameConservationAtQuiescence: whenever the ROB is empty, the
+// speculative RAT plus the speculative free list must partition the 80
+// physical registers exactly (no leaks, no duplicates). This exercises
+// rename, retirement, mispredict walk-back and flush recovery together.
+func TestRenameConservationAtQuiescence(t *testing.T) {
+	prog, err := workload.Gcc.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(Config{}, prog)
+	checked := 0
+	for i := 0; i < 300_000 && !m.Halted(); i++ {
+		m.Step()
+		if m.ROBOccupancy() != 0 || i%97 != 0 {
+			continue
+		}
+		checked++
+		set := physRegMultiset(m)
+		if len(set) != NumPhysRegs {
+			t.Fatalf("cycle %d: %d distinct phys regs accounted, want %d",
+				m.Cycle, len(set), NumPhysRegs)
+		}
+		for p, n := range set {
+			if n != 1 {
+				t.Fatalf("cycle %d: phys reg %d appears %d times", m.Cycle, p, n)
+			}
+			if p >= NumPhysRegs {
+				t.Fatalf("cycle %d: out-of-range phys reg %d", m.Cycle, p)
+			}
+		}
+	}
+	if checked < 10 {
+		t.Skipf("only %d quiescent points observed", checked)
+	}
+	t.Logf("checked %d quiescent points", checked)
+}
+
+// TestRenameConservationAfterFlush: a forced full flush at an arbitrary
+// point must restore a consistent partition.
+func TestRenameConservationAfterFlush(t *testing.T) {
+	prog, err := workload.Twolf.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, warmup := range []int{137, 1201, 5003, 20011} {
+		m := New(Config{}, prog)
+		for i := 0; i < warmup; i++ {
+			m.Step()
+		}
+		m.fullFlush(m.e.fePC.Get(0), "test")
+		set := physRegMultiset(m)
+		if len(set) != NumPhysRegs {
+			t.Fatalf("after flush at %d: %d distinct phys regs, want %d",
+				warmup, len(set), NumPhysRegs)
+		}
+		// Spec state must mirror architectural state.
+		for i := 0; i < 32; i++ {
+			if m.e.specRAT.Get(i) != m.e.archRAT.Get(i) {
+				t.Fatalf("after flush: specRAT[%d] != archRAT[%d]", i, i)
+			}
+		}
+		// And the machine must still complete correctly.
+		m.Run(3_000_000)
+		if !m.Halted() {
+			t.Fatalf("machine flushed at %d never completed", warmup)
+		}
+	}
+}
+
+// TestROBCountConsistency: the ROB occupancy derived from head/tail must
+// match the count latch throughout a golden run.
+func TestROBCountConsistency(t *testing.T) {
+	m := tinyMachine(t, Config{})
+	for i := 0; i < 3000 && !m.Halted(); i++ {
+		m.Step()
+		e := m.e
+		cnt := e.robCount.Get(0)
+		head := e.robHead.Get(0)
+		tail := e.robTail.Get(0)
+		span := (tail + ROBSize - head) % ROBSize
+		if cnt != span && !(cnt == ROBSize && span == 0) {
+			t.Fatalf("cycle %d: count=%d but head/tail span=%d", m.Cycle, cnt, span)
+		}
+		valid := 0
+		for j := 0; j < ROBSize; j++ {
+			if e.robValid.Bool(j) {
+				valid++
+			}
+		}
+		if valid != int(cnt) {
+			t.Fatalf("cycle %d: %d valid entries but count=%d", m.Cycle, valid, cnt)
+		}
+	}
+}
+
+// TestLSQCountConsistency: load/store queue counts track their valid
+// windows in a memory-heavy golden run.
+func TestLSQCountConsistency(t *testing.T) {
+	prog, err := workload.Vortex.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(Config{}, prog)
+	for i := 0; i < 20_000 && !m.Halted(); i++ {
+		m.Step()
+		e := m.e
+		if c := e.lqCount.Get(0); c > LQSize {
+			t.Fatalf("cycle %d: lq count %d", m.Cycle, c)
+		}
+		if c := e.sqCount.Get(0); c > SQSize {
+			t.Fatalf("cycle %d: sq count %d", m.Cycle, c)
+		}
+		if c := e.sbCount.Get(0); c > StoreBufSize {
+			t.Fatalf("cycle %d: sb count %d", m.Cycle, c)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package uarch
+
+import (
+	"pipefault/internal/ecc"
+)
+
+// parity32 computes the instruction-word parity bit.
+func parity32(w uint32) uint64 { return ecc.Parity32(w) }
+
+// --- register file ECC (SEC-DED over the 64-bit value; Section 4.2) ---
+//
+// Check bits are generated one cycle after the data write: prfWrite queues
+// the register in a small pending latch bank, and genPendingECC (run at the
+// end of the next writeback phase) encodes it. The entry is vulnerable in
+// between, reproducing the paper's deliberate one-cycle window.
+
+// genRegECC computes and stores the check bits for a register immediately.
+func (m *Machine) genRegECC(p int) {
+	v := m.e.prfValue.Get(p)
+	m.e.prfECC.Set(p, ecc.RegCode().Encode(ecc.Word{v, 0}))
+}
+
+// pendRegECC queues ECC generation for a freshly written register.
+func (m *Machine) pendRegECC(p int) {
+	e := m.e
+	for i := 0; i < 7; i++ {
+		if !e.eccPendV.Bool(i) {
+			e.eccPendV.SetBool(i, true)
+			e.eccPendR.Set(i, uint64(p))
+			return
+		}
+	}
+	// All write ports pending (cannot happen with 7 slots for 7 ports);
+	// generate immediately as a fallback.
+	m.genRegECC(p)
+}
+
+// genPendingECC performs the delayed check-bit generation.
+func (m *Machine) genPendingECC() {
+	if !m.Cfg.Protect.RegfileECC {
+		return
+	}
+	e := m.e
+	for i := 0; i < 7; i++ {
+		if e.eccPendV.Bool(i) {
+			r := int(e.eccPendR.Get(i)) % NumPhysRegs
+			m.genRegECC(r)
+			e.eccPendV.SetBool(i, false)
+		}
+	}
+}
+
+// readRegECC reads a register through the ECC decoder, repairing single-bit
+// corruption in place. Registers with generation still pending are read
+// raw (the vulnerability window).
+func (m *Machine) readRegECC(p int) uint64 {
+	e := m.e
+	for i := 0; i < 7; i++ {
+		if e.eccPendV.Bool(i) && int(e.eccPendR.Get(i))%NumPhysRegs == p {
+			return e.prfValue.Get(p)
+		}
+	}
+	v := e.prfValue.Get(p)
+	check := e.prfECC.Get(p)
+	data, fixedCheck, res := ecc.RegCode().Decode(ecc.Word{v, 0}, check)
+	switch res {
+	case ecc.CorrectedData:
+		e.prfValue.Set(p, data[0])
+		return data[0]
+	case ecc.CorrectedCheck:
+		e.prfECC.Set(p, fixedCheck)
+	}
+	return v
+}
+
+// --- pointer ECC (4-bit SEC Hamming over each 7-bit pointer) ---
+//
+// Pointers are generated with check bits once (at pipeline initialization
+// and whenever a pointer is produced) and checked/corrected at consume
+// points, as in the paper. Scheduler and in-flight latch pointer copies are
+// deliberately left unprotected ("left unprotected for minimal cycle time
+// impact", Section 4.4).
+
+func (m *Machine) initPointerECC() {
+	for i := 0; i < 32; i++ {
+		m.genSpecRATECC(i)
+		m.genArchRATECC(i)
+	}
+	for i := 0; i < FreeListSize; i++ {
+		m.genSpecFLECC(i)
+		m.genArchFLECC(i)
+	}
+	for t := 0; t < ROBSize; t++ {
+		m.genRobPtrECC(t)
+	}
+}
+
+// ptrDecode corrects a (pointer, check) pair, writing repairs back through
+// the supplied setters.
+func ptrDecode(v, check uint64, setV, setC func(uint64)) uint64 {
+	data, fixedCheck, res := ecc.PtrCode().Decode(ecc.Word{v, 0}, check)
+	switch res {
+	case ecc.CorrectedData:
+		setV(data[0])
+		return data[0]
+	case ecc.CorrectedCheck:
+		setC(fixedCheck)
+	}
+	return v
+}
+
+func ptrEncode(v uint64) uint64 { return ecc.PtrCode().Encode(ecc.Word{v, 0}) }
+
+func (m *Machine) genSpecRATECC(i int) {
+	m.e.specRATEcc.Set(i, ptrEncode(m.e.specRAT.Get(i)))
+}
+
+func (m *Machine) readSpecRATECC(i int) uint64 {
+	e := m.e
+	return ptrDecode(e.specRAT.Get(i), e.specRATEcc.Get(i),
+		func(v uint64) { e.specRAT.Set(i, v) },
+		func(c uint64) { e.specRATEcc.Set(i, c) })
+}
+
+func (m *Machine) genArchRATECC(i int) {
+	m.e.archRATEcc.Set(i, ptrEncode(m.e.archRAT.Get(i)))
+}
+
+func (m *Machine) readArchRATECC(i int) uint64 {
+	e := m.e
+	return ptrDecode(e.archRAT.Get(i), e.archRATEcc.Get(i),
+		func(v uint64) { e.archRAT.Set(i, v) },
+		func(c uint64) { e.archRATEcc.Set(i, c) })
+}
+
+func (m *Machine) genSpecFLECC(i int) {
+	m.e.specFLEcc.Set(i, ptrEncode(m.e.specFL.Get(i)))
+}
+
+func (m *Machine) readSpecFLECC(i int) uint64 {
+	e := m.e
+	return ptrDecode(e.specFL.Get(i), e.specFLEcc.Get(i),
+		func(v uint64) { e.specFL.Set(i, v) },
+		func(c uint64) { e.specFLEcc.Set(i, c) })
+}
+
+func (m *Machine) genArchFLECC(i int) {
+	m.e.archFLEcc.Set(i, ptrEncode(m.e.archFL.Get(i)))
+}
+
+func (m *Machine) readArchFLECC(i int) uint64 {
+	e := m.e
+	return ptrDecode(e.archFL.Get(i), e.archFLEcc.Get(i),
+		func(v uint64) { e.archFL.Set(i, v) },
+		func(c uint64) { e.archFLEcc.Set(i, c) })
+}
+
+// genRobPtrECC encodes both pointer fields of a ROB entry.
+func (m *Machine) genRobPtrECC(t int) {
+	m.e.robDestEcc.Set(t, ptrEncode(m.e.robPhysDest.Get(t)))
+	m.e.robOldEcc.Set(t, ptrEncode(m.e.robOldPhys.Get(t)))
+}
+
+func (m *Machine) readRobDestECC(t int) uint64 {
+	e := m.e
+	return ptrDecode(e.robPhysDest.Get(t), e.robDestEcc.Get(t),
+		func(v uint64) { e.robPhysDest.Set(t, v) },
+		func(c uint64) { e.robDestEcc.Set(t, c) })
+}
+
+func (m *Machine) readRobOldECC(t int) uint64 {
+	e := m.e
+	return ptrDecode(e.robOldPhys.Get(t), e.robOldEcc.Get(t),
+		func(v uint64) { e.robOldPhys.Set(t, v) },
+		func(c uint64) { e.robOldEcc.Set(t, c) })
+}

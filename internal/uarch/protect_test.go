@@ -1,0 +1,219 @@
+package uarch
+
+import (
+	"testing"
+
+	"pipefault/internal/workload"
+)
+
+// protMachine builds a tiny-workload machine with the given protections and
+// warms it up.
+func protMachine(t *testing.T, p ProtectConfig, warmup int) *Machine {
+	t.Helper()
+	m := tinyMachine(t, Config{Protect: p})
+	for i := 0; i < warmup; i++ {
+		m.Step()
+	}
+	return m
+}
+
+// TestRegfileECCCorrectsFlip: with RF ECC, a single-bit flip in a register
+// value must be repaired at the next read and the program must finish with
+// the correct output.
+func TestRegfileECCCorrectsFlip(t *testing.T) {
+	m := protMachine(t, ProtectConfig{RegfileECC: true}, 500)
+	// Flip the long-lived buffer pointer (r11); ECC must repair it.
+	phys := m.e.specRAT.Get(11)
+	want := m.e.prfValue.Get(int(phys))
+	m.e.prfValue.Flip(int(phys), 7)
+	got := m.prfRead(phys)
+	if got != want {
+		t.Fatalf("ECC read = %#x, want repaired %#x", got, want)
+	}
+	if m.e.prfValue.Get(int(phys)) != want {
+		t.Error("corrected value not written back")
+	}
+}
+
+// TestRegfileECCCheckBitFlip: a flip in the check bits themselves must be
+// harmless (the paper notes protection state is naturally redundant).
+func TestRegfileECCCheckBitFlip(t *testing.T) {
+	m := protMachine(t, ProtectConfig{RegfileECC: true}, 500)
+	phys := m.e.specRAT.Get(11)
+	want := m.e.prfValue.Get(int(phys))
+	m.e.prfECC.Flip(int(phys), 2)
+	if got := m.prfRead(phys); got != want {
+		t.Fatalf("check-bit flip corrupted read: %#x != %#x", got, want)
+	}
+}
+
+// TestPointerECCCorrectsRAT: a flipped speculative RAT pointer must be
+// repaired at the next rename read.
+func TestPointerECCCorrectsRAT(t *testing.T) {
+	m := protMachine(t, ProtectConfig{PointerECC: true}, 500)
+	want := m.e.specRAT.Get(11)
+	m.e.specRAT.Flip(11, 2)
+	if got := m.ratRead(11); got != want {
+		t.Fatalf("RAT read = %d, want repaired %d", got, want)
+	}
+}
+
+// TestPointerECCCorrectsFreeList: same for the free lists.
+func TestPointerECCCorrectsFreeList(t *testing.T) {
+	m := protMachine(t, ProtectConfig{PointerECC: true}, 0)
+	h := int(m.e.archFLHead.Get(0)) % FreeListSize
+	want := m.e.archFL.Get(h)
+	m.e.archFL.Flip(h, 1)
+	if got := m.readArchFLECC(h); got != want {
+		t.Fatalf("free-list read = %d, want repaired %d", got, want)
+	}
+}
+
+// TestInsnParityFlushesOnCorruption: flipping a fetch-queue instruction bit
+// with parity enabled must trigger a recovery flush, and the program must
+// still produce the correct result.
+func TestInsnParityFlushesOnCorruption(t *testing.T) {
+	m := protMachine(t, ProtectConfig{InsnParity: true}, 500)
+	// Corrupt every occupied fetch queue slot to guarantee a hit.
+	cnt := int(m.e.fqCount.Get(0))
+	if cnt == 0 {
+		t.Skip("fetch queue empty at warmup point")
+	}
+	head := int(m.e.fqHead.Get(0)) % FetchQSize
+	for i := 0; i < cnt; i++ {
+		m.e.fqInsn.Flip((head+i)%FetchQSize, 5)
+	}
+	flushed := 0
+	m.OnFlush = func(cause string) {
+		if cause == "parity" {
+			flushed++
+		}
+	}
+	var out []uint64
+	m.OnRetire = func(ev RetireEvent) {
+		if ev.Kind == RetPal && ev.PalFn == 0x3 {
+			out = append(out, ev.Value)
+		}
+	}
+	m.Run(200_000)
+	if flushed == 0 {
+		t.Error("no parity flush occurred")
+	}
+	if !m.Halted() || len(out) != 1 || out[0] != 500500 {
+		t.Errorf("parity recovery failed: halted=%v out=%v", m.Halted(), out)
+	}
+}
+
+// TestParityBitFlipIsBenign: flipping the parity BIT (not the insn) forces
+// a spurious flush but never wrong results.
+func TestParityBitFlipIsBenign(t *testing.T) {
+	m := protMachine(t, ProtectConfig{InsnParity: true}, 500)
+	cnt := int(m.e.fqCount.Get(0))
+	if cnt == 0 {
+		t.Skip("fetch queue empty")
+	}
+	head := int(m.e.fqHead.Get(0)) % FetchQSize
+	m.e.fqParity.Flip(head, 0)
+	var out []uint64
+	m.OnRetire = func(ev RetireEvent) {
+		if ev.Kind == RetPal && ev.PalFn == 0x3 {
+			out = append(out, ev.Value)
+		}
+	}
+	m.Run(200_000)
+	if !m.Halted() || len(out) != 1 || out[0] != 500500 {
+		t.Errorf("parity-bit flip affected the program: halted=%v out=%v", m.Halted(), out)
+	}
+}
+
+// TestUnprotectedInsnFlipCorrupts is the control for the parity test: the
+// same corruption without parity must change behaviour for an opcode bit
+// flip of a live instruction.
+func TestUnprotectedInsnFlipCorrupts(t *testing.T) {
+	diverges := func(p ProtectConfig) bool {
+		golden := tinyMachine(t, Config{})
+		m := protMachine(t, p, 500)
+		for i := 0; i < 500; i++ {
+			golden.Step()
+		}
+		cnt := int(m.e.fqCount.Get(0))
+		if cnt == 0 {
+			t.Skip("fetch queue empty")
+		}
+		head := int(m.e.fqHead.Get(0)) % FetchQSize
+		for i := 0; i < cnt; i++ {
+			m.e.fqInsn.Flip((head+i)%FetchQSize, 27) // opcode bits
+		}
+		var gOut, iOut []uint64
+		golden.OnRetire = func(ev RetireEvent) {
+			if ev.Kind == RetPal {
+				gOut = append(gOut, ev.Value)
+			}
+		}
+		m.OnRetire = func(ev RetireEvent) {
+			if ev.Kind == RetPal {
+				iOut = append(iOut, ev.Value)
+			}
+		}
+		golden.Run(300_000)
+		m.Run(300_000)
+		if len(gOut) != len(iOut) {
+			return true
+		}
+		for i := range gOut {
+			if gOut[i] != iOut[i] {
+				return true
+			}
+		}
+		return false
+	}
+	if !diverges(ProtectConfig{}) {
+		t.Skip("this particular flip was masked even unprotected")
+	}
+	if diverges(ProtectConfig{InsnParity: true}) {
+		t.Error("parity failed to contain an opcode corruption that corrupts unprotected")
+	}
+}
+
+// TestProtectedLockstepSuiteSubset: the fully protected machine must be
+// functionally transparent on real workloads.
+func TestProtectedLockstepSubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	for _, w := range []*workload.Workload{workload.Gcc, workload.Vortex} {
+		prog, err := w.Program()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, verified := lockstep(t, Config{Protect: AllProtections()}, prog, 6_000_000)
+		if !m.Halted() {
+			t.Fatalf("%s protected did not halt (verified %d)", w.Name, verified)
+		}
+	}
+}
+
+// TestProtectionOverheadBits: the protection state overhead should be in
+// the same regime as the paper's 3,061 bits (ours is smaller because fewer
+// pointer copies are covered).
+func TestProtectionOverheadBits(t *testing.T) {
+	count := func(p ProtectConfig) int {
+		prog, err := workload.Tiny.Program()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := New(Config{Protect: p}, prog)
+		return int(m.F.InjectableBits(false))
+	}
+	base := count(ProtectConfig{})
+	prot := count(AllProtections())
+	overhead := prot - base
+	if overhead < 1000 || overhead > 4000 {
+		t.Errorf("protection overhead = %d bits, expected O(paper's 3061)", overhead)
+	}
+	frac := float64(overhead) / float64(base)
+	if frac < 0.02 || frac > 0.12 {
+		t.Errorf("overhead fraction = %.3f, paper says 6-7%%", frac)
+	}
+	t.Logf("overhead: %d bits (%.1f%%)", overhead, 100*frac)
+}

@@ -1,0 +1,450 @@
+package workload
+
+// Buffer-scan kernels: gzip (LZ77 match finding), bzip2 (move-to-front +
+// run-length modeling), crafty (bitboard population counts), parser
+// (tokenizer). All use the same xorshift64 generator inlined:
+//
+//	x ^= x<<13; x ^= x>>7; x ^= x<<17
+
+// Gzip imitates 164.gzip: LZ77-style hash-chain match finding over a
+// compressible pseudo-random buffer. High IPC, cache friendly.
+var Gzip = &Workload{
+	Name: "gzip",
+	Desc: "LZ77 hash-chain match finder",
+	Source: `
+N = 4096
+_start:
+	ldiq $s0, buf
+	ldiq $s4, htab
+	ldiq $s2, 0x123456789     # rng state
+	ldiq $gp, 1023            # hash mask
+	clr  $s3                  # i
+	ldiq $s1, N
+fill:
+	sll  $s2, 13, $t0
+	xor  $s2, $t0, $s2
+	srl  $s2, 7, $t0
+	xor  $s2, $t0, $s2
+	sll  $s2, 17, $t0
+	xor  $s2, $t0, $s2
+	srl  $s2, 33, $t1
+	zapnot $t1, 1, $t1        # b = (x>>33) & 0xFF
+	cmplt $s3, 16, $t2
+	bne  $t2, fstore
+	and  $s2, 3, $t3
+	beq  $t3, fstore
+	subq $s3, 16, $t4         # compressible: copy from 16 back
+	addq $t4, $s0, $t4
+	ldbu $t1, 0($t4)
+fstore:
+	addq $s3, $s0, $t5
+	stb  $t1, 0($t5)
+	addq $s3, 1, $s3
+	cmplt $s3, $s1, $t6
+	bne  $t6, fill
+
+	# LZ scan
+	clr  $s3                  # i
+	clr  $v0                  # matches
+	clr  $a1                  # total match length
+	clr  $s5                  # checksum
+	subq $s1, 2, $a2          # limit: i < N-2
+scan:
+	addq $s3, $s0, $t0
+	ldbu $t1, 0($t0)          # buf[i]
+	ldbu $t2, 1($t0)          # buf[i+1]
+	mulq $s5, 31, $s5
+	addq $s5, $t1, $s5
+	mulq $t1, 33, $t3
+	addq $t3, $t2, $t3
+	and  $t3, $gp, $t3        # h
+	s8addq $t3, $s4, $t4
+	ldq  $t5, 0($t4)          # cand+1 (0 = empty)
+	addq $s3, 1, $t6
+	stq  $t6, 0($t4)          # htab[h] = i+1
+	beq  $t5, next
+	subq $t5, 1, $t5          # c
+	addq $t5, $s0, $t7
+	ldbu $t8, 0($t7)
+	cmpeq $t8, $t1, $t9
+	beq  $t9, next
+	ldbu $t8, 1($t7)
+	cmpeq $t8, $t2, $t9
+	beq  $t9, next
+	addq $v0, 1, $v0
+	clr  $t10                 # l
+ext:
+	addq $s3, $t10, $t11      # i+l
+	cmplt $t11, $s1, $t9
+	beq  $t9, extdone
+	cmplt $t10, 255, $t9
+	beq  $t9, extdone
+	addq $t11, $s0, $t9
+	ldbu $a3, 0($t9)          # buf[i+l]
+	addq $t5, $t10, $a0
+	addq $a0, $s0, $a0
+	ldbu $a4, 0($a0)          # buf[c+l]
+	cmpeq $a3, $a4, $a5
+	beq  $a5, extdone
+	addq $t10, 1, $t10
+	br   ext
+extdone:
+	addq $a1, $t10, $a1
+next:
+	addq $s3, 1, $s3
+	cmplt $s3, $a2, $t0
+	bne  $t0, scan
+
+	mov  $v0, $a0
+	call_pal 0x3
+	mov  $a1, $a0
+	call_pal 0x3
+	ldiq $t0, 0x7FFFFFFF
+	and  $s5, $t0, $a0
+	call_pal 0x3
+	halt
+
+	.data
+buf:
+	.space N
+	.align 3
+htab:
+	.space 8192
+	# Scratch heap: enlarges the legal page footprint toward
+	# SPEC-like sizes (address-bit flips land in mapped memory
+	# more often, as on the paper's workloads).
+heap.gzip:
+	.space 65536
+`,
+}
+
+// Bzip2 imitates 256.bzip2: a move-to-front transform with run-length
+// modeling over a compressible buffer. Byte-access heavy with a
+// data-dependent inner scan.
+var Bzip2 = &Workload{
+	Name: "bzip2",
+	Desc: "move-to-front transform + run-length model",
+	Source: `
+N = 2048
+_start:
+	ldiq $s0, buf
+	ldiq $s2, 0xDEADBEEF97
+	clr  $s3
+	ldiq $s1, N
+fill:
+	sll  $s2, 13, $t0
+	xor  $s2, $t0, $s2
+	srl  $s2, 7, $t0
+	xor  $s2, $t0, $s2
+	sll  $s2, 17, $t0
+	xor  $s2, $t0, $s2
+	srl  $s2, 29, $t1
+	zapnot $t1, 1, $t1
+	cmplt $s3, 8, $t2
+	bne  $t2, fstore
+	and  $s2, 1, $t3
+	beq  $t3, fstore
+	subq $s3, 8, $t4
+	addq $t4, $s0, $t4
+	ldbu $t1, 0($t4)
+fstore:
+	addq $s3, $s0, $t5
+	stb  $t1, 0($t5)
+	addq $s3, 1, $s3
+	cmplt $s3, $s1, $t6
+	bne  $t6, fill
+
+	# init MTF table T[i] = i
+	ldiq $s4, mtf
+	ldiq $at, 256
+	clr  $t0
+initmtf:
+	addq $t0, $s4, $t1
+	stb  $t0, 0($t1)
+	addq $t0, 1, $t0
+	cmplt $t0, $at, $t2
+	bne  $t2, initmtf
+
+	clr  $s3                  # i
+	clr  $v0                  # runcount
+	clr  $a1                  # nonzero count
+	clr  $s5                  # checksum
+	clr  $a2                  # current run length
+mtfloop:
+	addq $s3, $s0, $t0
+	ldbu $t1, 0($t0)          # b
+	clr  $t2                  # j
+find:
+	addq $t2, $s4, $t3
+	ldbu $t4, 0($t3)
+	cmpeq $t4, $t1, $t5
+	bne  $t5, found
+	addq $t2, 1, $t2
+	br   find
+found:
+	# shift T[0..j-1] up one, T[0] = b
+	mov  $t2, $t6             # k = j
+shift:
+	beq  $t6, shiftdone
+	subq $t6, 1, $t7
+	addq $t7, $s4, $t8
+	ldbu $t9, 0($t8)
+	addq $t6, $s4, $t10
+	stb  $t9, 0($t10)
+	mov  $t7, $t6
+	br   shift
+shiftdone:
+	stb  $t1, 0($s4)
+	# run-length model on j
+	bne  $t2, notzero
+	addq $a2, 1, $a2
+	br   csum
+notzero:
+	beq  $a2, noflush
+	addq $v0, 1, $v0
+	clr  $a2
+noflush:
+	addq $a1, 1, $a1
+csum:
+	mulq $s5, 17, $s5
+	addq $s5, $t2, $s5
+	addq $s3, 1, $s3
+	cmplt $s3, $s1, $t0
+	bne  $t0, mtfloop
+
+	beq  $a2, flushed
+	addq $v0, 1, $v0
+flushed:
+	mov  $v0, $a0
+	call_pal 0x3
+	mov  $a1, $a0
+	call_pal 0x3
+	ldiq $t0, 0x7FFFFFFF
+	and  $s5, $t0, $a0
+	call_pal 0x3
+	halt
+
+	.data
+buf:
+	.space N
+mtf:
+	.space 256
+	# Scratch heap: enlarges the legal page footprint toward
+	# SPEC-like sizes (address-bit flips land in mapped memory
+	# more often, as on the paper's workloads).
+heap.bzip2:
+	.space 65536
+`,
+}
+
+// Crafty imitates 186.crafty: bitboard manipulation with population counts.
+// Very high IPC, almost no memory traffic, light branching.
+var Crafty = &Workload{
+	Name: "crafty",
+	Desc: "bitboard attack spreading + popcount + history table",
+	Source: `
+R = 3000
+_start:
+	ldiq $s2, 0xC0FFEE1234
+	ldiq $s1, R
+	ldiq $s4, htab            # history table (128 counters)
+	clr  $s3                  # iter
+	clr  $s0                  # total popcount
+	clr  $v0                  # hits
+iter:
+	sll  $s2, 13, $t0
+	xor  $s2, $t0, $s2
+	srl  $s2, 7, $t0
+	xor  $s2, $t0, $s2
+	sll  $s2, 17, $t0
+	xor  $s2, $t0, $s2
+	# attack spread
+	sll  $s2, 8, $t1
+	srl  $s2, 8, $t2
+	xor  $t1, $t2, $t3
+	sll  $s2, 1, $t1
+	xor  $t3, $t1, $t3
+	srl  $s2, 1, $t1
+	xor  $t3, $t1, $t3        # a
+	bic  $t3, $s2, $t4        # b = a & ~occ
+	# popcount b
+	clr  $t5
+	mov  $t4, $t6
+pop:
+	beq  $t6, popdone
+	subq $t6, 1, $t7
+	and  $t6, $t7, $t6
+	addq $t5, 1, $t5
+	br   pop
+popdone:
+	addq $s0, $t5, $s0
+	# king-zone test
+	srl  $s2, 58, $t8         # square
+	ldiq $t9, 1
+	sll  $t9, $t8, $t9        # m  (shift uses low 6 bits)
+	sll  $t9, 1, $t10
+	srl  $t9, 1, $t11
+	bis  $t9, $t10, $t9
+	bis  $t9, $t11, $t9       # zone mask
+	and  $t4, $t9, $t10
+	beq  $t10, nohit
+	addq $v0, 1, $v0
+nohit:
+	# history-table update (keeps the memory pipeline busy, as in the
+	# real crafty's hash/history tables)
+	srl  $s2, 52, $t0
+	and  $t0, 127, $t0
+	s8addq $t0, $s4, $t1
+	ldq  $t2, 0($t1)
+	addq $t2, $t5, $t2
+	stq  $t2, 0($t1)
+	addq $s3, 1, $s3
+	cmplt $s3, $s1, $t0
+	bne  $t0, iter
+
+	# fold the history table into the output
+	clr  $t3
+	clr  $t4
+hsum:
+	s8addq $t3, $s4, $t1
+	ldq  $t2, 0($t1)
+	addq $t4, $t2, $t4
+	addq $t3, 1, $t3
+	cmplt $t3, 128, $t0
+	bne  $t0, hsum
+
+	mov  $s0, $a0
+	call_pal 0x3
+	mov  $v0, $a0
+	call_pal 0x3
+	ldiq $t0, 0x7FFFFFFF
+	and  $t4, $t0, $a0
+	call_pal 0x3
+	halt
+
+	.data
+	.align 3
+htab:
+	.space 1024
+`,
+}
+
+// Parser imitates 197.parser: character classification and bracket/sentence
+// accounting over a synthetic text. Branch heavy with byte loads.
+var Parser = &Workload{
+	Name: "parser",
+	Desc: "tokenizer with bracket matching",
+	Source: `
+N = 8192
+_start:
+	ldiq $s0, text
+	ldiq $s4, ctab
+	ldiq $s2, 0xFACE51
+	clr  $s3
+	ldiq $s1, N
+fill:
+	sll  $s2, 13, $t0
+	xor  $s2, $t0, $s2
+	srl  $s2, 7, $t0
+	xor  $s2, $t0, $s2
+	sll  $s2, 17, $t0
+	xor  $s2, $t0, $s2
+	srl  $s2, 35, $t1
+	and  $t1, 15, $t1
+	addq $t1, $s4, $t2
+	ldbu $t3, 0($t2)          # character from class table
+	addq $s3, $s0, $t4
+	stb  $t3, 0($t4)
+	addq $s3, 1, $s3
+	cmplt $s3, $s1, $t5
+	bne  $t5, fill
+
+	ldiq $s5, tokpos          # token-position ring
+	clr  $s3                  # i
+	clr  $v0                  # words
+	clr  $a1                  # depth
+	clr  $a2                  # maxdepth
+	clr  $a3                  # mismatches
+	clr  $a4                  # sentences
+	ldiq $a5, 1               # prev_space
+scan:
+	addq $s3, $s0, $t0
+	ldbu $t1, 0($t0)          # c
+	cmpeq $t1, 32, $t2        # space?
+	bne  $t2, isspace
+	beq  $a5, notword
+	addq $v0, 1, $v0          # word start
+	and  $v0, 255, $t3        # record token position
+	s8addq $t3, $s5, $t3
+	stq  $s3, 0($t3)
+notword:
+	clr  $a5
+	br   brackets
+isspace:
+	ldiq $a5, 1
+	br   next
+brackets:
+	cmpeq $t1, 40, $t2        # '('
+	beq  $t2, closep
+	addq $a1, 1, $a1
+	cmplt $a2, $a1, $t3
+	beq  $t3, next
+	mov  $a1, $a2
+	br   next
+closep:
+	cmpeq $t1, 41, $t2        # ')'
+	beq  $t2, period
+	subq $a1, 1, $a1
+	bge  $a1, next
+	addq $a3, 1, $a3
+	clr  $a1
+	br   next
+period:
+	cmpeq $t1, 46, $t2        # '.'
+	beq  $t2, next
+	addq $a4, 1, $a4
+next:
+	addq $s3, 1, $s3
+	cmplt $s3, $s1, $t0
+	bne  $t0, scan
+
+	mov  $v0, $a0
+	call_pal 0x3
+	mov  $a2, $a0
+	call_pal 0x3
+	mov  $a3, $a0
+	call_pal 0x3
+	mov  $a4, $a0
+	call_pal 0x3
+	# token-position checksum
+	clr  $t3
+	clr  $t4
+tsum:
+	s8addq $t3, $s5, $t1
+	ldq  $t2, 0($t1)
+	addq $t4, $t2, $t4
+	addq $t3, 1, $t3
+	ldiq $t0, 256
+	cmplt $t3, $t0, $t0
+	bne  $t0, tsum
+	ldiq $t0, 0x7FFFFFFF
+	and  $t4, $t0, $a0
+	call_pal 0x3
+	halt
+
+	.data
+	.align 3
+tokpos:
+	.space 2048
+ctab:
+	.byte 'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j'
+	.byte ' ', '(', ')', '.', 'e', ' '
+text:
+	.space N
+	# Scratch heap: enlarges the legal page footprint toward
+	# SPEC-like sizes (address-bit flips land in mapped memory
+	# more often, as on the paper's workloads).
+heap.parser:
+	.space 65536
+`,
+}

@@ -1,0 +1,421 @@
+package workload
+
+// Memory-system-stressing kernels: mcf (graph relaxation), vortex (hash
+// table database), gap (multiword arithmetic), perlbmk (string hashing with
+// indirect dispatch).
+
+// Mcf imitates 181.mcf: rounds of Bellman-Ford edge relaxation over a
+// pseudo-random graph. Memory-latency bound with irregular access.
+var Mcf = &Workload{
+	Name: "mcf",
+	Desc: "Bellman-Ford relaxation over a random graph",
+	Source: `
+R = 20
+_start:
+	ldiq $s0, eto
+	ldiq $s1, ew
+	ldiq $s3, dist
+	ldiq $s2, 0xB16B00B5
+	ldiq $gp, 1023
+	ldiq $a5, 1024
+	ldiq $at, 256
+	ldiq $a4, 0x10000000000   # BIG
+	# init edges
+	clr  $t0
+einit:
+	sll  $s2, 13, $t1
+	xor  $s2, $t1, $s2
+	srl  $s2, 7, $t1
+	xor  $s2, $t1, $s2
+	sll  $s2, 17, $t1
+	xor  $s2, $t1, $s2
+	and  $s2, 255, $t2        # to-node
+	s8addq $t0, $s0, $t3
+	stq  $t2, 0($t3)
+	srl  $s2, 40, $t4
+	and  $t4, $gp, $t4
+	addq $t4, 1, $t4          # weight 1..1024
+	s8addq $t0, $s1, $t5
+	stq  $t4, 0($t5)
+	addq $t0, 1, $t0
+	cmplt $t0, $a5, $t6
+	bne  $t6, einit
+	# init dist
+	clr  $t0
+dinit:
+	s8addq $t0, $s3, $t1
+	stq  $a4, 0($t1)
+	addq $t0, 1, $t0
+	cmplt $t0, $at, $t2
+	bne  $t2, dinit
+	stq  $31, 0($s3)          # dist[source] = 0
+	# relaxation rounds
+	clr  $s4
+round:
+	clr  $s5
+node:
+	s8addq $s5, $s3, $t0
+	ldq  $t1, 0($t0)          # du
+	cmplt $t1, $a4, $t2
+	beq  $t2, skipu
+	sll  $s5, 2, $t3          # first edge index
+	clr  $t4
+edge:
+	addq $t3, $t4, $t5
+	s8addq $t5, $s0, $t6
+	ldq  $t7, 0($t6)          # v
+	s8addq $t5, $s1, $t6
+	ldq  $t8, 0($t6)          # w
+	addq $t1, $t8, $t8        # nd
+	s8addq $t7, $s3, $t9
+	ldq  $t10, 0($t9)
+	cmplt $t8, $t10, $t11
+	beq  $t11, noup
+	stq  $t8, 0($t9)
+noup:
+	addq $t4, 1, $t4
+	cmplt $t4, 4, $t5
+	bne  $t5, edge
+skipu:
+	addq $s5, 1, $s5
+	cmplt $s5, $at, $t0
+	bne  $t0, node
+	addq $s4, 1, $s4
+	cmplt $s4, R, $t0
+	bne  $t0, round
+	# reachable count and distance sum
+	clr  $v0
+	clr  $a1
+	clr  $t0
+sum:
+	s8addq $t0, $s3, $t1
+	ldq  $t2, 0($t1)
+	cmplt $t2, $a4, $t3
+	beq  $t3, notreach
+	addq $v0, 1, $v0
+	addq $a1, $t2, $a1
+notreach:
+	addq $t0, 1, $t0
+	cmplt $t0, $at, $t1
+	bne  $t1, sum
+
+	mov  $v0, $a0
+	call_pal 0x3
+	ldiq $t0, 0x7FFFFFFF
+	and  $a1, $t0, $a0
+	call_pal 0x3
+	halt
+
+	.data
+	.align 3
+dist:
+	.space 2048
+eto:
+	.space 8192
+ew:
+	.space 8192
+`,
+}
+
+// Vortex imitates 255.vortex: an open-addressing in-memory key/value store
+// exercised by a mixed insert/update/lookup stream.
+var Vortex = &Workload{
+	Name: "vortex",
+	Desc: "open-addressing hash database",
+	Source: `
+R = 6000
+_start:
+	ldiq $s0, tbl
+	ldiq $s2, 0x5EED5EED5
+	ldiq $gp, 8191            # slot mask
+	ldiq $at, 0x9E3779B1      # hash multiplier
+	ldiq $fp, 0xFFFF
+	ldiq $a5, R
+	clr  $s3                  # iter
+	clr  $v0                  # lookup accumulator
+	clr  $a1                  # misses
+	clr  $a2                  # inserted
+oploop:
+	sll  $s2, 13, $t0
+	xor  $s2, $t0, $s2
+	srl  $s2, 7, $t0
+	xor  $s2, $t0, $s2
+	sll  $s2, 17, $t0
+	xor  $s2, $t0, $s2
+	srl  $s2, 16, $t0
+	and  $t0, $fp, $t0
+	bis  $t0, 1, $t0          # key (nonzero)
+	mulq $t0, $at, $t1
+	and  $t1, $gp, $t1        # h
+	and  $s2, 3, $t2
+	cmplt $t2, 2, $t3
+	beq  $t3, lookup
+	clr  $a4                  # probe count
+iprobe:
+	sll  $t1, 4, $t4
+	addq $t4, $s0, $t4
+	ldq  $t5, 0($t4)
+	beq  $t5, ifree
+	cmpeq $t5, $t0, $t6
+	bne  $t6, ihit
+	addq $t1, 1, $t1
+	and  $t1, $gp, $t1
+	addq $a4, 1, $a4
+	cmplt $a4, 64, $t6
+	bne  $t6, iprobe
+	br   opdone               # probe limit: drop the op
+ifree:
+	stq  $t0, 0($t4)
+	srl  $s2, 7, $t6
+	stq  $t6, 8($t4)
+	addq $a2, 1, $a2
+	br   opdone
+ihit:
+	ldq  $t6, 8($t4)
+	addq $t6, 1, $t6
+	stq  $t6, 8($t4)
+	br   opdone
+lookup:
+	clr  $a4
+lprobe:
+	sll  $t1, 4, $t4
+	addq $t4, $s0, $t4
+	ldq  $t5, 0($t4)
+	beq  $t5, lmiss
+	cmpeq $t5, $t0, $t6
+	bne  $t6, lhit
+	addq $t1, 1, $t1
+	and  $t1, $gp, $t1
+	addq $a4, 1, $a4
+	cmplt $a4, 64, $t6
+	bne  $t6, lprobe
+lmiss:
+	addq $a1, 1, $a1
+	br   opdone
+lhit:
+	ldq  $t6, 8($t4)
+	addq $v0, $t6, $v0
+opdone:
+	addq $s3, 1, $s3
+	cmplt $s3, $a5, $t0
+	bne  $t0, oploop
+
+	ldiq $t0, 0x7FFFFFFF
+	and  $v0, $t0, $a0
+	call_pal 0x3
+	mov  $a1, $a0
+	call_pal 0x3
+	mov  $a2, $a0
+	call_pal 0x3
+	halt
+
+	.data
+	.align 3
+tbl:
+	.space 131072
+	# Scratch heap: enlarges the legal page footprint toward
+	# SPEC-like sizes (address-bit flips land in mapped memory
+	# more often, as on the paper's workloads).
+heap.vortex:
+	.space 65536
+`,
+}
+
+// Gap imitates 254.gap: 256-bit integer arithmetic with explicit carry
+// chains, plus a rotating store buffer for memory traffic.
+var Gap = &Workload{
+	Name: "gap",
+	Desc: "256-bit add/shift/xor bignum loop",
+	Source: `
+R = 3000
+_start:
+	ldiq $s0, 0x0123456789ABCDEF  # A word 0
+	ldiq $s1, 0xFEDCBA9876543210  # A word 1
+	ldiq $s2, 0xA5A5A5A55A5A5A5A  # A word 2
+	ldiq $s3, 0x0F0F0F0FF0F0F0F0  # A word 3
+	ldiq $a1, 0x1111111123456789  # B word 0
+	ldiq $a2, 0x2222222298765432  # B word 1
+	ldiq $a3, 0x3333333345678912  # B word 2
+	ldiq $a4, 0x4444444487654321  # B word 3
+	ldiq $fp, cbuf
+	ldiq $at, R
+	clr  $s4                  # iter
+	clr  $s5                  # checksum
+iter:
+	# C = A + B with carry chain
+	addq $s0, $a1, $t0
+	cmpult $t0, $s0, $t4
+	addq $s1, $a2, $t1
+	cmpult $t1, $s1, $t5
+	addq $t1, $t4, $t1
+	cmpult $t1, $t4, $t6
+	bis  $t5, $t6, $t4
+	addq $s2, $a3, $t2
+	cmpult $t2, $s2, $t5
+	addq $t2, $t4, $t2
+	cmpult $t2, $t4, $t6
+	bis  $t5, $t6, $t4
+	addq $s3, $a4, $t3
+	addq $t3, $t4, $t3
+	# checksum ^= C3, rotate
+	xor  $s5, $t3, $s5
+	sll  $s5, 1, $t7
+	srl  $s5, 63, $t8
+	bis  $t7, $t8, $s5
+	# spill C to the rotating buffer
+	and  $s4, 63, $t5
+	sll  $t5, 5, $t5
+	addq $t5, $fp, $t5
+	stq  $t0, 0($t5)
+	stq  $t1, 8($t5)
+	stq  $t2, 16($t5)
+	stq  $t3, 24($t5)
+	# A = C << 1 (across words)
+	srl  $t0, 63, $t6
+	sll  $t0, 1, $s0
+	srl  $t1, 63, $t7
+	sll  $t1, 1, $s1
+	bis  $s1, $t6, $s1
+	srl  $t2, 63, $t6
+	sll  $t2, 1, $s2
+	bis  $s2, $t7, $s2
+	sll  $t3, 1, $s3
+	bis  $s3, $t6, $s3
+	# B ^= C, B0 += iter, B1 ^= reloaded C2
+	xor  $a1, $t0, $a1
+	addq $a1, $s4, $a1
+	xor  $a2, $t1, $a2
+	ldq  $t8, 16($t5)
+	xor  $a2, $t8, $a2
+	xor  $a3, $t2, $a3
+	xor  $a4, $t3, $a4
+	addq $s4, 1, $s4
+	cmplt $s4, $at, $t0
+	bne  $t0, iter
+
+	ldiq $t0, 0x7FFFFFFF
+	and  $s3, $t0, $a0
+	call_pal 0x3
+	and  $a1, $t0, $a0
+	call_pal 0x3
+	and  $s5, $t0, $a0
+	call_pal 0x3
+	halt
+
+	.data
+	.align 3
+cbuf:
+	.space 2048
+`,
+}
+
+// Perlbmk imitates 253.perlbmk: string hashing with an indirect-jump
+// dispatch table, the interpreter-loop pattern.
+var Perlbmk = &Workload{
+	Name: "perlbmk",
+	Desc: "string hashing + jump-table dispatch",
+	Source: `
+R = 2000
+_start:
+	ldiq $s0, strbuf
+	ldiq $s1, jtab
+	ldiq $s2, 0x1BADB002A
+	ldiq $a5, R
+	# fill 64 strings x 16 bytes
+	clr  $t0
+	ldiq $at, 1024
+fill:
+	sll  $s2, 13, $t1
+	xor  $s2, $t1, $s2
+	srl  $s2, 7, $t1
+	xor  $s2, $t1, $s2
+	sll  $s2, 17, $t1
+	xor  $s2, $t1, $s2
+	srl  $s2, 13, $t2
+	zapnot $t2, 1, $t2
+	addq $t0, $s0, $t3
+	stb  $t2, 0($t3)
+	addq $t0, 1, $t0
+	cmplt $t0, $at, $t4
+	bne  $t4, fill
+
+	clr  $s3                  # iter
+	clr  $v0                  # accumulator
+	clr  $s4                  # bucket histogram checksum
+dispatch:
+	sll  $s2, 13, $t0
+	xor  $s2, $t0, $s2
+	srl  $s2, 7, $t0
+	xor  $s2, $t0, $s2
+	sll  $s2, 17, $t0
+	xor  $s2, $t0, $s2
+	srl  $s2, 20, $t0
+	and  $t0, 63, $t0         # string index
+	sll  $t0, 4, $t0
+	addq $t0, $s0, $t0        # string base
+	ldiq $t1, 5381            # djb2 hash
+	clr  $t2
+hash:
+	addq $t0, $t2, $t3
+	ldbu $t4, 0($t3)
+	mulq $t1, 33, $t1
+	addq $t1, $t4, $t1
+	addq $t2, 1, $t2
+	cmplt $t2, 16, $t3
+	bne  $t3, hash
+	and  $t1, 7, $t5          # bucket
+	addq $s4, $t5, $s4
+	s8addq $t5, $s1, $t6
+	ldq  $t7, 0($t6)
+	jsr  ($t7)                # dispatch to handler; handler returns
+	addq $s3, 1, $s3
+	cmplt $s3, $a5, $t0
+	bne  $t0, dispatch
+
+	ldiq $t0, 0x7FFFFFFF
+	and  $v0, $t0, $a0
+	call_pal 0x3
+	mov  $s4, $a0
+	call_pal 0x3
+	halt
+
+	# handlers: operate on $v0 using $t1 (hash); may clobber $t8/$t9
+h0:
+	addq $v0, $t1, $v0
+	ret
+h1:
+	xor  $v0, $t1, $v0
+	ret
+h2:
+	sll  $v0, 1, $t8
+	srl  $v0, 63, $t9
+	bis  $t8, $t9, $v0
+	addq $v0, 1, $v0
+	ret
+h3:
+	subq $v0, $t1, $v0
+	ret
+h4:
+	mulq $v0, 9, $v0
+	addq $v0, $t1, $v0
+	ret
+h5:
+	srl  $t1, 3, $t8
+	xor  $v0, $t8, $v0
+	ret
+h6:
+	zapnot $t1, 1, $t8
+	addq $v0, $t8, $v0
+	ret
+h7:
+	eqv  $v0, $t1, $v0
+	ret
+
+	.data
+	.align 3
+jtab:
+	.quad h0, h1, h2, h3, h4, h5, h6, h7
+strbuf:
+	.space 1024
+`,
+}

@@ -1,0 +1,366 @@
+package workload
+
+// Control- and call-heavy kernels: gcc (recursive expression-tree folding),
+// twolf (cost-driven placement perturbation), vpr (bounding-box wirelength).
+
+// Gcc imitates 176.gcc: repeatedly rebuilds and constant-folds a complete
+// binary expression tree with genuine recursion (deep call/return chains).
+var Gcc = &Workload{
+	Name: "gcc",
+	Desc: "recursive expression-tree constant folding",
+	Source: `
+R = 12
+NODES = 511
+LEAFBASE = 255
+_start:
+	ldiq $s0, arena
+	ldiq $at, 0x9E3779B1
+	ldiq $a5, NODES
+	clr  $s4                  # round
+	clr  $s5                  # accumulator
+roundloop:
+	# (re)build the tree for this round
+	clr  $t0
+build:
+	sll  $t0, 5, $t1
+	addq $t1, $s0, $t1        # node address (32-byte nodes)
+	cmplt $t0, LEAFBASE, $t2
+	beq  $t2, leaf
+	addq $t0, $s4, $t3
+	and  $t3, 3, $t3
+	addq $t3, 1, $t3
+	stq  $t3, 0($t1)          # op 1..4
+	sll  $t0, 1, $t4
+	addq $t4, 1, $t5
+	stq  $t5, 8($t1)          # left child
+	addq $t4, 2, $t5
+	stq  $t5, 16($t1)         # right child
+	br   bnext
+leaf:
+	stq  $31, 0($t1)          # op 0 = leaf
+	mulq $t0, $at, $t6
+	xor  $t6, $s4, $t6
+	stq  $t6, 24($t1)         # value
+bnext:
+	addq $t0, 1, $t0
+	cmplt $t0, $a5, $t2
+	bne  $t2, build
+
+	clr  $a0
+	bsr  fold
+	xor  $s5, $v0, $s5
+	sll  $s5, 1, $t0
+	srl  $s5, 63, $t1
+	bis  $t0, $t1, $s5
+
+	addq $s4, 1, $s4
+	cmplt $s4, R, $t0
+	bne  $t0, roundloop
+
+	ldiq $t0, 0x7FFFFFFF
+	and  $s5, $t0, $a0
+	call_pal 0x3
+	halt
+
+# fold: $a0 = node index -> $v0 = value. Recursive.
+fold:
+	sll  $a0, 5, $t0
+	addq $t0, $s0, $t0
+	ldq  $t1, 0($t0)          # op
+	bne  $t1, internal
+	ldq  $v0, 24($t0)
+	ret
+internal:
+	subq $sp, 32, $sp
+	stq  $ra, 0($sp)
+	stq  $t0, 8($sp)
+	ldq  $a0, 8($t0)
+	bsr  fold
+	ldq  $t0, 8($sp)
+	stq  $v0, 16($sp)
+	ldq  $a0, 16($t0)
+	bsr  fold
+	ldq  $t0, 8($sp)
+	ldq  $t1, 0($t0)          # op (reloaded)
+	ldq  $t2, 16($sp)         # left value
+	mov  $v0, $t3             # right value
+	cmpeq $t1, 1, $t4
+	bne  $t4, fadd
+	cmpeq $t1, 2, $t4
+	bne  $t4, fsub
+	cmpeq $t1, 3, $t4
+	bne  $t4, fmul
+	xor  $t2, $t3, $v0        # op 4
+	br   fdone
+fadd:
+	addq $t2, $t3, $v0
+	br   fdone
+fsub:
+	subq $t2, $t3, $v0
+	br   fdone
+fmul:
+	mulq $t2, $t3, $v0
+fdone:
+	ldq  $ra, 0($sp)
+	addq $sp, 32, $sp
+	ret
+
+	.data
+	.align 3
+arena:
+	.space 16352              # 511 nodes x 32 bytes
+`,
+}
+
+// Twolf imitates 300.twolf: cost evaluation of nets on a 16x16 placement
+// grid with cost-driven cell swaps.
+var Twolf = &Workload{
+	Name: "twolf",
+	Desc: "placement cost evaluation with cell swaps",
+	Source: `
+R = 5000
+_start:
+	ldiq $s0, pos
+	ldiq $s1, netu
+	ldiq $fp, netv
+	ldiq $s2, 0x77007751
+	ldiq $at, 256
+	ldiq $a5, R
+	# pos[i] = i
+	clr  $t0
+pinit:
+	s8addq $t0, $s0, $t1
+	stq  $t0, 0($t1)
+	addq $t0, 1, $t0
+	cmplt $t0, $at, $t2
+	bne  $t2, pinit
+	# nets
+	clr  $t0
+ninit:
+	sll  $s2, 13, $t1
+	xor  $s2, $t1, $s2
+	srl  $s2, 7, $t1
+	xor  $s2, $t1, $s2
+	sll  $s2, 17, $t1
+	xor  $s2, $t1, $s2
+	and  $s2, 255, $t2
+	s8addq $t0, $s1, $t3
+	stq  $t2, 0($t3)
+	srl  $s2, 9, $t2
+	and  $t2, 255, $t2
+	s8addq $t0, $fp, $t3
+	stq  $t2, 0($t3)
+	addq $t0, 1, $t0
+	cmplt $t0, $at, $t4
+	bne  $t4, ninit
+
+	clr  $s3                  # iter
+	clr  $v0                  # total cost (dead: only the final cost is reported)
+	clr  $a1                  # swaps
+sweep:
+	sll  $s2, 13, $t0
+	xor  $s2, $t0, $s2
+	srl  $s2, 7, $t0
+	xor  $s2, $t0, $s2
+	sll  $s2, 17, $t0
+	xor  $s2, $t0, $s2
+	and  $s2, 255, $t0        # net n
+	s8addq $t0, $s1, $t1
+	ldq  $t2, 0($t1)          # u
+	s8addq $t0, $fp, $t1
+	ldq  $t3, 0($t1)          # v
+	s8addq $t2, $s0, $t4
+	ldq  $t5, 0($t4)          # pu
+	s8addq $t3, $s0, $t6
+	ldq  $t7, 0($t6)          # pv
+	and  $t5, 15, $t8         # xu
+	srl  $t5, 4, $t9          # yu
+	and  $t7, 15, $t10        # xv
+	srl  $t7, 4, $t11         # yv
+	subq $t8, $t10, $t8
+	subq $31, $t8, $t10
+	cmovlt $t8, $t10, $t8     # |dx|
+	subq $t9, $t11, $t9
+	subq $31, $t9, $t11
+	cmovlt $t9, $t11, $t9     # |dy|
+	addq $t8, $t9, $t8        # cost
+	addq $v0, $t8, $v0
+	cmplt $t8, 16, $t9
+	bne  $t9, nswap
+	# costly net: perturb u with a random cell w
+	srl  $s2, 10, $t9
+	and  $t9, 255, $t9        # w
+	s8addq $t9, $s0, $t10
+	ldq  $t11, 0($t10)        # pw
+	stq  $t5, 0($t10)         # pos[w] = pu
+	stq  $t11, 0($t4)         # pos[u] = pw
+	addq $a1, 1, $a1
+nswap:
+	addq $s3, 1, $s3
+	cmplt $s3, $a5, $t0
+	bne  $t0, sweep
+
+	# recompute the final placement cost from pos[] over all nets
+	clr  $t0
+	clr  $s5
+final:
+	s8addq $t0, $s1, $t1
+	ldq  $t2, 0($t1)          # u
+	s8addq $t0, $fp, $t1
+	ldq  $t3, 0($t1)          # v
+	s8addq $t2, $s0, $t4
+	ldq  $t5, 0($t4)
+	s8addq $t3, $s0, $t4
+	ldq  $t7, 0($t4)
+	and  $t5, 15, $t8
+	srl  $t5, 4, $t9
+	and  $t7, 15, $t10
+	srl  $t7, 4, $t11
+	subq $t8, $t10, $t8
+	subq $31, $t8, $t10
+	cmovlt $t8, $t10, $t8
+	subq $t9, $t11, $t9
+	subq $31, $t9, $t11
+	cmovlt $t9, $t11, $t9
+	addq $t8, $t9, $t8
+	addq $s5, $t8, $s5
+	addq $t0, 1, $t0
+	cmplt $t0, $at, $t1
+	bne  $t1, final
+
+	mov  $s5, $a0
+	call_pal 0x3
+	mov  $a1, $a0
+	call_pal 0x3
+	halt
+
+	.data
+	.align 3
+pos:
+	.space 2048
+netu:
+	.space 2048
+netv:
+	.space 2048
+`,
+}
+
+// Vpr imitates 175.vpr: repeated bounding-box wirelength estimation of
+// 4-terminal nets on a 32x32 grid with per-pass perturbation. cmov heavy.
+var Vpr = &Workload{
+	Name: "vpr",
+	Desc: "bounding-box wirelength with perturbation",
+	Source: `
+PASSES = 28
+NETS = 128
+_start:
+	ldiq $s0, term
+	ldiq $s2, 0xA9B9C9
+	ldiq $at, 512
+	ldiq $gp, 1023
+	# init terminals
+	clr  $t0
+tinit:
+	sll  $s2, 13, $t1
+	xor  $s2, $t1, $s2
+	srl  $s2, 7, $t1
+	xor  $s2, $t1, $s2
+	sll  $s2, 17, $t1
+	xor  $s2, $t1, $s2
+	srl  $s2, 22, $t2
+	and  $t2, $gp, $t2
+	s8addq $t0, $s0, $t3
+	stq  $t2, 0($t3)
+	addq $t0, 1, $t0
+	cmplt $t0, $at, $t4
+	bne  $t4, tinit
+
+	clr  $s4                  # pass
+	clr  $v0                  # total wirelength
+	clr  $a1                  # congestion total
+pass:
+	clr  $s5                  # net
+net:
+	sll  $s5, 5, $t0
+	addq $t0, $s0, $t0        # &term[net*4]
+	ldq  $t1, 0($t0)
+	ldq  $t2, 8($t0)
+	ldq  $t3, 16($t0)
+	ldq  $t4, 24($t0)
+	# x coordinates
+	and  $t1, 31, $t5
+	and  $t2, 31, $t6
+	and  $t3, 31, $t7
+	and  $t4, 31, $t8
+	mov  $t5, $t9             # minx
+	mov  $t5, $t10            # maxx
+	cmplt $t6, $t9, $t11
+	cmovne $t11, $t6, $t9
+	cmplt $t10, $t6, $t11
+	cmovne $t11, $t6, $t10
+	cmplt $t7, $t9, $t11
+	cmovne $t11, $t7, $t9
+	cmplt $t10, $t7, $t11
+	cmovne $t11, $t7, $t10
+	cmplt $t8, $t9, $t11
+	cmovne $t11, $t8, $t9
+	cmplt $t10, $t8, $t11
+	cmovne $t11, $t8, $t10
+	subq $t10, $t9, $a2       # dx
+	# y coordinates
+	srl  $t1, 5, $t5
+	and  $t5, 31, $t5
+	srl  $t2, 5, $t6
+	and  $t6, 31, $t6
+	srl  $t3, 5, $t7
+	and  $t7, 31, $t7
+	srl  $t4, 5, $t8
+	and  $t8, 31, $t8
+	mov  $t5, $t9
+	mov  $t5, $t10
+	cmplt $t6, $t9, $t11
+	cmovne $t11, $t6, $t9
+	cmplt $t10, $t6, $t11
+	cmovne $t11, $t6, $t10
+	cmplt $t7, $t9, $t11
+	cmovne $t11, $t7, $t9
+	cmplt $t10, $t7, $t11
+	cmovne $t11, $t7, $t10
+	cmplt $t8, $t9, $t11
+	cmovne $t11, $t8, $t9
+	cmplt $t10, $t8, $t11
+	cmovne $t11, $t8, $t10
+	subq $t10, $t9, $a3       # dy
+	addq $a2, $a3, $t5
+	addq $v0, $t5, $v0
+	mulq $a2, $a3, $t5
+	addq $a1, $t5, $a1
+	# perturb terminal (pass & 3) of this net
+	and  $s4, 3, $t5
+	s8addq $t5, $t0, $t6
+	ldq  $t7, 0($t6)
+	mulq $s4, 7, $t8
+	addq $t7, $t8, $t7
+	addq $t7, $s5, $t7
+	and  $t7, $gp, $t7
+	stq  $t7, 0($t6)
+	addq $s5, 1, $s5
+	cmplt $s5, NETS, $t0
+	bne  $t0, net
+	addq $s4, 1, $s4
+	cmplt $s4, PASSES, $t0
+	bne  $t0, pass
+
+	ldiq $t0, 0x7FFFFFFF
+	and  $v0, $t0, $a0
+	call_pal 0x3
+	and  $a1, $t0, $a0
+	call_pal 0x3
+	halt
+
+	.data
+	.align 3
+term:
+	.space 4096
+`,
+}

@@ -1,0 +1,103 @@
+package workload
+
+// Eon imitates 252.eon (the SPECint2000 ray tracer), in integer form: rays
+// march through a 16x16x16 voxel grid with data-dependent early exit on
+// dense material. Branchy with irregular byte loads.
+var Eon = &Workload{
+	Name: "eon",
+	Desc: "integer voxel-grid ray marching",
+	Source: `
+R = 500
+_start:
+	ldiq $s0, grid
+	ldiq $s2, 0xEE0277AA1
+	ldiq $a5, R
+	ldiq $at, 4096
+	# fill the voxel grid
+	clr  $t0
+fill:
+	sll  $s2, 13, $t1
+	xor  $s2, $t1, $s2
+	srl  $s2, 7, $t1
+	xor  $s2, $t1, $s2
+	sll  $s2, 17, $t1
+	xor  $s2, $t1, $s2
+	srl  $s2, 19, $t2
+	zapnot $t2, 1, $t2
+	addq $t0, $s0, $t3
+	stb  $t2, 0($t3)
+	addq $t0, 1, $t0
+	cmplt $t0, $at, $t4
+	bne  $t4, fill
+
+	clr  $s3                  # ray index
+	clr  $v0                  # accumulated radiance
+	clr  $a1                  # dense-material hits
+ray:
+	sll  $s2, 13, $t0
+	xor  $s2, $t0, $s2
+	srl  $s2, 7, $t0
+	xor  $s2, $t0, $s2
+	sll  $s2, 17, $t0
+	xor  $s2, $t0, $s2
+	# ray origin and direction from the rng draw
+	and  $s2, 15, $t1         # px
+	srl  $s2, 4, $t2
+	and  $t2, 15, $t2         # py
+	srl  $s2, 8, $t3
+	and  $t3, 15, $t3         # pz
+	srl  $s2, 12, $t4
+	and  $t4, 3, $t4
+	addq $t4, 1, $t4          # dx in 1..4
+	srl  $s2, 14, $t5
+	and  $t5, 3, $t5
+	addq $t5, 1, $t5          # dy
+	srl  $s2, 16, $t6
+	and  $t6, 3, $t6
+	addq $t6, 1, $t6          # dz
+	clr  $t7                  # step
+march:
+	# voxel index = (px&15)<<8 | (py&15)<<4 | (pz&15)
+	and  $t1, 15, $t8
+	sll  $t8, 8, $t8
+	and  $t2, 15, $t9
+	sll  $t9, 4, $t9
+	bis  $t8, $t9, $t8
+	and  $t3, 15, $t9
+	bis  $t8, $t9, $t8
+	addq $t8, $s0, $t9
+	ldbu $t10, 0($t9)         # material
+	addq $t7, 1, $t11
+	mulq $t10, $t11, $t10
+	addq $v0, $t10, $v0
+	# dense material terminates the ray
+	srl  $t10, 0, $t10        # keep full weighted value
+	ldbu $t10, 0($t9)
+	cmplt $t10, 250, $t9
+	bne  $t9, advance
+	addq $a1, 1, $a1
+	br   raydone
+advance:
+	addq $t1, $t4, $t1
+	addq $t2, $t5, $t2
+	addq $t3, $t6, $t3
+	addq $t7, 1, $t7
+	cmplt $t7, 64, $t9
+	bne  $t9, march
+raydone:
+	addq $s3, 1, $s3
+	cmplt $s3, $a5, $t0
+	bne  $t0, ray
+
+	ldiq $t0, 0x7FFFFFFF
+	and  $v0, $t0, $a0
+	call_pal 0x3
+	mov  $a1, $a0
+	call_pal 0x3
+	halt
+
+	.data
+grid:
+	.space 4096
+`,
+}

@@ -1,0 +1,340 @@
+package workload
+
+import "testing"
+
+func TestMcfMirror(t *testing.T) {
+	const (
+		v, r = 256, 20
+		big  = uint64(1) << 40
+	)
+	x := uint64(0xB16B00B5)
+	var eto, ew [v * 4]uint64
+	for e := 0; e < v*4; e++ {
+		x = xs(x)
+		eto[e] = x & 255
+		ew[e] = (x>>40)&1023 + 1
+	}
+	var dist [v]uint64
+	for i := range dist {
+		dist[i] = big
+	}
+	dist[0] = 0
+	for round := 0; round < r; round++ {
+		for u := 0; u < v; u++ {
+			du := dist[u]
+			if du >= big {
+				continue
+			}
+			for k := 0; k < 4; k++ {
+				e := u*4 + k
+				if nd := du + ew[e]; nd < dist[eto[e]] {
+					dist[eto[e]] = nd
+				}
+			}
+		}
+	}
+	var count, sum uint64
+	for i := 0; i < v; i++ {
+		if dist[i] < big {
+			count++
+			sum += dist[i]
+		}
+	}
+	checkKernel(t, Mcf, putints(count, sum&0x7FFFFFFF))
+}
+
+func TestVortexMirror(t *testing.T) {
+	const (
+		capSlots = 8192
+		mask     = capSlots - 1
+		r        = 6000
+	)
+	type slot struct{ key, val uint64 }
+	tbl := make([]slot, capSlots)
+	x := uint64(0x5EED5EED5)
+	var acc, misses, inserted uint64
+	for it := 0; it < r; it++ {
+		x = xs(x)
+		key := (x>>16)&0xFFFF | 1
+		h := key * 0x9E3779B1 & mask
+		if x&3 < 2 { // insert/update
+			for p := 0; p < 64; p++ {
+				if tbl[h].key == 0 {
+					tbl[h] = slot{key: key, val: x >> 7}
+					inserted++
+					break
+				}
+				if tbl[h].key == key {
+					tbl[h].val++
+					break
+				}
+				h = (h + 1) & mask
+			}
+		} else { // lookup
+			found := false
+			p := 0
+			for ; p < 64; p++ {
+				if tbl[h].key == 0 {
+					break
+				}
+				if tbl[h].key == key {
+					acc += tbl[h].val
+					found = true
+					break
+				}
+				h = (h + 1) & mask
+			}
+			if !found {
+				misses++
+			}
+		}
+	}
+	checkKernel(t, Vortex, putints(acc&0x7FFFFFFF, misses, inserted))
+}
+
+func TestGapMirror(t *testing.T) {
+	a := [4]uint64{0x0123456789ABCDEF, 0xFEDCBA9876543210, 0xA5A5A5A55A5A5A5A, 0x0F0F0F0FF0F0F0F0}
+	b := [4]uint64{0x1111111123456789, 0x2222222298765432, 0x3333333345678912, 0x4444444487654321}
+	b2u := func(ok bool) uint64 {
+		if ok {
+			return 1
+		}
+		return 0
+	}
+	var csum uint64
+	for it := uint64(0); it < 3000; it++ {
+		c0 := a[0] + b[0]
+		carry := b2u(c0 < a[0])
+		c1 := a[1] + b[1]
+		c1a := b2u(c1 < a[1])
+		c1 += carry
+		c1b := b2u(c1 < carry)
+		carry = c1a | c1b
+		c2 := a[2] + b[2]
+		c2a := b2u(c2 < a[2])
+		c2 += carry
+		c2b := b2u(c2 < carry)
+		carry = c2a | c2b
+		c3 := a[3] + b[3] + carry
+
+		csum ^= c3
+		csum = csum<<1 | csum>>63
+
+		a[0] = c0 << 1
+		a[1] = c1<<1 | c0>>63
+		a[2] = c2<<1 | c1>>63
+		a[3] = c3<<1 | c2>>63
+
+		b[0] = (b[0] ^ c0) + it
+		b[1] = b[1] ^ c1 ^ c2 // includes the reloaded C2
+		b[2] ^= c2
+		b[3] ^= c3
+	}
+	checkKernel(t, Gap, putints(a[3]&0x7FFFFFFF, b[0]&0x7FFFFFFF, csum&0x7FFFFFFF))
+}
+
+func TestPerlbmkMirror(t *testing.T) {
+	x := uint64(0x1BADB002A)
+	var strbuf [1024]byte
+	for i := range strbuf {
+		x = xs(x)
+		strbuf[i] = byte(x >> 13)
+	}
+	var acc, hist uint64
+	for it := 0; it < 2000; it++ {
+		x = xs(x)
+		idx := (x >> 20) & 63
+		p := idx * 16
+		hash := uint64(5381)
+		for j := uint64(0); j < 16; j++ {
+			hash = hash*33 + uint64(strbuf[p+j])
+		}
+		bucket := hash & 7
+		hist += bucket
+		switch bucket {
+		case 0:
+			acc += hash
+		case 1:
+			acc ^= hash
+		case 2:
+			acc = acc<<1 | acc>>63
+			acc++
+		case 3:
+			acc -= hash
+		case 4:
+			acc = acc*9 + hash
+		case 5:
+			acc ^= hash >> 3
+		case 6:
+			acc += hash & 255
+		case 7:
+			acc = acc ^ ^hash
+		}
+	}
+	checkKernel(t, Perlbmk, putints(acc&0x7FFFFFFF, hist))
+}
+
+func TestGccMirror(t *testing.T) {
+	const (
+		rounds   = 12
+		nodes    = 511
+		leafBase = 255
+	)
+	type node struct{ op, left, right, val uint64 }
+	arena := make([]node, nodes)
+	var fold func(i uint64) uint64
+	fold = func(i uint64) uint64 {
+		n := &arena[i]
+		if n.op == 0 {
+			return n.val
+		}
+		l := fold(n.left)
+		r := fold(n.right)
+		switch n.op {
+		case 1:
+			return l + r
+		case 2:
+			return l - r
+		case 3:
+			return l * r
+		default:
+			return l ^ r
+		}
+	}
+	var acc uint64
+	for round := uint64(0); round < rounds; round++ {
+		for i := uint64(0); i < nodes; i++ {
+			if i < leafBase {
+				arena[i] = node{op: (i+round)&3 + 1, left: 2*i + 1, right: 2*i + 2}
+			} else {
+				arena[i] = node{val: i*0x9E3779B1 ^ round}
+			}
+		}
+		acc ^= fold(0)
+		acc = acc<<1 | acc>>63
+	}
+	checkKernel(t, Gcc, putints(acc&0x7FFFFFFF))
+}
+
+func TestTwolfMirror(t *testing.T) {
+	x := uint64(0x77007751)
+	var pos, netu, netv [256]uint64
+	for i := range pos {
+		pos[i] = uint64(i)
+	}
+	for n := 0; n < 256; n++ {
+		x = xs(x)
+		netu[n] = x & 255
+		netv[n] = (x >> 9) & 255
+	}
+	var total, swaps uint64
+	abs := func(v int64) uint64 {
+		if v < 0 {
+			return uint64(-v)
+		}
+		return uint64(v)
+	}
+	for it := 0; it < 5000; it++ {
+		x = xs(x)
+		n := x & 255
+		u, v := netu[n], netv[n]
+		pu, pv := pos[u], pos[v]
+		dx := abs(int64(pu&15) - int64(pv&15))
+		dy := abs(int64(pu>>4) - int64(pv>>4))
+		cost := dx + dy
+		total += cost
+		if cost >= 16 {
+			w := (x >> 10) & 255
+			pw := pos[w]
+			pos[w] = pu
+			pos[u] = pw
+			swaps++
+		}
+	}
+	_ = total // accumulated but dead: only the final cost is reported
+	var finalCost uint64
+	for n := 0; n < 256; n++ {
+		pu, pv := pos[netu[n]], pos[netv[n]]
+		finalCost += abs(int64(pu&15)-int64(pv&15)) + abs(int64(pu>>4)-int64(pv>>4))
+	}
+	checkKernel(t, Twolf, putints(finalCost, swaps))
+}
+
+func TestVprMirror(t *testing.T) {
+	const (
+		passes = 28
+		nets   = 128
+	)
+	x := uint64(0xA9B9C9)
+	var term [512]uint64
+	for i := range term {
+		x = xs(x)
+		term[i] = (x >> 22) & 1023
+	}
+	var total, cong uint64
+	for pass := uint64(0); pass < passes; pass++ {
+		for n := uint64(0); n < nets; n++ {
+			base := n * 4
+			minx, maxx := uint64(31), uint64(0)
+			miny, maxy := uint64(31), uint64(0)
+			// Match the asm: min/max seeded from terminal 0.
+			c0 := term[base]
+			minx, maxx = c0&31, c0&31
+			miny, maxy = c0>>5&31, c0>>5&31
+			for k := uint64(1); k < 4; k++ {
+				c := term[base+k]
+				cx, cy := c&31, c>>5&31
+				if cx < minx {
+					minx = cx
+				}
+				if cx > maxx {
+					maxx = cx
+				}
+				if cy < miny {
+					miny = cy
+				}
+				if cy > maxy {
+					maxy = cy
+				}
+			}
+			dx, dy := maxx-minx, maxy-miny
+			total += dx + dy
+			cong += dx * dy
+			k := pass & 3
+			term[base+k] = (term[base+k] + pass*7 + n) & 1023
+		}
+	}
+	checkKernel(t, Vpr, putints(total&0x7FFFFFFF, cong&0x7FFFFFFF))
+}
+
+func TestEonMirror(t *testing.T) {
+	x := uint64(0xEE0277AA1)
+	var grid [4096]byte
+	for i := range grid {
+		x = xs(x)
+		grid[i] = byte(x >> 19)
+	}
+	var acc, hits uint64
+	for r := 0; r < 500; r++ {
+		x = xs(x)
+		px := x & 15
+		py := x >> 4 & 15
+		pz := x >> 8 & 15
+		dx := x>>12&3 + 1
+		dy := x>>14&3 + 1
+		dz := x>>16&3 + 1
+		for step := uint64(0); step < 64; step++ {
+			idx := (px&15)<<8 | (py&15)<<4 | pz&15
+			mat := uint64(grid[idx])
+			acc += mat * (step + 1)
+			if mat >= 250 {
+				hits++
+				break
+			}
+			px += dx
+			py += dy
+			pz += dz
+		}
+	}
+	checkKernel(t, Eon, putints(acc&0x7FFFFFFF, hits))
+}

@@ -1,0 +1,244 @@
+package workload
+
+// Go mirrors of each assembly kernel. Every kernel's output is recomputed
+// here instruction-for-instruction in Go and compared against the functional
+// simulation, verifying the assembler, the simulator, and the kernels
+// together.
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+	"testing"
+)
+
+func xs(x uint64) uint64 {
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	return x
+}
+
+func putints(vs ...uint64) string {
+	var sb strings.Builder
+	for _, v := range vs {
+		fmt.Fprintf(&sb, "%d\n", int64(v))
+	}
+	return sb.String()
+}
+
+// checkKernel runs the workload and compares its output with want; it also
+// sanity-checks the dynamic instruction count range.
+func checkKernel(t *testing.T, w *Workload, want string) {
+	t.Helper()
+	ref, err := w.ComputeReference()
+	if err != nil {
+		t.Fatalf("%s: %v", w.Name, err)
+	}
+	if got := string(ref.Output); got != want {
+		t.Errorf("%s output:\n got %q\nwant %q", w.Name, got, want)
+	}
+	if ref.DynInsns < 50_000 || ref.DynInsns > 5_000_000 {
+		t.Errorf("%s dynamic instruction count = %d, want a long-running kernel", w.Name, ref.DynInsns)
+	}
+	t.Logf("%s: %d dynamic instructions, %d legal pages", w.Name, ref.DynInsns, ref.Legal.Len())
+}
+
+func TestGzipMirror(t *testing.T) {
+	const n = 4096
+	x := uint64(0x123456789)
+	buf := make([]byte, n)
+	for i := 0; i < n; i++ {
+		x = xs(x)
+		b := byte(x >> 33)
+		if i >= 16 && x&3 != 0 {
+			b = buf[i-16]
+		}
+		buf[i] = b
+	}
+	htab := make([]uint64, 1024)
+	var matches, totlen, csum uint64
+	for i := 0; i < n-2; i++ {
+		c0, c1 := uint64(buf[i]), uint64(buf[i+1])
+		csum = csum*31 + c0
+		h := (c0*33 + c1) & 1023
+		cand := htab[h]
+		htab[h] = uint64(i) + 1
+		if cand == 0 {
+			continue
+		}
+		c := int(cand) - 1
+		if buf[c] != buf[i] || buf[c+1] != buf[i+1] {
+			continue
+		}
+		matches++
+		l := 0
+		for i+l < n && l < 255 && buf[c+l] == buf[i+l] {
+			l++
+		}
+		totlen += uint64(l)
+	}
+	checkKernel(t, Gzip, putints(matches, totlen, csum&0x7FFFFFFF))
+}
+
+func TestBzip2Mirror(t *testing.T) {
+	const n = 2048
+	x := uint64(0xDEADBEEF97)
+	buf := make([]byte, n)
+	for i := 0; i < n; i++ {
+		x = xs(x)
+		b := byte(x >> 29)
+		if i >= 8 && x&1 != 0 {
+			b = buf[i-8]
+		}
+		buf[i] = b
+	}
+	var tbl [256]byte
+	for i := range tbl {
+		tbl[i] = byte(i)
+	}
+	var runcount, nonzero, csum, run uint64
+	for i := 0; i < n; i++ {
+		b := buf[i]
+		j := 0
+		for tbl[j] != b {
+			j++
+		}
+		for k := j; k > 0; k-- {
+			tbl[k] = tbl[k-1]
+		}
+		tbl[0] = b
+		if j == 0 {
+			run++
+		} else {
+			if run > 0 {
+				runcount++
+				run = 0
+			}
+			nonzero++
+		}
+		csum = csum*17 + uint64(j)
+	}
+	if run > 0 {
+		runcount++
+	}
+	checkKernel(t, Bzip2, putints(runcount, nonzero, csum&0x7FFFFFFF))
+}
+
+func TestCraftyMirror(t *testing.T) {
+	x := uint64(0xC0FFEE1234)
+	var total, hits uint64
+	var htab [128]uint64
+	for it := 0; it < 3000; it++ {
+		x = xs(x)
+		a := (x << 8) ^ (x >> 8) ^ (x << 1) ^ (x >> 1)
+		b := a &^ x
+		pc := uint64(bits.OnesCount64(b))
+		total += pc
+		m := uint64(1) << (x >> 58 & 63)
+		zone := m | m<<1 | m>>1
+		if b&zone != 0 {
+			hits++
+		}
+		htab[x>>52&127] += pc
+	}
+	var hsum uint64
+	for _, v := range htab {
+		hsum += v
+	}
+	checkKernel(t, Crafty, putints(total, hits, hsum&0x7FFFFFFF))
+}
+
+func TestParserMirror(t *testing.T) {
+	ctab := []byte{'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', ' ', '(', ')', '.', 'e', ' '}
+	const n = 8192
+	x := uint64(0xFACE51)
+	text := make([]byte, n)
+	for i := 0; i < n; i++ {
+		x = xs(x)
+		text[i] = ctab[x>>35&15]
+	}
+	var words, maxd, mism, sentences uint64
+	var tokpos [256]uint64
+	var depth int64
+	prevSpace := true
+	for i := 0; i < n; i++ {
+		c := text[i]
+		if c == ' ' {
+			prevSpace = true
+			continue
+		}
+		if prevSpace {
+			words++
+			tokpos[words&255] = uint64(i)
+		}
+		prevSpace = false
+		switch c {
+		case '(':
+			depth++
+			if int64(maxd) < depth {
+				maxd = uint64(depth)
+			}
+		case ')':
+			depth--
+			if depth < 0 {
+				mism++
+				depth = 0
+			}
+		case '.':
+			sentences++
+		}
+	}
+	var tsum uint64
+	for _, v := range tokpos {
+		tsum += v
+	}
+	checkKernel(t, Parser, putints(words, maxd, mism, sentences, tsum&0x7FFFFFFF))
+}
+
+func TestTiny(t *testing.T) {
+	ref, err := Tiny.ComputeReference()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(ref.Output); got != "500500\n" {
+		t.Errorf("tiny output = %q, want 500500", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, w := range Suite() {
+		got, err := ByName(w.Name)
+		if err != nil || got != w {
+			t.Errorf("ByName(%q) = %v, %v", w.Name, got, err)
+		}
+	}
+	if _, err := ByName("252.eon"); err == nil {
+		t.Error("ByName should reject unknown names")
+	}
+	if w, err := ByName("tiny"); err != nil || w != Tiny {
+		t.Error("ByName(tiny) should return the test kernel")
+	}
+}
+
+func TestSuiteAssemblesAndIsDeterministic(t *testing.T) {
+	for _, w := range Suite() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			a, err := w.ComputeReference()
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := w.ComputeReference()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(a.Output) != string(b.Output) || a.DynInsns != b.DynInsns || a.PCHash != b.PCHash {
+				t.Error("reference run not deterministic")
+			}
+			if len(a.Output) == 0 {
+				t.Error("kernel produced no output")
+			}
+		})
+	}
+}

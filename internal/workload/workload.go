@@ -1,0 +1,154 @@
+// Package workload provides the benchmark suite driving the fault-injection
+// campaigns. The paper uses the SPEC2000 integer benchmarks; since those
+// binaries (and an Alpha toolchain) are not available, this package supplies
+// eleven synthetic integer kernels named for the SPECint2000 programs whose
+// behaviour they imitate. Each kernel is deterministic, integer-only, runs
+// hundreds of thousands of dynamic instructions, and prints checksums so
+// that output-level corruption is detectable (the paper's "Output OK/Bad"
+// classification).
+//
+// The kernels intentionally span the behavioural axes the paper attributes
+// to masking-rate differences: IPC, branch-prediction friendliness, and
+// data-cache hit rate (e.g. gzip/bzip2 have the highest IPC and locality,
+// mcf and vortex are memory-bound and irregular).
+package workload
+
+import (
+	"fmt"
+	"sync"
+
+	"pipefault/internal/arch"
+	"pipefault/internal/asm"
+	"pipefault/internal/isa"
+	"pipefault/internal/mem"
+)
+
+// Workload is one benchmark program.
+type Workload struct {
+	Name   string
+	Desc   string
+	Source string
+
+	once sync.Once
+	prog *asm.Program
+	err  error
+}
+
+// Program assembles the workload (cached).
+func (w *Workload) Program() (*asm.Program, error) {
+	w.once.Do(func() {
+		w.prog, w.err = asm.Assemble(w.Source)
+		if w.err != nil {
+			w.err = fmt.Errorf("workload %s: %w", w.Name, w.err)
+		}
+	})
+	return w.prog, w.err
+}
+
+// NewCPU loads the workload into a fresh memory image and returns a
+// functional CPU positioned at the entry point.
+func (w *Workload) NewCPU() (*arch.CPU, error) {
+	p, err := w.Program()
+	if err != nil {
+		return nil, err
+	}
+	m := mem.New()
+	regs := p.Load(m)
+	return arch.New(m, regs, p.Entry), nil
+}
+
+// Reference holds the fault-free execution profile of a workload.
+type Reference struct {
+	Output    []byte
+	DynInsns  uint64
+	FinalRegs [isa.NumArchRegs]uint64
+	Legal     *mem.PageSet // pages touched by the fault-free run
+	PCHash    uint64       // FNV-1a over the committed PC stream
+}
+
+// maxRefInsns bounds reference runs as a hang backstop; every kernel
+// finishes well under this.
+const maxRefInsns = 20_000_000
+
+// ComputeReference runs the workload to completion on the functional
+// simulator and records its profile. The legal page set contains every page
+// the fault-free run touches, mirroring the paper's preloaded TLBs.
+func (w *Workload) ComputeReference() (*Reference, error) {
+	c, err := w.NewCPU()
+	if err != nil {
+		return nil, err
+	}
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	pcHash := uint64(fnvOffset)
+	for !c.Halted && c.InsnCount < maxRefInsns {
+		pc := c.PC
+		if _, exc := c.Step(); exc != nil {
+			return nil, fmt.Errorf("workload %s: %w", w.Name, exc)
+		}
+		pcHash = (pcHash ^ pc) * fnvPrime
+	}
+	if !c.Halted {
+		return nil, fmt.Errorf("workload %s: did not halt in %d instructions", w.Name, uint64(maxRefInsns))
+	}
+	return &Reference{
+		Output:    c.Output,
+		DynInsns:  c.InsnCount,
+		FinalRegs: c.Regs,
+		Legal:     mem.NewPageSet(c.Mem),
+		PCHash:    pcHash,
+	}, nil
+}
+
+// Suite returns the full benchmark suite in canonical order.
+func Suite() []*Workload {
+	return []*Workload{
+		Gzip, Vpr, Gcc, Mcf, Crafty, Parser, Eon,
+		Perlbmk, Gap, Vortex, Bzip2, Twolf,
+	}
+}
+
+// ByName returns the named workload (including the test-only "tiny"
+// kernel) or an error.
+func ByName(name string) (*Workload, error) {
+	if name == "tiny" {
+		return Tiny, nil
+	}
+	for _, w := range Suite() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return nil, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// Tiny is a minimal kernel for unit tests: it sums 1..1000, stores partial
+// sums, and prints the total. It is not part of the paper's suite.
+var Tiny = &Workload{
+	Name: "tiny",
+	Desc: "test-only summation loop",
+	Source: `
+_start:
+	clr  $s0            # sum
+	ldiq $s1, 1         # i
+	ldiq $s2, buf
+	ldiq $s3, 1000
+loop:
+	addq $s0, $s1, $s0
+	and  $s1, 63, $t0
+	s8addq $t0, $s2, $t1
+	stq  $s0, 0($t1)
+	addq $s1, 1, $s1
+	cmple $s1, $s3, $t2
+	bne  $t2, loop
+	mov  $s0, $a0
+	call_pal 0x3
+	halt
+	.data
+	.align 3
+buf:
+	.space 512
+`,
+}

@@ -1,0 +1,87 @@
+package pipefault
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWorkloadsSuite(t *testing.T) {
+	ws := Workloads()
+	if len(ws) != 12 {
+		t.Fatalf("suite has %d workloads, want 12 (SPECint2000)", len(ws))
+	}
+	names := map[string]bool{}
+	for _, w := range ws {
+		names[w.Name] = true
+	}
+	for _, want := range []string{"gzip", "vpr", "gcc", "mcf", "crafty", "parser",
+		"eon", "perlbmk", "gap", "vortex", "bzip2", "twolf"} {
+		if !names[want] {
+			t.Errorf("missing workload %q", want)
+		}
+	}
+}
+
+func TestWorkloadByNamePanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for unknown workload")
+		}
+	}()
+	WorkloadByName("176.gcc")
+}
+
+func TestStateBitsMatchPaperRegime(t *testing.T) {
+	latch, ram := StateBits(ProtectConfig{})
+	// Paper: ~14k latch bits, ~31k RAM bits.
+	if ram < 20_000 || ram > 45_000 {
+		t.Errorf("ram bits = %d, want ~31k regime", ram)
+	}
+	if latch < 3_000 || latch > 20_000 {
+		t.Errorf("latch bits = %d, want thousands", latch)
+	}
+	pl, pr := StateBits(AllProtections())
+	if pl+pr <= latch+ram {
+		t.Error("protection added no state")
+	}
+}
+
+func TestStateInventoryRendering(t *testing.T) {
+	out := StateInventory(AllProtections())
+	for _, want := range []string{"regfile", "ecc", "parity", "TOTAL"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("inventory missing %q", want)
+		}
+	}
+}
+
+func TestAssembleFacade(t *testing.T) {
+	if _, err := Assemble("frobnicate $1\n"); err == nil {
+		t.Error("bad source assembled")
+	}
+	prog, err := Assemble("_start:\n\tnop\n\thalt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(MachineConfig{}, prog)
+	m.Run(10_000)
+	if !m.Halted() {
+		t.Error("trivial program did not halt on the pipeline")
+	}
+}
+
+func TestFaultModelsList(t *testing.T) {
+	if got := len(FaultModels()); got != 6 {
+		t.Errorf("fault models = %d, want 6", got)
+	}
+}
+
+func TestRunSoftwareFacade(t *testing.T) {
+	res, err := RunSoftware(WorkloadByName("tiny"), ModelNop, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trials != 5 {
+		t.Errorf("trials = %d", res.Trials)
+	}
+}
