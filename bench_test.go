@@ -10,6 +10,7 @@ package pipefault
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"pipefault/internal/core"
@@ -176,6 +177,40 @@ func BenchmarkFigure11SoftwareMasking(b *testing.B) {
 			b.Logf("\n%s", RenderFigure11(results))
 		}
 	}
+}
+
+// campaignAtWorkers runs one multi-checkpoint campaign with the given
+// worker count; the serial/parallel benchmark pair below shares it so the
+// two measurements differ only in sharding.
+func campaignAtWorkers(b *testing.B, workers int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run(core.Config{
+			Workload:    workload.Gzip,
+			Checkpoints: 8,
+			Populations: []core.Population{{Name: "l+r", Trials: 24}},
+			Workers:     workers,
+			Seed:        4242,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.Pops["l+r"].Total()), "trials")
+		}
+	}
+}
+
+// BenchmarkCampaignSerial is the single-worker baseline of the sharded
+// campaign engine; compare against BenchmarkCampaignParallel for the
+// speedup (the results themselves are bit-identical).
+func BenchmarkCampaignSerial(b *testing.B) {
+	campaignAtWorkers(b, 1)
+}
+
+// BenchmarkCampaignParallel runs the same campaign sharded across all CPUs.
+func BenchmarkCampaignParallel(b *testing.B) {
+	campaignAtWorkers(b, runtime.NumCPU())
 }
 
 // BenchmarkPipelineCycles measures raw simulation speed (cycles/sec).

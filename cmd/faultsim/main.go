@@ -29,13 +29,16 @@
 //
 // Scale flags (-checkpoints, -trials, -ltrials, -soft-trials) default to a
 // laptop-friendly size; the paper's scale is roughly -checkpoints 270
-// -trials 100 -soft-trials 1200.
+// -trials 100 -soft-trials 1200. Campaigns are sharded across -workers
+// goroutines (default: all CPUs); the worker count never changes results,
+// only wall-clock time.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -55,6 +58,7 @@ type opts struct {
 	ltrials     int
 	softTrials  int
 	horizon     int
+	workers     int
 	seed        int64
 	verbose     bool
 }
@@ -67,6 +71,7 @@ func run() int {
 	ltrials := fs.Int("ltrials", 12, "latch-only trials per checkpoint")
 	softTrials := fs.Int("soft-trials", 60, "software trials per benchmark per model")
 	horizon := fs.Int("horizon", 10_000, "trial cycle budget")
+	workers := fs.Int("workers", runtime.NumCPU(), "campaign worker goroutines (results are identical for any count)")
 	seed := fs.Int64("seed", 1, "campaign RNG seed")
 	verbose := fs.Bool("v", false, "progress output")
 	fs.Usage = func() {
@@ -83,7 +88,11 @@ func run() int {
 
 	o := &opts{
 		checkpoints: *checkpoints, trials: *trials, ltrials: *ltrials,
-		softTrials: *softTrials, horizon: *horizon, seed: *seed, verbose: *verbose,
+		softTrials: *softTrials, horizon: *horizon, workers: *workers,
+		seed: *seed, verbose: *verbose,
+	}
+	if o.workers <= 0 {
+		o.workers = runtime.NumCPU() // mirror core.Config's default so the wall-clock line is honest
 	}
 	if *benchFlag == "all" {
 		o.benches = workload.Suite()
@@ -99,6 +108,7 @@ func run() int {
 	}
 
 	r := &runner{o: o}
+	start := time.Now()
 	for _, cmd := range fs.Args() {
 		if fs.NArg() > 1 {
 			fmt.Printf("\n===== %s =====\n", cmd)
@@ -108,6 +118,8 @@ func run() int {
 			return 1
 		}
 	}
+	fmt.Fprintf(os.Stderr, "faultsim: wall-clock %.1fs (%d workers)\n",
+		time.Since(start).Seconds(), o.workers)
 	return 0
 }
 
@@ -287,6 +299,7 @@ func (r *runner) campaigns(protect pipefault.ProtectConfig, cache *[]*core.Resul
 			Checkpoints: r.o.checkpoints,
 			Horizon:     r.o.horizon,
 			Populations: pops,
+			Workers:     r.o.workers,
 			Seed:        r.o.seed + int64(i),
 		})
 		if err != nil {

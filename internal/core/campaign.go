@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 
 	"pipefault/internal/mem"
@@ -44,6 +45,13 @@ type Config struct {
 	// WarmupCycles is the minimum warm-up before the first checkpoint.
 	WarmupCycles int
 
+	// Workers is the number of campaign worker goroutines; checkpoints are
+	// sharded round-robin across them, each on a private machine. Zero (or
+	// negative) means runtime.NumCPU(). The worker count never affects the
+	// Result: trial RNGs derive from (Seed, checkpoint index), so Workers:1
+	// and Workers:N are bit-identical.
+	Workers int
+
 	Seed int64
 }
 
@@ -62,6 +70,9 @@ func (c *Config) setDefaults() {
 	}
 	if len(c.Populations) == 0 {
 		c.Populations = []Population{{Name: "l+r", Trials: 25}}
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
 	}
 }
 
@@ -205,33 +216,63 @@ type Result struct {
 	Scatter     map[string][]ScatterPoint // per population
 	TotalCycles uint64                    // golden end-to-end cycle count
 	IPC         float64
+	// MixedProtection marks an aggregate built by Merge from results with
+	// differing protection configs; its Protected flag (taken from the first
+	// input) is then not meaningful for the whole.
+	MixedProtection bool
 }
 
-// String summarizes the result.
+// String summarizes the result. Populations are listed in sorted name order
+// so the summary is stable across runs.
 func (r *Result) String() string {
 	s := fmt.Sprintf("%s (ipc %.2f):", r.Benchmark, r.IPC)
-	for name, p := range r.Pops {
+	if r.MixedProtection {
+		s = fmt.Sprintf("%s (ipc %.2f, mixed protection):", r.Benchmark, r.IPC)
+	}
+	names := make([]string, 0, len(r.Pops))
+	for name := range r.Pops {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		p := r.Pops[name]
+		n := p.Total()
+		if n == 0 {
+			s += fmt.Sprintf(" [%s: 0 trials]", name)
+			continue
+		}
 		c := p.OutcomeCounts()
 		s += fmt.Sprintf(" [%s: %d trials, match %.1f%% gray %.1f%% sdc %.1f%% term %.1f%%]",
-			name, p.Total(),
-			100*float64(c[OutMatch])/float64(p.Total()),
-			100*float64(c[OutGray])/float64(p.Total()),
-			100*float64(c[OutSDC])/float64(p.Total()),
-			100*float64(c[OutTerminated])/float64(p.Total()))
+			name, n,
+			100*float64(c[OutMatch])/float64(n),
+			100*float64(c[OutGray])/float64(n),
+			100*float64(c[OutSDC])/float64(n),
+			100*float64(c[OutTerminated])/float64(n))
 	}
 	return s
 }
 
 // Merge combines results from multiple benchmarks into one aggregate (the
-// paper's "average" bars). Scatter points are concatenated.
+// paper's "average" bars). Scatter points are concatenated, TotalCycles is
+// the sum of the inputs' golden runs, and IPC is the cycle-weighted mean
+// (i.e. total retired instructions over total cycles). Protected is taken
+// from the first result; if the inputs disagree, MixedProtection is set —
+// use MergeStrict to treat that as an error.
 func Merge(name string, results []*Result) *Result {
 	agg := &Result{
 		Benchmark: name,
 		Pops:      make(map[string]*PopResult),
 		Scatter:   make(map[string][]ScatterPoint),
 	}
-	for _, r := range results {
-		agg.Protected = r.Protected
+	var retired float64
+	for i, r := range results {
+		if i == 0 {
+			agg.Protected = r.Protected
+		} else if r.Protected != agg.Protected {
+			agg.MixedProtection = true
+		}
+		agg.TotalCycles += r.TotalCycles
+		retired += r.IPC * float64(r.TotalCycles)
 		for pn, p := range r.Pops {
 			ap := agg.Pops[pn]
 			if ap == nil {
@@ -244,7 +285,21 @@ func Merge(name string, results []*Result) *Result {
 			agg.Scatter[pn] = append(agg.Scatter[pn], pts...)
 		}
 	}
+	if agg.TotalCycles > 0 {
+		agg.IPC = retired / float64(agg.TotalCycles)
+	}
 	return agg
+}
+
+// MergeStrict is Merge, except that mixing protected and unprotected
+// results is an error instead of a flag: averaging across protection
+// configs silently blends two different machines' vulnerability.
+func MergeStrict(name string, results []*Result) (*Result, error) {
+	agg := Merge(name, results)
+	if agg.MixedProtection {
+		return nil, fmt.Errorf("core: merge %q mixes protected and unprotected results", name)
+	}
+	return agg, nil
 }
 
 // Utilization is the average structure occupancy of a fault-free run,

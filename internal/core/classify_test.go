@@ -11,7 +11,7 @@ import (
 
 // newTestEngine builds an engine positioned at a warmed-up checkpoint of
 // the given workload, with a golden continuation already recorded.
-func newTestEngine(t *testing.T, w *workload.Workload, warmup uint64) (*engine, *goldenRun) {
+func newTestEngine(t *testing.T, w *workload.Workload, warmup uint64) (*worker, *goldenRun) {
 	t.Helper()
 	prog, err := w.Program()
 	if err != nil {
@@ -29,7 +29,7 @@ func newTestEngine(t *testing.T, w *workload.Workload, warmup uint64) (*engine, 
 	}
 	cfg := Config{Workload: w}
 	cfg.setDefaults()
-	en := &engine{cfg: cfg, m: m, horizonG: uint64(cfg.Horizon + 2000)}
+	en := &worker{cfg: cfg, m: m, horizonG: uint64(cfg.Horizon + 2000)}
 
 	snap := m.Snapshot()
 	m.Mem.BeginUndo()
@@ -61,7 +61,7 @@ func flipRef(t *testing.T, m *uarch.Machine, elem string, entry, bit int) state.
 
 // runTargeted runs one trial with a flip of the given element bit, restoring
 // the machine afterwards.
-func runTargeted(t *testing.T, en *engine, g *goldenRun, elem string, entry, bit int) Trial {
+func runTargeted(t *testing.T, en *worker, g *goldenRun, elem string, entry, bit int) Trial {
 	t.Helper()
 	snap := en.m.Snapshot()
 	mark := en.m.Mem.Mark()

@@ -1,11 +1,8 @@
 package core
 
 import (
-	"fmt"
 	"math/rand"
-	"sort"
 
-	"pipefault/internal/mem"
 	"pipefault/internal/state"
 	"pipefault/internal/uarch"
 )
@@ -21,99 +18,79 @@ type goldenRun struct {
 	retired map[uint64]struct{} // shadow seqnos that commit
 }
 
-// Run executes a microarchitectural fault-injection campaign.
-func Run(cfg Config) (*Result, error) {
-	cfg.setDefaults()
-	prog, err := cfg.Workload.Program()
-	if err != nil {
-		return nil, err
-	}
-	ref, err := cfg.Workload.ComputeReference()
-	if err != nil {
-		return nil, err
-	}
-	ucfg := uarch.Config{Protect: cfg.Protect, Recovery: cfg.Recovery}
-
-	newMachine := func() *uarch.Machine {
-		mm := mem.New()
-		regs := prog.Load(mm)
-		return uarch.NewOnMemory(ucfg, mm, ref.Legal, prog.Entry, regs)
-	}
-
-	// Measurement pass: end-to-end golden cycle count.
-	meas := newMachine()
-	meas.Run(maxMeasureCycles)
-	if !meas.Halted() {
-		return nil, fmt.Errorf("core: %s did not halt within %d cycles", cfg.Workload.Name, uint64(maxMeasureCycles))
-	}
-	total := meas.Cycle
-	retiredTotal := meas.Retired
-
-	res := &Result{
-		Benchmark:   cfg.Workload.Name,
-		Protected:   cfg.Protect.Any(),
-		Pops:        make(map[string]*PopResult, len(cfg.Populations)),
-		Scatter:     make(map[string][]ScatterPoint, len(cfg.Populations)),
-		TotalCycles: total,
-		IPC:         float64(retiredTotal) / float64(total),
-	}
-	for _, p := range cfg.Populations {
-		res.Pops[p.Name] = &PopResult{Name: p.Name}
-	}
-
-	// Choose checkpoint cycles.
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	horizonG := uint64(cfg.Horizon + 2000)
-	lo := uint64(cfg.WarmupCycles)
-	hi := uint64(0)
-	if total > horizonG+500 {
-		hi = total - horizonG - 500
-	}
-	if hi <= lo {
-		lo = total / 10
-		hi = total / 2
-		if hi <= lo {
-			return nil, fmt.Errorf("core: %s too short (%d cycles) for checkpointing", cfg.Workload.Name, total)
-		}
-	}
-	cycles := make([]uint64, cfg.Checkpoints)
-	for i := range cycles {
-		cycles[i] = lo + uint64(rng.Int63n(int64(hi-lo)))
-	}
-	sort.Slice(cycles, func(i, j int) bool { return cycles[i] < cycles[j] })
-
-	// Campaign pass.
-	eng := &engine{cfg: cfg, m: newMachine(), rng: rng, horizonG: horizonG}
-	for ck, cyc := range cycles {
-		for eng.m.Cycle < cyc && !eng.m.Halted() {
-			eng.m.Step()
-		}
-		if eng.m.Halted() {
-			break
-		}
-		eng.checkpoint(ck, res)
-	}
-	return res, nil
+// ckResult is one checkpoint's complete outcome: per-population trial lists
+// plus the Figure 6 scatter inputs. Workers send one over the scheduler's
+// channel; aggregation replays them in checkpoint order so the assembled
+// Result is independent of worker count and completion order.
+type ckResult struct {
+	ck         int
+	validInsns int
+	pops       []popTrials // aligned with Config.Populations
 }
 
-type engine struct {
+// popTrials is one population's share of a checkpoint.
+type popTrials struct {
+	trials []Trial
+	benign int
+}
+
+// worker runs the golden continuations and trials of its assigned
+// checkpoints on a private machine. Workers never share mutable state; the
+// scheduler hands each one a cloned machine and a disjoint checkpoint set.
+type worker struct {
 	cfg      Config
 	m        *uarch.Machine
-	rng      *rand.Rand
 	horizonG uint64
 }
 
+// run advances the worker's machine through its checkpoints (assigned in
+// ascending cycle order) and sends one ckResult per checkpoint reached. A
+// machine that architecturally halts before reaching a checkpoint skips
+// that checkpoint and all later ones, exactly as the serial engine did.
+func (w *worker) run(cks []int, cycles []uint64, out chan<- *ckResult) {
+	for _, ck := range cks {
+		for w.m.Cycle < cycles[ck] && !w.m.Halted() {
+			w.m.Step()
+		}
+		if w.m.Halted() {
+			return
+		}
+		out <- w.checkpoint(ck)
+	}
+}
+
+// checkpointSeed derives the per-checkpoint RNG seed from the campaign seed
+// and the checkpoint index via two splitmix64 rounds. Trials therefore
+// depend only on (Seed, checkpoint index), never on which worker executes
+// the checkpoint or in what order — the determinism contract that makes
+// Workers:1 and Workers:N bit-identical.
+func checkpointSeed(seed int64, ck int) int64 {
+	return int64(splitmix64(splitmix64(uint64(seed)) ^ uint64(ck)))
+}
+
+// splitmix64 is the SplitMix64 finalizer (Steele et al.), a bijective
+// avalanche mix.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
 // checkpoint runs the golden continuation and all trial populations at the
-// machine's current cycle, then restores the machine to continue to the
-// next checkpoint.
-func (en *engine) checkpoint(ck int, res *Result) {
-	m := en.m
+// machine's current cycle, then restores the machine so it can continue to
+// the worker's next checkpoint.
+func (w *worker) checkpoint(ck int) *ckResult {
+	m := w.m
 	snap := m.Snapshot()
 	m.Mem.BeginUndo()
 
 	// Golden continuation.
 	g := &goldenRun{
-		digests: make([]uint64, 0, en.horizonG),
+		digests: make([]uint64, 0, w.horizonG),
 		retired: make(map[uint64]struct{}),
 	}
 	mark := m.Mem.Mark()
@@ -121,7 +98,7 @@ func (en *engine) checkpoint(ck int, res *Result) {
 		g.events = append(g.events, ev)
 		g.retired[ev.Seq] = struct{}{}
 	}
-	for i := uint64(0); i < en.horizonG; i++ {
+	for i := uint64(0); i < w.horizonG; i++ {
 		m.Step()
 		g.digests = append(g.digests, m.Digest())
 	}
@@ -136,35 +113,31 @@ func (en *engine) checkpoint(ck int, res *Result) {
 		}
 	}
 
-	for _, pop := range en.cfg.Populations {
-		pr := res.Pops[pop.Name]
-		benign := 0
+	rng := rand.New(rand.NewSource(checkpointSeed(w.cfg.Seed, ck)))
+	cr := &ckResult{ck: ck, validInsns: validInsns, pops: make([]popTrials, len(w.cfg.Populations))}
+	for pi, pop := range w.cfg.Populations {
+		pt := &cr.pops[pi]
 		for t := 0; t < pop.Trials; t++ {
-			bit := m.F.RandomBit(en.rng, pop.LatchOnly)
+			bit := m.F.RandomBit(rng, pop.LatchOnly)
 			tmark := m.Mem.Mark()
-			trial := en.runTrial(g, bit)
+			trial := w.runTrial(g, bit)
 			trial.Checkpoint = int32(ck)
 			m.Restore(snap)
 			m.Mem.RollbackTo(tmark)
-			pr.Trials = append(pr.Trials, trial)
+			pt.trials = append(pt.trials, trial)
 			if trial.Outcome == OutMatch || trial.Outcome == OutGray {
-				benign++
+				pt.benign++
 			}
 		}
-		res.Scatter[pop.Name] = append(res.Scatter[pop.Name], ScatterPoint{
-			Checkpoint: ck,
-			ValidInsns: validInsns,
-			Benign:     benign,
-			Trials:     pop.Trials,
-		})
 	}
 	m.Mem.Rollback()
+	return cr
 }
 
 // runTrial flips one bit and monitors the machine against the golden
 // continuation, implementing the Section 2.2 classification.
-func (en *engine) runTrial(g *goldenRun, bit state.BitRef) Trial {
-	m := en.m
+func (w *worker) runTrial(g *goldenRun, bit state.BitRef) Trial {
+	m := w.m
 	trial := Trial{
 		Category: bit.Elem.Category(),
 		Kind:     bit.Elem.Kind(),
@@ -224,7 +197,7 @@ func (en *engine) runTrial(g *goldenRun, bit state.BitRef) Trial {
 	noRetire := 0
 	itlbCnt := 0
 	lastRetired := m.Retired
-	for cyc := 1; cyc <= en.cfg.Horizon; cyc++ {
+	for cyc := 1; cyc <= w.cfg.Horizon; cyc++ {
 		m.Step()
 		trial.Cycles = int32(cyc)
 		switch {
@@ -240,7 +213,7 @@ func (en *engine) runTrial(g *goldenRun, bit state.BitRef) Trial {
 			noRetire = 0
 		} else {
 			noRetire++
-			if noRetire >= en.cfg.LockedCycles {
+			if noRetire >= w.cfg.LockedCycles {
 				trial.Outcome, trial.Mode = OutTerminated, FailLocked
 				return trial
 			}

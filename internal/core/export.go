@@ -7,12 +7,13 @@ import (
 
 // exportResult is the stable JSON shape of a campaign result.
 type exportResult struct {
-	Benchmark   string                  `json:"benchmark"`
-	Protected   bool                    `json:"protected"`
-	TotalCycles uint64                  `json:"total_cycles"`
-	IPC         float64                 `json:"ipc"`
-	Populations map[string]exportPop    `json:"populations"`
-	Scatter     map[string][]exportScat `json:"scatter"`
+	Benchmark       string                  `json:"benchmark"`
+	Protected       bool                    `json:"protected"`
+	MixedProtection bool                    `json:"mixed_protection,omitempty"`
+	TotalCycles     uint64                  `json:"total_cycles"`
+	IPC             float64                 `json:"ipc"`
+	Populations     map[string]exportPop    `json:"populations"`
+	Scatter         map[string][]exportScat `json:"scatter"`
 }
 
 type exportPop struct {
@@ -35,12 +36,13 @@ type exportScat struct {
 // WriteJSON serializes the campaign result for external tooling.
 func (r *Result) WriteJSON(w io.Writer) error {
 	out := exportResult{
-		Benchmark:   r.Benchmark,
-		Protected:   r.Protected,
-		TotalCycles: r.TotalCycles,
-		IPC:         r.IPC,
-		Populations: make(map[string]exportPop, len(r.Pops)),
-		Scatter:     make(map[string][]exportScat, len(r.Scatter)),
+		Benchmark:       r.Benchmark,
+		Protected:       r.Protected,
+		MixedProtection: r.MixedProtection,
+		TotalCycles:     r.TotalCycles,
+		IPC:             r.IPC,
+		Populations:     make(map[string]exportPop, len(r.Pops)),
+		Scatter:         make(map[string][]exportScat, len(r.Scatter)),
 	}
 	for name, p := range r.Pops {
 		ep := exportPop{

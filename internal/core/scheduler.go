@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"pipefault/internal/mem"
+	"pipefault/internal/uarch"
+)
+
+// Run executes a microarchitectural fault-injection campaign.
+//
+// The campaign is sharded across Config.Workers goroutines: checkpoints are
+// dealt round-robin to workers, each worker owns a private machine (cloned
+// from one shared warm-up pre-pass) and advances it monotonically through
+// its checkpoints, running the golden continuation and every trial locally.
+// Per-checkpoint results stream back over a channel and are aggregated in
+// checkpoint order, and trial RNGs are derived from (Seed, checkpoint
+// index), so the assembled Result is bit-identical for any worker count.
+func Run(cfg Config) (*Result, error) {
+	cfg.setDefaults()
+	prog, err := cfg.Workload.Program()
+	if err != nil {
+		return nil, err
+	}
+	ref, err := cfg.Workload.ComputeReference()
+	if err != nil {
+		return nil, err
+	}
+	ucfg := uarch.Config{Protect: cfg.Protect, Recovery: cfg.Recovery}
+
+	newMachine := func() *uarch.Machine {
+		mm := mem.New()
+		regs := prog.Load(mm)
+		return uarch.NewOnMemory(ucfg, mm, ref.Legal, prog.Entry, regs)
+	}
+
+	// Measurement pass: end-to-end golden cycle count.
+	meas := newMachine()
+	meas.Run(maxMeasureCycles)
+	if !meas.Halted() {
+		return nil, fmt.Errorf("core: %s did not halt within %d cycles", cfg.Workload.Name, uint64(maxMeasureCycles))
+	}
+	total := meas.Cycle
+	retiredTotal := meas.Retired
+
+	res := &Result{
+		Benchmark:   cfg.Workload.Name,
+		Protected:   cfg.Protect.Any(),
+		Pops:        make(map[string]*PopResult, len(cfg.Populations)),
+		Scatter:     make(map[string][]ScatterPoint, len(cfg.Populations)),
+		TotalCycles: total,
+		IPC:         float64(retiredTotal) / float64(total),
+	}
+	for _, p := range cfg.Populations {
+		res.Pops[p.Name] = &PopResult{Name: p.Name}
+	}
+
+	// Choose checkpoint cycles.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	horizonG := uint64(cfg.Horizon + 2000)
+	lo := uint64(cfg.WarmupCycles)
+	hi := uint64(0)
+	if total > horizonG+500 {
+		hi = total - horizonG - 500
+	}
+	if hi <= lo {
+		lo = total / 10
+		hi = total / 2
+		if hi <= lo {
+			return nil, fmt.Errorf("core: %s too short (%d cycles) for checkpointing", cfg.Workload.Name, total)
+		}
+	}
+	cycles := make([]uint64, cfg.Checkpoints)
+	for i := range cycles {
+		cycles[i] = lo + uint64(rng.Int63n(int64(hi-lo)))
+	}
+	sort.Slice(cycles, func(i, j int) bool { return cycles[i] < cycles[j] })
+
+	// Shared pre-pass: one machine runs the warm-up to the earliest
+	// checkpoint; workers clone it rather than each re-simulating the
+	// warm-up region.
+	template := newMachine()
+	for _, pop := range cfg.Populations {
+		if template.F.InjectableBits(pop.LatchOnly) == 0 {
+			return nil, fmt.Errorf("core: population %q has no injectable bits", pop.Name)
+		}
+	}
+	for template.Cycle < cycles[0] && !template.Halted() {
+		template.Step()
+	}
+	if template.Halted() {
+		return res, nil // no checkpoint is reachable; defensive, cycles[0] < total
+	}
+
+	nw := cfg.Workers
+	if nw > len(cycles) {
+		nw = len(cycles)
+	}
+	if nw < 1 {
+		nw = 1
+	}
+
+	// Clone every worker machine before any worker starts stepping: the
+	// template is worker 0's machine, so cloning after launch would race
+	// with it.
+	machines := make([]*uarch.Machine, nw)
+	machines[0] = template
+	for i := 1; i < nw; i++ {
+		machines[i] = template.Clone()
+	}
+
+	// Round-robin checkpoint assignment keeps each worker's cycle list
+	// ascending (cycles are sorted) and balances load.
+	resCh := make(chan *ckResult, len(cycles))
+	var wg sync.WaitGroup
+	for i := 0; i < nw; i++ {
+		var cks []int
+		for ck := i; ck < len(cycles); ck += nw {
+			cks = append(cks, ck)
+		}
+		w := &worker{cfg: cfg, m: machines[i], horizonG: horizonG}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.run(cks, cycles, resCh)
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(resCh)
+	}()
+
+	// Deterministic, checkpoint-ordered aggregation: bucket by checkpoint
+	// index as results arrive, then fold in index order.
+	byCk := make([]*ckResult, len(cycles))
+	for cr := range resCh {
+		byCk[cr.ck] = cr
+	}
+	for _, cr := range byCk {
+		if cr == nil {
+			continue // machine halted before this checkpoint
+		}
+		for pi, pop := range cfg.Populations {
+			pt := &cr.pops[pi]
+			pr := res.Pops[pop.Name]
+			pr.Trials = append(pr.Trials, pt.trials...)
+			res.Scatter[pop.Name] = append(res.Scatter[pop.Name], ScatterPoint{
+				Checkpoint: cr.ck,
+				ValidInsns: cr.validInsns,
+				Benign:     pt.benign,
+				Trials:     pop.Trials,
+			})
+		}
+	}
+	return res, nil
+}

@@ -195,6 +195,9 @@ func (en *SoftEngine) softTrial(model FaultModel, rng *rand.Rand) (SoftOutcome, 
 		}
 		target = uint64(rng.Int63n(int64(en.condBrs)))
 	default:
+		if ref.DynInsns == 0 {
+			return 0, false, fmt.Errorf("core: %s has no dynamic instructions", en.w.Name)
+		}
 		target = uint64(rng.Int63n(int64(ref.DynInsns)))
 	}
 

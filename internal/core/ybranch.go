@@ -65,6 +65,9 @@ func RunYBranch(w *workload.Workload, trials int, seed int64) (*YBranchResult, e
 
 // yTrial runs one forced inversion.
 func (en *SoftEngine) yTrial(rng *rand.Rand, res *YBranchResult) error {
+	if en.condBrs == 0 {
+		return fmt.Errorf("core: %s has no conditional branches", en.w.Name)
+	}
 	target := uint64(rng.Int63n(int64(en.condBrs)))
 
 	// Advance a CPU to just before the target conditional branch.

@@ -70,6 +70,37 @@ func NewOnMemory(cfg Config, memory *mem.Memory, legal *mem.PageSet, entry uint6
 	return m
 }
 
+// Clone returns an independent machine with identical configuration and
+// state: the state file contents, instrumentation shadows and memory image
+// are deep-copied, so the clone and the original can step concurrently.
+// The legal page set is shared (it is immutable after construction), event
+// callbacks are not carried over, and the original's memory undo log is not
+// cloned. Clone is how the parallel campaign engine hands a warmed-up
+// machine to each worker.
+func (m *Machine) Clone() *Machine {
+	f := state.New()
+	e := buildElems(f, m.Cfg.Protect)
+	f.Freeze()
+	c := &Machine{
+		Cfg:     m.Cfg,
+		F:       f,
+		Mem:     m.Mem.Clone(),
+		Legal:   m.Legal,
+		e:       e,
+		Cycle:   m.Cycle,
+		nextSeq: m.nextSeq,
+		seqFQ:   m.seqFQ,
+		seqDE:   m.seqDE,
+		seqRN:   m.seqRN,
+		seqROB:  m.seqROB,
+		Retired: m.Retired,
+	}
+	// Identical Protect config gives an identical element layout, so a
+	// snapshot transfers directly between the two state files.
+	c.F.Restore(m.F.Snapshot())
+	return c
+}
+
 // reset initializes architectural and renaming state.
 func (m *Machine) reset(entry uint64, regs [isa.NumArchRegs]uint64) {
 	e := m.e

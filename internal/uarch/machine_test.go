@@ -354,3 +354,56 @@ func TestNewOnMemorySharedImage(t *testing.T) {
 		t.Error("NewOnMemory machine did not complete")
 	}
 }
+
+// TestCloneIndependence: a clone must start bit-identical to the original,
+// evolve identically when stepped in lockstep, and diverge without
+// affecting the original when perturbed.
+func TestCloneIndependence(t *testing.T) {
+	m := tinyMachine(t, Config{})
+	for i := 0; i < 400; i++ {
+		m.Step()
+	}
+	c := m.Clone()
+	if c.Digest() != m.Digest() || c.Cycle != m.Cycle || c.Retired != m.Retired {
+		t.Fatalf("clone differs at birth: %v vs %v", c, m)
+	}
+	if !c.Mem.Equal(m.Mem) {
+		t.Fatal("clone memory differs at birth")
+	}
+	// Lockstep: identical per-cycle digests.
+	for i := 0; i < 300; i++ {
+		m.Step()
+		c.Step()
+		if c.Digest() != m.Digest() {
+			t.Fatalf("lockstep divergence at cycle %d", m.Cycle)
+		}
+	}
+	// Perturb the clone; the original must be unaffected.
+	before := m.Digest()
+	c.e.fePC.Set(0, c.e.fePC.Get(0)^0xfff)
+	c.Mem.StoreByte(0x1000, 0xAB)
+	if m.Digest() != before {
+		t.Error("perturbing the clone changed the original's state")
+	}
+	if m.Mem.LoadByte(0x1000) == 0xAB {
+		t.Error("perturbing the clone changed the original's memory")
+	}
+}
+
+// TestCloneRunsToCompletion: a clone taken mid-run finishes the program
+// with the same architectural result trace as the original.
+func TestCloneRunsToCompletion(t *testing.T) {
+	m := tinyMachine(t, Config{})
+	for i := 0; i < 500; i++ {
+		m.Step()
+	}
+	c := m.Clone()
+	m.Run(200_000)
+	c.Run(200_000)
+	if !m.Halted() || !c.Halted() {
+		t.Fatal("machines did not halt")
+	}
+	if m.Cycle != c.Cycle || m.Retired != c.Retired {
+		t.Errorf("end states differ: %v vs %v", m, c)
+	}
+}

@@ -119,14 +119,24 @@ func WorkloadByName(name string) *Workload {
 }
 
 // RunCampaign executes a microarchitectural fault-injection campaign
-// (Sections 2-4 of the paper).
+// (Sections 2-4 of the paper). Checkpoints are sharded across
+// cfg.Workers goroutines (default: all CPUs); the worker count never
+// affects the result, only wall-clock time.
 func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 	return core.Run(cfg)
 }
 
 // MergeResults aggregates per-benchmark results (the paper's averages).
+// Mixing protected and unprotected results sets the aggregate's
+// MixedProtection flag; use MergeResultsStrict to reject it instead.
 func MergeResults(name string, rs []*CampaignResult) *CampaignResult {
 	return core.Merge(name, rs)
+}
+
+// MergeResultsStrict is MergeResults, except that mixing protected and
+// unprotected results is an error.
+func MergeResultsStrict(name string, rs []*CampaignResult) (*CampaignResult, error) {
+	return core.MergeStrict(name, rs)
 }
 
 // NewSoftEngine profiles a workload for Section 5 software-level injection.
