@@ -1,0 +1,124 @@
+// Command pipelint runs the repository's custom static-analysis suite:
+//
+//	shadowstate  machine structs may not shadow the state.File bit-store
+//	cloneguard   Clone methods must stay in sync with struct declarations
+//	determinism  no unsorted map iteration, time.Now or global math/rand
+//	statereg     state-element registrations: unique names, valid
+//	             categories, sane geometry, Freeze-before-inject
+//
+// Usage:
+//
+//	pipelint [-only name[,name]] [packages]
+//
+// Packages default to ./... relative to the enclosing module. pipelint
+// exits 1 when any finding is reported, so CI can gate on it directly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"pipefault/internal/analysis"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	listFlag := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: pipelint [flags] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *listFlag {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		analyzers = selectAnalyzers(analyzers, *only)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := analysis.LoadModule(root, patterns)
+	if err != nil {
+		fatal(err)
+	}
+
+	var diags []analysis.Diagnostic
+	var fsetPkgs []*analysis.Package
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if a.Match != nil && !a.Match(pkg.Path) {
+				continue
+			}
+			pass := pkg.NewPass(a)
+			if err := a.Run(pass); err != nil {
+				fatal(fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err))
+			}
+			diags = append(diags, pass.Diagnostics()...)
+		}
+		fsetPkgs = append(fsetPkgs, pkg)
+	}
+	if len(diags) == 0 {
+		return
+	}
+
+	fset := fsetPkgs[0].Fset
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", pos, d.Analyzer, d.Message)
+	}
+	fmt.Fprintf(os.Stderr, "pipelint: %d finding(s)\n", len(diags))
+	os.Exit(1)
+}
+
+func selectAnalyzers(all []*analysis.Analyzer, only string) []*analysis.Analyzer {
+	want := make(map[string]bool)
+	for _, name := range strings.Split(only, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+	var out []*analysis.Analyzer
+	for _, a := range all {
+		if want[a.Name] {
+			out = append(out, a)
+			delete(want, a.Name)
+		}
+	}
+	for name := range want { //pipelint:unordered-ok error listing only; order irrelevant
+		fatal(fmt.Errorf("pipelint: unknown analyzer %q", name))
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

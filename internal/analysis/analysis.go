@@ -1,0 +1,227 @@
+// Package analysis implements pipelint, the static-analysis suite that
+// machine-checks the reproduction's two load-bearing conventions:
+//
+//   - bit-store completeness: every architected bit lives in a
+//     state.File, so fault injection is enumerable and the golden-run
+//     digest compare covers the entire machine (shadowstate, statereg);
+//   - parallel determinism: campaign results are bit-identical for any
+//     Workers count, which forbids unsorted map iteration and wall-clock
+//     or globally-seeded randomness in simulation code (determinism), and
+//     requires Clone methods to stay in sync with their struct
+//     declarations (cloneguard).
+//
+// The framework mirrors golang.org/x/tools/go/analysis (Analyzer, Pass,
+// Diagnostic) but is built entirely on the standard library's go/ast,
+// go/types and go/importer so the module stays dependency-free. The
+// cmd/pipelint driver loads every package of the module and applies each
+// analyzer to the packages its Match function selects.
+//
+// Findings are suppressed with targeted annotations that carry a reason:
+//
+//	//pipelint:shadow-ok <reason>    field legitimately outside the bit-store
+//	//pipelint:clone-ok <reason>     field deliberately not copied by Clone
+//	//pipelint:unordered-ok <reason> map iteration whose result is order-free
+//
+// An annotation without a reason is itself a finding: the point is that
+// every exemption is explicit in source, not implicit in reviewers' heads.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer describes one pipelint check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Match restricts the package import paths the driver applies the
+	// analyzer to. A nil Match means every package. Test harnesses call
+	// Run directly and bypass Match.
+	Match func(pkgPath string) bool
+	// Run executes the analyzer over one package.
+	Run func(*Pass) error
+}
+
+// All returns the full pipelint suite in fixed order.
+func All() []*Analyzer {
+	return []*Analyzer{ShadowState, CloneGuard, Determinism, StateReg}
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// A Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostics returns the findings recorded so far.
+func (p *Pass) Diagnostics() []Diagnostic { return p.diags }
+
+// FileFor returns the syntax file containing pos, or nil.
+func (p *Pass) FileFor(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// annotationIn scans a comment group for a "pipelint:<marker>" directive
+// and reports whether it was found and whether a non-empty reason follows.
+func annotationIn(cg *ast.CommentGroup, marker string) (found, hasReason bool) {
+	if cg == nil {
+		return false, false
+	}
+	for _, c := range cg.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		text = strings.TrimSpace(text)
+		if !strings.HasPrefix(text, "pipelint:"+marker) {
+			continue
+		}
+		rest := strings.TrimPrefix(text, "pipelint:"+marker)
+		return true, strings.TrimSpace(rest) != ""
+	}
+	return false, false
+}
+
+// Annotation reports whether node carries a pipelint:<marker> directive,
+// either as a trailing comment on the node's first line or as a comment
+// group ending on the line immediately above it, and whether the directive
+// includes a reason.
+func (p *Pass) Annotation(node ast.Node, marker string) (found, hasReason bool) {
+	file := p.FileFor(node.Pos())
+	if file == nil {
+		return false, false
+	}
+	line := p.Fset.Position(node.Pos()).Line
+	for _, cg := range file.Comments {
+		end := p.Fset.Position(cg.End()).Line
+		if end != line && end != line-1 {
+			continue
+		}
+		if f, r := annotationIn(cg, marker); f {
+			return f, r
+		}
+	}
+	return false, false
+}
+
+// fieldAnnotation checks a struct field's doc comment and trailing line
+// comment for a pipelint:<marker> directive.
+func fieldAnnotation(field *ast.Field, marker string) (found, hasReason bool) {
+	if f, r := annotationIn(field.Doc, marker); f {
+		return f, r
+	}
+	return annotationIn(field.Comment, marker)
+}
+
+// reportFieldUnlessAnnotated records a finding at pos unless the field
+// carries the marker annotation; an annotation without a reason is reported
+// as its own finding so exemptions always say why.
+func (p *Pass) reportFieldUnlessAnnotated(field *ast.Field, pos token.Pos, name, marker, format string, args ...any) {
+	found, hasReason := fieldAnnotation(field, marker)
+	if !found {
+		p.Reportf(pos, format, args...)
+		return
+	}
+	if !hasReason {
+		p.Reportf(pos, "pipelint:%s annotation on %s needs a reason", marker, name)
+	}
+}
+
+// --- shared type predicates ---
+
+// isStateFilePtr reports whether t is *state.File (matched by package name
+// and type name so analysistest fixtures can emulate the real package).
+func isStateFilePtr(t types.Type) bool {
+	return isPtrToNamed(t, "state", "File")
+}
+
+// isMachinePtr reports whether t is a pointer to a named struct type that
+// itself holds a *state.File field — i.e. a handle on a whole machine.
+func isMachinePtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isStateFilePtr(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isPtrToNamed reports whether t is a pointer to the named type
+// pkgName.typeName.
+func isPtrToNamed(t types.Type, pkgName, typeName string) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Name() == pkgName && obj.Name() == typeName
+}
+
+// namedTypeName returns the bare name of t's named type (through one
+// pointer indirection), or "".
+func namedTypeName(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// pathContainsAny reports whether path contains any of the given fragments
+// (the driver-side package scoping used by Match functions).
+func pathContainsAny(path string, fragments ...string) bool {
+	for _, f := range fragments {
+		if strings.Contains(path, f) {
+			return true
+		}
+	}
+	return false
+}

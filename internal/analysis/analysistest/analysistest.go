@@ -1,0 +1,129 @@
+// Package analysistest runs pipelint analyzers over fixture packages and
+// checks their findings against inline expectations, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the standard library
+// only.
+//
+// Fixtures live under testdata/src/<importpath>/ and may import each other
+// by those paths (plus the standard library). A line that should be
+// flagged carries a trailing comment of the form
+//
+//	x := ... // want "regexp matching the diagnostic"
+//
+// Every diagnostic must match a want on its line and every want must be
+// matched by a diagnostic, so fixtures double as positive and negative
+// cases.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"pipefault/internal/analysis"
+)
+
+var wantRe = regexp.MustCompile(`//\s*want\s+"((?:[^"\\]|\\.)*)"`)
+
+// Run loads each fixture package under testdata/src, applies the analyzer,
+// and reports mismatches between findings and want expectations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	loader := analysis.NewLoader()
+	loader.Resolve = func(importPath string) string {
+		dir := filepath.Join(testdata, "src", filepath.FromSlash(importPath))
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			return dir
+		}
+		return ""
+	}
+	for _, path := range pkgPaths {
+		dir := loader.Resolve(path)
+		if dir == "" {
+			t.Errorf("%s: fixture package %q not found under %s/src", a.Name, path, testdata)
+			continue
+		}
+		pkg, err := loader.LoadDir(dir, path)
+		if err != nil {
+			t.Errorf("%s: loading %s: %v", a.Name, path, err)
+			continue
+		}
+		pass := pkg.NewPass(a)
+		if err := a.Run(pass); err != nil {
+			t.Errorf("%s: running over %s: %v", a.Name, path, err)
+			continue
+		}
+		checkExpectations(t, a.Name, pkg, pass.Diagnostics())
+	}
+}
+
+// expectation is one unmatched want comment.
+type expectation struct {
+	rx      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+func checkExpectations(t *testing.T, name string, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		key := posKey(pos)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.rx.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected finding at %s: %s", name, pos, d.Message)
+		}
+	}
+	for key, ws := range wants { //pipelint:unordered-ok test-failure listing only
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected finding matching %q at %s, got none", name, w.raw, key)
+			}
+		}
+	}
+}
+
+// collectWants scans fixture sources for want comments keyed by file:line.
+func collectWants(t *testing.T, pkg *analysis.Package) map[string][]*expectation {
+	t.Helper()
+	wants := make(map[string][]*expectation)
+	seen := make(map[string]bool)
+	for _, f := range pkg.Files {
+		filename := pkg.Fset.Position(f.Pos()).Filename
+		if seen[filename] {
+			continue
+		}
+		seen[filename] = true
+		data, err := os.ReadFile(filename)
+		if err != nil {
+			t.Fatalf("reading fixture %s: %v", filename, err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				pattern := m[1]
+				rx, err := regexp.Compile(pattern)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", filename, i+1, pattern, err)
+				}
+				key := fmt.Sprintf("%s:%d", filename, i+1)
+				wants[key] = append(wants[key], &expectation{rx: rx, raw: pattern})
+			}
+		}
+	}
+	return wants
+}
+
+func posKey(pos token.Position) string {
+	return fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+}

@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CloneGuard enforces the Clone completeness contract: every field of a
+// struct with a Clone method must either be mentioned by the Clone body
+// (copied, rebuilt or explicitly consumed) or carry a
+// //pipelint:clone-ok <reason> annotation. The parallel campaign engine
+// hands each worker a Clone of the warmed-up machine, so a field added to
+// the struct but forgotten in Clone silently breaks the Workers:1 ≡
+// Workers:N equivalence — the exact bug class this analyzer kills.
+var CloneGuard = &Analyzer{
+	Name: "cloneguard",
+	Doc: "cross-check struct declarations against their Clone methods; " +
+		"fields neither copied nor annotated //pipelint:clone-ok are findings",
+	Run: runCloneGuard,
+}
+
+func runCloneGuard(pass *Pass) error {
+	structs := collectStructDecls(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Name.Name != "Clone" || fn.Recv == nil || fn.Body == nil {
+				continue
+			}
+			recvType := receiverNamed(pass, fn)
+			if recvType == nil {
+				continue
+			}
+			sd, ok := structs[recvType.Obj().Name()]
+			if !ok {
+				continue
+			}
+			checkClone(pass, fn, recvType, sd)
+		}
+	}
+	return nil
+}
+
+// structDecl pairs a struct type's AST with its name.
+type structDecl struct {
+	name string
+	st   *ast.StructType
+}
+
+// collectStructDecls indexes the package's struct type declarations by name.
+func collectStructDecls(pass *Pass) map[string]*structDecl {
+	out := make(map[string]*structDecl)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			if st, ok := ts.Type.(*ast.StructType); ok {
+				out[ts.Name.Name] = &structDecl{name: ts.Name.Name, st: st}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// receiverNamed resolves a method's receiver to its named struct type.
+func receiverNamed(pass *Pass, fn *ast.FuncDecl) *types.Named {
+	if len(fn.Recv.List) != 1 {
+		return nil
+	}
+	t := pass.Info.TypeOf(fn.Recv.List[0].Type)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return nil
+	}
+	return named
+}
+
+func checkClone(pass *Pass, fn *ast.FuncDecl, recv *types.Named, decl *structDecl) {
+	handled := handledFields(pass, fn, recv)
+	if handled[derefCopy] {
+		// `out := *c` copies every field at once; the deep-copy fixups
+		// that follow are refinements, not the completeness proof.
+		return
+	}
+	for _, field := range decl.st.Fields.List {
+		for _, name := range field.Names {
+			if handled[name.Name] {
+				continue
+			}
+			pass.reportFieldUnlessAnnotated(field, name.Pos(), name.Name, "clone-ok",
+				"field %s.%s is not handled by (%s).Clone; copy it or annotate "+
+					"//pipelint:clone-ok <reason>", decl.name, name.Name, decl.name)
+		}
+		if len(field.Names) == 0 {
+			// Embedded field: handled when its type name is mentioned.
+			name := namedTypeName(pass.Info.TypeOf(field.Type))
+			if name != "" && !handled[name] {
+				pass.reportFieldUnlessAnnotated(field, field.Pos(), name, "clone-ok",
+					"embedded field %s.%s is not handled by (%s).Clone; copy it or annotate "+
+						"//pipelint:clone-ok <reason>", decl.name, name, decl.name)
+			}
+		}
+	}
+}
+
+// derefCopy is the sentinel key recording that the Clone body performs a
+// whole-struct dereference copy (`out := *c`), which handles every field.
+const derefCopy = "*"
+
+// handledFields walks a Clone body and records every field of the receiver
+// type that the method mentions, either through a field selection on a
+// value of the receiver type (m.F, c.F) or as a key of a composite literal
+// of the receiver type. A dereference of the receiver pointer itself marks
+// all fields handled via the derefCopy sentinel.
+func handledFields(pass *Pass, fn *ast.FuncDecl, recv *types.Named) map[string]bool {
+	handled := make(map[string]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.StarExpr:
+			if sameNamed(pass.Info.TypeOf(n.X), recv) {
+				handled[derefCopy] = true
+			}
+		case *ast.SelectorExpr:
+			sel, ok := pass.Info.Selections[n]
+			if !ok || sel.Kind() != types.FieldVal {
+				return true
+			}
+			if sameNamed(sel.Recv(), recv) {
+				handled[n.Sel.Name] = true
+			}
+		case *ast.CompositeLit:
+			t := pass.Info.TypeOf(n)
+			if !sameNamed(t, recv) {
+				return true
+			}
+			for _, elt := range n.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					if key, ok := kv.Key.(*ast.Ident); ok {
+						handled[key.Name] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return handled
+}
+
+// sameNamed reports whether t (through one pointer) is the named type n.
+func sameNamed(t types.Type, n *types.Named) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj() == n.Obj()
+}

@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism enforces the Workers:1 ≡ Workers:N reproducibility contract
+// in simulation and reporting code: campaign results must be a pure
+// function of (workload, config, seed). It forbids
+//
+//   - ranging over a map (iteration order is randomized per run) unless
+//     the loop only collects keys for sorting or is annotated
+//     //pipelint:unordered-ok <reason>;
+//   - time.Now (wall-clock input);
+//   - the global math/rand top-level functions, whose shared RNG is
+//     seeded unpredictably — explicit rand.New(rand.NewSource(seed))
+//     instances are the only sanctioned randomness.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "forbid unsorted map iteration, time.Now and global math/rand " +
+		"functions in simulation code",
+	Match: func(path string) bool {
+		return pathContainsAny(path, "internal/uarch", "internal/core", "internal/report")
+	},
+	Run: runDeterminism,
+}
+
+// randAllowed lists the math/rand (and v2) constructors that build
+// explicitly seeded generators; everything else at package level draws
+// from the shared global RNG.
+var randAllowed = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runDeterminism(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkMapRange(pass *Pass, rs *ast.RangeStmt) {
+	t := pass.Info.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	if isKeyCollectLoop(rs) {
+		return
+	}
+	if found, hasReason := pass.Annotation(rs, "unordered-ok"); found {
+		if !hasReason {
+			pass.Reportf(rs.Pos(), "pipelint:unordered-ok annotation needs a reason")
+		}
+		return
+	}
+	pass.Reportf(rs.Pos(), "map iteration order is nondeterministic; collect and "+
+		"sort the keys before emitting, or annotate //pipelint:unordered-ok <reason> "+
+		"if the loop body is order-independent")
+}
+
+// isKeyCollectLoop recognizes the canonical sort idiom
+//
+//	for k := range m { keys = append(keys, k) }
+//
+// whose nondeterminism is erased by the sort that follows.
+func isKeyCollectLoop(rs *ast.RangeStmt) bool {
+	if rs.Value != nil || rs.Key == nil {
+		return false
+	}
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" {
+		return false
+	}
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	assign, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return false
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	arg, ok := call.Args[1].(*ast.Ident)
+	return ok && arg.Name == key.Name
+}
+
+func checkCall(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil {
+		return
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return // methods (e.g. on an explicit *rand.Rand) are fine
+	}
+	switch obj.Pkg().Path() {
+	case "time":
+		if obj.Name() == "Now" {
+			pass.Reportf(call.Pos(), "time.Now makes simulation output depend on the "+
+				"wall clock; thread timing through configuration instead")
+		}
+	case "math/rand", "math/rand/v2":
+		if !randAllowed[obj.Name()] {
+			pass.Reportf(call.Pos(), "global rand.%s draws from the shared process-wide "+
+				"RNG; use an explicit rand.New(rand.NewSource(seed)) so trials are "+
+				"reproducible", obj.Name())
+		}
+	}
+}

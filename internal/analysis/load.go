@@ -1,0 +1,305 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// NewPass prepares an analyzer pass over the package.
+func (p *Package) NewPass(a *Analyzer) *Pass {
+	return &Pass{Analyzer: a, Fset: p.Fset, Files: p.Files, Pkg: p.Types, Info: p.Info}
+}
+
+// A Loader parses and type-checks packages from source. In-module imports
+// are resolved through Resolve and loaded recursively; everything else
+// falls back to the compiled standard library's export data, so loading
+// needs no network and no third-party tooling.
+type Loader struct {
+	Fset *token.FileSet
+	// Resolve maps an import path to its source directory, or "" when the
+	// path is not provided from source (i.e. standard library).
+	Resolve func(importPath string) string
+
+	std   types.Importer
+	cache map[string]*loadEntry
+}
+
+type loadEntry struct {
+	pkg *Package
+	err error
+}
+
+// NewLoader returns a Loader with an empty resolver (stdlib only).
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:  fset,
+		std:   importer.ForCompiler(fset, "gc", nil),
+		cache: make(map[string]*loadEntry),
+	}
+}
+
+// Import implements types.Importer over the resolver chain.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if dir := l.Resolve(path); dir != "" {
+		pkg, err := l.LoadDir(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// LoadDir parses and type-checks the package in dir under the given import
+// path. Test files (*_test.go) are excluded: pipelint checks the shipped
+// simulator, and test packages would drag in external test deps.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	if e, ok := l.cache[importPath]; ok {
+		return e.pkg, e.err
+	}
+	// Seed the cache entry first so import cycles fail fast instead of
+	// recursing forever.
+	entry := &loadEntry{err: fmt.Errorf("analysis: import cycle through %q", importPath)}
+	l.cache[importPath] = entry
+
+	files, err := l.parseDir(dir)
+	if err == nil && len(files) == 0 {
+		err = fmt.Errorf("analysis: no buildable Go files in %s", dir)
+	}
+	if err != nil {
+		entry.pkg, entry.err = nil, err
+		return nil, err
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var typeErr error
+	conf := types.Config{
+		Importer: l,
+		Error: func(err error) {
+			if typeErr == nil {
+				typeErr = err
+			}
+		},
+	}
+	tpkg, err := conf.Check(importPath, l.Fset, files, info)
+	if err != nil && typeErr != nil {
+		err = typeErr
+	}
+	if err != nil {
+		entry.pkg, entry.err = nil, fmt.Errorf("analysis: type-checking %s: %w", importPath, err)
+		return nil, entry.err
+	}
+	entry.pkg = &Package{
+		Path: importPath, Dir: dir, Fset: l.Fset,
+		Files: files, Types: tpkg, Info: info,
+	}
+	entry.err = nil
+	return entry.pkg, nil
+}
+
+// parseDir parses the non-test Go files of one directory.
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	names, err := buildableGoFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		if ignoredByBuildTag(f) {
+			continue
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// buildableGoFiles lists the candidate Go file names of dir in sorted order.
+func buildableGoFiles(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, ent := range ents {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, "_") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// ignoredByBuildTag reports whether the file opts out of the default build
+// (pipelint analyzes the default configuration only).
+func ignoredByBuildTag(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() > f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if strings.HasPrefix(text, "go:build") {
+				return true // any constrained file is out of scope
+			}
+		}
+	}
+	return false
+}
+
+// LoadModule loads the packages of the Go module rooted at root that match
+// the given patterns ("./..." recursively, or individual directories).
+// Packages are returned in sorted import-path order.
+func LoadModule(root string, patterns []string) ([]*Package, error) {
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	loader := NewLoader()
+	loader.Resolve = func(importPath string) string {
+		if importPath == modPath {
+			return root
+		}
+		if rest, ok := strings.CutPrefix(importPath, modPath+"/"); ok {
+			return filepath.Join(root, filepath.FromSlash(rest))
+		}
+		return ""
+	}
+
+	dirs := make(map[string]bool)
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			if err := walkPackageDirs(root, dirs); err != nil {
+				return nil, err
+			}
+		case strings.HasSuffix(pat, "/..."):
+			sub := filepath.Join(root, filepath.FromSlash(strings.TrimSuffix(pat, "/...")))
+			if err := walkPackageDirs(sub, dirs); err != nil {
+				return nil, err
+			}
+		default:
+			dirs[filepath.Join(root, filepath.FromSlash(strings.TrimPrefix(pat, "./")))] = true
+		}
+	}
+
+	sorted := make([]string, 0, len(dirs))
+	for dir := range dirs {
+		sorted = append(sorted, dir)
+	}
+	sort.Strings(sorted)
+
+	var pkgs []*Package
+	for _, dir := range sorted {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		importPath := modPath
+		if rel != "." {
+			importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := loader.LoadDir(dir, importPath)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// walkPackageDirs adds every directory under root holding buildable Go
+// files to dirs, skipping testdata, vendor and hidden trees.
+func walkPackageDirs(root string, dirs map[string]bool) error {
+	return filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		names, err := buildableGoFiles(path)
+		if err != nil {
+			return err
+		}
+		if len(names) > 0 {
+			dirs[path] = true
+		}
+		return nil
+	})
+}
+
+// modulePath reads the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module line in %s", gomod)
+}
+
+// FindModuleRoot walks upward from dir to the nearest directory holding a
+// go.mod file.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysis: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ShadowState enforces the bit-store completeness contract on machine
+// structs: any struct holding a *state.File (or a pointer to such a
+// machine) may carry plain Go fields only for configuration, wiring and
+// derived instrumentation — never for architected simulation state. State
+// that lives outside the File is invisible to fault injection and to the
+// golden-run digest compare, silently shrinking the paper's fault model.
+//
+// Fields pass automatically when they are the state file itself, a machine
+// handle, a callback (func-typed wiring), or a *Config type; every other
+// field must carry a //pipelint:shadow-ok <reason> annotation.
+var ShadowState = &Analyzer{
+	Name: "shadowstate",
+	Doc: "flag mutable plain fields on machine structs that shadow the " +
+		"state.File bit-store; exempt config/wiring via //pipelint:shadow-ok",
+	Match: func(path string) bool {
+		return pathContainsAny(path, "internal/uarch", "internal/core")
+	},
+	Run: runShadowState,
+}
+
+func runShadowState(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			if !isMachineStruct(pass, st) {
+				return true
+			}
+			checkMachineFields(pass, ts.Name.Name, st)
+			return true
+		})
+	}
+	return nil
+}
+
+// isMachineStruct reports whether the struct holds whole-machine state: a
+// *state.File field or a pointer to another machine struct.
+func isMachineStruct(pass *Pass, st *ast.StructType) bool {
+	for _, field := range st.Fields.List {
+		t := pass.Info.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if isStateFilePtr(t) || isMachinePtr(t) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkMachineFields(pass *Pass, structName string, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		t := pass.Info.TypeOf(field.Type)
+		if t == nil || shadowAllowed(t) {
+			continue
+		}
+		if len(field.Names) == 0 {
+			pass.reportFieldUnlessAnnotated(field, field.Pos(), "embedded field", "shadow-ok",
+				"embedded field of %s holds simulation state outside the state.File bit-store; "+
+					"move it into the File or annotate //pipelint:shadow-ok <reason>", structName)
+			continue
+		}
+		for _, name := range field.Names {
+			pass.reportFieldUnlessAnnotated(field, name.Pos(), name.Name, "shadow-ok",
+				"field %s.%s holds simulation state outside the state.File bit-store; "+
+					"move it into the File or annotate //pipelint:shadow-ok <reason>",
+				structName, name.Name)
+		}
+	}
+}
+
+// shadowAllowed reports whether a field type is exempt by construction:
+// the bit-store itself, a machine handle, func-typed wiring, or a
+// configuration type (named *Config).
+func shadowAllowed(t types.Type) bool {
+	if isStateFilePtr(t) || isMachinePtr(t) {
+		return true
+	}
+	if _, ok := t.Underlying().(*types.Signature); ok {
+		return true
+	}
+	return strings.HasSuffix(namedTypeName(t), "Config")
+}

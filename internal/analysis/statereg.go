@@ -1,0 +1,267 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// StateReg validates state-element registration sites against the
+// state.File contract the injection engine depends on:
+//
+//   - every f.Latch / f.RAM call (including calls through method-value
+//     aliases like `lat := f.Latch`) names its element with a unique
+//     string literal, so the injection population is statically
+//     enumerable and campaign breakdowns never alias two elements;
+//   - the category argument is a valid state.Cat* constant (never
+//     NumCategories or an arbitrary number);
+//   - constant entries/width geometry is sane (entries >= 1,
+//     1 <= width <= 64) at lint time rather than construction time;
+//   - within a function that builds a File via state.New, Freeze is
+//     called before any RandomBit draw, and nothing registers after
+//     Freeze.
+var StateReg = &Analyzer{
+	Name: "statereg",
+	Doc: "validate f.Latch/f.RAM registrations: unique literal names, valid " +
+		"state.Category, sane geometry, and Freeze-before-inject ordering",
+	Match: func(path string) bool {
+		return pathContainsAny(path, "internal/uarch")
+	},
+	Run: runStateReg,
+}
+
+// regEvent is one ordered File-lifecycle call inside a function.
+type regEvent struct {
+	pos  token.Pos
+	kind string // "reg", "freeze", "use"
+	name string // method name, for messages
+}
+
+func runStateReg(pass *Pass) error {
+	names := make(map[string]token.Pos) // element name -> first registration
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkRegFunc(pass, fn, names)
+		}
+	}
+	return nil
+}
+
+func checkRegFunc(pass *Pass, fn *ast.FuncDecl, names map[string]token.Pos) {
+	// aliases maps local objects bound to f.Latch / f.RAM method values to
+	// the root File object they register into.
+	aliases := make(map[types.Object]types.Object)
+	// newFiles holds File objects created in this function via state.New,
+	// for which the Freeze ordering is fully visible.
+	newFiles := make(map[types.Object]bool)
+	events := make(map[types.Object][]regEvent)
+
+	record := func(obj types.Object, ev regEvent) {
+		if obj != nil {
+			events[obj] = append(events[obj], ev)
+		}
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			trackAssign(pass, n, aliases, newFiles)
+		case *ast.CallExpr:
+			method, root := fileCall(pass, n, aliases)
+			switch method {
+			case "Latch", "RAM":
+				checkRegistration(pass, n, names)
+				record(root, regEvent{pos: n.Pos(), kind: "reg", name: method})
+			case "Freeze":
+				record(root, regEvent{pos: n.Pos(), kind: "freeze", name: method})
+			case "RandomBit":
+				record(root, regEvent{pos: n.Pos(), kind: "use", name: method})
+			}
+		}
+		return true
+	})
+
+	// Replay each locally-constructed File's lifecycle in source order.
+	for obj, evs := range events { //pipelint:unordered-ok findings are re-sorted by the driver; per-object replay is independent
+		if !newFiles[obj] {
+			continue // file escapes this function's view (parameter, field)
+		}
+		sort.Slice(evs, func(i, j int) bool { return evs[i].pos < evs[j].pos })
+		frozen := false
+		for _, ev := range evs {
+			switch {
+			case ev.kind == "freeze":
+				frozen = true
+			case ev.kind == "reg" && frozen:
+				pass.Reportf(ev.pos, "element registered after Freeze; all %s/%s calls "+
+					"must precede Freeze", "Latch", "RAM")
+			case ev.kind == "use" && !frozen:
+				pass.Reportf(ev.pos, "%s called before Freeze; the injectable population "+
+					"is only laid out by Freeze", ev.name)
+			}
+		}
+	}
+}
+
+// trackAssign records `lat := f.Latch` style method-value aliases and
+// `f := state.New()` constructions.
+func trackAssign(pass *Pass, as *ast.AssignStmt, aliases map[types.Object]types.Object, newFiles map[types.Object]bool) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := pass.Info.Defs[id]
+		if obj == nil {
+			obj = pass.Info.Uses[id]
+		}
+		if obj == nil {
+			continue
+		}
+		switch rhs := as.Rhs[i].(type) {
+		case *ast.SelectorExpr:
+			if m, root := fileMethod(pass, rhs); m == "Latch" || m == "RAM" {
+				aliases[obj] = root
+			}
+		case *ast.CallExpr:
+			if isStateNewCall(pass, rhs) {
+				newFiles[obj] = true
+			}
+		}
+	}
+}
+
+// fileCall classifies a call as a *state.File method invocation, directly
+// or through a recorded alias, returning the method name and the root File
+// object (nil when the receiver is not a simple identifier).
+func fileCall(pass *Pass, call *ast.CallExpr, aliases map[types.Object]types.Object) (string, types.Object) {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		return fileMethod(pass, fun)
+	case *ast.Ident:
+		obj := pass.Info.Uses[fun]
+		if root, ok := aliases[obj]; ok {
+			// Alias calls register; the bound method name was validated at
+			// the binding site, so treat every alias call as a registration.
+			return "Latch", root
+		}
+	}
+	return "", nil
+}
+
+// fileMethod resolves a selector to a *state.File method name plus the
+// root receiver object.
+func fileMethod(pass *Pass, sel *ast.SelectorExpr) (string, types.Object) {
+	selection, ok := pass.Info.Selections[sel]
+	if !ok || selection.Kind() == types.FieldVal {
+		return "", nil
+	}
+	fn, ok := selection.Obj().(*types.Func)
+	if !ok {
+		return "", nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || !isStateFilePtr(sig.Recv().Type()) {
+		return "", nil
+	}
+	var root types.Object
+	if id, ok := sel.X.(*ast.Ident); ok {
+		root = pass.Info.Uses[id]
+		if root == nil {
+			root = pass.Info.Defs[id]
+		}
+	}
+	return fn.Name(), root
+}
+
+// isStateNewCall reports whether the call is state.New().
+func isStateNewCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Name() == "state" && fn.Name() == "New"
+}
+
+// checkRegistration validates one Latch/RAM call's arguments.
+func checkRegistration(pass *Pass, call *ast.CallExpr, names map[string]token.Pos) {
+	if len(call.Args) < 4 {
+		return // not the registration signature
+	}
+	// Element name: unique string literal.
+	nameVal := constOf(pass, call.Args[0])
+	if nameVal == nil || nameVal.Kind() != constant.String {
+		pass.Reportf(call.Args[0].Pos(), "element name must be a string literal so the "+
+			"injection population is statically enumerable")
+	} else {
+		name := constant.StringVal(nameVal)
+		if first, dup := names[name]; dup {
+			pass.Reportf(call.Args[0].Pos(), "duplicate state element name %q (first "+
+				"registered at %s)", name, pass.Fset.Position(first))
+		} else {
+			names[name] = call.Args[0].Pos()
+		}
+	}
+	// Category: a valid state.Category constant.
+	checkCategory(pass, call.Args[1])
+	// Geometry, when constant.
+	if v := constOf(pass, call.Args[2]); v != nil && v.Kind() == constant.Int {
+		if n, ok := constant.Int64Val(v); ok && n <= 0 {
+			pass.Reportf(call.Args[2].Pos(), "element entries must be >= 1 (got %d)", n)
+		}
+	}
+	if v := constOf(pass, call.Args[3]); v != nil && v.Kind() == constant.Int {
+		if n, ok := constant.Int64Val(v); ok && (n <= 0 || n > 64) {
+			pass.Reportf(call.Args[3].Pos(), "element width must be in [1, 64] (got %d)", n)
+		}
+	}
+}
+
+func checkCategory(pass *Pass, arg ast.Expr) {
+	tv, ok := pass.Info.Types[arg]
+	if !ok {
+		return
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok || named.Obj().Name() != "Category" || named.Obj().Pkg() == nil ||
+		named.Obj().Pkg().Name() != "state" {
+		pass.Reportf(arg.Pos(), "category argument must be a state.Category constant")
+		return
+	}
+	if tv.Value == nil {
+		return // dynamic category: runtime's problem
+	}
+	v, ok := constant.Int64Val(tv.Value)
+	if !ok {
+		return
+	}
+	lo, hi := int64(1), int64(-1)
+	if num := named.Obj().Pkg().Scope().Lookup("NumCategories"); num != nil {
+		if c, ok := num.(*types.Const); ok {
+			if n, ok := constant.Int64Val(c.Val()); ok {
+				hi = n
+			}
+		}
+	}
+	if v < lo || (hi > 0 && v >= hi) {
+		pass.Reportf(arg.Pos(), "category value %d is outside the valid state.Category "+
+			"range [1, NumCategories)", v)
+	}
+}
+
+func constOf(pass *Pass, e ast.Expr) constant.Value {
+	if tv, ok := pass.Info.Types[e]; ok {
+		return tv.Value
+	}
+	return nil
+}

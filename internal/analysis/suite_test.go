@@ -1,0 +1,82 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"pipefault/internal/analysis"
+	"pipefault/internal/analysis/analysistest"
+)
+
+func TestShadowState(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.ShadowState, "shadow")
+}
+
+func TestCloneGuard(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.CloneGuard, "clonefix")
+}
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Determinism, "det")
+}
+
+func TestStateReg(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.StateReg, "streg")
+}
+
+// TestMatchScoping pins the driver-side package scoping: each analyzer
+// runs exactly where its contract lives.
+func TestMatchScoping(t *testing.T) {
+	cases := []struct {
+		a    *analysis.Analyzer
+		path string
+		want bool
+	}{
+		{analysis.ShadowState, "pipefault/internal/uarch", true},
+		{analysis.ShadowState, "pipefault/internal/core", true},
+		{analysis.ShadowState, "pipefault/internal/report", false},
+		{analysis.Determinism, "pipefault/internal/report", true},
+		{analysis.Determinism, "pipefault/internal/mem", false},
+		{analysis.StateReg, "pipefault/internal/uarch", true},
+		{analysis.StateReg, "pipefault/internal/core", false},
+	}
+	for _, c := range cases {
+		if got := c.a.Match(c.path); got != c.want {
+			t.Errorf("%s.Match(%q) = %v, want %v", c.a.Name, c.path, got, c.want)
+		}
+	}
+	if analysis.CloneGuard.Match != nil {
+		t.Errorf("cloneguard should apply to every package (nil Match)")
+	}
+}
+
+// TestSuiteOverRealTree runs the full suite over this module and requires
+// it to be clean: the tree itself is the largest negative test case, and
+// the acceptance criterion that deleting a Clone line or adding an
+// unsorted map range turns the build red follows from it.
+func TestSuiteOverRealTree(t *testing.T) {
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("module root: %v", err)
+	}
+	pkgs, err := analysis.LoadModule(root, []string{"./..."})
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		for _, a := range analysis.All() {
+			if a.Match != nil && !a.Match(pkg.Path) {
+				continue
+			}
+			pass := pkg.NewPass(a)
+			if err := a.Run(pass); err != nil {
+				t.Fatalf("%s over %s: %v", a.Name, pkg.Path, err)
+			}
+			for _, d := range pass.Diagnostics() {
+				t.Errorf("%s: [%s] %s", pkg.Fset.Position(d.Pos), a.Name, d.Message)
+			}
+		}
+	}
+}

@@ -1,0 +1,56 @@
+// Package clonefix exercises the cloneguard analyzer: every field of a
+// struct with a Clone method must be mentioned by Clone or annotated.
+package clonefix
+
+type Box struct {
+	A int
+	B int // want "field Box.B is not handled by \(Box\).Clone"
+
+	//pipelint:clone-ok callback wiring; clones start with no subscribers
+	CB func()
+}
+
+func (b *Box) Clone() *Box {
+	return &Box{A: b.A}
+}
+
+// Full copies one field through a composite literal and one through a
+// field assignment; both count as handled.
+type Full struct {
+	X int
+	Y []int
+}
+
+func (f *Full) Clone() *Full {
+	c := &Full{X: f.X}
+	c.Y = append([]int(nil), f.Y...)
+	return c
+}
+
+// NoClone has unhandled-looking fields but no Clone method, so cloneguard
+// ignores it entirely.
+type NoClone struct {
+	P int
+	Q int
+}
+
+// Deref copies the whole struct through *d, then fixes up the slice; the
+// dereference alone proves completeness, no per-field mention needed.
+type Deref struct {
+	A int
+	B []int
+	C map[string]int
+}
+
+func (d *Deref) Clone() *Deref {
+	out := *d
+	out.B = append([]int(nil), d.B...)
+	return &out
+}
+
+type NoReason struct {
+	//pipelint:clone-ok
+	Z int // want "needs a reason"
+}
+
+func (n *NoReason) Clone() *NoReason { return &NoReason{} }

@@ -1,0 +1,70 @@
+// Package det exercises the determinism analyzer: no unsorted map
+// iteration, wall-clock reads or global math/rand calls in simulation
+// code.
+package det
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// emit iterates a map straight into output: the canonical ordering bug.
+func emit(m map[string]int) int {
+	tot := 0
+	for _, v := range m { // want "map iteration order is nondeterministic"
+		tot += v
+	}
+	return tot
+}
+
+// collect uses the sanctioned collect-keys-then-sort idiom; the range
+// itself is exempt.
+func collect(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// annotated sums values, which is order-independent, and says so.
+func annotated(m map[string]int) int {
+	n := 0
+	for _, v := range m { //pipelint:unordered-ok summing values is order-independent
+		n += v
+	}
+	return n
+}
+
+// noReason annotates without explaining why, which is its own finding.
+func noReason(m map[string]int) int {
+	n := 0
+	//pipelint:unordered-ok
+	for _, v := range m { // want "needs a reason"
+		n += v
+	}
+	return n
+}
+
+// wallClock reads the wall clock.
+func wallClock() int64 {
+	return time.Now().Unix() // want "time.Now makes simulation output depend on the wall clock"
+}
+
+// globalRand draws from the shared, unpredictably-seeded global RNG.
+func globalRand() int {
+	return rand.Intn(10) // want "global rand.Intn draws from the shared process-wide RNG"
+}
+
+// seeded builds an explicit generator: methods on *rand.Rand are fine.
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// elapsed uses time for durations without reading the clock.
+func elapsed(d time.Duration) float64 {
+	return d.Seconds()
+}

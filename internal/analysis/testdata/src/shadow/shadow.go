@@ -1,0 +1,40 @@
+// Package shadow exercises the shadowstate analyzer: machine structs
+// (anything holding a *state.File or a pointer to such a struct) may keep
+// plain Go fields only for config, wiring and annotated instrumentation.
+package shadow
+
+import "state"
+
+type Config struct{ Depth int }
+
+type ProtectConfig struct{ ECC bool }
+
+type Machine struct {
+	Cfg     Config        // config types are exempt
+	Protect ProtectConfig // any *Config-suffixed type is exempt
+	F       *state.File   // the bit-store itself is exempt
+	OnEvent func(int)     // func-typed wiring is exempt
+
+	Cycle uint64 //pipelint:shadow-ok cycle counter, carried by Snapshot and Clone
+
+	Scratch uint64 // want "field Machine.Scratch holds simulation state outside the state.File bit-store"
+
+	//pipelint:shadow-ok
+	NoWhy uint64 // want "needs a reason"
+}
+
+// worker holds a machine handle, so its fields are checked too.
+type worker struct {
+	cfg Config
+	m   *Machine
+
+	horizon uint64 //pipelint:shadow-ok loop bound derived from cfg, not simulation state
+
+	scratch int // want "field worker.scratch holds simulation state outside the state.File bit-store"
+}
+
+// plain has no machine state at all and is never inspected.
+type plain struct {
+	X int
+	Y map[string]int
+}

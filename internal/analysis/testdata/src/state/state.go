@@ -1,0 +1,49 @@
+// Package state is a miniature stand-in for pipefault/internal/state:
+// just enough surface (File, Elem, Category, registration and injection
+// methods) for analyzer fixtures to exercise the same shapes pipelint
+// sees in the real tree.
+package state
+
+import "math/rand"
+
+type Category uint8
+
+const (
+	CatAddr Category = iota + 1
+	CatCtrl
+	CatData
+	CatPC
+	NumCategories
+)
+
+type Elem struct{ name string }
+
+type Option func(*Elem)
+
+type BitRef struct {
+	Elem  *Elem
+	Entry int
+	Bit   int
+}
+
+type File struct {
+	frozen bool
+}
+
+func New() *File { return &File{} }
+
+func (f *File) Latch(name string, cat Category, entries, width int, opts ...Option) *Elem {
+	return &Elem{name: name}
+}
+
+func (f *File) RAM(name string, cat Category, entries, width int, opts ...Option) *Elem {
+	return &Elem{name: name}
+}
+
+func (f *File) Freeze() { f.frozen = true }
+
+func (f *File) RandomBit(rng *rand.Rand, latchOnly bool) BitRef { return BitRef{} }
+
+func (f *File) Snapshot() *File { return &File{frozen: f.frozen} }
+
+func (f *File) Restore(s *File) {}

@@ -1,0 +1,74 @@
+// Package streg exercises the statereg analyzer: element registrations
+// need unique literal names, valid categories, sane geometry, and Freeze
+// must separate registration from injection.
+package streg
+
+import (
+	"math/rand"
+
+	"state"
+)
+
+// good is a complete, contract-conforming lifecycle, including the
+// method-value alias form used by the real buildElems.
+func good(rng *rand.Rand) state.BitRef {
+	f := state.New()
+	lat := f.Latch
+	ram := f.RAM
+	lat("fe.pc", state.CatPC, 1, 62)
+	ram("rob.pc", state.CatPC, 64, 62)
+	f.Latch("ms.halted", state.CatCtrl, 1, 1)
+	f.Freeze()
+	return f.RandomBit(rng, false)
+}
+
+// dup reuses an element name, which would alias two elements in every
+// campaign breakdown.
+func dup(f *state.File) {
+	f.Latch("dup.name", state.CatData, 1, 8)
+	f.RAM("dup.name", state.CatData, 4, 8) // want "duplicate state element name \"dup.name\""
+}
+
+// aliasDup reuses a name through a method-value alias.
+func aliasDup(f *state.File) {
+	lat := f.Latch
+	lat("alias.one", state.CatData, 1, 1)
+	lat("alias.one", state.CatData, 1, 1) // want "duplicate state element name \"alias.one\""
+}
+
+// nonLiteral registers under a computed name, which makes the injection
+// population unenumerable at lint time.
+func nonLiteral(f *state.File, name string) {
+	f.Latch(name, state.CatData, 1, 1) // want "element name must be a string literal"
+}
+
+// badCategory uses NumCategories (a counter, not a category) and an
+// out-of-range conversion.
+func badCategory(f *state.File) {
+	f.Latch("cat.num", state.NumCategories, 1, 1) // want "outside the valid state.Category range"
+	f.Latch("cat.big", state.Category(200), 1, 1) // want "outside the valid state.Category range"
+	f.Latch("cat.zero", state.Category(0), 1, 1)  // want "outside the valid state.Category range"
+	f.RAM("cat.ok", state.CatAddr, 2, 3)          // in range: no finding
+}
+
+// badGeometry registers impossible element shapes.
+func badGeometry(f *state.File) {
+	f.Latch("geom.zero", state.CatData, 0, 1)  // want "element entries must be >= 1"
+	f.Latch("geom.wide", state.CatData, 1, 65) // want "element width must be in \[1, 64\]"
+	f.Latch("geom.max", state.CatData, 1, 64)  // boundary: no finding
+}
+
+// injectEarly draws a random bit before Freeze laid out the population.
+func injectEarly(rng *rand.Rand) state.BitRef {
+	f := state.New()
+	f.Latch("early.pc", state.CatPC, 1, 62)
+	return f.RandomBit(rng, false) // want "RandomBit called before Freeze"
+}
+
+// registerLate adds an element after Freeze already laid out storage.
+func registerLate() {
+	f := state.New()
+	f.Latch("late.a", state.CatData, 1, 1)
+	f.Freeze()
+	f.Latch("late.b", state.CatData, 1, 1) // want "element registered after Freeze"
+}

@@ -165,7 +165,7 @@ func (p *PopResult) ByElement(minTrials int) []ElemStat {
 		}
 	}
 	out := make([]ElemStat, 0, len(agg))
-	for _, st := range agg {
+	for _, st := range agg { //pipelint:unordered-ok entries are fully sorted below before use
 		if st.Trials >= minTrials {
 			out = append(out, *st)
 		}
@@ -273,7 +273,7 @@ func Merge(name string, results []*Result) *Result {
 		}
 		agg.TotalCycles += r.TotalCycles
 		retired += r.IPC * float64(r.TotalCycles)
-		for pn, p := range r.Pops {
+		for pn, p := range r.Pops { //pipelint:unordered-ok each key appears once per input; merge is key-local
 			ap := agg.Pops[pn]
 			if ap == nil {
 				ap = &PopResult{Name: pn}
@@ -281,7 +281,7 @@ func Merge(name string, results []*Result) *Result {
 			}
 			ap.Trials = append(ap.Trials, p.Trials...)
 		}
-		for pn, pts := range r.Scatter {
+		for pn, pts := range r.Scatter { //pipelint:unordered-ok each key appears once per input; merge is key-local
 			agg.Scatter[pn] = append(agg.Scatter[pn], pts...)
 		}
 	}

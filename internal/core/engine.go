@@ -38,8 +38,9 @@ type popTrials struct {
 // checkpoints on a private machine. Workers never share mutable state; the
 // scheduler hands each one a cloned machine and a disjoint checkpoint set.
 type worker struct {
-	cfg      Config
-	m        *uarch.Machine
+	cfg Config
+	m   *uarch.Machine
+	//pipelint:shadow-ok golden-run horizon derived from the schedule, not injectable machine state
 	horizonG uint64
 }
 

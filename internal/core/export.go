@@ -1,8 +1,13 @@
 package core
 
 import (
+	"encoding/csv"
 	"encoding/json"
 	"io"
+	"sort"
+	"strconv"
+
+	"pipefault/internal/state"
 )
 
 // exportResult is the stable JSON shape of a campaign result.
@@ -33,7 +38,31 @@ type exportScat struct {
 	Trials     int `json:"trials"`
 }
 
-// WriteJSON serializes the campaign result for external tooling.
+// sortedNames returns the keys of a string-keyed map in ascending order,
+// so every export walks its maps in one canonical order.
+func sortedNames[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// sortedCategories returns the keys of a category-keyed map in ascending
+// numeric order.
+func sortedCategories[V any](m map[state.Category]V) []state.Category {
+	cats := make([]state.Category, 0, len(m))
+	for c := range m {
+		cats = append(cats, c)
+	}
+	sort.Slice(cats, func(i, j int) bool { return cats[i] < cats[j] })
+	return cats
+}
+
+// WriteJSON serializes the campaign result for external tooling. Emission
+// order is canonical (sorted keys throughout) so two identical campaigns
+// produce byte-identical output.
 func (r *Result) WriteJSON(w io.Writer) error {
 	out := exportResult{
 		Benchmark:       r.Benchmark,
@@ -44,7 +73,8 @@ func (r *Result) WriteJSON(w io.Writer) error {
 		Populations:     make(map[string]exportPop, len(r.Pops)),
 		Scatter:         make(map[string][]exportScat, len(r.Scatter)),
 	}
-	for name, p := range r.Pops {
+	for _, name := range sortedNames(r.Pops) {
+		p := r.Pops[name]
 		ep := exportPop{
 			Trials:   p.Total(),
 			Outcomes: make(map[string]int),
@@ -58,14 +88,17 @@ func (r *Result) WriteJSON(w io.Writer) error {
 		for o := Outcome(1); o < NumOutcomes; o++ {
 			ep.Outcomes[o.String()] = counts[o]
 		}
+		mbc := p.ModesByCategory()
 		for _, m := range FailureModes() {
 			n := 0
-			for _, mc := range p.ModesByCategory() {
-				n += mc[m]
+			for _, cat := range sortedCategories(mbc) {
+				n += mbc[cat][m]
 			}
 			ep.Modes[m.String()] = n
 		}
-		for cat, oc := range p.ByCategory() {
+		byCat := p.ByCategory()
+		for _, cat := range sortedCategories(byCat) {
+			oc := byCat[cat]
 			ep.ByCat[cat.String()] = struct {
 				Trials   int `json:"trials"`
 				Failures int `json:"failures"`
@@ -76,7 +109,8 @@ func (r *Result) WriteJSON(w io.Writer) error {
 		}
 		out.Populations[name] = ep
 	}
-	for name, pts := range r.Scatter {
+	for _, name := range sortedNames(r.Scatter) {
+		pts := r.Scatter[name]
 		es := make([]exportScat, len(pts))
 		for i, pt := range pts {
 			es[i] = exportScat{
@@ -89,4 +123,38 @@ func (r *Result) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
+}
+
+// WriteCSV emits one row per (population, category) pair with trial and
+// failure counts, sorted by population name then category. Unlike JSON
+// maps (which encoding/json key-sorts), CSV rows have no serializer-side
+// safety net, so the canonical walk order here is load-bearing.
+func (r *Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"benchmark", "population", "category", "trials", "failures", "fail_rate",
+	}); err != nil {
+		return err
+	}
+	for _, name := range sortedNames(r.Pops) {
+		byCat := r.Pops[name].ByCategory()
+		for _, cat := range sortedCategories(byCat) {
+			oc := byCat[cat]
+			trials := oc[OutMatch] + oc[OutGray] + oc[OutSDC] + oc[OutTerminated]
+			failures := oc[OutSDC] + oc[OutTerminated]
+			rate := 0.0
+			if trials > 0 {
+				rate = float64(failures) / float64(trials)
+			}
+			if err := cw.Write([]string{
+				r.Benchmark, name, cat.String(),
+				strconv.Itoa(trials), strconv.Itoa(failures),
+				strconv.FormatFloat(rate, 'f', 6, 64),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
 }

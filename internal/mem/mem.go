@@ -32,11 +32,16 @@ type Memory struct {
 
 	// One-entry page translation cache; avoids a map lookup on the
 	// overwhelmingly common same-page access pattern.
-	lastVPN  uint64
+	//pipelint:clone-ok pure cache; Clone goes through New, which resets it empty
+	lastVPN uint64
+	//pipelint:clone-ok pure cache; Clone goes through New, which resets it empty
 	lastPage *[PageSize]byte
 
-	undo     []undoEntry
-	undoOn   bool
+	//pipelint:clone-ok undo log is per-run scaffolding; clones start with recording off
+	undo []undoEntry
+	//pipelint:clone-ok undo log is per-run scaffolding; clones start with recording off
+	undoOn bool
+	//pipelint:clone-ok undo log is per-run scaffolding; clones start with recording off
 	undoBase int
 }
 

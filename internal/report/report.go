@@ -213,7 +213,7 @@ func Figure8(title string, p *core.PopResult) string {
 		n   int
 	}
 	var rows []row
-	for cat, ms := range mc {
+	for cat, ms := range mc { //pipelint:unordered-ok rows are fully sorted below before rendering
 		n := 0
 		for _, c := range ms {
 			n += c

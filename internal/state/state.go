@@ -192,8 +192,14 @@ func (e *Elem) SetBool(i int, v bool) {
 // Bool reads a 1-bit entry.
 func (e *Elem) Bool(i int) bool { return e.Get(i) != 0 }
 
-// Flip inverts one bit of entry i.
+// Flip inverts one bit of entry i. Flip is the injection entry point and
+// only runs once per trial, so unlike Set/Get it can afford a lifecycle
+// check: flipping before Freeze would index storage that does not exist
+// yet, and the explicit panic beats the bounds trap it would otherwise hit.
 func (e *Elem) Flip(i, bit int) {
+	if !e.file.frozen {
+		panic("state: Flip on unfrozen file: " + e.name)
+	}
 	e.Set(i, e.Get(i)^uint64(1)<<uint(bit))
 }
 
@@ -346,6 +352,9 @@ func (b BitRef) Flip() { b.Elem.Flip(b.Entry, b.Bit) }
 // the population is restricted to latch-kind elements, mirroring the
 // paper's latch-only campaigns.
 func (f *File) RandomBit(rng *rand.Rand, latchOnly bool) BitRef {
+	if !f.frozen {
+		panic("state: RandomBit before Freeze; the injectable population is not laid out yet")
+	}
 	pop := f.injElems
 	total := f.injBits
 	if latchOnly {

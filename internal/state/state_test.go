@@ -2,6 +2,7 @@ package state
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -287,6 +288,61 @@ func TestRegistrationPanics(t *testing.T) {
 		f := New()
 		f.Freeze()
 		f.Latch("z", CatCtrl, 1, 1)
+	})
+	mustPanic("zero entries", func() {
+		f := New()
+		f.RAM("e0", CatData, 0, 8)
+	})
+	mustPanic("zero width", func() {
+		f := New()
+		f.Latch("w0", CatData, 1, 0)
+	})
+	mustPanic("negative entries", func() {
+		f := New()
+		f.RAM("en", CatData, -1, 8)
+	})
+}
+
+// TestWidth64Boundary pins that the widest legal element registers and
+// round-trips full 64-bit values (the mask edge case).
+func TestWidth64Boundary(t *testing.T) {
+	f := New()
+	e := f.RAM("wide", CatData, 2, 64)
+	f.Freeze()
+	v := ^uint64(0)
+	e.Set(1, v)
+	if got := e.Get(1); got != v {
+		t.Errorf("width-64 round trip: got %#x, want %#x", got, v)
+	}
+}
+
+// TestUnfrozenLifecyclePanics: injection-path entry points must fail
+// loudly, with a message naming the contract, when the file has not been
+// frozen — not fall into an opaque bounds trap.
+func TestUnfrozenLifecyclePanics(t *testing.T) {
+	mustPanicWith := func(name, want string, fn func()) {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Errorf("%s did not panic", name)
+				return
+			}
+			msg, ok := r.(string)
+			if !ok || !strings.Contains(msg, want) {
+				t.Errorf("%s panicked with %v, want message containing %q", name, r, want)
+			}
+		}()
+		fn()
+	}
+	mustPanicWith("Flip before Freeze", "Flip on unfrozen file", func() {
+		f := New()
+		e := f.Latch("pre", CatCtrl, 1, 1)
+		e.Flip(0, 0)
+	})
+	mustPanicWith("RandomBit before Freeze", "RandomBit before Freeze", func() {
+		f := New()
+		f.Latch("pre", CatCtrl, 1, 1)
+		f.RandomBit(rand.New(rand.NewSource(1)), false)
 	})
 }
 

@@ -20,34 +20,48 @@ const zeroPtr = 127
 // Snapshot/Restore and Digest are complete; Go fields are configuration,
 // wiring and instrumentation shadows only.
 type Machine struct {
-	Cfg   Config
-	F     *state.File
-	Mem   *mem.Memory
+	Cfg Config
+	F   *state.File
+	//pipelint:shadow-ok program memory is bit-store-adjacent: sparse pages with their own Snapshot/Digest path
+	Mem *mem.Memory
+	//pipelint:shadow-ok immutable legality map, shared (not copied) across clones
 	Legal *mem.PageSet
 
 	// OnRetire, if set, receives every retirement event.
+	//pipelint:clone-ok observer wiring; Clone deliberately drops callbacks
 	OnRetire func(RetireEvent)
 	// OnExc, if set, receives exceptions that reach retirement.
+	//pipelint:clone-ok observer wiring; Clone deliberately drops callbacks
 	OnExc func(ExcEvent)
 	// OnFlush, if set, is called on every full pipeline flush with the
 	// cause ("timeout" or "parity").
+	//pipelint:clone-ok observer wiring; Clone deliberately drops callbacks
 	OnFlush func(cause string)
 
+	//pipelint:shadow-ok cycle counter is instrumentation, never an injection target; Clone carries it
 	Cycle uint64
-	e     *elems
+	//pipelint:shadow-ok typed handles into F's elements, rebuilt from Cfg on Clone
+	e *elems
 
 	// Shadow sequence numbers: derived instrumentation for the paper's
 	// Figure 6 (valid instructions in flight). The pipeline logic never
 	// reads these.
+	//pipelint:shadow-ok shadow seqno instrumentation; pipeline logic never reads it
 	nextSeq uint64
-	seqFQ   [FetchQSize]uint64
-	seqDE   [DecodeWidth]uint64
-	seqRN   [RenameWidth]uint64
-	seqROB  [ROBSize]uint64
+	//pipelint:shadow-ok shadow seqno instrumentation; pipeline logic never reads it
+	seqFQ [FetchQSize]uint64
+	//pipelint:shadow-ok shadow seqno instrumentation; pipeline logic never reads it
+	seqDE [DecodeWidth]uint64
+	//pipelint:shadow-ok shadow seqno instrumentation; pipeline logic never reads it
+	seqRN [RenameWidth]uint64
+	//pipelint:shadow-ok shadow seqno instrumentation; pipeline logic never reads it
+	seqROB [ROBSize]uint64
 	// LastRetiredSeq tracks shadow seqnos as they retire.
+	//pipelint:clone-ok observer wiring; Clone deliberately drops callbacks
 	OnRetireSeq func(seq uint64)
 
 	// Retire accounting for IPC instrumentation.
+	//pipelint:shadow-ok retire counter is instrumentation, never an injection target; Clone carries it
 	Retired uint64
 }
 
