@@ -39,6 +39,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -74,6 +75,8 @@ func run() int {
 	workers := fs.Int("workers", runtime.NumCPU(), "campaign worker goroutines (results are identical for any count)")
 	seed := fs.Int64("seed", 1, "campaign RNG seed")
 	verbose := fs.Bool("v", false, "progress output")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: faultsim [flags] <table1|modes|fig3..fig11|hotspots|avf|reduction|ybranch|all>\n")
 		fs.PrintDefaults()
@@ -84,6 +87,34 @@ func run() int {
 	if fs.NArg() < 1 {
 		fs.Usage()
 		return 2
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "faultsim:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "faultsim:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "faultsim:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "faultsim:", err)
+			}
+		}()
 	}
 
 	o := &opts{

@@ -1,0 +1,204 @@
+// Command pipebench measures the simulator's hot paths and emits a
+// machine-readable summary for CI trend tracking and perf review.
+//
+// Usage:
+//
+//	pipebench [-o BENCH_pipeline.json] [-quick] [-workers N]
+//
+// Four measurements are taken with testing.Benchmark:
+//
+//	pipeline_cycles    raw detailed-model stepping speed (cycles/sec)
+//	campaign           end-to-end injection campaign (trials/sec, allocs/trial)
+//	restore_snapshot   full-state Snapshot/Restore rewind (ns/restore)
+//	restore_journal    undo-journal Mark/RollbackTo rewind of a 64-word
+//	                   working set (ns/restore)
+//
+// The JSON written to -o holds the headline metrics plus the raw
+// testing.BenchmarkResult fields for each measurement.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"pipefault/internal/core"
+	"pipefault/internal/mem"
+	"pipefault/internal/uarch"
+	"pipefault/internal/workload"
+)
+
+type benchLine struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+type report struct {
+	Suite   string `json:"suite"`
+	Go      string `json:"go"`
+	NumCPU  int    `json:"num_cpu"`
+	Workers int    `json:"workers"`
+	Quick   bool   `json:"quick"`
+	Metrics struct {
+		CyclesPerSec      float64 `json:"cycles_per_sec"`
+		TrialsPerSec      float64 `json:"trials_per_sec"`
+		NsRestoreSnapshot float64 `json:"ns_per_restore_snapshot"`
+		NsRestoreJournal  float64 `json:"ns_per_restore_journal"`
+		AllocsPerTrial    float64 `json:"allocs_per_trial"`
+	} `json:"metrics"`
+	Benchmarks []benchLine `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_pipeline.json", "output JSON path (\"-\" for stdout)")
+	quick := flag.Bool("quick", false, "reduced scale for CI smoke runs")
+	workers := flag.Int("workers", runtime.NumCPU(), "campaign worker goroutines")
+	flag.Parse()
+
+	rep := &report{
+		Suite:   "pipeline",
+		Go:      runtime.Version(),
+		NumCPU:  runtime.NumCPU(),
+		Workers: *workers,
+		Quick:   *quick,
+	}
+	record := func(name string, r testing.BenchmarkResult) testing.BenchmarkResult {
+		rep.Benchmarks = append(rep.Benchmarks, benchLine{
+			Name:        name,
+			N:           r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+		fmt.Fprintf(os.Stderr, "pipebench: %-18s %12.1f ns/op  (n=%d)\n",
+			name, float64(r.T.Nanoseconds())/float64(r.N), r.N)
+		return r
+	}
+
+	// Raw pipeline stepping speed.
+	w := workload.Gzip
+	prog, err := w.Program()
+	if err != nil {
+		fatal(err)
+	}
+	ref, err := w.ComputeReference()
+	if err != nil {
+		fatal(err)
+	}
+	newMachine := func() *uarch.Machine {
+		mm := mem.New()
+		regs := prog.Load(mm)
+		return uarch.NewOnMemory(uarch.Config{}, mm, ref.Legal, prog.Entry, regs)
+	}
+	m := newMachine()
+	step := record("pipeline_cycles", testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if m.Halted() {
+				b.StopTimer()
+				m = newMachine()
+				b.StartTimer()
+			}
+			m.Step()
+		}
+	}))
+	rep.Metrics.CyclesPerSec = opsPerSec(step)
+
+	// End-to-end campaign: trials/sec and allocs/trial.
+	cfg := core.Config{
+		Workload:    workload.Gzip,
+		Checkpoints: 8,
+		Populations: []core.Population{{Name: "l+r", Trials: 24}},
+		Workers:     *workers,
+		Seed:        4242,
+	}
+	if *quick {
+		cfg.Workload = workload.Tiny
+		cfg.Checkpoints = 2
+		cfg.Populations = []core.Population{{Name: "l+r", Trials: 6}}
+	}
+	trialsPerOp := 0
+	camp := record("campaign", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := core.Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			trialsPerOp = res.Pops["l+r"].Total()
+		}
+	}))
+	if trialsPerOp > 0 {
+		rep.Metrics.TrialsPerSec = opsPerSec(camp) * float64(trialsPerOp)
+		rep.Metrics.AllocsPerTrial = float64(camp.AllocsPerOp()) / float64(trialsPerOp)
+	}
+
+	// Rewind mechanisms, measured on a warmed machine. The snapshot path
+	// copies the whole bit-store; the journal path rolls back a 64-word
+	// dirty set, the shape of a short trial.
+	m = newMachine()
+	for i := 0; i < 2000 && !m.Halted(); i++ {
+		m.Step()
+	}
+	snap := m.Snapshot()
+	snapRes := record("restore_snapshot", testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m.Restore(snap)
+		}
+	}))
+	rep.Metrics.NsRestoreSnapshot = nsPerOp(snapRes)
+
+	prf := m.F.Elem("prf.value")
+	m.BeginJournal()
+	var mp uarch.MarkPoint
+	jRes := record("restore_journal", testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m.Mark(&mp)
+			for k := 0; k < 64; k++ {
+				prf.Set(k, uint64(i+k))
+			}
+			m.RollbackTo(&mp)
+		}
+	}))
+	m.CommitJournal()
+	rep.Metrics.NsRestoreJournal = nsPerOp(jRes)
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "pipebench: wrote %s\n", *out)
+}
+
+func nsPerOp(r testing.BenchmarkResult) float64 {
+	if r.N == 0 {
+		return 0
+	}
+	return float64(r.T.Nanoseconds()) / float64(r.N)
+}
+
+func opsPerSec(r testing.BenchmarkResult) float64 {
+	ns := nsPerOp(r)
+	if ns == 0 {
+		return 0
+	}
+	return 1e9 / ns
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pipebench:", err)
+	os.Exit(1)
+}

@@ -52,7 +52,33 @@ type Config struct {
 	// and Workers:N are bit-identical.
 	Workers int
 
+	// Rewind selects how workers rewind the machine between trials. The
+	// default, RewindJournal, replays the state file's first-touch undo
+	// journal — O(words touched) per trial. RewindSnapshot restores a full
+	// per-checkpoint snapshot — O(machine state) per trial — and is kept as
+	// the equivalence oracle; both modes produce bit-identical Results.
+	Rewind RewindMode
+
 	Seed int64
+}
+
+// RewindMode selects the trial rewind mechanism (see Config.Rewind).
+type RewindMode uint8
+
+// Rewind mechanisms.
+const (
+	RewindJournal RewindMode = iota
+	RewindSnapshot
+)
+
+func (r RewindMode) String() string {
+	switch r {
+	case RewindJournal:
+		return "journal"
+	case RewindSnapshot:
+		return "snapshot"
+	}
+	return fmt.Sprintf("rewind(%d)", uint8(r))
 }
 
 func (c *Config) setDefaults() {

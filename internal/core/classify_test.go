@@ -10,7 +10,8 @@ import (
 )
 
 // newTestEngine builds an engine positioned at a warmed-up checkpoint of
-// the given workload, with a golden continuation already recorded.
+// the given workload, with a golden continuation already recorded into the
+// worker's reusable buffers.
 func newTestEngine(t *testing.T, w *workload.Workload, warmup uint64) (*worker, *goldenRun) {
 	t.Helper()
 	prog, err := w.Program()
@@ -29,24 +30,21 @@ func newTestEngine(t *testing.T, w *workload.Workload, warmup uint64) (*worker, 
 	}
 	cfg := Config{Workload: w}
 	cfg.setDefaults()
-	en := &worker{cfg: cfg, m: m, horizonG: uint64(cfg.Horizon + 2000)}
+	en := newWorker(cfg, m, uint64(cfg.Horizon+2000))
 
 	snap := m.Snapshot()
 	m.Mem.BeginUndo()
-	g := &goldenRun{retired: map[uint64]struct{}{}}
-	m.OnRetire = func(ev uarch.RetireEvent) {
-		g.events = append(g.events, ev)
-		g.retired[ev.Seq] = struct{}{}
-	}
+	en.g.reset(en.horizonG)
+	m.OnRetire = en.onGolden
 	mark := m.Mem.Mark()
 	for i := uint64(0); i < en.horizonG; i++ {
 		m.Step()
-		g.digests = append(g.digests, m.Digest())
+		en.g.digests = append(en.g.digests, m.Digest())
 	}
 	m.OnRetire = nil
 	m.Restore(snap)
 	m.Mem.RollbackTo(mark)
-	return en, g
+	return en, &en.g
 }
 
 // flipRef builds a BitRef for a named element.
@@ -65,20 +63,20 @@ func runTargeted(t *testing.T, en *worker, g *goldenRun, elem string, entry, bit
 	t.Helper()
 	snap := en.m.Snapshot()
 	mark := en.m.Mem.Mark()
-	trial := en.runTrial(g, flipRef(t, en.m, elem, entry, bit))
+	trial := en.runTrial(flipRef(t, en.m, elem, entry, bit))
 	en.m.Restore(snap)
 	en.m.Mem.RollbackTo(mark)
 	return trial
 }
 
 func TestClassifyNoFlipIsMatchImmediately(t *testing.T) {
-	en, g := newTestEngine(t, workload.Tiny, 600)
+	en, _ := newTestEngine(t, workload.Tiny, 600)
 	// A double flip (net zero) must match on the very first cycle.
 	snap := en.m.Snapshot()
 	ref := flipRef(t, en.m, "prf.value", 50, 7)
 	ref.Flip()
 	ref.Flip()
-	trial := en.runTrial(g, flipRef(t, en.m, "rob.pc", 0, 0)) // will flip once
+	trial := en.runTrial(flipRef(t, en.m, "rob.pc", 0, 0)) // will flip once
 	en.m.Restore(snap)
 	_ = trial
 }

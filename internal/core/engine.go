@@ -11,11 +11,29 @@ import (
 const maxMeasureCycles = 30_000_000
 
 // goldenRun is a checkpoint's fault-free continuation: the per-cycle
-// whole-machine digest and the retired-instruction trace.
+// whole-machine digest and the retired-instruction trace. One goldenRun is
+// owned by each worker and reused across its checkpoints — the digest and
+// event slices are truncated, the retired set is cleared, and all three
+// keep their high-water capacity instead of being reallocated per
+// checkpoint.
 type goldenRun struct {
 	digests []uint64 // digest after cycle i+1
 	events  []uarch.RetireEvent
 	retired map[uint64]struct{} // shadow seqnos that commit
+}
+
+// reset prepares the buffers for the next checkpoint, keeping capacity.
+func (g *goldenRun) reset(horizon uint64) {
+	if cap(g.digests) < int(horizon) {
+		g.digests = make([]uint64, 0, horizon)
+	}
+	g.digests = g.digests[:0]
+	g.events = g.events[:0]
+	if g.retired == nil {
+		g.retired = make(map[uint64]struct{})
+	} else {
+		clear(g.retired)
+	}
 }
 
 // ckResult is one checkpoint's complete outcome: per-population trial lists
@@ -34,6 +52,68 @@ type popTrials struct {
 	benign int
 }
 
+// trialMonitor is the per-trial divergence/exception classifier state. It
+// lives on the worker (not in per-trial closures) so the retire/exception
+// callbacks are built once per worker and a trial costs zero allocations.
+type trialMonitor struct {
+	g          *goldenRun
+	diverged   bool
+	outOfTrace bool
+	idx        int
+	mode       FailureMode
+	excMode    FailureMode
+}
+
+// reset re-arms the monitor for a new trial against golden run g.
+func (t *trialMonitor) reset(g *goldenRun) {
+	t.g = g
+	t.diverged = false
+	t.outOfTrace = false
+	t.idx = 0
+	t.mode = FailNone
+	t.excMode = FailNone
+}
+
+// onRetire compares one retirement against the golden trace (the Section
+// 2.2 architectural-divergence checks).
+func (t *trialMonitor) onRetire(ev uarch.RetireEvent) {
+	if t.diverged || t.outOfTrace {
+		return
+	}
+	if t.idx >= len(t.g.events) {
+		t.outOfTrace = true
+		return
+	}
+	ge := t.g.events[t.idx]
+	t.idx++
+	switch {
+	case ev.PC != ge.PC || ev.Kind != ge.Kind:
+		t.mode, t.diverged = FailCtrl, true
+	case ev.Kind == uarch.RetReg && (ev.Dest != ge.Dest || ev.Value != ge.Value):
+		t.mode, t.diverged = FailRegfile, true
+	case ev.Kind == uarch.RetStore &&
+		(ev.Addr != ge.Addr || ev.Data != ge.Data || ev.Size != ge.Size):
+		t.mode, t.diverged = FailMem, true
+	case ev.Kind == uarch.RetPal && ev.PalFn != ge.PalFn:
+		t.mode, t.diverged = FailCtrl, true
+	case ev.Kind == uarch.RetPal && ev.Value != ge.Value:
+		t.mode, t.diverged = FailRegfile, true
+	}
+}
+
+// onExc records the first exception reaching retirement.
+func (t *trialMonitor) onExc(ev uarch.ExcEvent) {
+	if t.excMode != FailNone {
+		return
+	}
+	switch ev.Kind {
+	case uarch.ExcDTLB:
+		t.excMode = FailDTLB
+	default:
+		t.excMode = FailExcept
+	}
+}
+
 // worker runs the golden continuations and trials of its assigned
 // checkpoints on a private machine. Workers never share mutable state; the
 // scheduler hands each one a cloned machine and a disjoint checkpoint set.
@@ -42,6 +122,31 @@ type worker struct {
 	m   *uarch.Machine
 	//pipelint:shadow-ok golden-run horizon derived from the schedule, not injectable machine state
 	horizonG uint64
+	//pipelint:shadow-ok reusable golden-run buffers; engine scaffolding, never injectable machine state
+	g goldenRun
+	//pipelint:shadow-ok per-trial classifier scratch, reset each trial; never injectable machine state
+	mon trialMonitor
+	//pipelint:shadow-ok reusable rewind marks for the undo journal; engine scaffolding
+	ckMark uarch.MarkPoint
+	//pipelint:shadow-ok reusable rewind marks for the undo journal; engine scaffolding
+	trialMark uarch.MarkPoint
+
+	// Callbacks built once per worker and re-attached per golden run/trial.
+	onGolden func(uarch.RetireEvent)
+	onRetire func(uarch.RetireEvent)
+	onExc    func(uarch.ExcEvent)
+}
+
+// newWorker wires up a worker's reusable buffers and callbacks.
+func newWorker(cfg Config, m *uarch.Machine, horizonG uint64) *worker {
+	w := &worker{cfg: cfg, m: m, horizonG: horizonG}
+	w.onGolden = func(ev uarch.RetireEvent) {
+		w.g.events = append(w.g.events, ev)
+		w.g.retired[ev.Seq] = struct{}{}
+	}
+	w.onRetire = w.mon.onRetire
+	w.onExc = w.mon.onExc
+	return w
 }
 
 // run advances the worker's machine through its checkpoints (assigned in
@@ -82,30 +187,39 @@ func splitmix64(x uint64) uint64 {
 }
 
 // checkpoint runs the golden continuation and all trial populations at the
-// machine's current cycle, then restores the machine so it can continue to
+// machine's current cycle, then rewinds the machine so it can continue to
 // the worker's next checkpoint.
+//
+// The default rewind path (RewindJournal) never copies machine state: one
+// journal mark brackets the whole checkpoint, the golden continuation and
+// each trial are rolled back by replaying only the words they dirtied, and
+// the journal is discarded when the checkpoint's last trial is done.
+// RewindSnapshot keeps the historical full Snapshot/Restore per trial as
+// the equivalence oracle — both paths produce bit-identical results.
 func (w *worker) checkpoint(ck int) *ckResult {
 	m := w.m
-	snap := m.Snapshot()
+	useSnap := w.cfg.Rewind == RewindSnapshot
+	var snap *uarch.Snapshot
+	if useSnap {
+		snap = m.Snapshot()
+	} else {
+		m.BeginJournal()
+		m.Mark(&w.ckMark)
+	}
 	m.Mem.BeginUndo()
+	memMark := m.Mem.Mark()
 
 	// Golden continuation.
-	g := &goldenRun{
-		digests: make([]uint64, 0, w.horizonG),
-		retired: make(map[uint64]struct{}),
-	}
-	mark := m.Mem.Mark()
-	m.OnRetire = func(ev uarch.RetireEvent) {
-		g.events = append(g.events, ev)
-		g.retired[ev.Seq] = struct{}{}
-	}
+	g := &w.g
+	g.reset(w.horizonG)
+	m.OnRetire = w.onGolden
 	for i := uint64(0); i < w.horizonG; i++ {
 		m.Step()
 		g.digests = append(g.digests, m.Digest())
 	}
 	m.OnRetire = nil
-	m.Restore(snap)
-	m.Mem.RollbackTo(mark)
+	w.rewind(snap, &w.ckMark)
+	m.Mem.RollbackTo(memMark)
 
 	validInsns := 0
 	for _, s := range m.InFlightSeqs() {
@@ -118,12 +232,16 @@ func (w *worker) checkpoint(ck int) *ckResult {
 	cr := &ckResult{ck: ck, validInsns: validInsns, pops: make([]popTrials, len(w.cfg.Populations))}
 	for pi, pop := range w.cfg.Populations {
 		pt := &cr.pops[pi]
+		pt.trials = make([]Trial, 0, pop.Trials)
 		for t := 0; t < pop.Trials; t++ {
 			bit := m.F.RandomBit(rng, pop.LatchOnly)
 			tmark := m.Mem.Mark()
-			trial := w.runTrial(g, bit)
+			if !useSnap {
+				m.Mark(&w.trialMark)
+			}
+			trial := w.runTrial(bit)
 			trial.Checkpoint = int32(ck)
-			m.Restore(snap)
+			w.rewind(snap, &w.trialMark)
 			m.Mem.RollbackTo(tmark)
 			pt.trials = append(pt.trials, trial)
 			if trial.Outcome == OutMatch || trial.Outcome == OutGray {
@@ -131,14 +249,28 @@ func (w *worker) checkpoint(ck int) *ckResult {
 			}
 		}
 	}
+	if !useSnap {
+		m.CommitJournal()
+	}
 	m.Mem.Rollback()
 	return cr
 }
 
+// rewind rolls the machine back to the checkpoint state through whichever
+// mechanism the campaign selected.
+func (w *worker) rewind(snap *uarch.Snapshot, mark *uarch.MarkPoint) {
+	if snap != nil {
+		w.m.Restore(snap)
+		return
+	}
+	w.m.RollbackTo(mark)
+}
+
 // runTrial flips one bit and monitors the machine against the golden
 // continuation, implementing the Section 2.2 classification.
-func (w *worker) runTrial(g *goldenRun, bit state.BitRef) Trial {
+func (w *worker) runTrial(bit state.BitRef) Trial {
 	m := w.m
+	g := &w.g
 	trial := Trial{
 		Category: bit.Elem.Category(),
 		Kind:     bit.Elem.Kind(),
@@ -146,48 +278,9 @@ func (w *worker) runTrial(g *goldenRun, bit state.BitRef) Trial {
 		Bit:      int32(bit.Entry*bit.Elem.Width() + bit.Bit),
 	}
 
-	var (
-		diverged   bool
-		mode       FailureMode
-		excMode    FailureMode
-		idx        int
-		outOfTrace bool
-	)
-	m.OnRetire = func(ev uarch.RetireEvent) {
-		if diverged || outOfTrace {
-			return
-		}
-		if idx >= len(g.events) {
-			outOfTrace = true
-			return
-		}
-		ge := g.events[idx]
-		idx++
-		switch {
-		case ev.PC != ge.PC || ev.Kind != ge.Kind:
-			mode, diverged = FailCtrl, true
-		case ev.Kind == uarch.RetReg && (ev.Dest != ge.Dest || ev.Value != ge.Value):
-			mode, diverged = FailRegfile, true
-		case ev.Kind == uarch.RetStore &&
-			(ev.Addr != ge.Addr || ev.Data != ge.Data || ev.Size != ge.Size):
-			mode, diverged = FailMem, true
-		case ev.Kind == uarch.RetPal && ev.PalFn != ge.PalFn:
-			mode, diverged = FailCtrl, true
-		case ev.Kind == uarch.RetPal && ev.Value != ge.Value:
-			mode, diverged = FailRegfile, true
-		}
-	}
-	m.OnExc = func(ev uarch.ExcEvent) {
-		if excMode != FailNone {
-			return
-		}
-		switch ev.Kind {
-		case uarch.ExcDTLB:
-			excMode = FailDTLB
-		default:
-			excMode = FailExcept
-		}
-	}
+	w.mon.reset(g)
+	m.OnRetire = w.onRetire
+	m.OnExc = w.onExc
 	defer func() {
 		m.OnRetire = nil
 		m.OnExc = nil
@@ -202,11 +295,11 @@ func (w *worker) runTrial(g *goldenRun, bit state.BitRef) Trial {
 		m.Step()
 		trial.Cycles = int32(cyc)
 		switch {
-		case diverged:
-			trial.Outcome, trial.Mode = OutSDC, mode
+		case w.mon.diverged:
+			trial.Outcome, trial.Mode = OutSDC, w.mon.mode
 			return trial
-		case excMode != FailNone:
-			trial.Outcome, trial.Mode = excMode.Outcome(), excMode
+		case w.mon.excMode != FailNone:
+			trial.Outcome, trial.Mode = w.mon.excMode.Outcome(), w.mon.excMode
 			return trial
 		}
 		if m.Retired > lastRetired {
@@ -228,7 +321,7 @@ func (w *worker) runTrial(g *goldenRun, bit state.BitRef) Trial {
 		} else {
 			itlbCnt = 0
 		}
-		if !outOfTrace && m.Digest() == g.digests[cyc-1] {
+		if !w.mon.outOfTrace && m.Digest() == g.digests[cyc-1] {
 			trial.Outcome = OutMatch
 			return trial
 		}

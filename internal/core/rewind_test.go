@@ -1,0 +1,86 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pipefault/internal/workload"
+)
+
+// rewindCampaign runs the golden-test campaign under an explicit rewind
+// mechanism and worker count.
+func rewindCampaign(t *testing.T, mode RewindMode, workers int) *Result {
+	t.Helper()
+	res, err := Run(Config{
+		Workload:    workload.Tiny,
+		Checkpoints: 2,
+		Horizon:     800,
+		Populations: []Population{
+			{Name: "l+r", Trials: 4},
+			{Name: "l", LatchOnly: true, Trials: 3},
+		},
+		Seed:    11,
+		Workers: workers,
+		Rewind:  mode,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestRewindEquivalence is the journal's correctness oracle at campaign
+// scale: the undo-journal rewind path and the full Snapshot/Restore path
+// must produce byte-identical exports (JSON and CSV), serial and parallel,
+// and both must match the checked-in golden files — which predate the
+// journal, so the goldens pin that neither path changed the simulator's
+// observable behavior.
+func TestRewindEquivalence(t *testing.T) {
+	runs := []struct {
+		name string
+		res  *Result
+	}{
+		{"journal-w1", rewindCampaign(t, RewindJournal, 1)},
+		{"journal-w4", rewindCampaign(t, RewindJournal, 4)},
+		{"snapshot-w1", rewindCampaign(t, RewindSnapshot, 1)},
+		{"snapshot-w4", rewindCampaign(t, RewindSnapshot, 4)},
+	}
+	encoders := []struct {
+		name   string
+		golden string
+		write  func(*Result, *bytes.Buffer) error
+	}{
+		{"json", "export_golden.json", func(r *Result, b *bytes.Buffer) error { return r.WriteJSON(b) }},
+		{"csv", "export_golden.csv", func(r *Result, b *bytes.Buffer) error { return r.WriteCSV(b) }},
+	}
+	for _, enc := range encoders {
+		t.Run(enc.name, func(t *testing.T) {
+			want, err := os.ReadFile(filepath.Join("testdata", enc.golden))
+			if err != nil {
+				t.Fatalf("reading golden file: %v", err)
+			}
+			for _, run := range runs {
+				var got bytes.Buffer
+				if err := enc.write(run.res, &got); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got.Bytes(), want) {
+					t.Errorf("%s: export deviates from golden — rewind paths are not equivalent\n--- got ---\n%s\n--- want ---\n%s",
+						run.name, got.Bytes(), want)
+				}
+			}
+		})
+	}
+}
+
+// TestRewindModeString pins the flag-facing names.
+func TestRewindModeString(t *testing.T) {
+	if RewindJournal.String() != "journal" || RewindSnapshot.String() != "snapshot" {
+		t.Errorf("RewindMode strings: %q, %q", RewindJournal, RewindSnapshot)
+	}
+	if s := RewindMode(99).String(); s == "" {
+		t.Error("unknown RewindMode must still print")
+	}
+}

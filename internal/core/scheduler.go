@@ -121,7 +121,7 @@ func Run(cfg Config) (*Result, error) {
 		for ck := i; ck < len(cycles); ck += nw {
 			cks = append(cks, ck)
 		}
-		w := &worker{cfg: cfg, m: machines[i], horizonG: horizonG}
+		w := newWorker(cfg, machines[i], horizonG)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()

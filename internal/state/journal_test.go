@@ -1,0 +1,286 @@
+package state
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// captureAll records every entry of every element, the ground truth for
+// rollback verification.
+func captureAll(elems []*Elem) [][]uint64 {
+	out := make([][]uint64, len(elems))
+	for ei, e := range elems {
+		vals := make([]uint64, e.Entries())
+		for i := range vals {
+			vals[i] = e.Get(i)
+		}
+		out[ei] = vals
+	}
+	return out
+}
+
+func checkAll(t *testing.T, elems []*Elem, want [][]uint64, ctx string) {
+	t.Helper()
+	for ei, e := range elems {
+		for i := 0; i < e.Entries(); i++ {
+			if got := e.Get(i); got != want[ei][i] {
+				t.Fatalf("%s: %s[%d] = %#x, want %#x", ctx, e.Name(), i, got, want[ei][i])
+			}
+		}
+	}
+}
+
+// burst applies a random mix of Set and Flip across all elements, hitting
+// straddling widths, shared words, and repeated writes to the same entry.
+func burst(rng *rand.Rand, elems []*Elem, n int) {
+	for k := 0; k < n; k++ {
+		e := elems[rng.Intn(len(elems))]
+		i := rng.Intn(e.Entries())
+		if rng.Intn(3) == 0 {
+			e.Flip(i, rng.Intn(e.Width()))
+		} else {
+			e.Set(i, rng.Uint64())
+		}
+	}
+}
+
+// TestJournalRollbackProperty: after any random Set/Flip burst, RollbackTo
+// restores the exact contents, the incremental digest, and agreement with
+// the O(state) recomputed digest.
+func TestJournalRollbackProperty(t *testing.T) {
+	f, elems := newTestFile()
+	rng := rand.New(rand.NewSource(7))
+	burst(rng, elems, 500) // non-trivial starting contents
+
+	f.BeginJournal()
+	for round := 0; round < 50; round++ {
+		want := captureAll(elems)
+		wantDigest := f.Digest()
+		lenBefore := f.JournalLen()
+		m := f.Mark()
+		burst(rng, elems, 1+rng.Intn(200))
+		f.RollbackTo(m)
+		if got := f.Digest(); got != wantDigest {
+			t.Fatalf("round %d: digest = %#x, want %#x", round, got, wantDigest)
+		}
+		if got := f.RecomputeDigest(); got != wantDigest {
+			t.Fatalf("round %d: recomputed digest = %#x, want %#x", round, got, wantDigest)
+		}
+		checkAll(t, elems, want, "after rollback")
+		if f.JournalLen() != lenBefore {
+			t.Fatalf("round %d: JournalLen = %d after rollback, want %d", round, f.JournalLen(), lenBefore)
+		}
+		burst(rng, elems, rng.Intn(50)) // mutate between rounds, keep the journal live
+		m2 := f.Mark()
+		f.RollbackTo(m2) // no-op rollback must also hold
+	}
+	f.CommitJournal()
+}
+
+// TestJournalNestedMarks: inner marks roll back independently; an outer
+// mark still rewinds words that were first touched (and rolled back)
+// inside an inner region.
+func TestJournalNestedMarks(t *testing.T) {
+	f, elems := newTestFile()
+	rng := rand.New(rand.NewSource(9))
+	burst(rng, elems, 300)
+	f.BeginJournal()
+
+	outerWant := captureAll(elems)
+	outerDigest := f.Digest()
+	outer := f.Mark()
+
+	burst(rng, elems, 80) // dirties words under the outer mark
+
+	innerWant := captureAll(elems)
+	inner := f.Mark()
+	burst(rng, elems, 80)
+	f.RollbackTo(inner)
+	checkAll(t, elems, innerWant, "after inner rollback")
+
+	// Touch the same words again: the epoch bump must force re-logging so
+	// the outer rollback still sees correct pre-images.
+	burst(rng, elems, 80)
+
+	f.RollbackTo(outer)
+	checkAll(t, elems, outerWant, "after outer rollback")
+	if f.Digest() != outerDigest {
+		t.Fatalf("digest = %#x, want %#x", f.Digest(), outerDigest)
+	}
+	if f.RecomputeDigest() != outerDigest {
+		t.Fatal("incremental and recomputed digests disagree after nested rollback")
+	}
+	f.CommitJournal()
+}
+
+// TestJournalFirstTouch: repeated writes to the same word log exactly one
+// pre-image per mark epoch.
+func TestJournalFirstTouch(t *testing.T) {
+	f := New()
+	e := f.RAM("x", CatData, 4, 64) // one word per entry, no straddle
+	f.Freeze()
+	f.BeginJournal()
+	m := f.Mark()
+	for i := 0; i < 100; i++ {
+		e.Set(2, uint64(i))
+	}
+	if n := f.JournalLen(); n != 1 {
+		t.Fatalf("JournalLen = %d after 100 writes to one word, want 1", n)
+	}
+	e.Set(3, 7)
+	if n := f.JournalLen(); n != 2 {
+		t.Fatalf("JournalLen = %d, want 2", n)
+	}
+	f.RollbackTo(m)
+	if e.Get(2) != 0 || e.Get(3) != 0 {
+		t.Fatal("rollback did not restore first-touch pre-images")
+	}
+	f.CommitJournal()
+}
+
+// TestJournalStraddleLogsBothWords: a straddling row's Set must journal
+// both underlying words.
+func TestJournalStraddleLogsBothWords(t *testing.T) {
+	f := New()
+	e := f.RAM("x", CatData, 8, 62) // rows 1..7 straddle word boundaries
+	f.Freeze()
+	e.Set(1, 0x3FFF_FFFF_FFFF_FFFF)
+	f.BeginJournal()
+	m := f.Mark()
+	e.Set(1, 0)
+	if n := f.JournalLen(); n != 2 {
+		t.Fatalf("JournalLen = %d for a straddling Set, want 2", n)
+	}
+	f.RollbackTo(m)
+	if got := e.Get(1); got != 0x3FFF_FFFF_FFFF_FFFF {
+		t.Fatalf("straddling rollback: got %#x", got)
+	}
+	f.CommitJournal()
+}
+
+// TestJournalCommitKeepsContents: CommitJournal discards undo information
+// but never touches contents, and the file is journal-free afterwards.
+func TestJournalCommitKeepsContents(t *testing.T) {
+	f, elems := newTestFile()
+	rng := rand.New(rand.NewSource(3))
+	f.BeginJournal()
+	f.Mark()
+	burst(rng, elems, 100)
+	want := captureAll(elems)
+	wantDigest := f.Digest()
+	f.CommitJournal()
+	if f.Journaling() {
+		t.Fatal("Journaling() true after CommitJournal")
+	}
+	checkAll(t, elems, want, "after commit")
+	if f.Digest() != wantDigest {
+		t.Fatal("digest changed by CommitJournal")
+	}
+	// Snapshot/Restore must work again once the journal is committed.
+	s := f.Snapshot()
+	burst(rng, elems, 50)
+	f.Restore(s)
+	checkAll(t, elems, want, "after restore")
+}
+
+// TestJournalLifecyclePanics pins the misuse panics: marks and rollbacks
+// need an active journal, whole-state overwrites are illegal while one is
+// active, and stale marks are rejected.
+func TestJournalLifecyclePanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("BeginJournal before Freeze", func() {
+		f := New()
+		f.Latch("x", CatCtrl, 1, 1)
+		f.BeginJournal()
+	})
+	mustPanic("Mark without BeginJournal", func() {
+		f, _ := newTestFile()
+		f.Mark()
+	})
+	mustPanic("RollbackTo without BeginJournal", func() {
+		f, _ := newTestFile()
+		f.RollbackTo(Mark{})
+	})
+	mustPanic("Restore while journaling", func() {
+		f, _ := newTestFile()
+		s := f.Snapshot()
+		f.BeginJournal()
+		f.Restore(s)
+	})
+	mustPanic("Reset while journaling", func() {
+		f, _ := newTestFile()
+		f.BeginJournal()
+		f.Reset()
+	})
+	mustPanic("stale mark", func() {
+		f, elems := newTestFile()
+		f.BeginJournal()
+		elems[0].Set(0, 1)
+		m := f.Mark() // pos = 1
+		f.RollbackTo(f.Mark())
+		_ = m
+		f.RollbackTo(Mark{pos: 99}) // beyond the (truncated) journal
+	})
+}
+
+func BenchmarkStateSet(b *testing.B) {
+	f := New()
+	e := f.RAM("x", CatData, 64, 64) // non-straddling fast path
+	f.Freeze()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Set(i&63, uint64(i))
+	}
+}
+
+func BenchmarkStateSetStraddle(b *testing.B) {
+	f := New()
+	e := f.RAM("x", CatData, 64, 62) // rows straddle words
+	f.Freeze()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Set(i&63, uint64(i))
+	}
+}
+
+func BenchmarkSnapshotRestore(b *testing.B) {
+	f, _ := newTestFile()
+	s := f.Snapshot()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Restore(s)
+	}
+}
+
+// BenchmarkJournalRollback measures a mark/dirty/rollback cycle with a
+// working set far smaller than the file — the trial-rewind shape.
+func BenchmarkJournalRollback(b *testing.B) {
+	f, elems := newTestFile()
+	e := elems[2] // regfile, 80x64
+	f.BeginJournal()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := f.Mark()
+		for k := 0; k < 16; k++ {
+			e.Set(k, uint64(i+k))
+		}
+		f.RollbackTo(m)
+	}
+}
+
+func BenchmarkRandomBitLatchOnly(b *testing.B) {
+	f, _ := newTestFile()
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = f.RandomBit(rng, true)
+	}
+}

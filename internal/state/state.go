@@ -107,17 +107,24 @@ func Categories() []Category {
 // Elem is one named state element: an array of entries, each width bits
 // (width <= 64). A single latch is an Elem with entries == 1.
 type Elem struct {
+	// Hot-path fields, grouped so Get/Set touch one cache line: words
+	// aliases the file's backing storage (set at Freeze, never reallocated),
+	// and strSh is the largest in-word shift at which a row still fits in a
+	// single word (64 - width) — a row straddles two words iff its shift
+	// exceeds strSh, so widths that divide 64 never take the two-word path.
+	words   []uint64
+	bitBase uint64 // global bit offset of entry 0 (digest keying)
+	mask    uint64
+	strSh   uint64
+	width   int
+
 	name       string
 	kind       Kind
 	cat        Category
 	entries    int
-	width      int
-	mask       uint64
 	injectable bool
 
 	file    *File
-	bitBase uint64 // global bit offset of entry 0 (digest keying)
-	off     int    // word offset in file.words
 	injBase uint64 // cumulative injectable-bit index (if injectable)
 }
 
@@ -145,34 +152,57 @@ func (e *Elem) Injectable() bool { return e.injectable }
 // Get reads entry i.
 func (e *Elem) Get(i int) uint64 {
 	bit := e.bitBase + uint64(i)*uint64(e.width)
-	w := int(bit >> 6)
 	sh := bit & 63
-	words := e.file.words
-	v := words[w] >> sh
-	if sh+uint64(e.width) > 64 {
-		v |= words[w+1] << (64 - sh)
+	v := e.words[bit>>6] >> sh
+	if sh > e.strSh {
+		v |= e.words[bit>>6+1] << (64 - sh)
 	}
 	return v & e.mask
 }
 
-// Set writes entry i (value truncated to the element width) and updates the
-// file digest.
+// Set writes entry i (value truncated to the element width), updates the
+// file digest, and — while a journal is active — logs the first touch of
+// each dirtied word so RollbackTo can rewind in O(words touched).
 func (e *Elem) Set(i int, v uint64) {
 	v &= e.mask
-	old := e.Get(i)
+	bit := e.bitBase + uint64(i)*uint64(e.width)
+	sh := bit & 63
+	if sh <= e.strSh {
+		w := bit >> 6
+		cur := e.words[w]
+		old := cur >> sh & e.mask
+		if old == v {
+			return
+		}
+		f := e.file
+		f.digest ^= mix(bit, old) ^ mix(bit, v)
+		if f.jOn {
+			f.touch(w)
+		}
+		e.words[w] = cur&^(e.mask<<sh) | v<<sh
+		return
+	}
+	e.setStraddle(bit, v)
+}
+
+// setStraddle is the two-word Set path for rows that cross a word boundary.
+func (e *Elem) setStraddle(bit, v uint64) {
+	w := bit >> 6
+	sh := bit & 63
+	rem := 64 - sh
+	words := e.words
+	old := (words[w]>>sh | words[w+1]<<rem) & e.mask
 	if old == v {
 		return
 	}
-	bit := e.bitBase + uint64(i)*uint64(e.width)
-	e.file.digest ^= mix(bit, old) ^ mix(bit, v)
-	w := int(bit >> 6)
-	sh := bit & 63
-	words := e.file.words
-	words[w] = words[w]&^(e.mask<<sh) | v<<sh
-	if sh+uint64(e.width) > 64 {
-		rem := 64 - sh
-		words[w+1] = words[w+1]&^(e.mask>>rem) | v>>rem
+	f := e.file
+	f.digest ^= mix(bit, old) ^ mix(bit, v)
+	if f.jOn {
+		f.touch(w)
+		f.touch(w + 1)
 	}
+	words[w] = words[w]&^(e.mask<<sh) | v<<sh
+	words[w+1] = words[w+1]&^(e.mask>>rem) | v>>rem
 }
 
 // GetBit reads a single bit of entry i.
@@ -225,10 +255,38 @@ type File struct {
 
 	zeroDigest uint64
 
-	injElems   []*Elem // injectable elements, in registration order
-	injBits    uint64  // total injectable bits (latches + RAMs)
+	injElems   []*Elem  // injectable elements, in registration order
+	injBits    uint64   // total injectable bits (latches + RAMs)
+	injCum     []uint64 // injCum[i] = injectable bits in injElems[:i]; len+1 entries
 	latchElems []*Elem
-	latchBits  uint64 // total injectable latch bits
+	latchBits  uint64   // total injectable latch bits
+	latchCum   []uint64 // latchCum[i] = injectable bits in latchElems[:i]; len+1 entries
+
+	// First-touch undo journal (Mark/RollbackTo). jLog records the
+	// pre-image of every word dirtied since the most recent Mark; jStamp
+	// holds, per word, the epoch of its last log entry, so repeat writes to
+	// a word cost one compare instead of one append. The epoch advances on
+	// every Mark, RollbackTo and CommitJournal, which is what makes stale
+	// stamps harmless without ever clearing the stamp array.
+	jLog   []jEntry
+	jStamp []uint64
+	jEpoch uint64
+	jOn    bool
+}
+
+// jEntry is one journal record: the pre-image of a dirtied word.
+type jEntry struct {
+	word uint64
+	old  uint64
+}
+
+// touch logs word w's current value if this is its first touch since the
+// last Mark.
+func (f *File) touch(w uint64) {
+	if f.jStamp[w] != f.jEpoch {
+		f.jStamp[w] = f.jEpoch
+		f.jLog = append(f.jLog, jEntry{word: w, old: f.words[w]})
+	}
 }
 
 // New returns an empty, unfrozen state file.
@@ -272,6 +330,7 @@ func (f *File) add(name string, kind Kind, cat Category, entries, width int, opt
 	e := &Elem{
 		name: name, kind: kind, cat: cat,
 		entries: entries, width: width, mask: mask,
+		strSh:      uint64(64 - width),
 		injectable: true, file: f,
 	}
 	for _, opt := range opts {
@@ -304,6 +363,20 @@ func (f *File) Freeze() {
 		}
 	}
 	f.words = make([]uint64, bit>>6)
+	for _, e := range f.elems {
+		e.words = f.words
+	}
+	// Cumulative injectable-bit offsets per population, so RandomBit's
+	// binary search probes are O(1) instead of an O(n) sum (the latch
+	// population is not contiguous in injBase space).
+	f.injCum = make([]uint64, len(f.injElems)+1)
+	for i, e := range f.injElems {
+		f.injCum[i+1] = f.injCum[i] + uint64(e.Bits())
+	}
+	f.latchCum = make([]uint64, len(f.latchElems)+1)
+	for i, e := range f.latchElems {
+		f.latchCum[i+1] = f.latchCum[i] + uint64(e.Bits())
+	}
 	// Digest of the all-zero state.
 	var d uint64
 	for _, e := range f.elems {
@@ -355,39 +428,108 @@ func (f *File) RandomBit(rng *rand.Rand, latchOnly bool) BitRef {
 	if !f.frozen {
 		panic("state: RandomBit before Freeze; the injectable population is not laid out yet")
 	}
-	pop := f.injElems
+	pop, cum := f.injElems, f.injCum
 	total := f.injBits
 	if latchOnly {
-		pop, total = f.latchElems, f.latchBits
+		pop, cum, total = f.latchElems, f.latchCum, f.latchBits
 	}
 	if total == 0 {
 		panic("state: no injectable bits")
 	}
 	n := uint64(rng.Int63n(int64(total)))
-	// Binary search over cumulative injectable-bit offsets.
+	// Binary search over the cumulative offsets precomputed at Freeze. For
+	// the full population cum[i] coincides with pop[i].injBase (the
+	// contiguous layout); the latch population needs its own table.
 	idx := sort.Search(len(pop), func(i int) bool {
-		return f.cumBits(pop, i+1) > n
+		return cum[i+1] > n
 	})
 	e := pop[idx]
-	off := n - f.cumBits(pop, idx)
+	off := n - cum[idx]
 	return BitRef{Elem: e, Entry: int(off) / e.width, Bit: int(off) % e.width}
 }
 
-// cumBits returns the number of injectable bits in pop[:i]. The latch
-// population is not contiguous in injBase space, so compute per population.
-func (f *File) cumBits(pop []*Elem, i int) uint64 {
-	if len(pop) == len(f.injElems) {
-		// Fast path: contiguous injBase.
-		if i == len(pop) {
-			return f.injBits
+// Mark is a rewind point in the File's undo journal: the journal position
+// and the digest at the time the mark was taken. Marks obey stack
+// discipline — rolling back to an outer mark invalidates the inner ones.
+type Mark struct {
+	pos    int
+	digest uint64
+}
+
+// BeginJournal starts (or restarts) first-touch undo journaling. While the
+// journal is active, every Set that dirties a word for the first time since
+// the most recent Mark logs the word's pre-image, making RollbackTo
+// O(words touched) instead of O(machine state). The stamp array is lazily
+// allocated on first use and reused for the life of the File.
+func (f *File) BeginJournal() {
+	if !f.frozen {
+		panic("state: BeginJournal before Freeze")
+	}
+	if f.jStamp == nil {
+		f.jStamp = make([]uint64, len(f.words))
+	}
+	f.jOn = true
+	f.jEpoch++
+}
+
+// Journaling reports whether an undo journal is active.
+func (f *File) Journaling() bool { return f.jOn }
+
+// Mark returns a rewind point for RollbackTo. The epoch bump makes every
+// word eligible for (re-)logging, so writes after the mark are undoable
+// even if they hit words already logged under an enclosing mark.
+func (f *File) Mark() Mark {
+	if !f.jOn {
+		panic("state: Mark without BeginJournal")
+	}
+	f.jEpoch++
+	return Mark{pos: len(f.jLog), digest: f.digest}
+}
+
+// RollbackTo replays the journal in reverse down to the given mark,
+// restoring the exact word contents and the digest saved at Mark time.
+func (f *File) RollbackTo(m Mark) {
+	if !f.jOn {
+		panic("state: RollbackTo without BeginJournal")
+	}
+	log := f.jLog
+	if m.pos > len(log) {
+		panic("state: RollbackTo past the journal end (stale mark)")
+	}
+	for i := len(log) - 1; i >= m.pos; i-- {
+		f.words[log[i].word] = log[i].old
+	}
+	f.jLog = log[:m.pos]
+	f.digest = m.digest
+	// Invalidate stamps from the rolled-back region: without the bump, a
+	// later write to a word logged inside that region would be skipped and
+	// an enclosing mark could no longer rewind it.
+	f.jEpoch++
+}
+
+// CommitJournal discards the journal without rewinding and stops logging.
+// The log's capacity is retained for the next BeginJournal.
+func (f *File) CommitJournal() {
+	f.jLog = f.jLog[:0]
+	f.jOn = false
+	f.jEpoch++
+}
+
+// JournalLen returns the current number of logged word pre-images (for
+// tests and instrumentation).
+func (f *File) JournalLen() int { return len(f.jLog) }
+
+// RecomputeDigest folds the digest from scratch over current contents: the
+// O(state) oracle for the incrementally maintained Digest. Tests and
+// debugging only; production comparison uses Digest.
+func (f *File) RecomputeDigest() uint64 {
+	var d uint64
+	for _, e := range f.elems {
+		for i := 0; i < e.entries; i++ {
+			d ^= mix(e.bitBase+uint64(i)*uint64(e.width), e.Get(i))
 		}
-		return pop[i].injBase
 	}
-	var s uint64
-	for _, e := range pop[:i] {
-		s += uint64(e.Bits())
-	}
-	return s
+	return d
 }
 
 // Snapshot is a copy of a File's contents.
@@ -402,8 +544,12 @@ func (f *File) Snapshot() *Snapshot {
 }
 
 // Restore overwrites the file contents from a snapshot taken on a file with
-// the same layout.
+// the same layout. A whole-state overwrite would invalidate every journal
+// pre-image, so restoring with an active journal is a lifecycle bug.
 func (f *File) Restore(s *Snapshot) {
+	if f.jOn {
+		panic("state: Restore while a journal is active; CommitJournal or RollbackTo first")
+	}
 	if len(s.words) != len(f.words) {
 		panic("state: snapshot layout mismatch")
 	}
@@ -413,6 +559,9 @@ func (f *File) Restore(s *Snapshot) {
 
 // Reset zeroes all state.
 func (f *File) Reset() {
+	if f.jOn {
+		panic("state: Reset while a journal is active; CommitJournal or RollbackTo first")
+	}
 	for i := range f.words {
 		f.words[i] = 0
 	}

@@ -88,9 +88,10 @@ func NewOnMemory(cfg Config, memory *mem.Memory, legal *mem.PageSet, entry uint6
 // state: the state file contents, instrumentation shadows and memory image
 // are deep-copied, so the clone and the original can step concurrently.
 // The legal page set is shared (it is immutable after construction), event
-// callbacks are not carried over, and the original's memory undo log is not
-// cloned. Clone is how the parallel campaign engine hands a warmed-up
-// machine to each worker.
+// callbacks are not carried over, and neither the original's memory undo
+// log nor an active bit-store journal is cloned — the clone's state file
+// starts journal-free. Clone is how the parallel campaign engine hands a
+// warmed-up machine to each worker.
 func (m *Machine) Clone() *Machine {
 	f := state.New()
 	e := buildElems(f, m.Cfg.Protect)
@@ -215,6 +216,58 @@ func (m *Machine) Restore(s *Snapshot) {
 	m.seqDE = s.seqDE
 	m.seqRN = s.seqRN
 	m.seqROB = s.seqROB
+}
+
+// MarkPoint is a lightweight rewind point: a state.File journal mark plus
+// the instrumentation shadows. Unlike a Snapshot it copies no machine
+// state up front — RollbackTo replays only the words dirtied since Mark —
+// so marking and rewinding a short trial is O(words touched), not
+// O(machine state). Callers are expected to reuse one MarkPoint across
+// many trials (Mark fills it in place).
+type MarkPoint struct {
+	st      state.Mark
+	cycle   uint64
+	nextSeq uint64
+	retired uint64
+	seqFQ   [FetchQSize]uint64
+	seqDE   [DecodeWidth]uint64
+	seqRN   [RenameWidth]uint64
+	seqROB  [ROBSize]uint64
+}
+
+// BeginJournal starts undo journaling on the machine's state file. Memory
+// journaling is separate (Mem.BeginUndo), since program memory already has
+// its own undo log.
+func (m *Machine) BeginJournal() { m.F.BeginJournal() }
+
+// CommitJournal discards the state-file journal and stops logging.
+func (m *Machine) CommitJournal() { m.F.CommitJournal() }
+
+// Mark fills p with a rewind point for RollbackTo. BeginJournal must be
+// active.
+func (m *Machine) Mark(p *MarkPoint) {
+	p.st = m.F.Mark()
+	p.cycle = m.Cycle
+	p.nextSeq = m.nextSeq
+	p.retired = m.Retired
+	p.seqFQ = m.seqFQ
+	p.seqDE = m.seqDE
+	p.seqRN = m.seqRN
+	p.seqROB = m.seqROB
+}
+
+// RollbackTo rewinds the machine to a mark taken with Mark, replaying the
+// state-file journal in reverse (memory must be rewound separately via
+// Mem.RollbackTo). Marks obey stack discipline.
+func (m *Machine) RollbackTo(p *MarkPoint) {
+	m.F.RollbackTo(p.st)
+	m.Cycle = p.cycle
+	m.nextSeq = p.nextSeq
+	m.Retired = p.retired
+	m.seqFQ = p.seqFQ
+	m.seqDE = p.seqDE
+	m.seqRN = p.seqRN
+	m.seqROB = p.seqROB
 }
 
 // InFlightSeqs returns the shadow sequence numbers of every instruction

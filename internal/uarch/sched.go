@@ -1,6 +1,8 @@
 package uarch
 
 import (
+	"math/bits"
+
 	"pipefault/internal/isa"
 )
 
@@ -26,6 +28,22 @@ var (
 	aguPorts     = []int{PortAGU0, PortAGU1}
 )
 
+// portMaskForClass mirrors portsForClass as a per-port bitmask, for the
+// scheduler's hot selection loop.
+func portMaskForClass(c isa.Class) uint8 {
+	switch c {
+	case isa.ClassSimple:
+		return 1<<PortSimple0 | 1<<PortSimple1
+	case isa.ClassComplex:
+		return 1 << PortComplex
+	case isa.ClassBranch:
+		return 1 << PortBranch
+	case isa.ClassLoad, isa.ClassStore:
+		return 1<<PortAGU0 | 1<<PortAGU1
+	}
+	return 0
+}
+
 // schedule advances the speculative-wakeup delay line, then selects up to
 // one ready instruction per issue port (oldest first) and moves it into the
 // issue-port latch.
@@ -46,37 +64,52 @@ func (m *Machine) schedule() {
 	e.swValid.SetBool(0, false)
 	e.swValid.SetBool(1, false)
 
+	// Selection runs six oldest-first picks (one per port) over the same 32
+	// entries, so gather each entry's eligibility, age and port mask once
+	// up front instead of re-reading four latch bits per entry per port.
+	// Issuing only flips isIssued, robHead is stable within the cycle, and
+	// each port is visited once, so the cached view stays exact as long as
+	// issued entries are cleared from the ready mask.
+	var (
+		ready uint32
+		age   [SchedSize]uint64
+		ports [SchedSize]uint8
+	)
+	for s := 0; s < SchedSize; s++ {
+		if !e.isValid.Bool(s) || e.isIssued.Bool(s) {
+			continue
+		}
+		if !e.isS1Ready.Bool(s) || !e.isS2Ready.Bool(s) {
+			continue
+		}
+		ready |= 1 << s
+		age[s] = m.robAge(e.isRobTag.Get(s))
+		ports[s] = portMaskForClass(isa.Class(e.isClass.Get(s)))
+	}
+
 	// Per-port oldest-first selection.
 	for port := 0; port < IssueWidth; port++ {
+		if ready == 0 {
+			break
+		}
 		if e.ipValid.Bool(port) {
 			continue // register read stalled (should not normally happen)
 		}
 		best := -1
 		bestAge := uint64(ROBSize)
-		for s := 0; s < SchedSize; s++ {
-			if !e.isValid.Bool(s) || e.isIssued.Bool(s) {
+		for rm := ready; rm != 0; rm &= rm - 1 {
+			s := bits.TrailingZeros32(rm)
+			if ports[s]>>port&1 == 0 {
 				continue
 			}
-			if !e.isS1Ready.Bool(s) || !e.isS2Ready.Bool(s) {
-				continue
-			}
-			match := false
-			for _, p := range portsForClass(isa.Class(e.isClass.Get(s))) {
-				if p == port {
-					match = true
-					break
-				}
-			}
-			if !match {
-				continue
-			}
-			if age := m.robAge(e.isRobTag.Get(s)); age < bestAge {
-				bestAge, best = age, s
+			if age[s] < bestAge {
+				bestAge, best = age[s], s
 			}
 		}
 		if best < 0 {
 			continue
 		}
+		ready &^= 1 << best
 		m.issueTo(port, best)
 	}
 }
