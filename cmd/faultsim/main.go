@@ -29,9 +29,11 @@
 //
 // Scale flags (-checkpoints, -trials, -ltrials, -soft-trials) default to a
 // laptop-friendly size; the paper's scale is roughly -checkpoints 270
-// -trials 100 -soft-trials 1200. Campaigns are sharded across -workers
-// goroutines (default: all CPUs); the worker count never changes results,
-// only wall-clock time.
+// -trials 100 -soft-trials 1200. Campaigns run on -workers goroutines
+// under the -sched scheduler (default: the two-phase work-stealing
+// engine); neither flag ever changes results, only wall-clock time.
+// -progress prints periodic checkpoints-done/trials-done lines to stderr
+// without perturbing results.
 package main
 
 import (
@@ -60,6 +62,8 @@ type opts struct {
 	softTrials  int
 	horizon     int
 	workers     int
+	sched       core.SchedMode
+	progress    bool
 	seed        int64
 	verbose     bool
 }
@@ -73,6 +77,8 @@ func run() int {
 	softTrials := fs.Int("soft-trials", 60, "software trials per benchmark per model")
 	horizon := fs.Int("horizon", 10_000, "trial cycle budget")
 	workers := fs.Int("workers", runtime.NumCPU(), "campaign worker goroutines (results are identical for any count)")
+	sched := fs.String("sched", "steal", "campaign scheduler: steal (two-phase work-stealing) or shard (legacy checkpoint sharding)")
+	progress := fs.Bool("progress", false, "print periodic campaign progress to stderr")
 	seed := fs.Int64("seed", 1, "campaign RNG seed")
 	verbose := fs.Bool("v", false, "progress output")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -87,6 +93,30 @@ func run() int {
 	if fs.NArg() < 1 {
 		fs.Usage()
 		return 2
+	}
+
+	// Reject nonsensical scale flags up front with a clear message rather
+	// than failing obscurely (or silently doing nothing) mid-campaign.
+	schedMode, err := core.ParseSchedMode(*sched)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faultsim:", err)
+		return 2
+	}
+	for _, check := range []struct {
+		bad bool
+		msg string
+	}{
+		{*workers < 0, fmt.Sprintf("-workers must be >= 0 (got %d); 0 means all CPUs", *workers)},
+		{*checkpoints < 1, fmt.Sprintf("-checkpoints must be >= 1 (got %d)", *checkpoints)},
+		{*trials < 1, fmt.Sprintf("-trials must be >= 1 (got %d)", *trials)},
+		{*ltrials < 0, fmt.Sprintf("-ltrials must be >= 0 (got %d)", *ltrials)},
+		{*softTrials < 1, fmt.Sprintf("-soft-trials must be >= 1 (got %d)", *softTrials)},
+		{*horizon < 1, fmt.Sprintf("-horizon must be >= 1 (got %d)", *horizon)},
+	} {
+		if check.bad {
+			fmt.Fprintln(os.Stderr, "faultsim:", check.msg)
+			return 2
+		}
 	}
 
 	if *cpuprofile != "" {
@@ -120,6 +150,7 @@ func run() int {
 	o := &opts{
 		checkpoints: *checkpoints, trials: *trials, ltrials: *ltrials,
 		softTrials: *softTrials, horizon: *horizon, workers: *workers,
+		sched: schedMode, progress: *progress,
 		seed: *seed, verbose: *verbose,
 	}
 	if o.workers <= 0 {
@@ -324,15 +355,36 @@ func (r *runner) campaigns(protect pipefault.ProtectConfig, cache *[]*core.Resul
 		if !protect.Any() {
 			pops = append(pops, core.Population{Name: "l", LatchOnly: true, Trials: r.o.ltrials})
 		}
-		res, err := core.Run(core.Config{
+		cfg := core.Config{
 			Workload:    w,
 			Protect:     protect,
 			Checkpoints: r.o.checkpoints,
 			Horizon:     r.o.horizon,
 			Populations: pops,
 			Workers:     r.o.workers,
+			Sched:       r.o.sched,
 			Seed:        r.o.seed + int64(i),
-		})
+		}
+		if r.o.progress {
+			// The callback runs on the aggregation side and observes results
+			// only after they are final, so printing cannot perturb the
+			// campaign. Throttle to ~20 lines per benchmark.
+			name := w.Name
+			var last int64
+			cfg.OnProgress = func(p core.Progress) {
+				step := p.Trials / 20
+				if step < 1 {
+					step = 1
+				}
+				if p.TrialsDone-last < step && p.TrialsDone != p.Trials {
+					return
+				}
+				last = p.TrialsDone
+				fmt.Fprintf(os.Stderr, "  %s: %d/%d checkpoints, %d/%d trials\n",
+					name, p.CheckpointsDone, p.Checkpoints, p.TrialsDone, p.Trials)
+			}
+		}
+		res, err := core.Run(cfg)
 		if err != nil {
 			return nil, err
 		}

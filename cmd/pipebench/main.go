@@ -4,6 +4,7 @@
 // Usage:
 //
 //	pipebench [-o BENCH_pipeline.json] [-quick] [-workers N]
+//	          [-baseline FILE] [-regress-pct P] [-soft]
 //
 // Four measurements are taken with testing.Benchmark:
 //
@@ -12,6 +13,20 @@
 //	restore_snapshot   full-state Snapshot/Restore rewind (ns/restore)
 //	restore_journal    undo-journal Mark/RollbackTo rewind of a 64-word
 //	                   working set (ns/restore)
+//
+// Two further measurements time whole campaigns wall-clock:
+//
+//	scaling            the same campaign at 1, 2, 4 and NumCPU workers,
+//	                   reporting per-count trials/sec and scaling_efficiency
+//	sched_speedup_4w   the 4-worker campaign under the legacy shard
+//	                   scheduler divided by the same under the work-stealing
+//	                   scheduler (>1 means stealing is faster)
+//
+// With -baseline, the fresh headline metrics are compared against a
+// previously committed report: a drop of more than -regress-pct percent in
+// cycles_per_sec or trials_per_sec fails the run (exit 1), or emits a
+// GitHub Actions warning annotation instead when -soft is set (for noisy
+// shared runners).
 //
 // The JSON written to -o holds the headline metrics plus the raw
 // testing.BenchmarkResult fields for each measurement.
@@ -24,6 +39,7 @@ import (
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
 	"pipefault/internal/core"
 	"pipefault/internal/mem"
@@ -39,26 +55,41 @@ type benchLine struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
+type scalingLine struct {
+	Workers           int     `json:"workers"`
+	WallSec           float64 `json:"wall_sec"`
+	TrialsPerSec      float64 `json:"trials_per_sec"`
+	SpeedupVs1W       float64 `json:"speedup_vs_1w"`
+	ScalingEfficiency float64 `json:"scaling_efficiency"`
+}
+
+type metrics struct {
+	CyclesPerSec      float64 `json:"cycles_per_sec"`
+	TrialsPerSec      float64 `json:"trials_per_sec"`
+	NsRestoreSnapshot float64 `json:"ns_per_restore_snapshot"`
+	NsRestoreJournal  float64 `json:"ns_per_restore_journal"`
+	AllocsPerTrial    float64 `json:"allocs_per_trial"`
+	SchedSpeedup4W    float64 `json:"sched_speedup_4w"`
+}
+
 type report struct {
-	Suite   string `json:"suite"`
-	Go      string `json:"go"`
-	NumCPU  int    `json:"num_cpu"`
-	Workers int    `json:"workers"`
-	Quick   bool   `json:"quick"`
-	Metrics struct {
-		CyclesPerSec      float64 `json:"cycles_per_sec"`
-		TrialsPerSec      float64 `json:"trials_per_sec"`
-		NsRestoreSnapshot float64 `json:"ns_per_restore_snapshot"`
-		NsRestoreJournal  float64 `json:"ns_per_restore_journal"`
-		AllocsPerTrial    float64 `json:"allocs_per_trial"`
-	} `json:"metrics"`
-	Benchmarks []benchLine `json:"benchmarks"`
+	Suite      string        `json:"suite"`
+	Go         string        `json:"go"`
+	NumCPU     int           `json:"num_cpu"`
+	Workers    int           `json:"workers"`
+	Quick      bool          `json:"quick"`
+	Metrics    metrics       `json:"metrics"`
+	Scaling    []scalingLine `json:"scaling"`
+	Benchmarks []benchLine   `json:"benchmarks"`
 }
 
 func main() {
 	out := flag.String("o", "BENCH_pipeline.json", "output JSON path (\"-\" for stdout)")
 	quick := flag.Bool("quick", false, "reduced scale for CI smoke runs")
 	workers := flag.Int("workers", runtime.NumCPU(), "campaign worker goroutines")
+	baseline := flag.String("baseline", "", "baseline report to compare headline metrics against")
+	regressPct := flag.Float64("regress-pct", 25, "max tolerated % drop vs -baseline in cycles_per_sec / trials_per_sec")
+	soft := flag.Bool("soft", false, "report a baseline regression as a GitHub warning annotation instead of exit 1")
 	flag.Parse()
 
 	rep := &report{
@@ -138,6 +169,66 @@ func main() {
 		rep.Metrics.AllocsPerTrial = float64(camp.AllocsPerOp()) / float64(trialsPerOp)
 	}
 
+	// Worker-count scaling sweep: the same campaign wall-clocked at 1, 2, 4
+	// and NumCPU workers. scaling_efficiency = speedup / workers; on a
+	// single-CPU box every count collapses to ~1× but the sweep still pins
+	// that extra workers cost nothing.
+	campaignWall := func(c core.Config) (float64, int) {
+		start := time.Now()
+		res, err := core.Run(c)
+		if err != nil {
+			fatal(err)
+		}
+		return time.Since(start).Seconds(), res.Pops["l+r"].Total()
+	}
+	var base float64
+	for _, nw := range scalingCounts() {
+		c := cfg
+		c.Workers = nw
+		wall, trials := campaignWall(c)
+		if base == 0 {
+			base = wall
+		}
+		speedup := base / wall
+		rep.Scaling = append(rep.Scaling, scalingLine{
+			Workers:           nw,
+			WallSec:           wall,
+			TrialsPerSec:      float64(trials) / wall,
+			SpeedupVs1W:       speedup,
+			ScalingEfficiency: speedup / float64(nw),
+		})
+		fmt.Fprintf(os.Stderr, "pipebench: scaling %2d workers  %7.2fs  speedup %.2fx  efficiency %.2f\n",
+			nw, wall, speedup, speedup/float64(nw))
+	}
+
+	// Scheduler speedup: the legacy shard engine vs the work-stealing
+	// engine, both at 4 workers on the same campaign. The shard engine
+	// re-steps the program prefix once per worker; the steal engine's
+	// single reachability pass eliminates that redundancy, so the ratio
+	// exceeds 1 even without free CPUs. Each engine's wall is the best
+	// of two runs: a min discards one-sided scheduler/GC noise, which a
+	// single sample of a ratio of wall-clocks amplifies.
+	bestWall := func(c core.Config) float64 {
+		best, _ := campaignWall(c)
+		if again, _ := campaignWall(c); again < best {
+			best = again
+		}
+		return best
+	}
+	shardCfg := cfg
+	shardCfg.Workers = 4
+	shardCfg.Sched = core.SchedShard
+	shardWall := bestWall(shardCfg)
+	stealCfg := cfg
+	stealCfg.Workers = 4
+	stealCfg.Sched = core.SchedSteal
+	stealWall := bestWall(stealCfg)
+	if stealWall > 0 {
+		rep.Metrics.SchedSpeedup4W = shardWall / stealWall
+	}
+	fmt.Fprintf(os.Stderr, "pipebench: sched_speedup_4w   shard %.2fs / steal %.2fs = %.2fx\n",
+		shardWall, stealWall, rep.Metrics.SchedSpeedup4W)
+
 	// Rewind mechanisms, measured on a warmed machine. The snapshot path
 	// copies the whole bit-store; the journal path rolls back a 64-word
 	// dirty set, the shape of a short trial.
@@ -175,12 +266,84 @@ func main() {
 	enc = append(enc, '\n')
 	if *out == "-" {
 		os.Stdout.Write(enc)
-		return
+	} else {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "pipebench: wrote %s\n", *out)
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		fatal(err)
+
+	if *baseline != "" {
+		if err := checkBaseline(*baseline, rep, *regressPct, *soft); err != nil {
+			fatal(err)
+		}
 	}
-	fmt.Fprintf(os.Stderr, "pipebench: wrote %s\n", *out)
+}
+
+// scalingCounts returns the deduplicated, ascending worker counts for the
+// scaling sweep: 1, 2, 4 and NumCPU.
+func scalingCounts() []int {
+	counts := []int{1, 2, 4}
+	ncpu := runtime.NumCPU()
+	seen := map[int]bool{}
+	var out []int
+	for _, n := range append(counts, ncpu) {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// checkBaseline compares the fresh headline throughput metrics against a
+// committed baseline report and flags regressions beyond pct percent.
+func checkBaseline(path string, fresh *report, pct float64, soft bool) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var base report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	if base.Quick != fresh.Quick {
+		fmt.Fprintf(os.Stderr, "pipebench: baseline %s is quick=%v but this run is quick=%v; skipping comparison\n",
+			path, base.Quick, fresh.Quick)
+		return nil
+	}
+	var regressions []string
+	check := func(name string, baseV, freshV float64) {
+		if baseV <= 0 {
+			return
+		}
+		drop := 100 * (baseV - freshV) / baseV
+		fmt.Fprintf(os.Stderr, "pipebench: baseline %-15s %12.1f -> %12.1f  (%+.1f%%)\n",
+			name, baseV, freshV, -drop)
+		if drop > pct {
+			regressions = append(regressions,
+				fmt.Sprintf("%s regressed %.1f%% (%.1f -> %.1f, tolerance %.0f%%)",
+					name, drop, baseV, freshV, pct))
+		}
+	}
+	check("cycles_per_sec", base.Metrics.CyclesPerSec, fresh.Metrics.CyclesPerSec)
+	check("trials_per_sec", base.Metrics.TrialsPerSec, fresh.Metrics.TrialsPerSec)
+	if len(regressions) == 0 {
+		fmt.Fprintf(os.Stderr, "pipebench: no regression beyond %.0f%% vs %s\n", pct, path)
+		return nil
+	}
+	for _, r := range regressions {
+		if soft {
+			fmt.Printf("::warning title=pipebench regression::%s\n", r)
+		} else {
+			fmt.Fprintln(os.Stderr, "pipebench: REGRESSION:", r)
+		}
+	}
+	if soft {
+		return nil
+	}
+	os.Exit(1)
+	return nil
 }
 
 func nsPerOp(r testing.BenchmarkResult) float64 {

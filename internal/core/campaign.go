@@ -45,12 +45,39 @@ type Config struct {
 	// WarmupCycles is the minimum warm-up before the first checkpoint.
 	WarmupCycles int
 
-	// Workers is the number of campaign worker goroutines; checkpoints are
-	// sharded round-robin across them, each on a private machine. Zero (or
+	// Workers is the number of campaign worker goroutines. Zero (or
 	// negative) means runtime.NumCPU(). The worker count never affects the
 	// Result: trial RNGs derive from (Seed, checkpoint index), so Workers:1
 	// and Workers:N are bit-identical.
 	Workers int
+
+	// Sched selects the campaign scheduler. SchedSteal (the default) runs
+	// the two-phase engine: one reachability pass captures a portable
+	// checkpoint image per checkpoint, and a work-stealing pool serves
+	// (checkpoint, trial-batch) units, any worker for any checkpoint.
+	// SchedShard is the legacy engine — checkpoints dealt round-robin, each
+	// worker stepping a private machine through the whole program prefix —
+	// kept as an equivalence oracle. Both produce bit-identical Results.
+	Sched SchedMode
+
+	// TrialBatch is the number of trials per work-stealing unit under
+	// SchedSteal (default 8). Batching never affects the Result: a batch's
+	// RNG stream is the checkpoint stream fast-forwarded to the batch's
+	// first trial, so trial bit picks depend only on (Seed, checkpoint,
+	// flat trial index).
+	TrialBatch int
+
+	// MaxImages caps checkpoint images resident in the steal pool at once
+	// (default 2*Workers+2): the reachability pass blocks when the cap is
+	// reached and resumes as workers finish checkpoints, so campaign memory
+	// stays flat regardless of Checkpoints.
+	MaxImages int
+
+	// OnProgress, if set, receives progress updates from the aggregation
+	// goroutine as trial batches and checkpoints complete. The callback is
+	// invoked serially and observes results only after they are final, so
+	// it cannot perturb the campaign.
+	OnProgress func(Progress)
 
 	// Rewind selects how workers rewind the machine between trials. The
 	// default, RewindJournal, replays the state file's first-touch undo
@@ -81,6 +108,47 @@ func (r RewindMode) String() string {
 	return fmt.Sprintf("rewind(%d)", uint8(r))
 }
 
+// SchedMode selects the campaign scheduler (see Config.Sched).
+type SchedMode uint8
+
+// Campaign schedulers.
+const (
+	SchedSteal SchedMode = iota
+	SchedShard
+)
+
+func (s SchedMode) String() string {
+	switch s {
+	case SchedSteal:
+		return "steal"
+	case SchedShard:
+		return "shard"
+	}
+	return fmt.Sprintf("sched(%d)", uint8(s))
+}
+
+// ParseSchedMode maps a flag value to a SchedMode.
+func ParseSchedMode(s string) (SchedMode, error) {
+	switch s {
+	case "steal":
+		return SchedSteal, nil
+	case "shard":
+		return SchedShard, nil
+	}
+	return 0, fmt.Errorf("core: unknown scheduler %q (want \"steal\" or \"shard\")", s)
+}
+
+// Progress is a campaign progress snapshot delivered to Config.OnProgress.
+// Totals are the configured campaign size; a workload that architecturally
+// halts before its last checkpoint finishes with CheckpointsDone <
+// Checkpoints (the unreached checkpoints produce no trials).
+type Progress struct {
+	Checkpoints     int
+	CheckpointsDone int
+	Trials          int64
+	TrialsDone      int64
+}
+
 func (c *Config) setDefaults() {
 	if c.Horizon == 0 {
 		c.Horizon = 10_000
@@ -100,6 +168,63 @@ func (c *Config) setDefaults() {
 	if c.Workers <= 0 {
 		c.Workers = runtime.NumCPU()
 	}
+	if c.TrialBatch == 0 {
+		c.TrialBatch = 8
+	}
+	if c.MaxImages == 0 {
+		c.MaxImages = 2*c.Workers + 2
+	}
+}
+
+// validate rejects configurations that would fail obscurely mid-campaign,
+// so a misconfigured campaign errors loudly at startup instead. It runs
+// after setDefaults, so only explicitly out-of-range values reach it.
+func (c *Config) validate() error {
+	if c.Workload == nil {
+		return fmt.Errorf("core: config has no workload")
+	}
+	if c.Checkpoints < 1 {
+		return fmt.Errorf("core: Checkpoints must be >= 1 (got %d)", c.Checkpoints)
+	}
+	if c.Horizon < 1 {
+		return fmt.Errorf("core: Horizon must be >= 1 (got %d)", c.Horizon)
+	}
+	if c.LockedCycles < 1 {
+		return fmt.Errorf("core: LockedCycles must be >= 1 (got %d)", c.LockedCycles)
+	}
+	if c.WarmupCycles < 0 {
+		return fmt.Errorf("core: WarmupCycles must be >= 0 (got %d)", c.WarmupCycles)
+	}
+	if c.TrialBatch < 1 {
+		return fmt.Errorf("core: TrialBatch must be >= 1 (got %d)", c.TrialBatch)
+	}
+	if c.MaxImages < 1 {
+		return fmt.Errorf("core: MaxImages must be >= 1 (got %d)", c.MaxImages)
+	}
+	switch c.Sched {
+	case SchedSteal, SchedShard:
+	default:
+		return fmt.Errorf("core: unknown scheduler %v", c.Sched)
+	}
+	switch c.Rewind {
+	case RewindJournal, RewindSnapshot:
+	default:
+		return fmt.Errorf("core: unknown rewind mode %v", c.Rewind)
+	}
+	seen := make(map[string]bool, len(c.Populations))
+	for _, p := range c.Populations {
+		if p.Name == "" {
+			return fmt.Errorf("core: population with empty name")
+		}
+		if seen[p.Name] {
+			return fmt.Errorf("core: duplicate population name %q", p.Name)
+		}
+		seen[p.Name] = true
+		if p.Trials < 0 {
+			return fmt.Errorf("core: population %q has negative Trials (%d)", p.Name, p.Trials)
+		}
+	}
+	return nil
 }
 
 // Trial records one fault injection.

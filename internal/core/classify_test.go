@@ -44,7 +44,7 @@ func newTestEngine(t *testing.T, w *workload.Workload, warmup uint64) (*worker, 
 	m.OnRetire = nil
 	m.Restore(snap)
 	m.Mem.RollbackTo(mark)
-	return en, &en.g
+	return en, en.g
 }
 
 // flipRef builds a BitRef for a named element.

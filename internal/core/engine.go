@@ -114,16 +114,21 @@ func (t *trialMonitor) onExc(ev uarch.ExcEvent) {
 	}
 }
 
-// worker runs the golden continuations and trials of its assigned
-// checkpoints on a private machine. Workers never share mutable state; the
-// scheduler hands each one a cloned machine and a disjoint checkpoint set.
+// worker runs golden continuations and trials on a private machine. Under
+// SchedShard the scheduler hands each worker a cloned machine and a
+// disjoint checkpoint set; under SchedSteal every worker serves arbitrary
+// checkpoints by materializing their portable images, and g may point at a
+// checkpoint's *shared* golden run (read-only once published). Workers
+// never share mutable state.
 type worker struct {
 	cfg Config
 	m   *uarch.Machine
 	//pipelint:shadow-ok golden-run horizon derived from the schedule, not injectable machine state
 	horizonG uint64
-	//pipelint:shadow-ok reusable golden-run buffers; engine scaffolding, never injectable machine state
-	g goldenRun
+	//pipelint:shadow-ok current golden run (owned buffer or shared immutable); engine scaffolding
+	g *goldenRun
+	//pipelint:shadow-ok reusable golden-run buffers for the shard path; engine scaffolding
+	gOwned goldenRun
 	//pipelint:shadow-ok per-trial classifier scratch, reset each trial; never injectable machine state
 	mon trialMonitor
 	//pipelint:shadow-ok reusable rewind marks for the undo journal; engine scaffolding
@@ -140,6 +145,7 @@ type worker struct {
 // newWorker wires up a worker's reusable buffers and callbacks.
 func newWorker(cfg Config, m *uarch.Machine, horizonG uint64) *worker {
 	w := &worker{cfg: cfg, m: m, horizonG: horizonG}
+	w.g = &w.gOwned
 	w.onGolden = func(ev uarch.RetireEvent) {
 		w.g.events = append(w.g.events, ev)
 		w.g.retired[ev.Seq] = struct{}{}
@@ -210,8 +216,9 @@ func (w *worker) checkpoint(ck int) *ckResult {
 	memMark := m.Mem.Mark()
 
 	// Golden continuation.
-	g := &w.g
+	g := &w.gOwned
 	g.reset(w.horizonG)
+	w.g = g
 	m.OnRetire = w.onGolden
 	for i := uint64(0); i < w.horizonG; i++ {
 		m.Step()
@@ -270,7 +277,7 @@ func (w *worker) rewind(snap *uarch.Snapshot, mark *uarch.MarkPoint) {
 // continuation, implementing the Section 2.2 classification.
 func (w *worker) runTrial(bit state.BitRef) Trial {
 	m := w.m
-	g := &w.g
+	g := w.g
 	trial := Trial{
 		Category: bit.Elem.Category(),
 		Kind:     bit.Elem.Kind(),
@@ -288,10 +295,19 @@ func (w *worker) runTrial(bit state.BitRef) Trial {
 
 	bit.Flip()
 
+	// The convergence check below indexes g.digests[cyc-1]. runCampaign
+	// rejects configurations whose trial horizon exceeds the golden-run
+	// horizon at startup; this clamp makes the contract local too, so the
+	// index can never run past the digest array even if a future caller
+	// hands runTrial a short golden run.
+	horizon := w.cfg.Horizon
+	if n := len(g.digests); horizon > n {
+		horizon = n
+	}
 	noRetire := 0
 	itlbCnt := 0
 	lastRetired := m.Retired
-	for cyc := 1; cyc <= w.cfg.Horizon; cyc++ {
+	for cyc := 1; cyc <= horizon; cyc++ {
 		m.Step()
 		trial.Cycles = int32(cyc)
 		switch {

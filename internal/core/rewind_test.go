@@ -10,8 +10,8 @@ import (
 )
 
 // rewindCampaign runs the golden-test campaign under an explicit rewind
-// mechanism and worker count.
-func rewindCampaign(t *testing.T, mode RewindMode, workers int) *Result {
+// mechanism, scheduler, and worker count.
+func rewindCampaign(t *testing.T, mode RewindMode, sched SchedMode, workers int) *Result {
 	t.Helper()
 	res, err := Run(Config{
 		Workload:    workload.Tiny,
@@ -24,6 +24,7 @@ func rewindCampaign(t *testing.T, mode RewindMode, workers int) *Result {
 		Seed:    11,
 		Workers: workers,
 		Rewind:  mode,
+		Sched:   sched,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -31,21 +32,26 @@ func rewindCampaign(t *testing.T, mode RewindMode, workers int) *Result {
 	return res
 }
 
-// TestRewindEquivalence is the journal's correctness oracle at campaign
-// scale: the undo-journal rewind path and the full Snapshot/Restore path
-// must produce byte-identical exports (JSON and CSV), serial and parallel,
-// and both must match the checked-in golden files — which predate the
-// journal, so the goldens pin that neither path changed the simulator's
-// observable behavior.
+// TestRewindEquivalence is the correctness oracle of both rewind paths and
+// both schedulers at campaign scale: the undo-journal rewind path and the
+// full Snapshot/Restore path, under the shard engine and the work-stealing
+// engine at 1, 4 and 8 workers, must all produce byte-identical exports
+// (JSON and CSV) matching the checked-in golden files — which predate both
+// the journal and the steal engine, so the goldens pin that none of these
+// mechanisms changed the simulator's observable behavior.
 func TestRewindEquivalence(t *testing.T) {
 	runs := []struct {
 		name string
 		res  *Result
 	}{
-		{"journal-w1", rewindCampaign(t, RewindJournal, 1)},
-		{"journal-w4", rewindCampaign(t, RewindJournal, 4)},
-		{"snapshot-w1", rewindCampaign(t, RewindSnapshot, 1)},
-		{"snapshot-w4", rewindCampaign(t, RewindSnapshot, 4)},
+		{"journal-shard-w1", rewindCampaign(t, RewindJournal, SchedShard, 1)},
+		{"journal-shard-w4", rewindCampaign(t, RewindJournal, SchedShard, 4)},
+		{"snapshot-shard-w1", rewindCampaign(t, RewindSnapshot, SchedShard, 1)},
+		{"snapshot-shard-w4", rewindCampaign(t, RewindSnapshot, SchedShard, 4)},
+		{"journal-steal-w1", rewindCampaign(t, RewindJournal, SchedSteal, 1)},
+		{"journal-steal-w8", rewindCampaign(t, RewindJournal, SchedSteal, 8)},
+		{"snapshot-steal-w1", rewindCampaign(t, RewindSnapshot, SchedSteal, 1)},
+		{"snapshot-steal-w8", rewindCampaign(t, RewindSnapshot, SchedSteal, 8)},
 	}
 	encoders := []struct {
 		name   string

@@ -12,15 +12,23 @@ import (
 
 // Run executes a microarchitectural fault-injection campaign.
 //
-// The campaign is sharded across Config.Workers goroutines: checkpoints are
-// dealt round-robin to workers, each worker owns a private machine (cloned
-// from one shared warm-up pre-pass) and advances it monotonically through
-// its checkpoints, running the golden continuation and every trial locally.
-// Per-checkpoint results stream back over a channel and are aggregated in
-// checkpoint order, and trial RNGs are derived from (Seed, checkpoint
-// index), so the assembled Result is bit-identical for any worker count.
+// The campaign runs in two phases under the default scheduler
+// (Config.Sched == SchedSteal): a single reachability pass advances one
+// machine through the workload once, capturing a portable checkpoint image
+// (bit-store snapshot + memory image) at every checkpoint into a bounded
+// pool, while a work-stealing pool of Config.Workers goroutines pulls
+// (checkpoint, trial-batch) units — any worker serves any checkpoint by
+// materializing its image. Config.Sched == SchedShard selects the legacy
+// engine (round-robin checkpoint sharding over cloned machines), kept as
+// an equivalence oracle. Trial RNG streams depend only on (Seed,
+// checkpoint index, flat trial index) and aggregation is replayed in
+// checkpoint order, so the assembled Result is bit-identical for any
+// worker count, batch size and scheduler.
 func Run(cfg Config) (*Result, error) {
 	cfg.setDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	prog, err := cfg.Workload.Program()
 	if err != nil {
 		return nil, err
@@ -45,6 +53,12 @@ func Run(cfg Config) (*Result, error) {
 	}
 	total := meas.Cycle
 	retiredTotal := meas.Retired
+
+	for _, pop := range cfg.Populations {
+		if meas.F.InjectableBits(pop.LatchOnly) == 0 {
+			return nil, fmt.Errorf("core: population %q has no injectable bits", pop.Name)
+		}
+	}
 
 	res := &Result{
 		Benchmark:   cfg.Workload.Name,
@@ -79,15 +93,33 @@ func Run(cfg Config) (*Result, error) {
 	}
 	sort.Slice(cycles, func(i, j int) bool { return cycles[i] < cycles[j] })
 
+	return runCampaign(cfg, newMachine, cycles, horizonG, res)
+}
+
+// runCampaign runs the chosen engine over preselected checkpoint cycles.
+// It is the internal entry point below cycle selection, so tests can drive
+// the engines with synthetic checkpoint schedules (e.g. cycles past the
+// architectural halt).
+func runCampaign(cfg Config, newMachine func() *uarch.Machine, cycles []uint64, horizonG uint64, res *Result) (*Result, error) {
+	if horizonG < uint64(cfg.Horizon) {
+		return nil, fmt.Errorf("core: trial horizon %d exceeds the golden-run horizon %d; the convergence check would run past the golden digest trace",
+			cfg.Horizon, horizonG)
+	}
+	if cfg.Sched == SchedShard {
+		return runShard(cfg, newMachine, cycles, horizonG, res)
+	}
+	return runSteal(cfg, newMachine, cycles, horizonG, res)
+}
+
+// runShard is the legacy checkpoint-sharded engine: checkpoints are dealt
+// round-robin to workers, each worker steps a private machine (cloned from
+// one shared warm-up pre-pass) monotonically through its checkpoints, and
+// per-checkpoint results stream back over a channel.
+func runShard(cfg Config, newMachine func() *uarch.Machine, cycles []uint64, horizonG uint64, res *Result) (*Result, error) {
 	// Shared pre-pass: one machine runs the warm-up to the earliest
 	// checkpoint; workers clone it rather than each re-simulating the
 	// warm-up region.
 	template := newMachine()
-	for _, pop := range cfg.Populations {
-		if template.F.InjectableBits(pop.LatchOnly) == 0 {
-			return nil, fmt.Errorf("core: population %q has no injectable bits", pop.Name)
-		}
-	}
 	for template.Cycle < cycles[0] && !template.Halted() {
 		template.Step()
 	}
@@ -135,9 +167,15 @@ func Run(cfg Config) (*Result, error) {
 
 	// Deterministic, checkpoint-ordered aggregation: bucket by checkpoint
 	// index as results arrive, then fold in index order.
+	prog := newProgressTracker(cfg, len(cycles))
 	byCk := make([]*ckResult, len(cycles))
 	for cr := range resCh {
 		byCk[cr.ck] = cr
+		n := 0
+		for _, pt := range cr.pops {
+			n += len(pt.trials)
+		}
+		prog.add(n, true)
 	}
 	for _, cr := range byCk {
 		if cr == nil {
@@ -156,4 +194,36 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// progressTracker funnels aggregation-side completion counts into the
+// user's OnProgress callback. It is only ever touched from the aggregation
+// goroutine, so it needs no locking.
+type progressTracker struct {
+	cb   func(Progress)
+	snap Progress
+}
+
+func newProgressTracker(cfg Config, checkpoints int) *progressTracker {
+	t := &progressTracker{cb: cfg.OnProgress}
+	t.snap.Checkpoints = checkpoints
+	var perCk int64
+	for _, p := range cfg.Populations {
+		perCk += int64(p.Trials)
+	}
+	t.snap.Trials = perCk * int64(checkpoints)
+	return t
+}
+
+// add records trialsDone more finished trials (and, when ckDone, one more
+// finished checkpoint) and invokes the callback.
+func (t *progressTracker) add(trialsDone int, ckDone bool) {
+	if t == nil || t.cb == nil {
+		return
+	}
+	t.snap.TrialsDone += int64(trialsDone)
+	if ckDone {
+		t.snap.CheckpointsDone++
+	}
+	t.cb(t.snap)
 }

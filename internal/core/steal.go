@@ -1,0 +1,424 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+
+	"pipefault/internal/mem"
+	"pipefault/internal/uarch"
+)
+
+// The work-stealing campaign engine (Config.Sched == SchedSteal).
+//
+// Phase 1 — reachability: a single pilot machine advances through the
+// workload once, capturing at each checkpoint a portable image (bit-store
+// snapshot + copy-on-write memory image) and pushing the checkpoint's head
+// unit into the pool. The pilot blocks while Config.MaxImages images are
+// resident, so campaign memory stays flat no matter how many checkpoints
+// the campaign has.
+//
+// Phase 2 — trial pool: workers pull units from per-worker deques (LIFO
+// locally, FIFO when stealing) and serve any checkpoint by materializing
+// its image. A checkpoint's head unit computes its golden continuation
+// exactly once; the goldenRun is then published immutably and shared by
+// every batch unit of that checkpoint, on whichever workers they land.
+//
+// Determinism: a batch's trial RNG is the per-checkpoint stream
+// fast-forwarded by replaying the preceding trials' bit draws (draws
+// depend only on the rng and the frozen element layout, never on machine
+// state), and aggregation places trials by flat index and folds in
+// checkpoint order — so the Result is bit-identical to the shard engine
+// for any Workers, TrialBatch and MaxImages.
+
+// ckImage is one checkpoint's portable image plus its shared trial state.
+// snap and mem are immutable after capture; golden, validInsns and
+// remaining are written once by the head unit / batch completions under
+// the pool lock.
+type ckImage struct {
+	ck   int
+	snap *uarch.Snapshot
+	mem  *mem.Image
+
+	golden     *goldenRun // published by the head unit; read-only after
+	validInsns int
+	remaining  int // unfinished batch units; image leaves the pool at 0
+}
+
+// unit is one schedulable piece of work: a checkpoint's head (batch == -1,
+// compute the golden continuation) or one trial batch.
+type unit struct {
+	img   *ckImage
+	batch int
+}
+
+// stealMsg carries one unit's results to the aggregator.
+type stealMsg struct {
+	ck         int
+	head       bool
+	validInsns int     // head only
+	start      int     // flat index of the batch's first trial
+	trials     []Trial // batch only
+}
+
+// stealPool is the shared scheduler state: per-worker deques, the
+// resident-image gate for the pilot, and the in-flight unit count that
+// lets workers distinguish "no work yet" from "no work ever again".
+type stealPool struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	deques    [][]unit
+	open      int // resident images
+	maxOpen   int
+	running   int // units currently executing
+	pilotDone bool
+}
+
+func newStealPool(nw, maxOpen int) *stealPool {
+	p := &stealPool{deques: make([][]unit, nw), maxOpen: maxOpen}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// admit blocks until the pool has room for another resident image, then
+// queues the checkpoint's head unit on worker wid's deque.
+func (p *stealPool) admit(img *ckImage, wid int) {
+	p.mu.Lock()
+	for p.open >= p.maxOpen {
+		p.cond.Wait()
+	}
+	p.open++
+	p.deques[wid] = append(p.deques[wid], unit{img: img, batch: -1})
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+func (p *stealPool) pilotFinished() {
+	p.mu.Lock()
+	p.pilotDone = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// take returns the next unit for worker id: LIFO from its own deque (hot
+// image, just-published batches), FIFO-stealing from the other deques
+// otherwise. It blocks while the pool may still produce work — a running
+// head unit will spawn batches, and the pilot may admit more checkpoints —
+// and returns ok == false once the campaign is drained.
+func (p *stealPool) take(id int) (unit, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if d := p.deques[id]; len(d) > 0 {
+			u := d[len(d)-1]
+			p.deques[id] = d[:len(d)-1]
+			p.running++
+			return u, true
+		}
+		for k := 1; k < len(p.deques); k++ {
+			j := (id + k) % len(p.deques)
+			if d := p.deques[j]; len(d) > 0 {
+				u := d[0]
+				p.deques[j] = d[1:]
+				p.running++
+				return u, true
+			}
+		}
+		if p.pilotDone && p.running == 0 {
+			return unit{}, false
+		}
+		p.cond.Wait()
+	}
+}
+
+// publish installs a checkpoint's freshly computed golden run and fans its
+// trial batches out onto the publishing worker's own deque (tail-first, so
+// that worker pops batch 0 next while thieves take from the front). The
+// pool mutex orders the golden-run write before any batch unit becomes
+// visible, so batch executors never observe a nil golden.
+func (p *stealPool) publish(id int, img *ckImage, g *goldenRun, validInsns, batches int) {
+	p.mu.Lock()
+	img.golden = g
+	img.validInsns = validInsns
+	img.remaining = batches
+	for b := batches - 1; b >= 0; b-- {
+		p.deques[id] = append(p.deques[id], unit{img: img, batch: b})
+	}
+	if batches == 0 {
+		p.open--
+	}
+	p.running--
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// finishBatch retires one batch unit. The checkpoint's image leaves the
+// resident pool when its last batch completes, letting the pilot admit the
+// next checkpoint.
+func (p *stealPool) finishBatch(img *ckImage) {
+	p.mu.Lock()
+	img.remaining--
+	if img.remaining == 0 {
+		p.open--
+	}
+	p.running--
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// runStealPilot is phase 1: one machine steps through the workload once,
+// capturing a portable image at every checkpoint cycle. A machine that
+// architecturally halts early simply stops admitting checkpoints; the
+// unreached ones produce no results, exactly as under the shard engine.
+func runStealPilot(m *uarch.Machine, cycles []uint64, p *stealPool) {
+	m.Mem.BeginImaging()
+	defer m.Mem.EndImaging()
+	nw := len(p.deques)
+	for ck, cyc := range cycles {
+		for m.Cycle < cyc && !m.Halted() {
+			m.Step()
+		}
+		if m.Halted() {
+			return
+		}
+		img := &ckImage{ck: ck, snap: m.Snapshot(), mem: m.Mem.CaptureImage()}
+		p.admit(img, ck%nw)
+	}
+}
+
+// stealWorker wraps the trial-running worker with the image it currently
+// has materialized, so hopping to a unit on the same checkpoint is free
+// and hopping between checkpoints is a pointer-diffed image restore.
+type stealWorker struct {
+	w   *worker
+	cur *ckImage
+}
+
+// ensureAt materializes img on the worker's machine. Between units the
+// machine always sits exactly at its current image's checkpoint state
+// (every golden run and trial is rolled back), so the current image is a
+// valid RestoreImage prev.
+func (sw *stealWorker) ensureAt(img *ckImage) {
+	if sw.cur == img {
+		return
+	}
+	var prev *mem.Image
+	if sw.cur != nil {
+		prev = sw.cur.mem
+	}
+	sw.w.m.RestoreCheckpoint(img.snap, img.mem, prev)
+	sw.cur = img
+}
+
+// golden runs the checkpoint's fault-free continuation on the worker's
+// machine and rewinds. Unlike the shard path it fills a fresh goldenRun —
+// the run outlives this worker's visit, shared by every batch unit.
+func (w *worker) golden(img *ckImage) (*goldenRun, int) {
+	m := w.m
+	useSnap := w.cfg.Rewind == RewindSnapshot
+	var snap *uarch.Snapshot
+	if useSnap {
+		snap = img.snap
+	} else {
+		m.BeginJournal()
+		m.Mark(&w.ckMark)
+	}
+	m.Mem.BeginUndo()
+
+	g := &goldenRun{}
+	g.reset(w.horizonG)
+	w.g = g
+	m.OnRetire = w.onGolden
+	for i := uint64(0); i < w.horizonG; i++ {
+		m.Step()
+		g.digests = append(g.digests, m.Digest())
+	}
+	m.OnRetire = nil
+	w.rewind(snap, &w.ckMark)
+	if !useSnap {
+		m.CommitJournal()
+	}
+	m.Mem.Rollback()
+
+	validInsns := 0
+	for _, s := range m.InFlightSeqs() {
+		if _, ok := g.retired[s]; ok {
+			validInsns++
+		}
+	}
+	return g, validInsns
+}
+
+// runBatch runs one batch of a checkpoint's trials against its shared
+// golden run. popOf maps flat trial index to population index; the batch
+// replays the preceding draws of the per-checkpoint RNG stream so its bit
+// picks land exactly where the serial engine's would.
+func (w *worker) runBatch(img *ckImage, batch int, popOf []int) stealMsg {
+	m := w.m
+	w.g = img.golden
+	useSnap := w.cfg.Rewind == RewindSnapshot
+	start := batch * w.cfg.TrialBatch
+	end := start + w.cfg.TrialBatch
+	if end > len(popOf) {
+		end = len(popOf)
+	}
+
+	rng := rand.New(rand.NewSource(checkpointSeed(w.cfg.Seed, img.ck)))
+	for i := 0; i < start; i++ {
+		m.F.RandomBit(rng, w.cfg.Populations[popOf[i]].LatchOnly)
+	}
+
+	var snap *uarch.Snapshot
+	if useSnap {
+		snap = img.snap
+	} else {
+		m.BeginJournal()
+	}
+	m.Mem.BeginUndo()
+	trials := make([]Trial, 0, end-start)
+	for i := start; i < end; i++ {
+		pop := w.cfg.Populations[popOf[i]]
+		bit := m.F.RandomBit(rng, pop.LatchOnly)
+		tmark := m.Mem.Mark()
+		if !useSnap {
+			m.Mark(&w.trialMark)
+		}
+		trial := w.runTrial(bit)
+		trial.Checkpoint = int32(img.ck)
+		w.rewind(snap, &w.trialMark)
+		m.Mem.RollbackTo(tmark)
+		trials = append(trials, trial)
+	}
+	if !useSnap {
+		m.CommitJournal()
+	}
+	m.Mem.Rollback()
+	return stealMsg{ck: img.ck, start: start, trials: trials}
+}
+
+// runStealWorker is one pool worker's life: take a unit, materialize its
+// checkpoint, run it, report, repeat until the pool drains.
+func runStealWorker(id int, cfg Config, newMachine func() *uarch.Machine, horizonG uint64, p *stealPool, popOf []int, out chan<- stealMsg) {
+	sw := &stealWorker{w: newWorker(cfg, newMachine(), horizonG)}
+	for {
+		u, ok := p.take(id)
+		if !ok {
+			return
+		}
+		sw.ensureAt(u.img)
+		if u.batch < 0 {
+			g, validInsns := sw.w.golden(u.img)
+			batches := (len(popOf) + cfg.TrialBatch - 1) / cfg.TrialBatch
+			p.publish(id, u.img, g, validInsns, batches)
+			out <- stealMsg{ck: u.img.ck, head: true, validInsns: validInsns}
+		} else {
+			msg := sw.w.runBatch(u.img, u.batch, popOf)
+			p.finishBatch(u.img)
+			out <- msg
+		}
+	}
+}
+
+// runSteal is the two-phase work-stealing engine.
+func runSteal(cfg Config, newMachine func() *uarch.Machine, cycles []uint64, horizonG uint64, res *Result) (*Result, error) {
+	// Flat trial layout: index i of a checkpoint's trial sequence belongs
+	// to population popOf[i]. Shared, read-only.
+	totalPerCk := 0
+	for _, p := range cfg.Populations {
+		totalPerCk += p.Trials
+	}
+	popOf := make([]int, 0, totalPerCk)
+	for pi, p := range cfg.Populations {
+		for t := 0; t < p.Trials; t++ {
+			popOf = append(popOf, pi)
+		}
+	}
+	batches := (totalPerCk + cfg.TrialBatch - 1) / cfg.TrialBatch
+
+	nw := cfg.Workers
+	if maxUnits := len(cycles) * (1 + batches); nw > maxUnits {
+		nw = maxUnits
+	}
+	if nw < 1 {
+		nw = 1
+	}
+
+	pool := newStealPool(nw, cfg.MaxImages)
+	msgCh := make(chan stealMsg, 2*nw)
+
+	var wg sync.WaitGroup
+	for i := 0; i < nw; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			runStealWorker(i, cfg, newMachine, horizonG, pool, popOf, msgCh)
+		}()
+	}
+	go func() {
+		runStealPilot(newMachine(), cycles, pool)
+		pool.pilotFinished()
+	}()
+	go func() {
+		wg.Wait()
+		close(msgCh)
+	}()
+
+	// Aggregation: place batch results by flat index as they arrive, then
+	// fold in checkpoint order so the assembled Result is bit-identical to
+	// the serial fold.
+	type ckAgg struct {
+		trials     []Trial
+		got        int
+		head       bool
+		validInsns int
+		done       bool
+	}
+	aggs := make([]ckAgg, len(cycles))
+	prog := newProgressTracker(cfg, len(cycles))
+	for msg := range msgCh {
+		a := &aggs[msg.ck]
+		if msg.head {
+			a.head = true
+			a.validInsns = msg.validInsns
+		} else {
+			if a.trials == nil {
+				a.trials = make([]Trial, totalPerCk)
+			}
+			copy(a.trials[msg.start:], msg.trials)
+			a.got += len(msg.trials)
+		}
+		ckDone := a.head && a.got == totalPerCk && !a.done
+		if ckDone {
+			a.done = true
+		}
+		prog.add(len(msg.trials), ckDone)
+	}
+
+	popStart := make([]int, len(cfg.Populations)+1)
+	for i, p := range cfg.Populations {
+		popStart[i+1] = popStart[i] + p.Trials
+	}
+	for ck := range aggs {
+		a := &aggs[ck]
+		if !a.done {
+			continue // checkpoint unreached: the workload halted first
+		}
+		for pi, pop := range cfg.Populations {
+			seg := a.trials[popStart[pi]:popStart[pi+1]]
+			benign := 0
+			for _, t := range seg {
+				if t.Outcome == OutMatch || t.Outcome == OutGray {
+					benign++
+				}
+			}
+			pr := res.Pops[pop.Name]
+			pr.Trials = append(pr.Trials, seg...)
+			res.Scatter[pop.Name] = append(res.Scatter[pop.Name], ScatterPoint{
+				Checkpoint: ck,
+				ValidInsns: a.validInsns,
+				Benign:     benign,
+				Trials:     pop.Trials,
+			})
+		}
+	}
+	return res, nil
+}

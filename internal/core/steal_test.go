@@ -1,0 +1,293 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"pipefault/internal/mem"
+	"pipefault/internal/uarch"
+	"pipefault/internal/workload"
+)
+
+// stealTestConfig is the small campaign used by the scheduler tests.
+func stealTestConfig() Config {
+	return Config{
+		Workload:    workload.Tiny,
+		Checkpoints: 3,
+		Horizon:     600,
+		Populations: []Population{
+			{Name: "l+r", Trials: 5},
+			{Name: "l", LatchOnly: true, Trials: 3},
+		},
+		Seed: 23,
+	}
+}
+
+// resultsEqual compares the deterministic parts of two campaign results.
+func resultsEqual(t *testing.T, name string, a, b *Result) {
+	t.Helper()
+	if a.TotalCycles != b.TotalCycles || a.IPC != b.IPC {
+		t.Errorf("%s: golden measurements differ", name)
+	}
+	if !reflect.DeepEqual(a.Pops, b.Pops) {
+		t.Errorf("%s: trial lists differ", name)
+	}
+	if !reflect.DeepEqual(a.Scatter, b.Scatter) {
+		t.Errorf("%s: scatter points differ", name)
+	}
+}
+
+// TestStealShardEquivalence: the work-stealing engine must be bit-identical
+// to the legacy shard engine — same trials, same scatter — across worker
+// counts and rewind modes.
+func TestStealShardEquivalence(t *testing.T) {
+	for _, rewind := range []RewindMode{RewindJournal, RewindSnapshot} {
+		cfg := stealTestConfig()
+		cfg.Rewind = rewind
+		cfg.Sched = SchedShard
+		cfg.Workers = 1
+		shard, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 4} {
+			cfg.Sched = SchedSteal
+			cfg.Workers = workers
+			steal, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resultsEqual(t, fmt.Sprintf("%v-w%d", rewind, workers), shard, steal)
+		}
+	}
+}
+
+// TestTrialBatchInvariance: the batch size is a scheduling knob, never a
+// semantic one — any TrialBatch must yield the identical Result, including
+// a batch larger than a checkpoint's whole trial count.
+func TestTrialBatchInvariance(t *testing.T) {
+	var base *Result
+	for _, batch := range []int{1, 3, 1000} {
+		cfg := stealTestConfig()
+		cfg.Workers = 4
+		cfg.TrialBatch = batch
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base == nil {
+			base = res
+			continue
+		}
+		resultsEqual(t, fmt.Sprintf("batch-%d", batch), base, res)
+	}
+}
+
+// TestMaxImagesBound: with the pool clamped to a single resident image the
+// campaign degrades to a serial pipeline but must still complete and match.
+func TestMaxImagesBound(t *testing.T) {
+	cfg := stealTestConfig()
+	cfg.Workers = 4
+	base, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.MaxImages = 1
+	clamped, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultsEqual(t, "max-images-1", base, clamped)
+}
+
+// campaignFixture replays Run's prologue (measurement pass and result
+// skeleton) so tests can drive runCampaign with synthetic checkpoint
+// schedules. It returns the workload's golden end-to-end cycle count.
+func campaignFixture(t *testing.T, cfg *Config) (func() *uarch.Machine, *Result, uint64) {
+	t.Helper()
+	cfg.setDefaults()
+	if err := cfg.validate(); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := cfg.Workload.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := cfg.Workload.ComputeReference()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ucfg := uarch.Config{Protect: cfg.Protect, Recovery: cfg.Recovery}
+	newMachine := func() *uarch.Machine {
+		mm := mem.New()
+		regs := prog.Load(mm)
+		return uarch.NewOnMemory(ucfg, mm, ref.Legal, prog.Entry, regs)
+	}
+	meas := newMachine()
+	meas.Run(maxMeasureCycles)
+	if !meas.Halted() {
+		t.Fatalf("%s did not halt", cfg.Workload.Name)
+	}
+	res := &Result{
+		Benchmark: cfg.Workload.Name,
+		Pops:      make(map[string]*PopResult),
+		Scatter:   make(map[string][]ScatterPoint),
+	}
+	for _, p := range cfg.Populations {
+		res.Pops[p.Name] = &PopResult{Name: p.Name}
+	}
+	return newMachine, res, meas.Cycle
+}
+
+// TestHaltBeforeLastCheckpoint: a checkpoint scheduled past the machine's
+// architectural halt must be skipped — not deadlock the pool, not produce
+// partial trials — under both schedulers, and the reachable checkpoints
+// must still agree between them.
+func TestHaltBeforeLastCheckpoint(t *testing.T) {
+	run := func(sched SchedMode, workers int) *Result {
+		cfg := stealTestConfig()
+		cfg.Sched = sched
+		cfg.Workers = workers
+		newMachine, res, total := campaignFixture(t, &cfg)
+		// One reachable checkpoint, two scheduled after the halt.
+		cycles := []uint64{total / 3, total + 1000, total + 2000}
+		cfg.Checkpoints = len(cycles)
+		res, err := runCampaign(cfg, newMachine, cycles, uint64(cfg.Horizon+2000), res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	steal := run(SchedSteal, 4)
+	shard := run(SchedShard, 4)
+
+	wantTrials := map[string]int{"l+r": 5, "l": 3} // one reachable checkpoint's worth
+	for pop, want := range wantTrials {
+		if got := steal.Pops[pop].Total(); got != want {
+			t.Errorf("steal %s: %d trials, want %d (only checkpoint 0 is reachable)", pop, got, want)
+		}
+		if len(steal.Scatter[pop]) != 1 {
+			t.Errorf("steal %s: %d scatter points, want 1", pop, len(steal.Scatter[pop]))
+		}
+	}
+	if !reflect.DeepEqual(steal.Pops, shard.Pops) || !reflect.DeepEqual(steal.Scatter, shard.Scatter) {
+		t.Error("steal and shard disagree on the reachable prefix")
+	}
+}
+
+// TestHorizonExceedsGoldenRun: a trial horizon longer than the golden-run
+// horizon must be rejected loudly at campaign start, not panic indexing
+// past the digest array mid-trial.
+func TestHorizonExceedsGoldenRun(t *testing.T) {
+	cfg := stealTestConfig()
+	newMachine, res, total := campaignFixture(t, &cfg)
+	_, err := runCampaign(cfg, newMachine, []uint64{total / 3}, uint64(cfg.Horizon-1), res)
+	if err == nil {
+		t.Fatal("runCampaign accepted a golden-run horizon shorter than the trial horizon")
+	}
+	if !strings.Contains(err.Error(), "horizon") {
+		t.Errorf("error does not name the horizon contract: %v", err)
+	}
+}
+
+// TestConfigValidate: misconfigurations must fail loudly at startup with
+// descriptive errors, not obscurely mid-campaign.
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Config)
+		errPart string
+	}{
+		{"no-workload", func(c *Config) { c.Workload = nil }, "workload"},
+		{"negative-checkpoints", func(c *Config) { c.Checkpoints = -1 }, "Checkpoints"},
+		{"negative-horizon", func(c *Config) { c.Horizon = -5 }, "Horizon"},
+		{"negative-locked", func(c *Config) { c.LockedCycles = -1 }, "LockedCycles"},
+		{"negative-warmup", func(c *Config) { c.WarmupCycles = -1 }, "WarmupCycles"},
+		{"negative-batch", func(c *Config) { c.TrialBatch = -2 }, "TrialBatch"},
+		{"negative-images", func(c *Config) { c.MaxImages = -3 }, "MaxImages"},
+		{"bad-sched", func(c *Config) { c.Sched = SchedMode(77) }, "scheduler"},
+		{"bad-rewind", func(c *Config) { c.Rewind = RewindMode(77) }, "rewind"},
+		{"empty-pop-name", func(c *Config) { c.Populations[0].Name = "" }, "name"},
+		{"dup-pop-name", func(c *Config) { c.Populations[1].Name = "l+r" }, "duplicate"},
+		{"negative-trials", func(c *Config) { c.Populations[0].Trials = -4 }, "Trials"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := stealTestConfig()
+			tc.mutate(&cfg)
+			_, err := Run(cfg)
+			if err == nil {
+				t.Fatal("Run accepted an invalid config")
+			}
+			if !strings.Contains(err.Error(), tc.errPart) {
+				t.Errorf("error %q does not mention %q", err, tc.errPart)
+			}
+		})
+	}
+}
+
+// TestOnProgress: the progress callback must observe monotonically
+// non-decreasing counts ending at the campaign totals, and wiring it up
+// must not perturb the Result.
+func TestOnProgress(t *testing.T) {
+	for _, sched := range []SchedMode{SchedSteal, SchedShard} {
+		cfg := stealTestConfig()
+		cfg.Sched = sched
+		cfg.Workers = 4
+		base, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var snaps []Progress
+		cfg.OnProgress = func(p Progress) { snaps = append(snaps, p) }
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resultsEqual(t, fmt.Sprintf("progress-%v", sched), base, res)
+
+		if len(snaps) == 0 {
+			t.Fatalf("%v: no progress callbacks", sched)
+		}
+		var prev Progress
+		for i, p := range snaps {
+			if p.TrialsDone < prev.TrialsDone || p.CheckpointsDone < prev.CheckpointsDone {
+				t.Fatalf("%v: progress regressed at callback %d: %+v after %+v", sched, i, p, prev)
+			}
+			prev = p
+		}
+		final := snaps[len(snaps)-1]
+		if final.CheckpointsDone != 3 || final.TrialsDone != 3*8 {
+			t.Errorf("%v: final progress %+v, want 3 checkpoints and 24 trials", sched, final)
+		}
+		if final.Checkpoints != 3 || final.Trials != 24 {
+			t.Errorf("%v: totals %+v, want Checkpoints=3 Trials=24", sched, final)
+		}
+	}
+}
+
+// TestParseSchedMode pins the flag-facing scheduler names.
+func TestParseSchedMode(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want SchedMode
+	}{{"steal", SchedSteal}, {"shard", SchedShard}} {
+		got, err := ParseSchedMode(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseSchedMode(%q) = %v, %v", tc.in, got, err)
+		}
+		if got.String() != tc.in {
+			t.Errorf("%v.String() = %q, want %q", got, got.String(), tc.in)
+		}
+	}
+	if _, err := ParseSchedMode("lifo"); err == nil {
+		t.Error("ParseSchedMode accepted an unknown name")
+	}
+	if s := SchedMode(99).String(); s == "" {
+		t.Error("unknown SchedMode must still print")
+	}
+}

@@ -43,6 +43,19 @@ type Memory struct {
 	undoOn bool
 	//pipelint:clone-ok undo log is per-run scaffolding; clones start with recording off
 	undoBase int
+
+	// Imaging state (BeginImaging/CaptureImage): imgCur holds the latest
+	// frozen copy of every page ever captured, dirty tracks pages written
+	// since the previous capture, and lastDirtyVPN is a one-entry cache so
+	// the common same-page store pattern costs one compare, not one map op.
+	//pipelint:clone-ok imaging is per-run capture scaffolding; clones start with imaging off
+	imgCur map[uint64]*[PageSize]byte
+	//pipelint:clone-ok imaging is per-run capture scaffolding; clones start with imaging off
+	dirty map[uint64]struct{}
+	//pipelint:clone-ok imaging is per-run capture scaffolding; clones start with imaging off
+	dirtyOn bool
+	//pipelint:clone-ok imaging is per-run capture scaffolding; clones start with imaging off
+	lastDirtyVPN uint64
 }
 
 type undoEntry struct {
@@ -94,7 +107,19 @@ func (m *Memory) StoreByte(addr uint64, v byte) {
 	if m.undoOn {
 		m.undo = append(m.undo, undoEntry{addr: addr, old: p[addr&offsetMask]})
 	}
+	if m.dirtyOn {
+		m.markDirty(addr >> PageShift)
+	}
 	p[addr&offsetMask] = v
+}
+
+// markDirty records a page write for CaptureImage.
+func (m *Memory) markDirty(vpn uint64) {
+	if vpn == m.lastDirtyVPN {
+		return
+	}
+	m.lastDirtyVPN = vpn
+	m.dirty[vpn] = struct{}{}
 }
 
 // Read reads size bytes (1, 2, 4 or 8) in little-endian order. The access
@@ -161,7 +186,11 @@ func (m *Memory) Mark() int { return len(m.undo) }
 func (m *Memory) RollbackTo(mark int) {
 	for i := len(m.undo) - 1; i >= mark; i-- {
 		e := m.undo[i]
-		// Restore directly; do not re-log.
+		// Restore directly; do not re-log (but do keep imaging's dirty-page
+		// view current: a rollback changes page contents like any write).
+		if m.dirtyOn {
+			m.markDirty(e.addr >> PageShift)
+		}
 		m.page(e.addr)[e.addr&offsetMask] = e.old
 	}
 	m.undo = m.undo[:mark]
@@ -192,6 +221,112 @@ func (m *Memory) Clone() *Memory {
 		c.pages[vpn] = cp
 	}
 	return c
+}
+
+// Image is a portable point-in-time memory image: an immutable map from
+// virtual page number to a frozen copy of that page's contents at capture
+// time. Images captured from the same Memory share page copies for pages
+// that did not change between captures, so a sequence of images costs
+// O(pages dirtied) incremental space, and RestoreImage can diff two images
+// by pointer comparison. Images transfer freely across Memory instances:
+// any Memory can be overwritten to match any Image.
+type Image struct {
+	pages map[uint64]*[PageSize]byte
+}
+
+// PageCount returns the number of pages resident in the image.
+func (im *Image) PageCount() int { return len(im.pages) }
+
+// BeginImaging arms dirty-page tracking for CaptureImage. All currently
+// resident pages count as dirty, so the first capture is a full image.
+func (m *Memory) BeginImaging() {
+	m.imgCur = make(map[uint64]*[PageSize]byte, len(m.pages))
+	m.dirty = make(map[uint64]struct{}, len(m.pages))
+	for vpn := range m.pages {
+		m.dirty[vpn] = struct{}{}
+	}
+	m.dirtyOn = true
+	m.lastDirtyVPN = ^uint64(0)
+}
+
+// EndImaging stops dirty-page tracking and releases the imaging state.
+// Previously captured Images remain valid (they own their page copies).
+func (m *Memory) EndImaging() {
+	m.imgCur = nil
+	m.dirty = nil
+	m.dirtyOn = false
+}
+
+// CaptureImage freezes the current contents into an Image. Only pages
+// dirtied since the previous capture are copied; clean pages are shared
+// with the previous image. BeginImaging must be active.
+func (m *Memory) CaptureImage() *Image {
+	if !m.dirtyOn {
+		panic("mem: CaptureImage without BeginImaging")
+	}
+	for vpn := range m.dirty {
+		cp := new([PageSize]byte)
+		*cp = *m.pages[vpn]
+		m.imgCur[vpn] = cp
+	}
+	clear(m.dirty)
+	m.lastDirtyVPN = ^uint64(0)
+	pages := make(map[uint64]*[PageSize]byte, len(m.imgCur))
+	for vpn, p := range m.imgCur {
+		pages[vpn] = p
+	}
+	return &Image{pages: pages}
+}
+
+// RestoreImage overwrites this memory's contents to match img. If prev is
+// non-nil it must describe this memory's current contents (the image most
+// recently restored or captured here, with all later writes rolled back);
+// pages whose frozen copies are shared between prev and img are skipped,
+// making the restore O(pages that differ) instead of O(footprint). With
+// prev == nil, every page of img is copied and every other resident page
+// is zeroed. The undo log does not record the restore, so callers must not
+// have an undo span open across it.
+func (m *Memory) RestoreImage(img, prev *Image) {
+	for vpn, p := range img.pages {
+		if prev != nil && prev.pages[vpn] == p {
+			continue
+		}
+		dst := m.pages[vpn]
+		if dst == nil {
+			dst = new([PageSize]byte)
+			m.pages[vpn] = dst
+		}
+		if m.dirtyOn {
+			m.markDirty(vpn)
+		}
+		*dst = *p
+	}
+	// Pages resident here but absent from img were all-zero at img's
+	// capture time (pages are created on first write); zero them. With a
+	// trusted prev only the pages prev names can differ.
+	if prev != nil {
+		for vpn := range prev.pages {
+			if img.pages[vpn] == nil {
+				m.zeroPage(vpn)
+			}
+		}
+	} else {
+		for vpn := range m.pages {
+			if img.pages[vpn] == nil {
+				m.zeroPage(vpn)
+			}
+		}
+	}
+}
+
+// zeroPage clears one resident page (absent pages already read as zero).
+func (m *Memory) zeroPage(vpn uint64) {
+	if p := m.pages[vpn]; p != nil {
+		if m.dirtyOn {
+			m.markDirty(vpn)
+		}
+		*p = [PageSize]byte{}
+	}
 }
 
 // Equal reports whether two memories have identical contents. Pages absent

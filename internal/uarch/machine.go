@@ -218,6 +218,20 @@ func (m *Machine) Restore(s *Snapshot) {
 	m.seqROB = s.seqROB
 }
 
+// RestoreCheckpoint materializes a portable checkpoint image that may have
+// been captured on a *different* machine instance: the snapshot overwrites
+// the bit-store and instrumentation shadows (machines with the same
+// Protect config share an element layout, so snapshots transfer directly),
+// and the memory image overwrites program memory. prev, when non-nil, is
+// the image currently materialized in this machine's memory — pages shared
+// between prev and img are skipped, so hopping between nearby checkpoints
+// costs O(pages that differ). Restoring with an active state journal or an
+// open memory undo span is a lifecycle bug, exactly as for Restore.
+func (m *Machine) RestoreCheckpoint(s *Snapshot, img, prev *mem.Image) {
+	m.Restore(s)
+	m.Mem.RestoreImage(img, prev)
+}
+
 // MarkPoint is a lightweight rewind point: a state.File journal mark plus
 // the instrumentation shadows. Unlike a Snapshot it copies no machine
 // state up front — RollbackTo replays only the words dirtied since Mark —
