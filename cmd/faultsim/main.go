@@ -34,15 +34,29 @@
 // engine); neither flag ever changes results, only wall-clock time.
 // -progress prints periodic checkpoints-done/trials-done lines to stderr
 // without perturbing results.
+//
+// Robustness flags: -timeout arms the per-trial watchdog (livelocked
+// trials are killed and counted as anomalies instead of hanging a
+// worker); -journal <base> appends each campaign's completed work units
+// to <base>-<prot>-<bench>.jsonl. SIGINT/SIGTERM cancel gracefully: the
+// engines drain in-flight units, partial summaries and journals are
+// flushed, and faultsim exits with code 130. A later invocation with
+// -resume (plus the same -journal, seed and scale flags) replays the
+// journals and runs only the missing units, reproducing the
+// uninterrupted results byte-identically.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"pipefault"
@@ -64,6 +78,9 @@ type opts struct {
 	workers     int
 	sched       core.SchedMode
 	progress    bool
+	timeout     time.Duration
+	journal     string
+	resume      bool
 	seed        int64
 	verbose     bool
 }
@@ -79,6 +96,9 @@ func run() int {
 	workers := fs.Int("workers", runtime.NumCPU(), "campaign worker goroutines (results are identical for any count)")
 	sched := fs.String("sched", "steal", "campaign scheduler: steal (two-phase work-stealing) or shard (legacy checkpoint sharding)")
 	progress := fs.Bool("progress", false, "print periodic campaign progress to stderr")
+	timeout := fs.Duration("timeout", 0, "per-trial watchdog budget; a livelocked trial is killed and counted as an anomaly (0 disables)")
+	journal := fs.String("journal", "", "campaign journal path base; each campaign appends completed units to <base>-<prot>-<bench>.jsonl for -resume")
+	resumeFlag := fs.Bool("resume", false, "resume interrupted campaigns from their -journal files instead of starting over")
 	seed := fs.Int64("seed", 1, "campaign RNG seed")
 	verbose := fs.Bool("v", false, "progress output")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -95,10 +115,30 @@ func run() int {
 		return 2
 	}
 
-	// Reject nonsensical scale flags up front with a clear message rather
-	// than failing obscurely (or silently doing nothing) mid-campaign.
+	// Reject nonsensical flags up front with a clear message rather than
+	// failing obscurely (or silently doing nothing) mid-campaign. The range
+	// checks live in core's Config.Validate — a prototype config carrying
+	// every flag-controlled field is validated once here; the checks below
+	// it are front-end policy (scale flags that core would default, but a
+	// command line should state explicitly).
 	schedMode, err := core.ParseSchedMode(*sched)
 	if err != nil {
+		fmt.Fprintln(os.Stderr, "faultsim:", err)
+		return 2
+	}
+	proto := core.Config{
+		Workload:     workload.Tiny, // validation placeholder; real campaigns set their own
+		Checkpoints:  *checkpoints,
+		Horizon:      *horizon,
+		Workers:      *workers,
+		Sched:        schedMode,
+		TrialTimeout: *timeout,
+		Populations: []core.Population{
+			{Name: "l+r", Trials: *trials},
+			{Name: "l", LatchOnly: true, Trials: *ltrials},
+		},
+	}
+	if err := proto.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "faultsim:", err)
 		return 2
 	}
@@ -106,12 +146,11 @@ func run() int {
 		bad bool
 		msg string
 	}{
-		{*workers < 0, fmt.Sprintf("-workers must be >= 0 (got %d); 0 means all CPUs", *workers)},
 		{*checkpoints < 1, fmt.Sprintf("-checkpoints must be >= 1 (got %d)", *checkpoints)},
 		{*trials < 1, fmt.Sprintf("-trials must be >= 1 (got %d)", *trials)},
-		{*ltrials < 0, fmt.Sprintf("-ltrials must be >= 0 (got %d)", *ltrials)},
 		{*softTrials < 1, fmt.Sprintf("-soft-trials must be >= 1 (got %d)", *softTrials)},
 		{*horizon < 1, fmt.Sprintf("-horizon must be >= 1 (got %d)", *horizon)},
+		{*resumeFlag && *journal == "", "-resume requires -journal"},
 	} {
 		if check.bad {
 			fmt.Fprintln(os.Stderr, "faultsim:", check.msg)
@@ -151,6 +190,7 @@ func run() int {
 		checkpoints: *checkpoints, trials: *trials, ltrials: *ltrials,
 		softTrials: *softTrials, horizon: *horizon, workers: *workers,
 		sched: schedMode, progress: *progress,
+		timeout: *timeout, journal: *journal, resume: *resumeFlag,
 		seed: *seed, verbose: *verbose,
 	}
 	if o.workers <= 0 {
@@ -169,13 +209,27 @@ func run() int {
 		}
 	}
 
-	r := &runner{o: o}
+	// SIGINT/SIGTERM cancel the campaign context: engines drain their
+	// in-flight units, the partial results (and journals, with -journal)
+	// are flushed, and faultsim exits 130 instead of losing the work.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	r := &runner{o: o, ctx: ctx}
 	start := time.Now()
 	for _, cmd := range fs.Args() {
 		if fs.NArg() > 1 {
 			fmt.Printf("\n===== %s =====\n", cmd)
 		}
 		if err := r.dispatch(cmd); err != nil {
+			var cerr *core.CanceledError
+			if errors.As(err, &cerr) {
+				fmt.Fprintln(os.Stderr, "faultsim:", err)
+				if o.journal != "" {
+					fmt.Fprintln(os.Stderr, "faultsim: completed units are journaled; re-run with -resume to continue")
+				}
+				return 130
+			}
 			fmt.Fprintln(os.Stderr, "faultsim:", err)
 			return 1
 		}
@@ -188,6 +242,7 @@ func run() int {
 // runner caches campaign results across figures within one invocation.
 type runner struct {
 	o      *opts
+	ctx    context.Context
 	unprot []*core.Result
 	prot   []*core.Result
 }
@@ -356,14 +411,22 @@ func (r *runner) campaigns(protect pipefault.ProtectConfig, cache *[]*core.Resul
 			pops = append(pops, core.Population{Name: "l", LatchOnly: true, Trials: r.o.ltrials})
 		}
 		cfg := core.Config{
-			Workload:    w,
-			Protect:     protect,
-			Checkpoints: r.o.checkpoints,
-			Horizon:     r.o.horizon,
-			Populations: pops,
-			Workers:     r.o.workers,
-			Sched:       r.o.sched,
-			Seed:        r.o.seed + int64(i),
+			Workload:     w,
+			Protect:      protect,
+			Checkpoints:  r.o.checkpoints,
+			Horizon:      r.o.horizon,
+			Populations:  pops,
+			Workers:      r.o.workers,
+			Sched:        r.o.sched,
+			TrialTimeout: r.o.timeout,
+			Seed:         r.o.seed + int64(i),
+		}
+		if r.o.journal != "" {
+			label := "unprot"
+			if protect.Any() {
+				label = "prot"
+			}
+			cfg.JournalPath = fmt.Sprintf("%s-%s-%s.jsonl", r.o.journal, label, w.Name)
 		}
 		if r.o.progress {
 			// The callback runs on the aggregation side and observes results
@@ -384,8 +447,19 @@ func (r *runner) campaigns(protect pipefault.ProtectConfig, cache *[]*core.Resul
 					name, p.CheckpointsDone, p.Checkpoints, p.TrialsDone, p.Trials)
 			}
 		}
-		res, err := core.Run(cfg)
+		var res *core.Result
+		var err error
+		if r.o.resume && cfg.JournalPath != "" {
+			res, err = core.Resume(r.ctx, cfg)
+		} else {
+			res, err = core.RunContext(r.ctx, cfg)
+		}
 		if err != nil {
+			var cerr *core.CanceledError
+			if errors.As(err, &cerr) && res != nil {
+				// Partial report: every checkpoint in it is complete.
+				fmt.Fprintf(os.Stderr, "  partial %s\n", res)
+			}
 			return nil, err
 		}
 		if r.o.verbose {

@@ -12,7 +12,10 @@ import (
 //   - ranging over a map (iteration order is randomized per run) unless
 //     the loop only collects keys for sorting or is annotated
 //     //pipelint:unordered-ok <reason>;
-//   - time.Now (wall-clock input);
+//   - time.Now (wall-clock input), unless annotated
+//     //pipelint:wallclock-ok <reason> — reserved for liveness machinery
+//     (e.g. the trial watchdog) whose expiries are reported outside the
+//     deterministic results;
 //   - the global math/rand top-level functions, whose shared RNG is
 //     seeded unpredictably — explicit rand.New(rand.NewSource(seed))
 //     instances are the only sanctioned randomness.
@@ -119,8 +122,16 @@ func checkCall(pass *Pass, call *ast.CallExpr) {
 	switch obj.Pkg().Path() {
 	case "time":
 		if obj.Name() == "Now" {
+			if found, hasReason := pass.Annotation(call, "wallclock-ok"); found {
+				if !hasReason {
+					pass.Reportf(call.Pos(), "pipelint:wallclock-ok annotation needs a reason")
+				}
+				return
+			}
 			pass.Reportf(call.Pos(), "time.Now makes simulation output depend on the "+
-				"wall clock; thread timing through configuration instead")
+				"wall clock; thread timing through configuration instead, or annotate "+
+				"//pipelint:wallclock-ok <reason> for liveness checks whose effects stay "+
+				"outside deterministic results")
 		}
 	case "math/rand", "math/rand/v2":
 		if !randAllowed[obj.Name()] {

@@ -53,6 +53,18 @@ func wallClock() int64 {
 	return time.Now().Unix() // want "time.Now makes simulation output depend on the wall clock"
 }
 
+// watchdogClock reads the wall clock for a liveness check and says so:
+// the annotation with a reason is the one sanctioned escape.
+func watchdogClock() int64 {
+	return time.Now().UnixNano() //pipelint:wallclock-ok watchdog liveness check outside deterministic results
+}
+
+// lazyClock annotates the wall-clock read without explaining why.
+func lazyClock() int64 {
+	//pipelint:wallclock-ok
+	return time.Now().UnixNano() // want "needs a reason"
+}
+
 // globalRand draws from the shared, unpredictably-seeded global RNG.
 func globalRand() int {
 	return rand.Intn(10) // want "global rand.Intn draws from the shared process-wide RNG"

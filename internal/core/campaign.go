@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"time"
 
 	"pipefault/internal/mem"
 	"pipefault/internal/state"
@@ -45,8 +46,8 @@ type Config struct {
 	// WarmupCycles is the minimum warm-up before the first checkpoint.
 	WarmupCycles int
 
-	// Workers is the number of campaign worker goroutines. Zero (or
-	// negative) means runtime.NumCPU(). The worker count never affects the
+	// Workers is the number of campaign worker goroutines. Zero means
+	// runtime.NumCPU(). The worker count never affects the
 	// Result: trial RNGs derive from (Seed, checkpoint index), so Workers:1
 	// and Workers:N are bit-identical.
 	Workers int
@@ -85,6 +86,27 @@ type Config struct {
 	// per-checkpoint snapshot — O(machine state) per trial — and is kept as
 	// the equivalence oracle; both modes produce bit-identical Results.
 	Rewind RewindMode
+
+	// TrialTimeout, when positive, is the per-trial wall-time watchdog: a
+	// trial whose Step loop exceeds the budget is killed, rolled back via
+	// the normal rewind path, and classified OutAnomaly instead of hanging
+	// its worker. Zero disables the watchdog. A fired watchdog depends on
+	// the wall clock, so enabling it trades strict run-to-run determinism
+	// for liveness — but only for trials that would otherwise livelock,
+	// and anomalies never enter the paper's four-outcome rates.
+	TrialTimeout time.Duration
+
+	// Clock supplies monotonic nanoseconds to the trial watchdog. Nil with
+	// TrialTimeout > 0 selects the wall clock; tests inject fake clocks to
+	// make watchdog expiry deterministic. Ignored when TrialTimeout is 0.
+	Clock func() int64
+
+	// JournalPath, when set, appends every completed work unit's result to
+	// a campaign journal at this path as it is aggregated: each (checkpoint,
+	// trial-batch) unit under SchedSteal, each whole checkpoint under
+	// SchedShard. Resume replays the journal and re-runs only the missing
+	// units, reproducing an uninterrupted run's exports byte-identically.
+	JournalPath string
 
 	Seed int64
 }
@@ -174,54 +196,76 @@ func (c *Config) setDefaults() {
 	if c.MaxImages == 0 {
 		c.MaxImages = 2*c.Workers + 2
 	}
+	if c.TrialTimeout > 0 && c.Clock == nil {
+		c.Clock = wallClock
+	}
 }
 
-// validate rejects configurations that would fail obscurely mid-campaign,
-// so a misconfigured campaign errors loudly at startup instead. It runs
-// after setDefaults, so only explicitly out-of-range values reach it.
-func (c *Config) validate() error {
+// A ConfigError reports one invalid Config field: which field, the value it
+// held, and why it is rejected. Validate returns *ConfigError so callers
+// (and tests) can match on the offending field with errors.As instead of
+// string-scraping.
+type ConfigError struct {
+	Field  string
+	Value  any
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("core: config.%s = %v: %s", e.Field, e.Value, e.Reason)
+}
+
+// Validate rejects configurations that would fail obscurely (or hang)
+// mid-campaign, so a misconfigured campaign errors loudly at startup
+// instead. It judges the config as the caller supplied it: zero values
+// with documented defaults (Checkpoints, Horizon, Workers, TrialBatch,
+// MaxImages, ...) are accepted, explicitly out-of-range values are not.
+// Run calls Validate itself; command-line front ends call it directly to
+// reject bad flag combinations before any simulation work starts.
+func (c *Config) Validate() error {
 	if c.Workload == nil {
-		return fmt.Errorf("core: config has no workload")
+		return &ConfigError{Field: "Workload", Value: nil, Reason: "config has no workload"}
 	}
-	if c.Checkpoints < 1 {
-		return fmt.Errorf("core: Checkpoints must be >= 1 (got %d)", c.Checkpoints)
-	}
-	if c.Horizon < 1 {
-		return fmt.Errorf("core: Horizon must be >= 1 (got %d)", c.Horizon)
-	}
-	if c.LockedCycles < 1 {
-		return fmt.Errorf("core: LockedCycles must be >= 1 (got %d)", c.LockedCycles)
-	}
-	if c.WarmupCycles < 0 {
-		return fmt.Errorf("core: WarmupCycles must be >= 0 (got %d)", c.WarmupCycles)
-	}
-	if c.TrialBatch < 1 {
-		return fmt.Errorf("core: TrialBatch must be >= 1 (got %d)", c.TrialBatch)
-	}
-	if c.MaxImages < 1 {
-		return fmt.Errorf("core: MaxImages must be >= 1 (got %d)", c.MaxImages)
+	for _, check := range []struct {
+		bad    bool
+		field  string
+		value  any
+		reason string
+	}{
+		{c.Checkpoints < 0, "Checkpoints", c.Checkpoints, "Checkpoints must be >= 1 (0 means the default)"},
+		{c.Horizon < 0, "Horizon", c.Horizon, "Horizon must be >= 1 (0 means the default)"},
+		{c.LockedCycles < 0, "LockedCycles", c.LockedCycles, "LockedCycles must be >= 1 (0 means the default)"},
+		{c.WarmupCycles < 0, "WarmupCycles", c.WarmupCycles, "WarmupCycles must be >= 0"},
+		{c.Workers < 0, "Workers", c.Workers, "Workers must be >= 0 (0 means all CPUs)"},
+		{c.TrialBatch < 0, "TrialBatch", c.TrialBatch, "TrialBatch must be >= 1 (0 means the default)"},
+		{c.MaxImages < 0, "MaxImages", c.MaxImages, "MaxImages must be >= 1 (0 means the default)"},
+		{c.TrialTimeout < 0, "TrialTimeout", c.TrialTimeout, "TrialTimeout must be >= 0 (0 disables the watchdog)"},
+	} {
+		if check.bad {
+			return &ConfigError{Field: check.field, Value: check.value, Reason: check.reason}
+		}
 	}
 	switch c.Sched {
 	case SchedSteal, SchedShard:
 	default:
-		return fmt.Errorf("core: unknown scheduler %v", c.Sched)
+		return &ConfigError{Field: "Sched", Value: c.Sched, Reason: "unknown scheduler"}
 	}
 	switch c.Rewind {
 	case RewindJournal, RewindSnapshot:
 	default:
-		return fmt.Errorf("core: unknown rewind mode %v", c.Rewind)
+		return &ConfigError{Field: "Rewind", Value: c.Rewind, Reason: "unknown rewind mode"}
 	}
 	seen := make(map[string]bool, len(c.Populations))
 	for _, p := range c.Populations {
 		if p.Name == "" {
-			return fmt.Errorf("core: population with empty name")
+			return &ConfigError{Field: "Populations", Value: "", Reason: "population with empty name"}
 		}
 		if seen[p.Name] {
-			return fmt.Errorf("core: duplicate population name %q", p.Name)
+			return &ConfigError{Field: "Populations", Value: p.Name, Reason: fmt.Sprintf("duplicate population name %q", p.Name)}
 		}
 		seen[p.Name] = true
 		if p.Trials < 0 {
-			return fmt.Errorf("core: population %q has negative Trials (%d)", p.Name, p.Trials)
+			return &ConfigError{Field: "Populations", Value: p.Trials, Reason: fmt.Sprintf("population %q has negative Trials", p.Name)}
 		}
 	}
 	return nil
@@ -237,6 +281,33 @@ type Trial struct {
 	Bit        int32  // flat bit index within the element
 	Cycles     int32  // cycles until classification
 	Checkpoint int32
+	// Anomaly carries the containment record of an OutAnomaly trial (panic
+	// value, stack, injection coordinates); nil for ordinary trials.
+	Anomaly *Anomaly
+}
+
+// Anomaly is the containment record of a trial the harness had to kill:
+// either the injected corruption drove the simulator into a panic on both
+// the original attempt and the fresh-restore retry, or the trial watchdog
+// expired. It pins the injection coordinates so the anomaly is exactly
+// reproducible: re-running the same campaign seed reaches the same
+// (checkpoint, element, entry, bit).
+type Anomaly struct {
+	// Panic is the recovered panic value rendered as text, or the watchdog
+	// expiry message.
+	Panic string
+	// Stack is the goroutine stack at the first contained panic; empty for
+	// watchdog expiries.
+	Stack string
+	// Injection coordinates.
+	Elem       string
+	Entry      int32
+	Bit        int32 // bit index within the entry (Trial.Bit is the flat index)
+	Checkpoint int32
+	Seed       int64
+	// Attempts is how many times the trial was tried before being counted
+	// as an anomaly (2 for a persistent panic, 1 for a watchdog expiry).
+	Attempts int
 }
 
 // PopResult aggregates one population's trials.
@@ -245,8 +316,36 @@ type PopResult struct {
 	Trials []Trial
 }
 
-// Total returns the number of trials.
+// Total returns the number of trials, anomalies included.
 func (p *PopResult) Total() int { return len(p.Trials) }
+
+// AnomalyCount returns the number of contained-anomaly trials.
+func (p *PopResult) AnomalyCount() int {
+	n := 0
+	for _, t := range p.Trials {
+		if t.Outcome == OutAnomaly {
+			n++
+		}
+	}
+	return n
+}
+
+// Classified returns the number of trials that received one of the paper's
+// four outcomes — the denominator of every reported rate. Anomalies are an
+// injector-side artifact, so they are excluded rather than diluting the
+// rates.
+func (p *PopResult) Classified() int { return len(p.Trials) - p.AnomalyCount() }
+
+// Anomalies returns the contained-anomaly trials, in campaign order.
+func (p *PopResult) Anomalies() []Trial {
+	var out []Trial
+	for _, t := range p.Trials {
+		if t.Outcome == OutAnomaly {
+			out = append(out, t)
+		}
+	}
+	return out
+}
 
 // OutcomeCounts tallies trials by outcome.
 func (p *PopResult) OutcomeCounts() [NumOutcomes]int {
@@ -305,6 +404,9 @@ func (e ElemStat) FailRate() float64 {
 func (p *PopResult) ByElement(minTrials int) []ElemStat {
 	agg := make(map[string]*ElemStat)
 	for _, t := range p.Trials {
+		if t.Outcome == OutAnomaly {
+			continue // unclassified; would dilute per-element fail rates
+		}
 		st := agg[t.Elem]
 		if st == nil {
 			st = &ElemStat{Elem: t.Elem, Category: t.Category, Kind: t.Kind}
@@ -334,21 +436,25 @@ func (p *PopResult) ByElement(minTrials int) []ElemStat {
 	return out
 }
 
-// FailureRate returns the fraction of known failures (SDC + Terminated).
+// FailureRate returns the fraction of known failures (SDC + Terminated)
+// among classified trials.
 func (p *PopResult) FailureRate() float64 {
-	if len(p.Trials) == 0 {
+	n := p.Classified()
+	if n == 0 {
 		return 0
 	}
 	c := p.OutcomeCounts()
-	return float64(c[OutSDC]+c[OutTerminated]) / float64(len(p.Trials))
+	return float64(c[OutSDC]+c[OutTerminated]) / float64(n)
 }
 
-// MaskRate returns the fraction of µArch Match trials.
+// MaskRate returns the fraction of µArch Match trials among classified
+// trials.
 func (p *PopResult) MaskRate() float64 {
-	if len(p.Trials) == 0 {
+	n := p.Classified()
+	if n == 0 {
 		return 0
 	}
-	return float64(p.OutcomeCounts()[OutMatch]) / float64(len(p.Trials))
+	return float64(p.OutcomeCounts()[OutMatch]) / float64(n)
 }
 
 // ScatterPoint is one checkpoint's utilization/masking datum (Figure 6).
@@ -387,18 +493,27 @@ func (r *Result) String() string {
 	sort.Strings(names)
 	for _, name := range names {
 		p := r.Pops[name]
-		n := p.Total()
+		n := p.Classified()
 		if n == 0 {
-			s += fmt.Sprintf(" [%s: 0 trials]", name)
+			if a := p.AnomalyCount(); a > 0 {
+				s += fmt.Sprintf(" [%s: 0 classified trials, %d anomalies]", name, a)
+			} else {
+				s += fmt.Sprintf(" [%s: 0 trials]", name)
+			}
 			continue
 		}
 		c := p.OutcomeCounts()
-		s += fmt.Sprintf(" [%s: %d trials, match %.1f%% gray %.1f%% sdc %.1f%% term %.1f%%]",
+		anom := ""
+		if a := p.AnomalyCount(); a > 0 {
+			anom = fmt.Sprintf(" anom %d", a)
+		}
+		s += fmt.Sprintf(" [%s: %d trials, match %.1f%% gray %.1f%% sdc %.1f%% term %.1f%%%s]",
 			name, n,
 			100*float64(c[OutMatch])/float64(n),
 			100*float64(c[OutGray])/float64(n),
 			100*float64(c[OutSDC])/float64(n),
-			100*float64(c[OutTerminated])/float64(n))
+			100*float64(c[OutTerminated])/float64(n),
+			anom)
 	}
 	return s
 }

@@ -1,7 +1,11 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
+	"runtime/debug"
+	"time"
 
 	"pipefault/internal/state"
 	"pipefault/internal/uarch"
@@ -9,6 +13,20 @@ import (
 
 // maxMeasureCycles bounds the end-to-end golden measurement pass.
 const maxMeasureCycles = 30_000_000
+
+// watchdogStride is how many trial cycles pass between wall-clock reads of
+// the trial watchdog (power of two; the check is a masked compare). Coarse
+// enough to keep the clock off the per-cycle hot path, fine enough that a
+// livelocked trial dies within tens of microseconds of its budget.
+const watchdogStride = 64
+
+// wallClock is the default trial-watchdog time source (monotonic-enough
+// nanoseconds). The watchdog is the one sanctioned wall-clock input in the
+// campaign engine: its only effect is to kill a livelocked trial, which is
+// then counted OutAnomaly — outside the deterministic four-outcome rates.
+func wallClock() int64 {
+	return time.Now().UnixNano() //pipelint:wallclock-ok trial watchdog liveness check; expiries classify as OutAnomaly outside the deterministic four-outcome rates
+}
 
 // goldenRun is a checkpoint's fault-free continuation: the per-cycle
 // whole-machine digest and the retired-instruction trace. One goldenRun is
@@ -159,13 +177,24 @@ func newWorker(cfg Config, m *uarch.Machine, horizonG uint64) *worker {
 // ascending cycle order) and sends one ckResult per checkpoint reached. A
 // machine that architecturally halts before reaching a checkpoint skips
 // that checkpoint and all later ones, exactly as the serial engine did.
-func (w *worker) run(cks []int, cycles []uint64, out chan<- *ckResult) {
+// Checkpoints the campaign journal already holds are stepped through but
+// not re-run (aggregation injects their journaled results), and a
+// cancelled context stops the worker at the next checkpoint boundary —
+// the in-flight checkpoint always completes, so every emitted ckResult is
+// whole.
+func (w *worker) run(ctx context.Context, cks []int, cycles []uint64, prior *priorUnits, out chan<- *ckResult) {
 	for _, ck := range cks {
+		if ctx.Err() != nil {
+			return
+		}
 		for w.m.Cycle < cycles[ck] && !w.m.Halted() {
 			w.m.Step()
 		}
 		if w.m.Halted() {
 			return
+		}
+		if prior.completeCk(ck) {
+			continue // journal-replayed; aggregation already has its result
 		}
 		out <- w.checkpoint(ck)
 	}
@@ -237,19 +266,14 @@ func (w *worker) checkpoint(ck int) *ckResult {
 
 	rng := rand.New(rand.NewSource(checkpointSeed(w.cfg.Seed, ck)))
 	cr := &ckResult{ck: ck, validInsns: validInsns, pops: make([]popTrials, len(w.cfg.Populations))}
+	flat := 0
 	for pi, pop := range w.cfg.Populations {
 		pt := &cr.pops[pi]
 		pt.trials = make([]Trial, 0, pop.Trials)
 		for t := 0; t < pop.Trials; t++ {
 			bit := m.F.RandomBit(rng, pop.LatchOnly)
-			tmark := m.Mem.Mark()
-			if !useSnap {
-				m.Mark(&w.trialMark)
-			}
-			trial := w.runTrial(bit)
-			trial.Checkpoint = int32(ck)
-			w.rewind(snap, &w.trialMark)
-			m.Mem.RollbackTo(tmark)
+			trial := w.runTrialContained(bit, ck, flat, snap)
+			flat++
 			pt.trials = append(pt.trials, trial)
 			if trial.Outcome == OutMatch || trial.Outcome == OutGray {
 				pt.benign++
@@ -261,6 +285,90 @@ func (w *worker) checkpoint(ck int) *ckResult {
 	}
 	m.Mem.Rollback()
 	return cr
+}
+
+// testTrialHook, when non-nil, runs inside the containment boundary at the
+// start of each trial attempt, keyed by (checkpoint, flat trial index,
+// attempt). Test-only: the containment tests install panicking hooks to
+// emulate a corrupted trial wedging the simulator. Installed hooks must be
+// safe for concurrent calls.
+var testTrialHook func(ck, idx, attempt int)
+
+// attemptTrial runs one trial attempt inside a recover boundary. A panic
+// anywhere in the injected machine's execution (bit-store, memory system,
+// ECC decode, pipeline stages) surfaces as a non-nil pv plus the captured
+// stack instead of unwinding into the campaign engine. runTrial's own
+// defer detaches the retire/exception callbacks during the unwind, so the
+// machine carries no observer wiring into the rollback.
+func (w *worker) attemptTrial(bit state.BitRef, ck, idx, attempt int) (trial Trial, pv any, stack []byte) {
+	defer func() {
+		if r := recover(); r != nil {
+			pv = r
+			stack = debug.Stack()
+		}
+	}()
+	if testTrialHook != nil {
+		testTrialHook(ck, idx, attempt)
+	}
+	trial = w.runTrial(bit)
+	return trial, nil, nil
+}
+
+// runTrialContained is the containment boundary around one trial: mark the
+// rewind point, run the trial with panics recovered, and roll the machine
+// back whether the trial classified, panicked or hit the watchdog. The
+// rollback replays the state-file undo journal (or restores the checkpoint
+// snapshot under RewindSnapshot), which a mid-Step panic cannot corrupt:
+// the journal is an append-only first-touch log, complete for every word
+// the doomed trial dirtied. A panicking trial is retried once on the
+// freshly restored state — the machine is deterministic, so a recurring
+// panic confirms the anomaly is a property of the injection, not a
+// one-shot artifact — and a second panic records the trial as OutAnomaly,
+// carrying the panic value, stack and injection coordinates, instead of
+// taking down the campaign. Containment adds zero perturbation: the RNG
+// stream is untouched (the bit was drawn by the caller) and rollback
+// restores the exact pre-trial state, so subsequent trials are bit-
+// identical to an anomaly-free run's.
+func (w *worker) runTrialContained(bit state.BitRef, ck, idx int, snap *uarch.Snapshot) Trial {
+	m := w.m
+	useSnap := snap != nil
+	for attempt := 0; ; attempt++ {
+		tmark := m.Mem.Mark()
+		if !useSnap {
+			m.Mark(&w.trialMark)
+		}
+		trial, pv, stack := w.attemptTrial(bit, ck, idx, attempt)
+		w.rewind(snap, &w.trialMark)
+		m.Mem.RollbackTo(tmark)
+		if pv == nil {
+			trial.Checkpoint = int32(ck)
+			if trial.Anomaly != nil {
+				trial.Anomaly.Checkpoint = int32(ck)
+			}
+			return trial
+		}
+		if attempt == 0 {
+			continue // retry once on the fresh restore before counting it
+		}
+		return Trial{
+			Outcome:    OutAnomaly,
+			Category:   bit.Elem.Category(),
+			Kind:       bit.Elem.Kind(),
+			Elem:       bit.Elem.Name(),
+			Bit:        int32(bit.Entry*bit.Elem.Width() + bit.Bit),
+			Checkpoint: int32(ck),
+			Anomaly: &Anomaly{
+				Panic:      fmt.Sprint(pv),
+				Stack:      string(stack),
+				Elem:       bit.Elem.Name(),
+				Entry:      int32(bit.Entry),
+				Bit:        int32(bit.Bit),
+				Checkpoint: int32(ck),
+				Seed:       w.cfg.Seed,
+				Attempts:   attempt + 1,
+			},
+		}
+	}
 }
 
 // rewind rolls the machine back to the checkpoint state through whichever
@@ -304,10 +412,31 @@ func (w *worker) runTrial(bit state.BitRef) Trial {
 	if n := len(g.digests); horizon > n {
 		horizon = n
 	}
+	// Trial watchdog: a corrupted machine can livelock in ways the
+	// LockedCycles monitor never sees (e.g. a Step loop that keeps
+	// retiring garbage). The deadline is read every watchdogStride cycles;
+	// expiry kills the trial as OutAnomaly.
+	var deadline int64
+	if w.cfg.TrialTimeout > 0 && w.cfg.Clock != nil {
+		deadline = w.cfg.Clock() + int64(w.cfg.TrialTimeout)
+	}
 	noRetire := 0
 	itlbCnt := 0
 	lastRetired := m.Retired
 	for cyc := 1; cyc <= horizon; cyc++ {
+		if deadline != 0 && cyc&(watchdogStride-1) == 0 && w.cfg.Clock() >= deadline {
+			trial.Outcome = OutAnomaly
+			trial.Cycles = int32(cyc)
+			trial.Anomaly = &Anomaly{
+				Panic:    fmt.Sprintf("core: trial watchdog expired after %v (cycle %d of %d)", w.cfg.TrialTimeout, cyc, horizon),
+				Elem:     trial.Elem,
+				Entry:    int32(bit.Entry),
+				Bit:      int32(bit.Bit),
+				Seed:     w.cfg.Seed,
+				Attempts: 1,
+			}
+			return trial
+		}
 		m.Step()
 		trial.Cycles = int32(cyc)
 		switch {

@@ -29,6 +29,23 @@ type exportPop struct {
 		Trials   int `json:"trials"`
 		Failures int `json:"failures"`
 	} `json:"by_category"`
+	// Anomalies lists contained-anomaly trials (panic twice through the
+	// containment boundary, or watchdog expiry) in campaign order. Only
+	// present when anomalies occurred, so anomaly-free exports are
+	// byte-identical to the pre-containment format. The stack is omitted:
+	// it holds addresses that vary run to run, and exports must be
+	// deterministic; the coordinates below reproduce the anomaly exactly.
+	Anomalies []exportAnomaly `json:"anomalies,omitempty"`
+}
+
+type exportAnomaly struct {
+	Checkpoint int32  `json:"checkpoint"`
+	Elem       string `json:"elem"`
+	Entry      int32  `json:"entry"`
+	Bit        int32  `json:"bit"`
+	Seed       int64  `json:"seed"`
+	Attempts   int    `json:"attempts"`
+	Panic      string `json:"panic"`
 }
 
 type exportScat struct {
@@ -86,7 +103,17 @@ func (r *Result) WriteJSON(w io.Writer) error {
 		}
 		counts := p.OutcomeCounts()
 		for o := Outcome(1); o < NumOutcomes; o++ {
+			if o == OutAnomaly && counts[o] == 0 {
+				continue // anomaly-free exports stay byte-identical to the pre-containment format
+			}
 			ep.Outcomes[o.String()] = counts[o]
+		}
+		for _, t := range p.Anomalies() {
+			a := t.Anomaly
+			ep.Anomalies = append(ep.Anomalies, exportAnomaly{
+				Checkpoint: a.Checkpoint, Elem: a.Elem, Entry: a.Entry, Bit: a.Bit,
+				Seed: a.Seed, Attempts: a.Attempts, Panic: a.Panic,
+			})
 		}
 		mbc := p.ModesByCategory()
 		for _, m := range FailureModes() {

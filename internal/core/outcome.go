@@ -33,6 +33,12 @@ const (
 	// OutGray: neither a match nor a failure within the simulation
 	// horizon.
 	OutGray
+	// OutAnomaly: the trial itself failed — the injected corruption drove
+	// the simulator into a contained panic twice in a row, or the trial
+	// watchdog expired. Anomalies are an injector-side outcome (ZOFI's
+	// separately-counted timeout/hang bucket): they are reported next to
+	// the paper's four outcomes but never enter their rates.
+	OutAnomaly
 	NumOutcomes
 )
 
@@ -46,6 +52,8 @@ func (o Outcome) String() string {
 		return "SDC"
 	case OutGray:
 		return "Gray Area"
+	case OutAnomaly:
+		return "Anomaly"
 	}
 	return fmt.Sprintf("outcome(%d)", uint8(o))
 }

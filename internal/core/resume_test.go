@@ -1,0 +1,169 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+)
+
+// exportBytes renders a result's JSON and CSV exports, the byte-level
+// equivalence oracle for the resume tests.
+func exportBytes(t *testing.T, r *Result) (jsonB, csvB []byte) {
+	t.Helper()
+	var j, c bytes.Buffer
+	if err := r.WriteJSON(&j); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteCSV(&c); err != nil {
+		t.Fatal(err)
+	}
+	return j.Bytes(), c.Bytes()
+}
+
+// TestResumeEquivalence: kill a journaled campaign mid-flight, then Resume
+// it — the final exports must be byte-identical to an uninterrupted run,
+// across both schedulers and worker counts, and the partial result flushed
+// at cancellation must contain only whole checkpoints. A torn final
+// journal line (the crash wrote half a record) must be tolerated.
+func TestResumeEquivalence(t *testing.T) {
+	for _, sched := range []SchedMode{SchedSteal, SchedShard} {
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%v-w%d", sched, workers), func(t *testing.T) {
+				cfg := stealTestConfig()
+				cfg.Sched = sched
+				cfg.Workers = workers
+				base, err := Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				baseJSON, baseCSV := exportBytes(t, base)
+
+				jcfg := cfg
+				jcfg.JournalPath = filepath.Join(t.TempDir(), "campaign.jsonl")
+				ctx, cancel := context.WithCancel(context.Background())
+				defer cancel()
+				jcfg.OnProgress = func(p Progress) {
+					if p.TrialsDone >= 1 {
+						cancel()
+					}
+				}
+				partial, err := RunContext(ctx, jcfg)
+				if err != nil {
+					// The usual case: the cancel landed before the engine
+					// drained, and the partial result holds only the
+					// checkpoints that completed.
+					var cerr *CanceledError
+					if !errors.As(err, &cerr) {
+						t.Fatalf("interrupted run: %v", err)
+					}
+					if partial == nil {
+						t.Fatal("cancellation returned no partial result")
+					}
+					perCk := 0
+					for _, p := range jcfg.Populations {
+						perCk += p.Trials
+					}
+					got := 0
+					for _, p := range partial.Pops { //pipelint:unordered-ok summing counts is order-independent
+						got += p.Total()
+					}
+					if got%perCk != 0 {
+						t.Errorf("partial result holds %d trials, not a whole number of checkpoints (%d per ck)", got, perCk)
+					}
+					if int64(got) != cerr.TrialsDone {
+						t.Errorf("CanceledError reports %d trials done, partial result holds %d", cerr.TrialsDone, got)
+					}
+				}
+
+				// Emulate a torn final record: the process died mid-write.
+				f, err := os.OpenFile(jcfg.JournalPath, os.O_APPEND|os.O_WRONLY, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := f.WriteString(`{"ck":0,"trials":[{"o":`); err != nil {
+					t.Fatal(err)
+				}
+				if err := f.Close(); err != nil {
+					t.Fatal(err)
+				}
+
+				jcfg.OnProgress = nil
+				resumed, err := Resume(context.Background(), jcfg)
+				if err != nil {
+					t.Fatalf("resume: %v", err)
+				}
+				gotJSON, gotCSV := exportBytes(t, resumed)
+				if !bytes.Equal(gotJSON, baseJSON) {
+					t.Errorf("resumed JSON export differs from the uninterrupted run:\n--- base ---\n%s\n--- resumed ---\n%s", baseJSON, gotJSON)
+				}
+				if !bytes.Equal(gotCSV, baseCSV) {
+					t.Errorf("resumed CSV export differs from the uninterrupted run:\n--- base ---\n%s\n--- resumed ---\n%s", baseCSV, gotCSV)
+				}
+			})
+		}
+	}
+}
+
+// TestResumeCompleteJournal: resuming a campaign whose journal already
+// covers every unit replays the result without running a single trial.
+func TestResumeCompleteJournal(t *testing.T) {
+	for _, sched := range []SchedMode{SchedSteal, SchedShard} {
+		t.Run(sched.String(), func(t *testing.T) {
+			cfg := stealTestConfig()
+			cfg.Sched = sched
+			cfg.Workers = 2
+			cfg.JournalPath = filepath.Join(t.TempDir(), "campaign.jsonl")
+			base, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			baseJSON, baseCSV := exportBytes(t, base)
+
+			var ran atomic.Int32
+			testTrialHook = func(ck, idx, attempt int) { ran.Add(1) }
+			defer func() { testTrialHook = nil }()
+			resumed, err := Resume(context.Background(), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n := ran.Load(); n != 0 {
+				t.Errorf("resume of a complete journal re-ran %d trials", n)
+			}
+			gotJSON, gotCSV := exportBytes(t, resumed)
+			if !bytes.Equal(gotJSON, baseJSON) || !bytes.Equal(gotCSV, baseCSV) {
+				t.Error("replayed exports differ from the original run")
+			}
+		})
+	}
+}
+
+// TestResumeJournalMismatch: a journal written under a different campaign
+// identity (here, another seed) must be refused, not silently replayed.
+func TestResumeJournalMismatch(t *testing.T) {
+	cfg := stealTestConfig()
+	cfg.JournalPath = filepath.Join(t.TempDir(), "campaign.jsonl")
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed++
+	_, err := Resume(context.Background(), cfg)
+	if !errors.Is(err, ErrJournalMismatch) {
+		t.Fatalf("resume with a different seed: err = %v, want ErrJournalMismatch", err)
+	}
+}
+
+// TestResumeRequiresJournal: Resume without a journal path is a config
+// error, caught before any simulation work.
+func TestResumeRequiresJournal(t *testing.T) {
+	cfg := stealTestConfig()
+	_, err := Resume(context.Background(), cfg)
+	var ce *ConfigError
+	if !errors.As(err, &ce) || ce.Field != "JournalPath" {
+		t.Fatalf("err = %v, want a ConfigError on JournalPath", err)
+	}
+}

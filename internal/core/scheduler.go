@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"runtime/debug"
 	"sort"
 	"sync"
 
@@ -25,10 +27,42 @@ import (
 // checkpoint order, so the assembled Result is bit-identical for any
 // worker count, batch size and scheduler.
 func Run(cfg Config) (*Result, error) {
-	cfg.setDefaults()
-	if err := cfg.validate(); err != nil {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with graceful cancellation. When ctx is cancelled the
+// engines stop dispatching, in-flight work units run to completion and
+// are aggregated (and journaled, if Config.JournalPath is set), and
+// RunContext returns the partial Result together with a *CanceledError
+// reporting how much of the campaign finished. Every checkpoint present
+// in the partial Result is complete — its trials are exactly what an
+// uninterrupted run would have produced for it.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	return start(ctx, cfg, false)
+}
+
+// Resume continues an interrupted campaign from its journal
+// (Config.JournalPath). The journal's header must match the campaign's
+// identity (workload, seed, schedule, populations, protection — see
+// ErrJournalMismatch); scheduling knobs may differ. Journaled units are
+// replayed instead of re-run, the missing units are executed, and because
+// trial seeding depends only on (Seed, checkpoint, flat trial index) the
+// resumed Result is byte-identical in its exports to an uninterrupted
+// run's. Resuming a journal that is already complete runs no trials.
+func Resume(ctx context.Context, cfg Config) (*Result, error) {
+	if cfg.JournalPath == "" {
+		return nil, &ConfigError{Field: "JournalPath", Value: "", Reason: "Resume requires a campaign journal path"}
+	}
+	return start(ctx, cfg, true)
+}
+
+// start validates, measures the golden run, selects checkpoint cycles and
+// hands off to the engines. It is shared by RunContext and Resume.
+func start(ctx context.Context, cfg Config, resume bool) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	cfg.setDefaults()
 	prog, err := cfg.Workload.Program()
 	if err != nil {
 		return nil, err
@@ -93,29 +127,134 @@ func Run(cfg Config) (*Result, error) {
 	}
 	sort.Slice(cycles, func(i, j int) bool { return cycles[i] < cycles[j] })
 
-	return runCampaign(cfg, newMachine, cycles, horizonG, res)
+	return runCampaign(ctx, cfg, newMachine, cycles, horizonG, res, resume)
 }
 
 // runCampaign runs the chosen engine over preselected checkpoint cycles.
 // It is the internal entry point below cycle selection, so tests can drive
 // the engines with synthetic checkpoint schedules (e.g. cycles past the
-// architectural halt).
-func runCampaign(cfg Config, newMachine func() *uarch.Machine, cycles []uint64, horizonG uint64, res *Result) (*Result, error) {
+// architectural halt). It owns the campaign journal: opened (or, on
+// resume, replayed then reopened for append) here, written by the
+// engines' aggregation loops, closed on the way out.
+func runCampaign(ctx context.Context, cfg Config, newMachine func() *uarch.Machine, cycles []uint64, horizonG uint64, res *Result, resume bool) (*Result, error) {
 	if horizonG < uint64(cfg.Horizon) {
 		return nil, fmt.Errorf("core: trial horizon %d exceeds the golden-run horizon %d; the convergence check would run past the golden digest trace",
 			cfg.Horizon, horizonG)
 	}
-	if cfg.Sched == SchedShard {
-		return runShard(cfg, newMachine, cycles, horizonG, res)
+	totalPerCk := 0
+	for _, p := range cfg.Populations {
+		totalPerCk += p.Trials
 	}
-	return runSteal(cfg, newMachine, cycles, horizonG, res)
+	prior := emptyPrior(len(cycles), totalPerCk)
+	var jw *campaignJournal
+	if cfg.JournalPath != "" {
+		hdr := journalHeaderFor(&cfg)
+		if resume {
+			p, err := readJournal(cfg.JournalPath, hdr, len(cycles), totalPerCk)
+			if err != nil {
+				return nil, err
+			}
+			prior = p
+		}
+		var err error
+		jw, err = openJournal(cfg.JournalPath, hdr, resume)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var err error
+	if cfg.Sched == SchedShard {
+		res, err = runShard(ctx, cfg, newMachine, cycles, horizonG, res, prior, jw)
+	} else {
+		res, err = runSteal(ctx, cfg, newMachine, cycles, horizonG, res, prior, jw)
+	}
+	if jerr := jw.close(); err == nil && jerr != nil {
+		err = jerr
+	}
+	return res, err
+}
+
+// engineGuard collects the first panic that escapes a worker goroutine
+// outside the per-trial containment boundary (engine scaffolding bugs,
+// golden-run panics). It exists so an engine bug fails the campaign with
+// a stack instead of crashing the process or deadlocking the pool.
+type engineGuard struct {
+	mu  sync.Mutex
+	err error
+}
+
+// capture is deferred directly inside worker goroutines; after, if
+// non-nil, runs when a panic was recovered (the steal engine passes the
+// pool abort so sibling workers drain instead of waiting forever).
+func (g *engineGuard) capture(what string, after func()) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	g.mu.Lock()
+	if g.err == nil {
+		g.err = fmt.Errorf("core: %s panicked outside trial containment: %v\n%s", what, r, debug.Stack())
+	}
+	g.mu.Unlock()
+	if after != nil {
+		after()
+	}
+}
+
+func (g *engineGuard) get() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.err
+}
+
+// flatTrials concatenates a checkpoint result's populations into the flat
+// trial layout (population order, the same layout the steal engine and
+// the campaign journal use).
+func flatTrials(cr *ckResult) []Trial {
+	n := 0
+	for _, pt := range cr.pops {
+		n += len(pt.trials)
+	}
+	out := make([]Trial, 0, n)
+	for _, pt := range cr.pops {
+		out = append(out, pt.trials...)
+	}
+	return out
+}
+
+// priorCkResult reassembles a journal-covered checkpoint into the shard
+// engine's ckResult form.
+func priorCkResult(cfg *Config, prior *priorUnits, ck int, popStart []int) *ckResult {
+	cr := &ckResult{ck: ck, validInsns: prior.valid[ck], pops: make([]popTrials, len(cfg.Populations))}
+	for pi := range cfg.Populations {
+		seg := prior.trials[ck][popStart[pi]:popStart[pi+1]]
+		pt := &cr.pops[pi]
+		pt.trials = append([]Trial(nil), seg...)
+		for _, t := range seg {
+			if t.Outcome == OutMatch || t.Outcome == OutGray {
+				pt.benign++
+			}
+		}
+	}
+	return cr
+}
+
+// popStarts returns the flat-layout start offset of each population (with
+// the total as the trailing element).
+func popStarts(cfg *Config) []int {
+	popStart := make([]int, len(cfg.Populations)+1)
+	for i, p := range cfg.Populations {
+		popStart[i+1] = popStart[i] + p.Trials
+	}
+	return popStart
 }
 
 // runShard is the legacy checkpoint-sharded engine: checkpoints are dealt
 // round-robin to workers, each worker steps a private machine (cloned from
 // one shared warm-up pre-pass) monotonically through its checkpoints, and
-// per-checkpoint results stream back over a channel.
-func runShard(cfg Config, newMachine func() *uarch.Machine, cycles []uint64, horizonG uint64, res *Result) (*Result, error) {
+// per-checkpoint results stream back over a channel. Journal-covered
+// checkpoints are replayed into the aggregation instead of re-run.
+func runShard(ctx context.Context, cfg Config, newMachine func() *uarch.Machine, cycles []uint64, horizonG uint64, res *Result, prior *priorUnits, jw *campaignJournal) (*Result, error) {
 	// Shared pre-pass: one machine runs the warm-up to the earliest
 	// checkpoint; workers clone it rather than each re-simulating the
 	// warm-up region.
@@ -146,6 +285,7 @@ func runShard(cfg Config, newMachine func() *uarch.Machine, cycles []uint64, hor
 
 	// Round-robin checkpoint assignment keeps each worker's cycle list
 	// ascending (cycles are sorted) and balances load.
+	guard := &engineGuard{}
 	resCh := make(chan *ckResult, len(cycles))
 	var wg sync.WaitGroup
 	for i := 0; i < nw; i++ {
@@ -157,7 +297,8 @@ func runShard(cfg Config, newMachine func() *uarch.Machine, cycles []uint64, hor
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			w.run(cks, cycles, resCh)
+			defer guard.capture("shard worker", nil)
+			w.run(ctx, cks, cycles, prior, resCh)
 		}()
 	}
 	go func() {
@@ -166,20 +307,29 @@ func runShard(cfg Config, newMachine func() *uarch.Machine, cycles []uint64, hor
 	}()
 
 	// Deterministic, checkpoint-ordered aggregation: bucket by checkpoint
-	// index as results arrive, then fold in index order.
+	// index as results arrive, then fold in index order. Journal-covered
+	// checkpoints are injected up front.
 	prog := newProgressTracker(cfg, len(cycles))
+	popStart := popStarts(&cfg)
 	byCk := make([]*ckResult, len(cycles))
+	for ck := range byCk {
+		if prior.completeCk(ck) {
+			byCk[ck] = priorCkResult(&cfg, prior, ck, popStart)
+			prog.add(prior.total, true)
+		}
+	}
 	for cr := range resCh {
 		byCk[cr.ck] = cr
-		n := 0
-		for _, pt := range cr.pops {
-			n += len(pt.trials)
-		}
-		prog.add(n, true)
+		flat := flatTrials(cr)
+		jw.unit(cr.ck, true, cr.validInsns, 0, flat)
+		prog.add(len(flat), true)
+	}
+	if err := guard.get(); err != nil {
+		return nil, err
 	}
 	for _, cr := range byCk {
 		if cr == nil {
-			continue // machine halted before this checkpoint
+			continue // machine halted before this checkpoint, or cancelled
 		}
 		for pi, pop := range cfg.Populations {
 			pt := &cr.pops[pi]
@@ -192,6 +342,9 @@ func runShard(cfg Config, newMachine func() *uarch.Machine, cycles []uint64, hor
 				Trials:     pop.Trials,
 			})
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return res, &CanceledError{TrialsDone: prog.snap.TrialsDone, CheckpointsDone: prog.snap.CheckpointsDone, Err: err}
 	}
 	return res, nil
 }
@@ -216,14 +369,17 @@ func newProgressTracker(cfg Config, checkpoints int) *progressTracker {
 }
 
 // add records trialsDone more finished trials (and, when ckDone, one more
-// finished checkpoint) and invokes the callback.
+// finished checkpoint) and invokes the callback. Counts are maintained
+// even without a callback — cancellation reports them in CanceledError.
 func (t *progressTracker) add(trialsDone int, ckDone bool) {
-	if t == nil || t.cb == nil {
+	if t == nil {
 		return
 	}
 	t.snap.TrialsDone += int64(trialsDone)
 	if ckDone {
 		t.snap.CheckpointsDone++
 	}
-	t.cb(t.snap)
+	if t.cb != nil {
+		t.cb(t.snap)
+	}
 }

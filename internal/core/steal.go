@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 
@@ -29,6 +30,13 @@ import (
 // state), and aggregation places trials by flat index and folds in
 // checkpoint order — so the Result is bit-identical to the shard engine
 // for any Workers, TrialBatch and MaxImages.
+//
+// Robustness: per-trial panics and watchdog expiries are contained inside
+// runTrialContained (see engine.go). Cancellation aborts the pool —
+// queued units are dropped, executing units finish and report — and a
+// campaign journal, when configured, lets Resume skip the units that
+// completed: the pilot does not capture images for journal-complete
+// checkpoints and head units publish only the missing batches.
 
 // ckImage is one checkpoint's portable image plus its shared trial state.
 // snap and mem are immutable after capture; golden, validInsns and
@@ -71,6 +79,7 @@ type stealPool struct {
 	maxOpen   int
 	running   int // units currently executing
 	pilotDone bool
+	aborted   bool
 }
 
 func newStealPool(nw, maxOpen int) *stealPool {
@@ -79,17 +88,34 @@ func newStealPool(nw, maxOpen int) *stealPool {
 	return p
 }
 
-// admit blocks until the pool has room for another resident image, then
-// queues the checkpoint's head unit on worker wid's deque.
-func (p *stealPool) admit(img *ckImage, wid int) {
+// abort drains the pool: queued units are abandoned, blocked takers and
+// the admitting pilot wake up and exit. Units already executing finish
+// normally and their results are still aggregated — abort is the
+// "stop dispatching" half of graceful cancellation.
+func (p *stealPool) abort() {
 	p.mu.Lock()
-	for p.open >= p.maxOpen {
+	p.aborted = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// admit blocks until the pool has room for another resident image, then
+// queues the checkpoint's head unit on worker wid's deque. It reports
+// false when the pool was aborted while waiting — the pilot stops
+// capturing.
+func (p *stealPool) admit(img *ckImage, wid int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.open >= p.maxOpen && !p.aborted {
 		p.cond.Wait()
+	}
+	if p.aborted {
+		return false
 	}
 	p.open++
 	p.deques[wid] = append(p.deques[wid], unit{img: img, batch: -1})
 	p.cond.Broadcast()
-	p.mu.Unlock()
+	return true
 }
 
 func (p *stealPool) pilotFinished() {
@@ -103,11 +129,14 @@ func (p *stealPool) pilotFinished() {
 // image, just-published batches), FIFO-stealing from the other deques
 // otherwise. It blocks while the pool may still produce work — a running
 // head unit will spawn batches, and the pilot may admit more checkpoints —
-// and returns ok == false once the campaign is drained.
+// and returns ok == false once the campaign is drained or aborted.
 func (p *stealPool) take(id int) (unit, bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for {
+		if p.aborted {
+			return unit{}, false
+		}
 		if d := p.deques[id]; len(d) > 0 {
 			u := d[len(d)-1]
 			p.deques[id] = d[:len(d)-1]
@@ -130,20 +159,22 @@ func (p *stealPool) take(id int) (unit, bool) {
 	}
 }
 
-// publish installs a checkpoint's freshly computed golden run and fans its
-// trial batches out onto the publishing worker's own deque (tail-first, so
-// that worker pops batch 0 next while thieves take from the front). The
-// pool mutex orders the golden-run write before any batch unit becomes
-// visible, so batch executors never observe a nil golden.
-func (p *stealPool) publish(id int, img *ckImage, g *goldenRun, validInsns, batches int) {
+// publish installs a checkpoint's freshly computed golden run and fans the
+// listed trial batches out onto the publishing worker's own deque
+// (tail-first, so that worker pops the first batch next while thieves take
+// from the front). On a resumed campaign batches holds only the units the
+// journal does not cover. The pool mutex orders the golden-run write
+// before any batch unit becomes visible, so batch executors never observe
+// a nil golden.
+func (p *stealPool) publish(id int, img *ckImage, g *goldenRun, validInsns int, batches []int) {
 	p.mu.Lock()
 	img.golden = g
 	img.validInsns = validInsns
-	img.remaining = batches
-	for b := batches - 1; b >= 0; b-- {
-		p.deques[id] = append(p.deques[id], unit{img: img, batch: b})
+	img.remaining = len(batches)
+	for i := len(batches) - 1; i >= 0; i-- {
+		p.deques[id] = append(p.deques[id], unit{img: img, batch: batches[i]})
 	}
-	if batches == 0 {
+	if len(batches) == 0 {
 		p.open--
 	}
 	p.running--
@@ -169,19 +200,29 @@ func (p *stealPool) finishBatch(img *ckImage) {
 // capturing a portable image at every checkpoint cycle. A machine that
 // architecturally halts early simply stops admitting checkpoints; the
 // unreached ones produce no results, exactly as under the shard engine.
-func runStealPilot(m *uarch.Machine, cycles []uint64, p *stealPool) {
+// Journal-complete checkpoints (skip) are stepped through but not
+// captured; a cancelled context stops the pilot at the next checkpoint.
+func runStealPilot(ctx context.Context, m *uarch.Machine, cycles []uint64, p *stealPool, skip []bool) {
 	m.Mem.BeginImaging()
 	defer m.Mem.EndImaging()
 	nw := len(p.deques)
 	for ck, cyc := range cycles {
+		if ctx.Err() != nil {
+			return
+		}
 		for m.Cycle < cyc && !m.Halted() {
 			m.Step()
 		}
 		if m.Halted() {
 			return
 		}
+		if skip[ck] {
+			continue
+		}
 		img := &ckImage{ck: ck, snap: m.Snapshot(), mem: m.Mem.CaptureImage()}
-		p.admit(img, ck%nw)
+		if !p.admit(img, ck%nw) {
+			return
+		}
 	}
 }
 
@@ -248,10 +289,29 @@ func (w *worker) golden(img *ckImage) (*goldenRun, int) {
 	return g, validInsns
 }
 
+// missingBatches lists the batch indices of checkpoint ck the journal does
+// not fully cover. A partially covered batch is re-run whole: trials are
+// deterministic, so the overlap reproduces the journaled trials exactly.
+func missingBatches(prior *priorUnits, ck, totalPerCk, trialBatch, batches int) []int {
+	out := make([]int, 0, batches)
+	for b := 0; b < batches; b++ {
+		start := b * trialBatch
+		end := start + trialBatch
+		if end > totalPerCk {
+			end = totalPerCk
+		}
+		if !prior.covered(ck, start, end) {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
 // runBatch runs one batch of a checkpoint's trials against its shared
 // golden run. popOf maps flat trial index to population index; the batch
 // replays the preceding draws of the per-checkpoint RNG stream so its bit
-// picks land exactly where the serial engine's would.
+// picks land exactly where the serial engine's would. Each trial runs
+// inside the containment boundary (see runTrialContained).
 func (w *worker) runBatch(img *ckImage, batch int, popOf []int) stealMsg {
 	m := w.m
 	w.g = img.golden
@@ -278,15 +338,7 @@ func (w *worker) runBatch(img *ckImage, batch int, popOf []int) stealMsg {
 	for i := start; i < end; i++ {
 		pop := w.cfg.Populations[popOf[i]]
 		bit := m.F.RandomBit(rng, pop.LatchOnly)
-		tmark := m.Mem.Mark()
-		if !useSnap {
-			m.Mark(&w.trialMark)
-		}
-		trial := w.runTrial(bit)
-		trial.Checkpoint = int32(img.ck)
-		w.rewind(snap, &w.trialMark)
-		m.Mem.RollbackTo(tmark)
-		trials = append(trials, trial)
+		trials = append(trials, w.runTrialContained(bit, img.ck, i, snap))
 	}
 	if !useSnap {
 		m.CommitJournal()
@@ -297,7 +349,7 @@ func (w *worker) runBatch(img *ckImage, batch int, popOf []int) stealMsg {
 
 // runStealWorker is one pool worker's life: take a unit, materialize its
 // checkpoint, run it, report, repeat until the pool drains.
-func runStealWorker(id int, cfg Config, newMachine func() *uarch.Machine, horizonG uint64, p *stealPool, popOf []int, out chan<- stealMsg) {
+func runStealWorker(id int, cfg Config, newMachine func() *uarch.Machine, horizonG uint64, p *stealPool, popOf []int, prior *priorUnits, out chan<- stealMsg) {
 	sw := &stealWorker{w: newWorker(cfg, newMachine(), horizonG)}
 	for {
 		u, ok := p.take(id)
@@ -307,8 +359,8 @@ func runStealWorker(id int, cfg Config, newMachine func() *uarch.Machine, horizo
 		sw.ensureAt(u.img)
 		if u.batch < 0 {
 			g, validInsns := sw.w.golden(u.img)
-			batches := (len(popOf) + cfg.TrialBatch - 1) / cfg.TrialBatch
-			p.publish(id, u.img, g, validInsns, batches)
+			nb := (len(popOf) + cfg.TrialBatch - 1) / cfg.TrialBatch
+			p.publish(id, u.img, g, validInsns, missingBatches(prior, u.img.ck, len(popOf), cfg.TrialBatch, nb))
 			out <- stealMsg{ck: u.img.ck, head: true, validInsns: validInsns}
 		} else {
 			msg := sw.w.runBatch(u.img, u.batch, popOf)
@@ -319,7 +371,7 @@ func runStealWorker(id int, cfg Config, newMachine func() *uarch.Machine, horizo
 }
 
 // runSteal is the two-phase work-stealing engine.
-func runSteal(cfg Config, newMachine func() *uarch.Machine, cycles []uint64, horizonG uint64, res *Result) (*Result, error) {
+func runSteal(ctx context.Context, cfg Config, newMachine func() *uarch.Machine, cycles []uint64, horizonG uint64, res *Result, prior *priorUnits, jw *campaignJournal) (*Result, error) {
 	// Flat trial layout: index i of a checkpoint's trial sequence belongs
 	// to population popOf[i]. Shared, read-only.
 	totalPerCk := 0
@@ -334,6 +386,13 @@ func runSteal(cfg Config, newMachine func() *uarch.Machine, cycles []uint64, hor
 	}
 	batches := (totalPerCk + cfg.TrialBatch - 1) / cfg.TrialBatch
 
+	// Journal-complete checkpoints never enter the pool: the pilot steps
+	// through them without capturing an image.
+	skip := make([]bool, len(cycles))
+	for ck := range skip {
+		skip[ck] = prior.completeCk(ck)
+	}
+
 	nw := cfg.Workers
 	if maxUnits := len(cycles) * (1 + batches); nw > maxUnits {
 		nw = maxUnits
@@ -342,20 +401,35 @@ func runSteal(cfg Config, newMachine func() *uarch.Machine, cycles []uint64, hor
 		nw = 1
 	}
 
+	guard := &engineGuard{}
 	pool := newStealPool(nw, cfg.MaxImages)
 	msgCh := make(chan stealMsg, 2*nw)
+
+	// Cancellation watcher: a cancelled context aborts the pool, which
+	// stops the pilot and lets the workers drain their in-flight units.
+	stopWatch := make(chan struct{})
+	defer close(stopWatch)
+	go func() {
+		select {
+		case <-ctx.Done():
+			pool.abort()
+		case <-stopWatch:
+		}
+	}()
 
 	var wg sync.WaitGroup
 	for i := 0; i < nw; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			runStealWorker(i, cfg, newMachine, horizonG, pool, popOf, msgCh)
+			defer guard.capture("steal worker", pool.abort)
+			runStealWorker(i, cfg, newMachine, horizonG, pool, popOf, prior, msgCh)
 		}()
 	}
 	go func() {
-		runStealPilot(newMachine(), cycles, pool)
-		pool.pilotFinished()
+		defer pool.pilotFinished()
+		defer guard.capture("checkpoint pilot", pool.abort)
+		runStealPilot(ctx, newMachine(), cycles, pool, skip)
 	}()
 	go func() {
 		wg.Wait()
@@ -364,7 +438,9 @@ func runSteal(cfg Config, newMachine func() *uarch.Machine, cycles []uint64, hor
 
 	// Aggregation: place batch results by flat index as they arrive, then
 	// fold in checkpoint order so the assembled Result is bit-identical to
-	// the serial fold.
+	// the serial fold. Journal-covered units are injected up front —
+	// complete checkpoints wholesale, partial checkpoints batch by batch —
+	// and are not re-journaled.
 	type ckAgg struct {
 		trials     []Trial
 		got        int
@@ -374,17 +450,47 @@ func runSteal(cfg Config, newMachine func() *uarch.Machine, cycles []uint64, hor
 	}
 	aggs := make([]ckAgg, len(cycles))
 	prog := newProgressTracker(cfg, len(cycles))
+	for ck := range aggs {
+		a := &aggs[ck]
+		if prior.completeCk(ck) {
+			a.trials = append([]Trial(nil), prior.trials[ck]...)
+			a.got = totalPerCk
+			a.head = true
+			a.validInsns = prior.valid[ck]
+			a.done = true
+			prog.add(totalPerCk, true)
+			continue
+		}
+		for b := 0; b < batches; b++ {
+			start := b * cfg.TrialBatch
+			end := start + cfg.TrialBatch
+			if end > totalPerCk {
+				end = totalPerCk
+			}
+			if !prior.covered(ck, start, end) {
+				continue
+			}
+			if a.trials == nil {
+				a.trials = make([]Trial, totalPerCk)
+			}
+			copy(a.trials[start:end], prior.trials[ck][start:end])
+			a.got += end - start
+			prog.add(end-start, false)
+		}
+	}
 	for msg := range msgCh {
 		a := &aggs[msg.ck]
 		if msg.head {
 			a.head = true
 			a.validInsns = msg.validInsns
+			jw.unit(msg.ck, true, msg.validInsns, 0, nil)
 		} else {
 			if a.trials == nil {
 				a.trials = make([]Trial, totalPerCk)
 			}
 			copy(a.trials[msg.start:], msg.trials)
 			a.got += len(msg.trials)
+			jw.unit(msg.ck, false, 0, msg.start, msg.trials)
 		}
 		ckDone := a.head && a.got == totalPerCk && !a.done
 		if ckDone {
@@ -392,15 +498,15 @@ func runSteal(cfg Config, newMachine func() *uarch.Machine, cycles []uint64, hor
 		}
 		prog.add(len(msg.trials), ckDone)
 	}
-
-	popStart := make([]int, len(cfg.Populations)+1)
-	for i, p := range cfg.Populations {
-		popStart[i+1] = popStart[i] + p.Trials
+	if err := guard.get(); err != nil {
+		return nil, err
 	}
+
+	popStart := popStarts(&cfg)
 	for ck := range aggs {
 		a := &aggs[ck]
 		if !a.done {
-			continue // checkpoint unreached: the workload halted first
+			continue // checkpoint unreached (halt) or dropped (cancellation)
 		}
 		for pi, pop := range cfg.Populations {
 			seg := a.trials[popStart[pi]:popStart[pi+1]]
@@ -419,6 +525,9 @@ func runSteal(cfg Config, newMachine func() *uarch.Machine, cycles []uint64, hor
 				Trials:     pop.Trials,
 			})
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return res, &CanceledError{TrialsDone: prog.snap.TrialsDone, CheckpointsDone: prog.snap.CheckpointsDone, Err: err}
 	}
 	return res, nil
 }

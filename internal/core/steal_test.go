@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"strings"
@@ -107,10 +108,10 @@ func TestMaxImagesBound(t *testing.T) {
 // schedules. It returns the workload's golden end-to-end cycle count.
 func campaignFixture(t *testing.T, cfg *Config) (func() *uarch.Machine, *Result, uint64) {
 	t.Helper()
-	cfg.setDefaults()
-	if err := cfg.validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		t.Fatal(err)
 	}
+	cfg.setDefaults()
 	prog, err := cfg.Workload.Program()
 	if err != nil {
 		t.Fatal(err)
@@ -154,7 +155,7 @@ func TestHaltBeforeLastCheckpoint(t *testing.T) {
 		// One reachable checkpoint, two scheduled after the halt.
 		cycles := []uint64{total / 3, total + 1000, total + 2000}
 		cfg.Checkpoints = len(cycles)
-		res, err := runCampaign(cfg, newMachine, cycles, uint64(cfg.Horizon+2000), res)
+		res, err := runCampaign(context.Background(), cfg, newMachine, cycles, uint64(cfg.Horizon+2000), res, false)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -184,7 +185,7 @@ func TestHaltBeforeLastCheckpoint(t *testing.T) {
 func TestHorizonExceedsGoldenRun(t *testing.T) {
 	cfg := stealTestConfig()
 	newMachine, res, total := campaignFixture(t, &cfg)
-	_, err := runCampaign(cfg, newMachine, []uint64{total / 3}, uint64(cfg.Horizon-1), res)
+	_, err := runCampaign(context.Background(), cfg, newMachine, []uint64{total / 3}, uint64(cfg.Horizon-1), res, false)
 	if err == nil {
 		t.Fatal("runCampaign accepted a golden-run horizon shorter than the trial horizon")
 	}

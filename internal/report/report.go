@@ -58,17 +58,23 @@ func Figure3(results []*core.Result, pops []string) string {
 	for _, pop := range pops {
 		for _, r := range append(results, core.Merge("average", results)) {
 			p, ok := r.Pops[pop]
-			if !ok || p.Total() == 0 {
+			if !ok || p.Classified() == 0 {
 				continue
 			}
 			c := p.OutcomeCounts()
-			n := p.Total()
-			fmt.Fprintf(&sb, "%-12s %9d %9.1f %9.1f %9.1f %9.1f %6.1f%%  |%s|\n",
+			// Rates are over classified trials only: contained anomalies are
+			// an injector-side artifact, flagged after the bar when present.
+			n := p.Classified()
+			anom := ""
+			if a := p.AnomalyCount(); a > 0 {
+				anom = fmt.Sprintf(" anom=%d", a)
+			}
+			fmt.Fprintf(&sb, "%-12s %9d %9.1f %9.1f %9.1f %9.1f %6.1f%%  |%s|%s\n",
 				r.Benchmark+"_"+pop, n,
 				pct(c[core.OutMatch], n), pct(c[core.OutGray], n),
 				pct(c[core.OutSDC], n), pct(c[core.OutTerminated], n),
 				100*stats.WorstCaseCI95(n),
-				bar(float64(c[core.OutMatch])/float64(n), 30))
+				bar(float64(c[core.OutMatch])/float64(n), 30), anom)
 		}
 		sb.WriteString("\n")
 	}
@@ -110,12 +116,15 @@ func ByCategory(title string, p *core.PopResult) string {
 			bar(fail/100, 25), fail)
 	}
 	tot := p.OutcomeCounts()
-	n := p.Total()
+	n := p.Classified()
 	fmt.Fprintf(&sb, "%-14s %7d %8.1f %8.1f %8.1f %8.1f  (aggregate, ci95 %.1f%%)\n",
 		"ALL", n,
 		pct(tot[core.OutMatch], n), pct(tot[core.OutGray], n),
 		pct(tot[core.OutSDC], n), pct(tot[core.OutTerminated], n),
 		100*stats.WorstCaseCI95(n))
+	if a := p.AnomalyCount(); a > 0 {
+		fmt.Fprintf(&sb, "%-14s %7d  (contained trial anomalies, excluded from all rates above)\n", "ANOMALY", a)
+	}
 	return sb.String()
 }
 

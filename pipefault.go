@@ -20,6 +20,7 @@
 package pipefault
 
 import (
+	"context"
 	"fmt"
 
 	"pipefault/internal/asm"
@@ -124,6 +125,24 @@ func WorkloadByName(name string) *Workload {
 // affects the result, only wall-clock time.
 func RunCampaign(cfg CampaignConfig) (*CampaignResult, error) {
 	return core.Run(cfg)
+}
+
+// RunCampaignContext is RunCampaign with graceful cancellation: when ctx
+// is cancelled, in-flight work drains, and the error is a
+// *core.CanceledError alongside a partial CampaignResult holding every
+// checkpoint that completed. With cfg.JournalPath set, completed units
+// are journaled as they finish and ResumeCampaign can pick the campaign
+// back up.
+func RunCampaignContext(ctx context.Context, cfg CampaignConfig) (*CampaignResult, error) {
+	return core.RunContext(ctx, cfg)
+}
+
+// ResumeCampaign replays the campaign journal at cfg.JournalPath, re-runs
+// only the units it does not cover, and returns a result byte-identical
+// in its exports to an uninterrupted run. A journal written under a
+// different campaign identity is refused with core.ErrJournalMismatch.
+func ResumeCampaign(ctx context.Context, cfg CampaignConfig) (*CampaignResult, error) {
+	return core.Resume(ctx, cfg)
 }
 
 // MergeResults aggregates per-benchmark results (the paper's averages).
