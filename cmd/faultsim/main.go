@@ -77,6 +77,7 @@ type opts struct {
 	horizon     int
 	workers     int
 	sched       core.SchedMode
+	earlyStop   core.EarlyStopMode
 	progress    bool
 	timeout     time.Duration
 	journal     string
@@ -95,6 +96,7 @@ func run() int {
 	horizon := fs.Int("horizon", 10_000, "trial cycle budget")
 	workers := fs.Int("workers", runtime.NumCPU(), "campaign worker goroutines (results are identical for any count)")
 	sched := fs.String("sched", "steal", "campaign scheduler: steal (two-phase work-stealing) or shard (legacy checkpoint sharding)")
+	earlyStop := fs.String("earlystop", "taint", "trial termination: taint (classify provably-dead trials early) or off (full-horizon equivalence oracle)")
 	progress := fs.Bool("progress", false, "print periodic campaign progress to stderr")
 	timeout := fs.Duration("timeout", 0, "per-trial watchdog budget; a livelocked trial is killed and counted as an anomaly (0 disables)")
 	journal := fs.String("journal", "", "campaign journal path base; each campaign appends completed units to <base>-<prot>-<bench>.jsonl for -resume")
@@ -126,12 +128,18 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "faultsim:", err)
 		return 2
 	}
+	earlyStopMode, err := core.ParseEarlyStopMode(*earlyStop)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faultsim:", err)
+		return 2
+	}
 	proto := core.Config{
 		Workload:     workload.Tiny, // validation placeholder; real campaigns set their own
 		Checkpoints:  *checkpoints,
 		Horizon:      *horizon,
 		Workers:      *workers,
 		Sched:        schedMode,
+		EarlyStop:    earlyStopMode,
 		TrialTimeout: *timeout,
 		Populations: []core.Population{
 			{Name: "l+r", Trials: *trials},
@@ -189,7 +197,7 @@ func run() int {
 	o := &opts{
 		checkpoints: *checkpoints, trials: *trials, ltrials: *ltrials,
 		softTrials: *softTrials, horizon: *horizon, workers: *workers,
-		sched: schedMode, progress: *progress,
+		sched: schedMode, earlyStop: earlyStopMode, progress: *progress,
 		timeout: *timeout, journal: *journal, resume: *resumeFlag,
 		seed: *seed, verbose: *verbose,
 	}

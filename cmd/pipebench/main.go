@@ -21,6 +21,13 @@
 //	sched_speedup_4w   the 4-worker campaign under the legacy shard
 //	                   scheduler divided by the same under the work-stealing
 //	                   scheduler (>1 means stealing is faster)
+//	early_stop         the campaign under taint termination (the default)
+//	                   vs under the full-horizon loop, reporting the mean
+//	                   actually-simulated cycles per trial and the ratio
+//	                   early_stop_speedup; the two runs double as an
+//	                   equivalence oracle — any result mismatch fails the
+//	                   run (exit 1) even with -soft, since that is a
+//	                   correctness bug, not runner noise
 //
 // With -baseline, the fresh headline metrics are compared against a
 // previously committed report: a drop of more than -regress-pct percent in
@@ -37,7 +44,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"reflect"
 	"runtime"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -64,12 +73,14 @@ type scalingLine struct {
 }
 
 type metrics struct {
-	CyclesPerSec      float64 `json:"cycles_per_sec"`
-	TrialsPerSec      float64 `json:"trials_per_sec"`
-	NsRestoreSnapshot float64 `json:"ns_per_restore_snapshot"`
-	NsRestoreJournal  float64 `json:"ns_per_restore_journal"`
-	AllocsPerTrial    float64 `json:"allocs_per_trial"`
-	SchedSpeedup4W    float64 `json:"sched_speedup_4w"`
+	CyclesPerSec       float64 `json:"cycles_per_sec"`
+	TrialsPerSec       float64 `json:"trials_per_sec"`
+	NsRestoreSnapshot  float64 `json:"ns_per_restore_snapshot"`
+	NsRestoreJournal   float64 `json:"ns_per_restore_journal"`
+	AllocsPerTrial     float64 `json:"allocs_per_trial"`
+	SchedSpeedup4W     float64 `json:"sched_speedup_4w"`
+	MeanCyclesPerTrial float64 `json:"mean_cycles_per_trial"`
+	EarlyStopSpeedup   float64 `json:"early_stop_speedup"`
 }
 
 type report struct {
@@ -228,6 +239,44 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "pipebench: sched_speedup_4w   shard %.2fs / steal %.2fs = %.2fx\n",
 		shardWall, stealWall, rep.Metrics.SchedSpeedup4W)
+
+	// Early-stop effectiveness, and the equivalence oracle. The same
+	// campaign runs under taint termination (the default) and under the
+	// full-horizon loop, counting actually-simulated cycles per trial.
+	// The two results must be bit-identical; a mismatch is a correctness
+	// bug in the early-stop machinery, so it hard-fails the run even with
+	// -soft — that flag only pardons throughput noise.
+	earlyStopRun := func(mode core.EarlyStopMode) (*core.Result, float64) {
+		var steps, trials atomic.Int64
+		c := cfg
+		c.EarlyStop = mode
+		c.OnTrialSteps = func(s int) {
+			steps.Add(int64(s))
+			trials.Add(1)
+		}
+		res, err := core.Run(c)
+		if err != nil {
+			fatal(err)
+		}
+		if trials.Load() == 0 {
+			return res, 0
+		}
+		return res, float64(steps.Load()) / float64(trials.Load())
+	}
+	taintRes, meanOn := earlyStopRun(core.EarlyStopTaint)
+	fullRes, meanOff := earlyStopRun(core.EarlyStopOff)
+	if !reflect.DeepEqual(taintRes.Pops, fullRes.Pops) ||
+		!reflect.DeepEqual(taintRes.Scatter, fullRes.Scatter) {
+		fmt.Fprintln(os.Stderr, "pipebench: EQUIVALENCE ORACLE MISMATCH: the taint-terminated campaign"+
+			" differs from the full-horizon campaign; early stopping changed trial outcomes")
+		os.Exit(1)
+	}
+	rep.Metrics.MeanCyclesPerTrial = meanOn
+	if meanOn > 0 {
+		rep.Metrics.EarlyStopSpeedup = meanOff / meanOn
+	}
+	fmt.Fprintf(os.Stderr, "pipebench: early_stop         %.1f cycles/trial vs %.1f full-horizon = %.1fx\n",
+		meanOn, meanOff, rep.Metrics.EarlyStopSpeedup)
 
 	// Rewind mechanisms, measured on a warmed machine. The snapshot path
 	// copies the whole bit-store; the journal path rolls back a 64-word

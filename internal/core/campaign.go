@@ -108,6 +108,23 @@ type Config struct {
 	// units, reproducing an uninterrupted run's exports byte-identically.
 	JournalPath string
 
+	// EarlyStop selects the trial-termination strategy. EarlyStopTaint
+	// (the default) classifies a trial the moment its outcome is provably
+	// determined: dead injections (flipped entry overwritten before the
+	// golden run ever reads it) resolve in O(1) from the golden liveness
+	// trace without stepping at all, and trials whose corrupted machine
+	// quiesces resolve the rest of their horizon in closed form.
+	// EarlyStopOff steps every trial to classification or the full horizon
+	// — the equivalence oracle; both modes produce bit-identical Results.
+	EarlyStop EarlyStopMode
+
+	// OnTrialSteps, if set, receives the number of machine cycles actually
+	// simulated by each trial (0 for trials resolved without stepping).
+	// Instrumentation only — pipebench uses it to measure the early-stop
+	// speedup. Called from worker goroutines; must be safe for concurrent
+	// use.
+	OnTrialSteps func(steps int)
+
 	Seed int64
 }
 
@@ -128,6 +145,37 @@ func (r RewindMode) String() string {
 		return "snapshot"
 	}
 	return fmt.Sprintf("rewind(%d)", uint8(r))
+}
+
+// EarlyStopMode selects the trial-termination strategy (see
+// Config.EarlyStop).
+type EarlyStopMode uint8
+
+// Early-stop strategies.
+const (
+	EarlyStopTaint EarlyStopMode = iota
+	EarlyStopOff
+)
+
+func (e EarlyStopMode) String() string {
+	switch e {
+	case EarlyStopTaint:
+		return "taint"
+	case EarlyStopOff:
+		return "off"
+	}
+	return fmt.Sprintf("earlystop(%d)", uint8(e))
+}
+
+// ParseEarlyStopMode maps a flag value to an EarlyStopMode.
+func ParseEarlyStopMode(s string) (EarlyStopMode, error) {
+	switch s {
+	case "taint":
+		return EarlyStopTaint, nil
+	case "off":
+		return EarlyStopOff, nil
+	}
+	return 0, fmt.Errorf("core: unknown early-stop mode %q (want \"taint\" or \"off\")", s)
 }
 
 // SchedMode selects the campaign scheduler (see Config.Sched).
@@ -254,6 +302,11 @@ func (c *Config) Validate() error {
 	case RewindJournal, RewindSnapshot:
 	default:
 		return &ConfigError{Field: "Rewind", Value: c.Rewind, Reason: "unknown rewind mode"}
+	}
+	switch c.EarlyStop {
+	case EarlyStopTaint, EarlyStopOff:
+	default:
+		return &ConfigError{Field: "EarlyStop", Value: c.EarlyStop, Reason: "unknown early-stop mode"}
 	}
 	seen := make(map[string]bool, len(c.Populations))
 	for _, p := range c.Populations {

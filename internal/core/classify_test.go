@@ -34,14 +34,8 @@ func newTestEngine(t *testing.T, w *workload.Workload, warmup uint64) (*worker, 
 
 	snap := m.Snapshot()
 	m.Mem.BeginUndo()
-	en.g.reset(en.horizonG)
-	m.OnRetire = en.onGolden
 	mark := m.Mem.Mark()
-	for i := uint64(0); i < en.horizonG; i++ {
-		m.Step()
-		en.g.digests = append(en.g.digests, m.Digest())
-	}
-	m.OnRetire = nil
+	en.goldenContinuation(en.g)
 	m.Restore(snap)
 	m.Mem.RollbackTo(mark)
 	return en, en.g

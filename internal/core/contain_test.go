@@ -49,14 +49,7 @@ func TestContainmentSoak(t *testing.T) {
 	m.Mem.BeginUndo()
 	memMark := m.Mem.Mark()
 	g := &w.gOwned
-	g.reset(w.horizonG)
-	w.g = g
-	m.OnRetire = w.onGolden
-	for i := uint64(0); i < w.horizonG; i++ {
-		m.Step()
-		g.digests = append(g.digests, m.Digest())
-	}
-	m.OnRetire = nil
+	w.goldenContinuation(g)
 	w.rewind(nil, &w.ckMark)
 	m.Mem.RollbackTo(memMark)
 

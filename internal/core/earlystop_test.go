@@ -1,0 +1,200 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pipefault/internal/workload"
+)
+
+// earlyStopCampaign runs the golden-test campaign (the same configuration
+// whose exports are pinned in testdata/) under an explicit early-stop mode,
+// scheduler, worker count and rewind mechanism.
+func earlyStopCampaign(t *testing.T, es EarlyStopMode, sched SchedMode, workers int, rewind RewindMode) *Result {
+	t.Helper()
+	res, err := Run(Config{
+		Workload:    workload.Tiny,
+		Checkpoints: 2,
+		Horizon:     800,
+		Populations: []Population{
+			{Name: "l+r", Trials: 4},
+			{Name: "l", LatchOnly: true, Trials: 3},
+		},
+		Seed:      11,
+		Workers:   workers,
+		Sched:     sched,
+		Rewind:    rewind,
+		EarlyStop: es,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestEarlyStopEquivalenceMatrix is the correctness oracle of the
+// early-stop machinery: under both schedulers, 1 and 4 workers, and both
+// rewind mechanisms, the taint-terminated campaign must be bit-identical —
+// trial for trial, including Cycles — to the full-horizon run, and both
+// must reproduce the checked-in export goldens byte for byte. The goldens
+// predate early stopping entirely, so they pin that classification moved
+// earlier in wall time but nowhere else.
+func TestEarlyStopEquivalenceMatrix(t *testing.T) {
+	wantJSON, err := os.ReadFile(filepath.Join("testdata", "export_golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCSV, err := os.ReadFile(filepath.Join("testdata", "export_golden.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sched := range []SchedMode{SchedShard, SchedSteal} {
+		for _, workers := range []int{1, 4} {
+			for _, rewind := range []RewindMode{RewindJournal, RewindSnapshot} {
+				name := fmt.Sprintf("%v-w%d-%v", sched, workers, rewind)
+				taint := earlyStopCampaign(t, EarlyStopTaint, sched, workers, rewind)
+				full := earlyStopCampaign(t, EarlyStopOff, sched, workers, rewind)
+				resultsEqual(t, name, taint, full)
+				for _, run := range []struct {
+					mode string
+					res  *Result
+				}{{"taint", taint}, {"off", full}} {
+					var gotJSON, gotCSV bytes.Buffer
+					if err := run.res.WriteJSON(&gotJSON); err != nil {
+						t.Fatal(err)
+					}
+					if err := run.res.WriteCSV(&gotCSV); err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(gotJSON.Bytes(), wantJSON) {
+						t.Errorf("%s-%s: JSON export deviates from golden", name, run.mode)
+					}
+					if !bytes.Equal(gotCSV.Bytes(), wantCSV) {
+						t.Errorf("%s-%s: CSV export deviates from golden", name, run.mode)
+					}
+				}
+			}
+		}
+	}
+}
+
+// deadBit scans the golden liveness trace for an injectable entry the
+// closed-form classifier deems dead (eligible), returning one bit of it.
+func deadBit(t *testing.T, en *worker, g *goldenRun) (string, int) {
+	t.Helper()
+	horizon := en.cfg.Horizon
+	if n := len(g.digests); horizon > n {
+		horizon = n
+	}
+	for _, e := range en.m.F.Elems() {
+		if !e.Injectable() {
+			continue
+		}
+		for i := 0; i < e.Entries(); i++ {
+			k := e.EntryIndex(i)
+			r, cw := g.trace.FirstRead[k], g.trace.FirstSet[k]
+			matchAt := uint64(0)
+			if cw != 0 && cw <= uint64(horizon) {
+				matchAt = cw
+			}
+			readBound := uint64(horizon)
+			if matchAt != 0 {
+				readBound = matchAt
+			}
+			if r == 0 || r > readBound {
+				return e.Name(), i
+			}
+		}
+	}
+	t.Fatal("no dead entry found in the golden trace")
+	return "", 0
+}
+
+// TestEarlyStopDeadEntryFastPath: a trial on a provably dead entry must
+// resolve without simulating a single cycle, with the exact outcome,
+// failure mode and cycle count the full-horizon loop produces.
+func TestEarlyStopDeadEntryFastPath(t *testing.T) {
+	en, g := newTestEngine(t, workload.Tiny, 600)
+	if !g.traced {
+		t.Fatal("golden continuation did not record a liveness trace")
+	}
+	elem, entry := deadBit(t, en, g)
+
+	var steps []int
+	en.cfg.OnTrialSteps = func(s int) { steps = append(steps, s) }
+
+	fast := runTargeted(t, en, g, elem, entry, 0)
+	if len(steps) != 1 || steps[0] != 0 {
+		t.Fatalf("dead-entry trial simulated %v cycles, want [0]", steps)
+	}
+	en.cfg.EarlyStop = EarlyStopOff
+	slow := runTargeted(t, en, g, elem, entry, 0)
+	if len(steps) != 2 || steps[1] != int(slow.Cycles) {
+		t.Fatalf("full-horizon trial reported steps %v, want its own cycle count %d", steps, slow.Cycles)
+	}
+	if fast != slow {
+		t.Errorf("fast path %+v != full horizon %+v", fast, slow)
+	}
+	if steps[1] == 0 {
+		t.Error("full-horizon oracle did not step at all")
+	}
+}
+
+// TestEarlyStopQuiescenceFastForward: a trial that halts the machine (flip
+// of ms.halted) quiesces long before the locked-up monitor would fire; the
+// fast-forward must resolve the remaining cycles in closed form — same
+// outcome and cycle count as the full loop, far fewer simulated steps.
+func TestEarlyStopQuiescenceFastForward(t *testing.T) {
+	en, g := newTestEngine(t, workload.Tiny, 600)
+
+	var steps []int
+	en.cfg.OnTrialSteps = func(s int) { steps = append(steps, s) }
+
+	fast := runTargeted(t, en, g, "ms.halted", 0, 0)
+	en.cfg.EarlyStop = EarlyStopOff
+	slow := runTargeted(t, en, g, "ms.halted", 0, 0)
+
+	if fast != slow {
+		t.Fatalf("quiescence fast-forward %+v != full horizon %+v", fast, slow)
+	}
+	if fast.Outcome != OutTerminated || fast.Mode != FailLocked {
+		t.Fatalf("halting flip classified %v/%v, want Terminated/locked", fast.Outcome, fast.Mode)
+	}
+	if len(steps) != 2 {
+		t.Fatalf("expected two instrumented trials, got %v", steps)
+	}
+	if steps[1] != int(slow.Cycles) {
+		t.Fatalf("full loop simulated %d cycles, want %d", steps[1], slow.Cycles)
+	}
+	if steps[0] >= steps[1] {
+		t.Errorf("fast-forward simulated %d cycles, full loop %d — nothing was skipped", steps[0], steps[1])
+	}
+}
+
+// TestEarlyStopModeStrings pins the flag-facing names and the parser.
+func TestEarlyStopModeStrings(t *testing.T) {
+	if EarlyStopTaint.String() != "taint" || EarlyStopOff.String() != "off" {
+		t.Errorf("EarlyStopMode strings: %q, %q", EarlyStopTaint, EarlyStopOff)
+	}
+	if s := EarlyStopMode(99).String(); s == "" {
+		t.Error("unknown EarlyStopMode must still print")
+	}
+	for _, tc := range []struct {
+		in   string
+		want EarlyStopMode
+	}{{"taint", EarlyStopTaint}, {"off", EarlyStopOff}} {
+		got, err := ParseEarlyStopMode(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseEarlyStopMode(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := ParseEarlyStopMode("bogus"); err == nil {
+		t.Error("ParseEarlyStopMode accepted a bogus mode")
+	}
+	if err := (&Config{Workload: workload.Tiny, EarlyStop: EarlyStopMode(9)}).Validate(); err == nil {
+		t.Error("Validate accepted an unknown EarlyStop mode")
+	}
+}

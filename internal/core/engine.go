@@ -38,6 +38,21 @@ type goldenRun struct {
 	digests []uint64 // digest after cycle i+1
 	events  []uarch.RetireEvent
 	retired map[uint64]struct{} // shadow seqnos that commit
+
+	// Early-stop liveness data (EarlyStopTaint): the golden continuation's
+	// first-touch trace over injectable entries, plus the cycles at which
+	// the fault-free run itself would trip each trial-loop monitor. A trial
+	// whose flipped entry is overwritten before the golden run ever reads it
+	// behaves bit-identically to the golden run, so its outcome is a pure
+	// function of these fields (see (*worker).resolveDead). traced gates the
+	// fast path: goldens built without tracing (EarlyStopOff, legacy test
+	// preambles) leave it false and every trial takes the full loop.
+	trace    *state.TouchTrace
+	lockedAt uint64 // first cycle the no-retire streak reaches LockedCycles
+	itlbAt   uint64 // first cycle the illegal-fetch-stall streak reaches 30
+	excAt    uint64 // first cycle an exception reaches retirement
+	excMode  FailureMode
+	traced   bool
 }
 
 // reset prepares the buffers for the next checkpoint, keeping capacity.
@@ -52,6 +67,9 @@ func (g *goldenRun) reset(horizon uint64) {
 	} else {
 		clear(g.retired)
 	}
+	g.lockedAt, g.itlbAt, g.excAt = 0, 0, 0
+	g.excMode = FailNone
+	g.traced = false
 }
 
 // ckResult is one checkpoint's complete outcome: per-population trial lists
@@ -200,6 +218,80 @@ func (w *worker) run(ctx context.Context, cks []int, cycles []uint64, prior *pri
 	}
 }
 
+// goldenContinuation steps the worker's machine through the fault-free
+// continuation, filling g with the per-cycle digests and retirement trace.
+// Under EarlyStopTaint it additionally records the liveness data the
+// closed-form trial classifier needs: a first-touch trace over injectable
+// entries and the cycles at which the golden run itself trips the locked,
+// iTLB-stall and exception monitors. The monitor probes (FetchStalledIllegal,
+// retire accounting) run with the trace attached, so every state read a
+// trial's per-cycle classification would perform is captured — the
+// soundness condition for treating an unread-then-overwritten entry as
+// dead. The caller rewinds the machine afterwards.
+func (w *worker) goldenContinuation(g *goldenRun) {
+	m := w.m
+	g.reset(w.horizonG)
+	w.g = g
+	m.OnRetire = w.onGolden
+	traced := w.cfg.EarlyStop == EarlyStopTaint
+	var cyc uint64
+	if traced {
+		if g.trace == nil {
+			g.trace = m.F.NewTouchTrace()
+		} else {
+			g.trace.Reset()
+		}
+		m.F.StartTrace(g.trace)
+		m.OnExc = func(ev uarch.ExcEvent) {
+			if g.excAt != 0 {
+				return
+			}
+			g.excAt = cyc
+			if ev.Kind == uarch.ExcDTLB {
+				g.excMode = FailDTLB
+			} else {
+				g.excMode = FailExcept
+			}
+		}
+	}
+	noRetire := 0
+	itlbCnt := 0
+	lastRetired := m.Retired
+	for cyc = 1; cyc <= w.horizonG; cyc++ {
+		if traced {
+			m.F.TraceCycle(cyc)
+		}
+		m.Step()
+		g.digests = append(g.digests, m.Digest())
+		if !traced {
+			continue
+		}
+		if m.Retired > lastRetired {
+			lastRetired = m.Retired
+			noRetire = 0
+		} else {
+			noRetire++
+			if g.lockedAt == 0 && noRetire >= w.cfg.LockedCycles {
+				g.lockedAt = cyc
+			}
+		}
+		if m.FetchStalledIllegal() {
+			itlbCnt++
+			if g.itlbAt == 0 && itlbCnt >= 30 {
+				g.itlbAt = cyc
+			}
+		} else {
+			itlbCnt = 0
+		}
+	}
+	if traced {
+		m.F.StopTrace()
+		m.OnExc = nil
+	}
+	m.OnRetire = nil
+	g.traced = traced
+}
+
 // checkpointSeed derives the per-checkpoint RNG seed from the campaign seed
 // and the checkpoint index via two splitmix64 rounds. Trials therefore
 // depend only on (Seed, checkpoint index), never on which worker executes
@@ -246,14 +338,7 @@ func (w *worker) checkpoint(ck int) *ckResult {
 
 	// Golden continuation.
 	g := &w.gOwned
-	g.reset(w.horizonG)
-	w.g = g
-	m.OnRetire = w.onGolden
-	for i := uint64(0); i < w.horizonG; i++ {
-		m.Step()
-		g.digests = append(g.digests, m.Digest())
-	}
-	m.OnRetire = nil
+	w.goldenContinuation(g)
 	w.rewind(snap, &w.ckMark)
 	m.Mem.RollbackTo(memMark)
 
@@ -381,8 +466,132 @@ func (w *worker) rewind(snap *uarch.Snapshot, mark *uarch.MarkPoint) {
 	w.m.RollbackTo(mark)
 }
 
+// resolveDead decides, without flipping the bit or stepping the machine,
+// whether the trial's outcome is already determined by the golden run's
+// liveness trace — and if so, what it is.
+//
+// Eligibility: let r be the first golden cycle that READS the flipped
+// entry and cw the first that WRITES it (0 = never). If the golden run
+// never reads the entry before (re)writing it, the trial's machine reads
+// exactly the values the golden machine reads, cycle for cycle: control
+// flow, retirement events, memory traffic and every other write are
+// bit-identical, so the corruption confines itself to the one entry until
+// cw overwrites it with the golden value (a golden no-op write still
+// clears the trial's corruption — the trial writes the same computed value
+// over its corrupted copy — which is why the trace records writes before
+// the value-unchanged early-out). A same-cycle read (r == cw) is
+// conservatively ineligible: intra-cycle ordering is not traced.
+//
+// For an eligible trial the loop's classification is a closed form: the
+// per-cycle digest compare first succeeds at cw (before cw the trial
+// digest differs from golden by the flipped entry's contribution, which is
+// nonzero because mix(pos, ·) is injective), and the locked / iTLB /
+// exception monitors fire exactly when the golden run's own monitors
+// would. The earliest event within the horizon wins; consider() is called
+// in the trial loop's same-cycle check order so ties resolve identically.
+// No event within the horizon means Gray at the horizon, exactly like a
+// full-horizon run. The architectural-divergence check can never fire
+// before cw (events are identical), so it never wins.
+func (w *worker) resolveDead(bit state.BitRef, horizon int) (outcome Outcome, mode FailureMode, cycles int, ok bool) {
+	g := w.g
+	if !bit.Elem.Injectable() {
+		return 0, FailNone, 0, false
+	}
+	key := bit.Elem.EntryIndex(bit.Entry)
+	r := g.trace.FirstRead[key]
+	cw := g.trace.FirstSet[key]
+	h := uint64(horizon)
+
+	var matchAt uint64
+	if cw != 0 && cw <= h {
+		matchAt = cw
+	}
+	readBound := h
+	if matchAt != 0 {
+		readBound = matchAt
+	}
+	if r != 0 && r <= readBound {
+		return 0, FailNone, 0, false // golden reads the entry while corrupt
+	}
+
+	var best uint64
+	consider := func(at uint64, o Outcome, md FailureMode) {
+		if at == 0 || at > h {
+			return
+		}
+		if best != 0 && at >= best {
+			return
+		}
+		best, outcome, mode = at, o, md
+	}
+	consider(g.excAt, g.excMode.Outcome(), g.excMode)
+	consider(g.lockedAt, OutTerminated, FailLocked)
+	consider(g.itlbAt, OutSDC, FailITLB)
+	consider(matchAt, OutMatch, FailNone)
+	if best == 0 {
+		return OutGray, FailNone, horizon, true
+	}
+	return outcome, mode, int(best), true
+}
+
+// finishQuiescent resolves a trial whose machine has reached a write-free
+// fixed point at cycle cyc: every remaining Step is a no-op, so the digest,
+// the retire stream and the fetch-stall predicate are all frozen and the
+// rest of the trial loop is a closed form over frozen values. Check order
+// within a cycle matches the loop: locked, then iTLB, then digest match.
+// The divergence and exception monitors cannot fire again (both require a
+// retirement-path event, which implies a state write).
+func (w *worker) finishQuiescent(trial Trial, cyc, horizon, noRetire, itlbCnt int) Trial {
+	m := w.m
+	g := w.g
+
+	lockedAt := cyc + (w.cfg.LockedCycles - noRetire)
+	itlbAt := 0
+	if m.FetchStalledIllegal() {
+		itlbAt = cyc + (30 - itlbCnt)
+	}
+	matchAt := 0
+	if !w.mon.outOfTrace {
+		d := m.Digest()
+		for c := cyc + 1; c <= horizon; c++ {
+			if g.digests[c-1] == d {
+				matchAt = c
+				break
+			}
+		}
+	}
+
+	best := horizon + 1
+	trial.Outcome, trial.Mode = OutGray, FailNone
+	trial.Cycles = int32(horizon)
+	consider := func(at int, o Outcome, md FailureMode) {
+		if at > cyc && at < best {
+			best, trial.Outcome, trial.Mode = at, o, md
+			trial.Cycles = int32(at)
+		}
+	}
+	consider(lockedAt, OutTerminated, FailLocked)
+	if itlbAt != 0 {
+		consider(itlbAt, OutSDC, FailITLB)
+	}
+	if matchAt != 0 {
+		consider(matchAt, OutMatch, FailNone)
+	}
+	return trial
+}
+
 // runTrial flips one bit and monitors the machine against the golden
 // continuation, implementing the Section 2.2 classification.
+//
+// Under EarlyStopTaint two provably exact shortcuts apply. First, if the
+// golden liveness trace shows the flipped entry is dead (resolveDead), the
+// trial returns in O(1) without flipping or stepping — zero perturbation:
+// the RNG stream is untouched (the bit was drawn by the caller) and the
+// machine never leaves checkpoint state. Second, once the injected machine
+// quiesces mid-trial (Machine.Quiescent), the rest of the loop is resolved
+// in closed form (finishQuiescent). Both shortcuts stand down when a trial
+// watchdog is armed and the resolution would cross the first watchdog
+// stride, so watchdog expiry behavior is bit-identical to the full loop.
 func (w *worker) runTrial(bit state.BitRef) Trial {
 	m := w.m
 	g := w.g
@@ -392,16 +601,6 @@ func (w *worker) runTrial(bit state.BitRef) Trial {
 		Elem:     bit.Elem.Name(),
 		Bit:      int32(bit.Entry*bit.Elem.Width() + bit.Bit),
 	}
-
-	w.mon.reset(g)
-	m.OnRetire = w.onRetire
-	m.OnExc = w.onExc
-	defer func() {
-		m.OnRetire = nil
-		m.OnExc = nil
-	}()
-
-	bit.Flip()
 
 	// The convergence check below indexes g.digests[cyc-1]. runCampaign
 	// rejects configurations whose trial horizon exceeds the golden-run
@@ -420,6 +619,32 @@ func (w *worker) runTrial(bit state.BitRef) Trial {
 	if w.cfg.TrialTimeout > 0 && w.cfg.Clock != nil {
 		deadline = w.cfg.Clock() + int64(w.cfg.TrialTimeout)
 	}
+
+	if g.traced && w.cfg.EarlyStop == EarlyStopTaint {
+		if out, mode, cyc, ok := w.resolveDead(bit, horizon); ok && (deadline == 0 || cyc < watchdogStride) {
+			trial.Outcome, trial.Mode = out, mode
+			trial.Cycles = int32(cyc)
+			if w.cfg.OnTrialSteps != nil {
+				w.cfg.OnTrialSteps(0)
+			}
+			return trial
+		}
+	}
+
+	w.mon.reset(g)
+	m.OnRetire = w.onRetire
+	m.OnExc = w.onExc
+	steps := 0
+	defer func() {
+		m.OnRetire = nil
+		m.OnExc = nil
+		if w.cfg.OnTrialSteps != nil {
+			w.cfg.OnTrialSteps(steps)
+		}
+	}()
+
+	bit.Flip()
+
 	noRetire := 0
 	itlbCnt := 0
 	lastRetired := m.Retired
@@ -438,6 +663,7 @@ func (w *worker) runTrial(bit state.BitRef) Trial {
 			return trial
 		}
 		m.Step()
+		steps++
 		trial.Cycles = int32(cyc)
 		switch {
 		case w.mon.diverged:
@@ -469,6 +695,9 @@ func (w *worker) runTrial(bit state.BitRef) Trial {
 		if !w.mon.outOfTrace && m.Digest() == g.digests[cyc-1] {
 			trial.Outcome = OutMatch
 			return trial
+		}
+		if w.cfg.EarlyStop == EarlyStopTaint && deadline == 0 && cyc < horizon && m.Quiescent() {
+			return w.finishQuiescent(trial, cyc, horizon, noRetire, itlbCnt)
 		}
 	}
 	trial.Outcome = OutGray

@@ -266,14 +266,7 @@ func (w *worker) golden(img *ckImage) (*goldenRun, int) {
 	m.Mem.BeginUndo()
 
 	g := &goldenRun{}
-	g.reset(w.horizonG)
-	w.g = g
-	m.OnRetire = w.onGolden
-	for i := uint64(0); i < w.horizonG; i++ {
-		m.Step()
-		g.digests = append(g.digests, m.Digest())
-	}
-	m.OnRetire = nil
+	w.goldenContinuation(g)
 	w.rewind(snap, &w.ckMark)
 	if !useSnap {
 		m.CommitJournal()

@@ -7,6 +7,7 @@ package report
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -15,9 +16,12 @@ import (
 	"pipefault/internal/stats"
 )
 
-// bar renders an ASCII proportion bar of the given width.
+// bar renders an ASCII proportion bar of the given width. Out-of-range
+// fractions are clamped and NaN renders empty: the conversion to a repeat
+// count must never go negative (strings.Repeat panics) or trap on an
+// implementation-defined float-to-int conversion.
 func bar(frac float64, width int) string {
-	if frac < 0 {
+	if math.IsNaN(frac) || frac < 0 {
 		frac = 0
 	}
 	if frac > 1 {
@@ -25,6 +29,15 @@ func bar(frac float64, width int) string {
 	}
 	n := int(frac*float64(width) + 0.5)
 	return strings.Repeat("#", n) + strings.Repeat(".", width-n)
+}
+
+// ratio is the guarded k/n: 0 when n is 0, so callers never produce NaN or
+// ±Inf from an empty denominator.
+func ratio(k, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(k) / float64(n)
 }
 
 // Table1 renders the per-category bit inventory of a machine's injectable
@@ -74,7 +87,7 @@ func Figure3(results []*core.Result, pops []string) string {
 				pct(c[core.OutMatch], n), pct(c[core.OutGray], n),
 				pct(c[core.OutSDC], n), pct(c[core.OutTerminated], n),
 				100*stats.WorstCaseCI95(n),
-				bar(float64(c[core.OutMatch])/float64(n), 30), anom)
+				bar(ratio(c[core.OutMatch], n), 30), anom)
 		}
 		sb.WriteString("\n")
 	}
@@ -143,7 +156,7 @@ func Figure6(points []core.ScatterPoint) string {
 			continue
 		}
 		xs = append(xs, float64(pt.ValidInsns))
-		ys = append(ys, float64(pt.Benign)/float64(pt.Trials))
+		ys = append(ys, ratio(pt.Benign, pt.Trials))
 		b := buckets[pt.ValidInsns/bucketWidth]
 		if b == nil {
 			b = &bucket{}
@@ -161,7 +174,7 @@ func Figure6(points []core.ScatterPoint) string {
 	fmt.Fprintf(&sb, "%-18s %8s %9s\n", "valid insns", "trials", "benign%")
 	for _, k := range keys {
 		b := buckets[k]
-		frac := float64(b.benign) / float64(b.trials)
+		frac := ratio(b.benign, b.trials)
 		fmt.Fprintf(&sb, "%4d..%-4d         %8d %8.1f%%  |%s|\n",
 			k*bucketWidth, (k+1)*bucketWidth-1, b.trials, 100*frac, bar(frac, 30))
 	}
@@ -242,7 +255,7 @@ func Figure8(title string, p *core.PopResult) string {
 	}
 	for _, r := range rows {
 		fmt.Fprintf(&sb, "%-14s %6.1f%%  (%d)  |%s|\n",
-			r.cat, pct(r.n, total), r.n, bar(float64(r.n)/float64(total), 30))
+			r.cat, pct(r.n, total), r.n, bar(ratio(r.n, total), 30))
 	}
 	fmt.Fprintf(&sb, "total failures: %d\n", total)
 	return sb.String()
@@ -281,8 +294,8 @@ func Figure11(results []*core.SoftResult) string {
 			pct(a.Counts[core.SoftStateOK], n),
 			pct(a.Counts[core.SoftOutputOK], n),
 			pct(a.Counts[core.SoftOutputBad], n),
-			pct(a.DivergedThenConverged, max(a.Counts[core.SoftStateOK], 1)),
-			bar(float64(a.Counts[core.SoftStateOK])/float64(max(n, 1)), 25))
+			pct(a.DivergedThenConverged, a.Counts[core.SoftStateOK]),
+			bar(ratio(a.Counts[core.SoftStateOK], n), 25))
 	}
 	sb.WriteString("(cf-diverged: State OK trials whose control flow diverged before reconverging)\n")
 	return sb.String()
@@ -303,13 +316,6 @@ func FailureReduction(unprot, prot *core.PopResult, overheadFrac float64) string
 		fmt.Fprintf(&sb, "  reduction:   %5.1f%%  (paper: ~75%%)\n", 100*(1-p/u))
 	}
 	return sb.String()
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // Hotspots renders the most vulnerable individual state elements: the
@@ -377,8 +383,8 @@ func YBranch(results []*core.YBranchResult) string {
 	for _, r := range results {
 		fmt.Fprintf(&sb, "%-10s %7d %11.1f%% %11.1f%% %11.1f in\n",
 			r.Benchmark, r.Trials,
-			100*float64(r.Reconverged)/float64(max(r.Trials, 1)),
-			100*float64(r.StateMatched)/float64(max(r.Trials, 1)),
+			pct(r.Reconverged, r.Trials),
+			pct(r.StateMatched, r.Trials),
 			r.MeanWrongPath())
 		tTr += r.Trials
 		tRe += r.Reconverged
@@ -391,7 +397,7 @@ func YBranch(results []*core.YBranchResult) string {
 			mean = float64(tWp) / float64(tRe)
 		}
 		fmt.Fprintf(&sb, "%-10s %7d %11.1f%% %11.1f%% %11.1f in\n",
-			"ALL", tTr, 100*float64(tRe)/float64(tTr), 100*float64(tMa)/float64(tTr), mean)
+			"ALL", tTr, pct(tRe, tTr), pct(tMa, tTr), mean)
 	}
 	return sb.String()
 }

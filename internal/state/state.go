@@ -112,7 +112,10 @@ type Elem struct {
 	// and strSh is the largest in-word shift at which a row still fits in a
 	// single word (64 - width) — a row straddles two words iff its shift
 	// exceeds strSh, so widths that divide 64 never take the two-word path.
+	// trace is nil except on injectable elements while a golden-run touch
+	// trace is active, keeping the common case a single predictable branch.
 	words   []uint64
+	trace   *TouchTrace
 	bitBase uint64 // global bit offset of entry 0 (digest keying)
 	mask    uint64
 	strSh   uint64
@@ -124,8 +127,9 @@ type Elem struct {
 	entries    int
 	injectable bool
 
-	file    *File
-	injBase uint64 // cumulative injectable-bit index (if injectable)
+	file      *File
+	injBase   uint64 // cumulative injectable-bit index (if injectable)
+	entryBase uint64 // cumulative injectable-entry index (if injectable)
 }
 
 // Name returns the element's name.
@@ -149,8 +153,16 @@ func (e *Elem) Bits() int { return e.entries * e.width }
 // Injectable reports whether the element participates in fault injection.
 func (e *Elem) Injectable() bool { return e.injectable }
 
+// EntryIndex returns the trace key of entry i: the element's cumulative
+// injectable-entry offset plus i. Meaningful only for injectable elements
+// of a frozen file (non-injectable elements all report base 0).
+func (e *Elem) EntryIndex(i int) uint64 { return e.entryBase + uint64(i) }
+
 // Get reads entry i.
 func (e *Elem) Get(i int) uint64 {
+	if e.trace != nil {
+		e.trace.read(e.entryBase + uint64(i))
+	}
 	bit := e.bitBase + uint64(i)*uint64(e.width)
 	sh := bit & 63
 	v := e.words[bit>>6] >> sh
@@ -164,6 +176,12 @@ func (e *Elem) Get(i int) uint64 {
 // file digest, and — while a journal is active — logs the first touch of
 // each dirtied word so RollbackTo can rewind in O(words touched).
 func (e *Elem) Set(i int, v uint64) {
+	// A touch trace records the set BEFORE the no-op check: a golden write
+	// of an unchanged value is still a write the trial performs over its
+	// (possibly corrupted) copy, so it clears the corruption all the same.
+	if e.trace != nil {
+		e.trace.set(e.entryBase + uint64(i))
+	}
 	v &= e.mask
 	bit := e.bitBase + uint64(i)*uint64(e.width)
 	sh := bit & 63
@@ -176,6 +194,7 @@ func (e *Elem) Set(i int, v uint64) {
 		}
 		f := e.file
 		f.digest ^= mix(bit, old) ^ mix(bit, v)
+		f.writes++
 		if f.jOn {
 			f.touch(w)
 		}
@@ -197,6 +216,7 @@ func (e *Elem) setStraddle(bit, v uint64) {
 	}
 	f := e.file
 	f.digest ^= mix(bit, old) ^ mix(bit, v)
+	f.writes++
 	if f.jOn {
 		f.touch(w)
 		f.touch(w + 1)
@@ -251,12 +271,16 @@ type File struct {
 	byName map[string]*Elem
 	words  []uint64
 	digest uint64
+	writes uint64 // state-changing Sets since construction (no-op Sets excluded)
 	frozen bool
 
 	zeroDigest uint64
 
+	trace *TouchTrace // active golden-run touch trace, nil when off
+
 	injElems   []*Elem  // injectable elements, in registration order
 	injBits    uint64   // total injectable bits (latches + RAMs)
+	injEntries uint64   // total injectable entries (trace key space)
 	injCum     []uint64 // injCum[i] = injectable bits in injElems[:i]; len+1 entries
 	latchElems []*Elem
 	latchBits  uint64   // total injectable latch bits
@@ -355,6 +379,8 @@ func (f *File) Freeze() {
 		if e.injectable {
 			e.injBase = f.injBits
 			f.injBits += uint64(e.Bits())
+			e.entryBase = f.injEntries
+			f.injEntries += uint64(e.entries)
 			f.injElems = append(f.injElems, e)
 			if e.kind == KindLatch {
 				f.latchBits += uint64(e.Bits())
@@ -518,6 +544,94 @@ func (f *File) CommitJournal() {
 // JournalLen returns the current number of logged word pre-images (for
 // tests and instrumentation).
 func (f *File) JournalLen() int { return len(f.jLog) }
+
+// WriteCount returns the number of state-changing Sets performed on the
+// file since construction. Sets that leave the value unchanged do not
+// count, so two equal WriteCounts bracketing a cycle prove the cycle
+// changed no state. Direct word restores (RollbackTo, Restore, Reset)
+// bypass the counter; callers caching a WriteCount across them must
+// invalidate explicitly.
+func (f *File) WriteCount() uint64 { return f.writes }
+
+// TouchTrace records, per injectable entry, the first cycle at which a
+// golden run reads the entry and the first at which it writes it (0 =
+// never). Entries are keyed by Elem.EntryIndex. The trial engine uses the
+// trace to decide, in closed form, whether a flipped bit can ever be
+// observed: an entry overwritten before its first read is dead on arrival.
+type TouchTrace struct {
+	FirstRead []uint64
+	FirstSet  []uint64
+	cycle     uint64
+}
+
+func (t *TouchTrace) read(g uint64) {
+	if t.FirstRead[g] == 0 {
+		t.FirstRead[g] = t.cycle
+	}
+}
+
+func (t *TouchTrace) set(g uint64) {
+	if t.FirstSet[g] == 0 {
+		t.FirstSet[g] = t.cycle
+	}
+}
+
+// Reset clears the trace for reuse across golden runs.
+func (t *TouchTrace) Reset() {
+	for i := range t.FirstRead {
+		t.FirstRead[i] = 0
+	}
+	for i := range t.FirstSet {
+		t.FirstSet[i] = 0
+	}
+	t.cycle = 0
+}
+
+// NewTouchTrace allocates a trace sized to the file's injectable-entry
+// population.
+func (f *File) NewTouchTrace() *TouchTrace {
+	if !f.frozen {
+		panic("state: NewTouchTrace before Freeze")
+	}
+	return &TouchTrace{
+		FirstRead: make([]uint64, f.injEntries),
+		FirstSet:  make([]uint64, f.injEntries),
+	}
+}
+
+// StartTrace attaches t to every injectable element so subsequent Get/Set
+// calls record first-touch cycles. Call TraceCycle with a cycle number >= 1
+// before stepping (cycle 0 means "never touched").
+func (f *File) StartTrace(t *TouchTrace) {
+	if !f.frozen {
+		panic("state: StartTrace before Freeze")
+	}
+	for _, e := range f.injElems {
+		e.trace = t
+	}
+	f.trace = t
+}
+
+// TraceCycle sets the cycle number stamped on first touches until the next
+// call. Cycle numbers must be >= 1.
+func (f *File) TraceCycle(c uint64) {
+	if f.trace == nil {
+		panic("state: TraceCycle without StartTrace")
+	}
+	f.trace.cycle = c
+}
+
+// StopTrace detaches the active trace, restoring the zero-cost Get/Set
+// paths.
+func (f *File) StopTrace() {
+	for _, e := range f.injElems {
+		e.trace = nil
+	}
+	f.trace = nil
+}
+
+// Tracing reports whether a touch trace is attached.
+func (f *File) Tracing() bool { return f.trace != nil }
 
 // RecomputeDigest folds the digest from scratch over current contents: the
 // O(state) oracle for the incrementally maintained Digest. Tests and

@@ -1,0 +1,214 @@
+package state
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestTouchTraceFirstTouch: the trace records the FIRST read and FIRST set
+// cycle of each injectable entry and never overwrites them.
+func TestTouchTraceFirstTouch(t *testing.T) {
+	f, elems := newTestFile()
+	ctrl := elems[4] // "ctrl", injectable latch, 5 entries
+	tr := f.NewTouchTrace()
+	f.StartTrace(tr)
+	if !f.Tracing() {
+		t.Fatal("Tracing() false after StartTrace")
+	}
+
+	f.TraceCycle(1)
+	ctrl.Set(2, 7) // first set of ctrl[2] at cycle 1
+	f.TraceCycle(2)
+	ctrl.Get(2)    // first read at cycle 2
+	ctrl.Set(2, 9) // repeat set: must not move FirstSet
+	f.TraceCycle(3)
+	ctrl.Get(2) // repeat read: must not move FirstRead
+	ctrl.Get(4) // first read of a never-set entry
+
+	f.StopTrace()
+	if f.Tracing() {
+		t.Fatal("Tracing() true after StopTrace")
+	}
+
+	k2 := ctrl.EntryIndex(2)
+	if tr.FirstSet[k2] != 1 || tr.FirstRead[k2] != 2 {
+		t.Errorf("ctrl[2]: FirstSet=%d FirstRead=%d, want 1/2", tr.FirstSet[k2], tr.FirstRead[k2])
+	}
+	k4 := ctrl.EntryIndex(4)
+	if tr.FirstSet[k4] != 0 || tr.FirstRead[k4] != 3 {
+		t.Errorf("ctrl[4]: FirstSet=%d FirstRead=%d, want 0/3", tr.FirstSet[k4], tr.FirstRead[k4])
+	}
+	k0 := ctrl.EntryIndex(0)
+	if tr.FirstSet[k0] != 0 || tr.FirstRead[k0] != 0 {
+		t.Errorf("untouched ctrl[0] recorded: FirstSet=%d FirstRead=%d", tr.FirstSet[k0], tr.FirstRead[k0])
+	}
+
+	// Touches after StopTrace must not record.
+	ctrl.Set(0, 1)
+	if tr.FirstSet[k0] != 0 {
+		t.Error("Set after StopTrace recorded into the trace")
+	}
+}
+
+// TestTouchTraceRecordsNoOpSets: a value-unchanged Set is still a write the
+// machine performs — it must be recorded (the early-stop classifier relies
+// on golden no-op writes clearing a trial's corruption).
+func TestTouchTraceRecordsNoOpSets(t *testing.T) {
+	f, elems := newTestFile()
+	ctrl := elems[4]
+	ctrl.Set(1, 5) // pre-trace contents
+	tr := f.NewTouchTrace()
+	f.StartTrace(tr)
+	f.TraceCycle(4)
+	ctrl.Set(1, 5) // no-op: value unchanged
+	f.StopTrace()
+	if got := tr.FirstSet[ctrl.EntryIndex(1)]; got != 4 {
+		t.Errorf("no-op Set not traced: FirstSet=%d, want 4", got)
+	}
+}
+
+// TestTouchTraceSkipsNonInjectable: non-injectable elements carry no trace
+// pointer; touching them records nothing and panics nothing.
+func TestTouchTraceSkipsNonInjectable(t *testing.T) {
+	f, elems := newTestFile()
+	ic := elems[5] // "icache", NotInjectable
+	tr := f.NewTouchTrace()
+	f.StartTrace(tr)
+	f.TraceCycle(1)
+	ic.Set(3, 42)
+	ic.Get(3)
+	f.StopTrace()
+	for i, v := range tr.FirstRead {
+		if v != 0 {
+			t.Fatalf("FirstRead[%d]=%d from a non-injectable touch", i, v)
+		}
+	}
+	for i, v := range tr.FirstSet {
+		if v != 0 {
+			t.Fatalf("FirstSet[%d]=%d from a non-injectable touch", i, v)
+		}
+	}
+}
+
+// TestTouchTraceReset: Reset returns a used trace to the all-zero state so
+// it can be reused across golden runs without reallocation.
+func TestTouchTraceReset(t *testing.T) {
+	f, elems := newTestFile()
+	ctrl := elems[4]
+	tr := f.NewTouchTrace()
+	f.StartTrace(tr)
+	f.TraceCycle(9)
+	ctrl.Set(0, 1)
+	ctrl.Get(1)
+	f.StopTrace()
+	tr.Reset()
+	for i := range tr.FirstRead {
+		if tr.FirstRead[i] != 0 || tr.FirstSet[i] != 0 {
+			t.Fatalf("entry %d not cleared by Reset", i)
+		}
+	}
+}
+
+// TestEntryIndexDisjoint: injectable entries map to unique trace keys
+// covering [0, injEntries).
+func TestEntryIndexDisjoint(t *testing.T) {
+	f, _ := newTestFile()
+	seen := make(map[uint64]string)
+	total := 0
+	for _, e := range f.Elems() {
+		if !e.Injectable() {
+			continue
+		}
+		for i := 0; i < e.Entries(); i++ {
+			k := e.EntryIndex(i)
+			if prev, dup := seen[k]; dup {
+				t.Fatalf("EntryIndex collision at %d: %s and %s[%d]", k, prev, e.Name(), i)
+			}
+			seen[k] = e.Name()
+			total++
+		}
+	}
+	tr := f.NewTouchTrace()
+	if len(tr.FirstRead) != total || len(tr.FirstSet) != total {
+		t.Fatalf("trace sized %d/%d, want %d", len(tr.FirstRead), len(tr.FirstSet), total)
+	}
+	for k := range seen {
+		if k >= uint64(total) {
+			t.Fatalf("EntryIndex %d outside [0,%d)", k, total)
+		}
+	}
+}
+
+// TestWriteCount: WriteCount advances on every state-changing Set and only
+// those — no-op Sets and reads leave it alone, so equal counts bracketing
+// an interval prove the interval changed nothing.
+func TestWriteCount(t *testing.T) {
+	f, elems := newTestFile()
+	ctrl := elems[4]
+	base := f.WriteCount()
+	ctrl.Set(0, 3)
+	if f.WriteCount() != base+1 {
+		t.Fatalf("WriteCount=%d after one write, want %d", f.WriteCount(), base+1)
+	}
+	ctrl.Set(0, 3) // no-op
+	ctrl.Get(0)
+	if f.WriteCount() != base+1 {
+		t.Fatalf("no-op Set or Get moved WriteCount to %d", f.WriteCount())
+	}
+	ctrl.Flip(0, 1) // a flip always changes state
+	if f.WriteCount() != base+2 {
+		t.Fatalf("Flip did not advance WriteCount: %d", f.WriteCount())
+	}
+	// Straddling path counts too: pc is 62 bits wide at bit base 0, so use
+	// the regfile RAM rows (64-bit, aligned) vs rat (7-bit, straddles).
+	rat := elems[3]
+	before := f.WriteCount()
+	for i := 0; i < rat.Entries(); i++ {
+		rat.Set(i, uint64(i%128)+1)
+	}
+	if f.WriteCount() == before {
+		t.Fatal("straddling Set path did not advance WriteCount")
+	}
+}
+
+// TestIncrementalDigestMatchesRecompute: after an arbitrary mix of Sets,
+// Flips, journal rewinds and snapshot restores, the incrementally
+// maintained Digest must equal the from-scratch RecomputeDigest oracle.
+func TestIncrementalDigestMatchesRecompute(t *testing.T) {
+	f, elems := newTestFile()
+	rng := rand.New(rand.NewSource(7))
+	inj := make([]*Elem, 0, len(elems))
+	for _, e := range elems {
+		inj = append(inj, e) // include the non-injectable icache too
+	}
+	check := func(step string) {
+		t.Helper()
+		if f.Digest() != f.RecomputeDigest() {
+			t.Fatalf("%s: incremental digest %#x != recomputed %#x", step, f.Digest(), f.RecomputeDigest())
+		}
+	}
+	check("zero state")
+	for k := 0; k < 500; k++ {
+		e := inj[rng.Intn(len(inj))]
+		e.Set(rng.Intn(e.Entries()), rng.Uint64())
+	}
+	check("after random Sets")
+
+	snap := f.Snapshot()
+	f.BeginJournal()
+	mark := f.Mark()
+	for k := 0; k < 200; k++ {
+		e := inj[rng.Intn(len(inj))]
+		if e.Injectable() && k%3 == 0 {
+			e.Flip(rng.Intn(e.Entries()), rng.Intn(e.Width()))
+		} else {
+			e.Set(rng.Intn(e.Entries()), rng.Uint64())
+		}
+	}
+	check("after journaled writes")
+	f.RollbackTo(mark)
+	check("after rollback")
+	f.CommitJournal()
+	f.Restore(snap)
+	check("after restore")
+}

@@ -57,7 +57,13 @@ type Linear struct {
 	N    int
 }
 
-// FitLinear computes the least-squares fit through the points.
+// FitLinear computes the least-squares fit through the points. Degenerate
+// inputs with zero x-variance (every x identical — e.g. a single-checkpoint
+// campaign's Figure 6 scatter) yield a flat fit through the mean of ys
+// rather than a NaN slope. The sums are centered on the means: the raw
+// n·Σx² − (Σx)² form can cancel to a tiny nonzero denominator in floating
+// point when the xs are identical but off-center, turning an exactly-flat
+// input into a garbage slope that an == 0 guard never catches.
 func FitLinear(xs, ys []float64) Linear {
 	n := len(xs)
 	if n != len(ys) {
@@ -66,21 +72,34 @@ func FitLinear(xs, ys []float64) Linear {
 	if n == 0 {
 		return Linear{}
 	}
-	var sx, sy, sxx, sxy float64
+	fn := float64(n)
+	var sx, sy float64
+	minX, maxX := xs[0], xs[0]
 	for i := range xs {
 		sx += xs[i]
 		sy += ys[i]
-		sxx += xs[i] * xs[i]
-		sxy += xs[i] * ys[i]
+		if xs[i] < minX {
+			minX = xs[i]
+		}
+		if xs[i] > maxX {
+			maxX = xs[i]
+		}
 	}
-	fn := float64(n)
-	den := fn*sxx - sx*sx
-	if den == 0 {
-		return Linear{A: sy / fn, N: n}
+	mx, my := sx/fn, sy/fn
+	if minX == maxX {
+		return Linear{A: my, N: n}
 	}
-	b := (fn*sxy - sx*sy) / den
-	a := (sy - b*sx) / fn
-	return Linear{A: a, B: b, N: n}
+	var sxx, sxy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		sxx += dx * dx
+		sxy += dx * (ys[i] - my)
+	}
+	if sxx == 0 {
+		return Linear{A: my, N: n}
+	}
+	b := sxy / sxx
+	return Linear{A: my - b*mx, B: b, N: n}
 }
 
 // At evaluates the fit at x.

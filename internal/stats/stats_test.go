@@ -74,6 +74,43 @@ func TestFitLinearDegenerate(t *testing.T) {
 	}
 }
 
+// TestFitLinearDegenerateOffCenter: regression test for the garbage slope
+// on identical but off-center xs. With the raw n·Σx² − (Σx)² form these
+// inputs cancel to a tiny nonzero denominator in floating point, sneaking
+// past the den == 0 guard — e.g. six points at x≈0.0284 yielded a slope of
+// 512. The fit must be exactly flat through mean(ys), with no NaN.
+func TestFitLinearDegenerateOffCenter(t *testing.T) {
+	for _, tc := range []struct {
+		x float64
+		n int
+	}{
+		{0.39998376285699544, 5},  // old code: B=8
+		{0.028430411748625643, 6}, // old code: B=512
+		{644.5397825093294, 5},    // old code: B=-0.0078125
+		{1e8 + 1, 4},
+	} {
+		xs := make([]float64, tc.n)
+		ys := make([]float64, tc.n)
+		var sum float64
+		for i := range xs {
+			xs[i] = tc.x
+			ys[i] = float64(2 * (i + 1))
+			sum += ys[i]
+		}
+		want := sum / float64(tc.n)
+		l := FitLinear(xs, ys)
+		if math.IsNaN(l.A) || math.IsNaN(l.B) {
+			t.Fatalf("x=%v: fit has NaN coefficients: %+v", tc.x, l)
+		}
+		if l.B != 0 || math.Abs(l.A-want) > 1e-12 {
+			t.Errorf("x=%v: fit = %+v, want exactly flat through %v", tc.x, l, want)
+		}
+		if got := l.At(tc.x); math.Abs(got-want) > 1e-12 {
+			t.Errorf("x=%v: At(x) = %v, want %v", tc.x, got, want)
+		}
+	}
+}
+
 func TestMean(t *testing.T) {
 	if Mean([]float64{1, 2, 3}) != 2 {
 		t.Error("mean wrong")

@@ -63,6 +63,20 @@ type Machine struct {
 	// Retire accounting for IPC instrumentation.
 	//pipelint:shadow-ok retire counter is instrumentation, never an injection target; Clone carries it
 	Retired uint64
+
+	// Quiescence cache: qValid records that the last full Step evaluation
+	// changed no state, qWC the file WriteCount observed at that point. A
+	// machine whose WriteCount still equals qWC is at a fixed point — the
+	// next Step is provably a no-op — so Step can skip stage evaluation and
+	// just advance Cycle. Any Set (including an injected Flip) moves the
+	// WriteCount and self-invalidates the cache; RollbackTo/Restore bypass
+	// Set and clear qValid explicitly.
+	//pipelint:shadow-ok fixed-point memo, derived from F.WriteCount; never an injection target
+	//pipelint:clone-ok memo is deliberately dropped: the clone's fresh File restarts WriteCount at zero
+	qValid bool
+	//pipelint:shadow-ok fixed-point memo, derived from F.WriteCount; never an injection target
+	//pipelint:clone-ok memo is deliberately dropped: the clone's fresh File restarts WriteCount at zero
+	qWC uint64
 }
 
 // New builds a machine loaded with the given program on a fresh memory.
@@ -154,7 +168,23 @@ func (m *Machine) Digest() uint64 { return m.F.Digest() }
 // Step advances the machine one clock cycle. Stages are evaluated in
 // reverse pipeline order so that same-cycle reads observe previous-cycle
 // state, giving edge-triggered latch semantics.
+//
+// When the previous Step changed no state and nothing has written the file
+// since, the machine is at a fixed point: re-evaluating the stages would
+// read the same values, take the same branches, and write nothing again.
+// Such cycles advance only the cycle counter. Every observable event
+// (retirement, exception, store drain) implies a state write — retirement
+// moves robHead/robCount, an exception sets ms.halted, a store drain
+// decrements sb.count — so a zero-write cycle has no events and no memory
+// side effects, and skipping it is exact. The fast path is disabled while
+// a touch trace is attached: golden runs must record the reads that a
+// would-be evaluation performs.
 func (m *Machine) Step() {
+	if m.qValid && m.F.WriteCount() == m.qWC && !m.F.Tracing() {
+		m.Cycle++
+		return
+	}
+	wc := m.F.WriteCount()
 	m.retire()
 	m.drainStoreBuffer()
 	m.writeback()
@@ -166,6 +196,15 @@ func (m *Machine) Step() {
 	m.decode()
 	m.fetch()
 	m.Cycle++
+	m.qWC = m.F.WriteCount()
+	m.qValid = wc == m.qWC
+}
+
+// Quiescent reports whether the machine is at a known fixed point: the last
+// full Step evaluation wrote nothing and no writes have happened since, so
+// every future Step is a no-op until external state mutation.
+func (m *Machine) Quiescent() bool {
+	return m.qValid && m.F.WriteCount() == m.qWC
 }
 
 // Run steps until the machine halts or maxCycles elapse; it returns the
@@ -209,6 +248,7 @@ func (m *Machine) Snapshot() *Snapshot {
 // separately by the caller).
 func (m *Machine) Restore(s *Snapshot) {
 	m.F.Restore(s.st)
+	m.qValid = false // Restore writes words directly, bypassing WriteCount
 	m.Cycle = s.cycle
 	m.nextSeq = s.nextSeq
 	m.Retired = s.retired
@@ -275,6 +315,7 @@ func (m *Machine) Mark(p *MarkPoint) {
 // Mem.RollbackTo). Marks obey stack discipline.
 func (m *Machine) RollbackTo(p *MarkPoint) {
 	m.F.RollbackTo(p.st)
+	m.qValid = false // journal replay writes words directly, bypassing WriteCount
 	m.Cycle = p.cycle
 	m.nextSeq = p.nextSeq
 	m.Retired = p.retired

@@ -1,0 +1,102 @@
+package uarch
+
+import (
+	"testing"
+
+	"pipefault/internal/workload"
+)
+
+// quiescedMachine runs Tiny to its architectural halt and then steps until
+// the machine reports a write-free fixed point.
+func quiescedMachine(t *testing.T) *Machine {
+	t.Helper()
+	prog, err := workload.Tiny.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(Config{}, prog)
+	m.Run(1_000_000)
+	if !m.Halted() {
+		t.Fatal("Tiny did not halt")
+	}
+	for i := 0; i < 1000 && !m.Quiescent(); i++ {
+		m.Step()
+	}
+	if !m.Quiescent() {
+		t.Fatal("halted machine never quiesced within 1000 cycles")
+	}
+	return m
+}
+
+// TestQuiescentFastPathIsExact: once a machine quiesces, further Steps must
+// advance only the cycle counter — digest, write count and retire count are
+// frozen, exactly as a full stage evaluation of a fixed point would leave
+// them.
+func TestQuiescentFastPathIsExact(t *testing.T) {
+	m := quiescedMachine(t)
+	d, wc, ret, cyc := m.Digest(), m.F.WriteCount(), m.Retired, m.Cycle
+	for i := 0; i < 100; i++ {
+		m.Step()
+	}
+	if m.Cycle != cyc+100 {
+		t.Errorf("Cycle = %d, want %d", m.Cycle, cyc+100)
+	}
+	if m.Digest() != d || m.F.WriteCount() != wc || m.Retired != ret {
+		t.Error("quiescent Steps changed machine state")
+	}
+	if !m.Quiescent() {
+		t.Error("machine left the fixed point without a write")
+	}
+}
+
+// TestQuiescenceInvalidatedByFlip: any external Set — an injected bit flip
+// in particular — moves the WriteCount and must knock the machine off its
+// known fixed point so the next Step re-evaluates the stages.
+func TestQuiescenceInvalidatedByFlip(t *testing.T) {
+	m := quiescedMachine(t)
+	// ms.halted is 1 on a halted machine; flipping it un-halts the machine,
+	// which a memoized no-op Step would miss entirely.
+	m.F.Elem("ms.halted").Flip(0, 0)
+	if m.Quiescent() {
+		t.Fatal("Quiescent() still true after a flip")
+	}
+	if m.Halted() {
+		t.Fatal("flip did not clear the halt latch")
+	}
+	wc := m.F.WriteCount()
+	m.Step() // full evaluation: the un-halted front end fetches again
+	if m.F.WriteCount() == wc {
+		t.Error("Step after un-halting flip wrote nothing; stages were skipped")
+	}
+}
+
+// TestQuiescenceInvalidatedByRestore: Restore bypasses Set (and therefore
+// WriteCount), so it must clear the fixed-point memo explicitly.
+func TestQuiescenceInvalidatedByRestore(t *testing.T) {
+	m := quiescedMachine(t)
+	m.Restore(m.Snapshot())
+	if m.Quiescent() {
+		t.Error("Quiescent() true immediately after Restore")
+	}
+}
+
+// TestQuiescenceFastPathDisabledWhileTracing: a golden run must observe
+// every read a full evaluation performs, so an attached touch trace forces
+// the slow path even at a fixed point.
+func TestQuiescenceFastPathDisabledWhileTracing(t *testing.T) {
+	m := quiescedMachine(t)
+	tr := m.F.NewTouchTrace()
+	m.F.StartTrace(tr)
+	m.F.TraceCycle(1)
+	m.Step()
+	m.F.StopTrace()
+	reads := 0
+	for _, v := range tr.FirstRead {
+		if v != 0 {
+			reads++
+		}
+	}
+	if reads == 0 {
+		t.Error("traced Step at a fixed point recorded no reads; the fast path was not disabled")
+	}
+}
