@@ -78,6 +78,8 @@ type opts struct {
 	workers     int
 	sched       core.SchedMode
 	earlyStop   core.EarlyStopMode
+	prove       core.ProveMode
+	proveCheck  int
 	progress    bool
 	timeout     time.Duration
 	journal     string
@@ -97,6 +99,8 @@ func run() int {
 	workers := fs.Int("workers", runtime.NumCPU(), "campaign worker goroutines (results are identical for any count)")
 	sched := fs.String("sched", "steal", "campaign scheduler: steal (two-phase work-stealing) or shard (legacy checkpoint sharding)")
 	earlyStop := fs.String("earlystop", "taint", "trial termination: taint (classify provably-dead trials early) or off (full-horizon equivalence oracle)")
+	proveFlag := fs.String("prove", "on", "static benign-injection prover: on (sample only unproven bits, re-weight analytically) or off (full-population sampling)")
+	proveCheck := fs.Int("prove-crosscheck", 0, "per-checkpoint soundness oracle: simulate this many proven-benign bits full-horizon and fail the campaign unless all match (0 disables)")
 	progress := fs.Bool("progress", false, "print periodic campaign progress to stderr")
 	timeout := fs.Duration("timeout", 0, "per-trial watchdog budget; a livelocked trial is killed and counted as an anomaly (0 disables)")
 	journal := fs.String("journal", "", "campaign journal path base; each campaign appends completed units to <base>-<prot>-<bench>.jsonl for -resume")
@@ -133,14 +137,21 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "faultsim:", err)
 		return 2
 	}
+	proveMode, err := core.ParseProveMode(*proveFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faultsim:", err)
+		return 2
+	}
 	proto := core.Config{
-		Workload:     workload.Tiny, // validation placeholder; real campaigns set their own
-		Checkpoints:  *checkpoints,
-		Horizon:      *horizon,
-		Workers:      *workers,
-		Sched:        schedMode,
-		EarlyStop:    earlyStopMode,
-		TrialTimeout: *timeout,
+		Workload:        workload.Tiny, // validation placeholder; real campaigns set their own
+		Checkpoints:     *checkpoints,
+		Horizon:         *horizon,
+		Workers:         *workers,
+		Sched:           schedMode,
+		EarlyStop:       earlyStopMode,
+		Prove:           proveMode,
+		ProveCrossCheck: *proveCheck,
+		TrialTimeout:    *timeout,
 		Populations: []core.Population{
 			{Name: "l+r", Trials: *trials},
 			{Name: "l", LatchOnly: true, Trials: *ltrials},
@@ -197,7 +208,8 @@ func run() int {
 	o := &opts{
 		checkpoints: *checkpoints, trials: *trials, ltrials: *ltrials,
 		softTrials: *softTrials, horizon: *horizon, workers: *workers,
-		sched: schedMode, earlyStop: earlyStopMode, progress: *progress,
+		sched: schedMode, earlyStop: earlyStopMode, prove: proveMode,
+		proveCheck: *proveCheck, progress: *progress,
 		timeout: *timeout, journal: *journal, resume: *resumeFlag,
 		seed: *seed, verbose: *verbose,
 	}
@@ -419,15 +431,18 @@ func (r *runner) campaigns(protect pipefault.ProtectConfig, cache *[]*core.Resul
 			pops = append(pops, core.Population{Name: "l", LatchOnly: true, Trials: r.o.ltrials})
 		}
 		cfg := core.Config{
-			Workload:     w,
-			Protect:      protect,
-			Checkpoints:  r.o.checkpoints,
-			Horizon:      r.o.horizon,
-			Populations:  pops,
-			Workers:      r.o.workers,
-			Sched:        r.o.sched,
-			TrialTimeout: r.o.timeout,
-			Seed:         r.o.seed + int64(i),
+			Workload:        w,
+			Protect:         protect,
+			Checkpoints:     r.o.checkpoints,
+			Horizon:         r.o.horizon,
+			Populations:     pops,
+			Workers:         r.o.workers,
+			Sched:           r.o.sched,
+			EarlyStop:       r.o.earlyStop,
+			Prove:           r.o.prove,
+			ProveCrossCheck: r.o.proveCheck,
+			TrialTimeout:    r.o.timeout,
+			Seed:            r.o.seed + int64(i),
 		}
 		if r.o.journal != "" {
 			label := "unprot"

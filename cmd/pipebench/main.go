@@ -28,6 +28,11 @@
 //	                   equivalence oracle — any result mismatch fails the
 //	                   run (exit 1) even with -soft, since that is a
 //	                   correctness bug, not runner noise
+//	prove              proven_benign_fraction — the share of the injectable
+//	                   population the static prover certifies benign — and
+//	                   prove_speedup: the wall-clock of an equal-precision
+//	                   full-population campaign (trials scaled by 1/(1-f))
+//	                   divided by the prover campaign's
 //
 // With -baseline, the fresh headline metrics are compared against a
 // previously committed report: a drop of more than -regress-pct percent in
@@ -81,6 +86,8 @@ type metrics struct {
 	SchedSpeedup4W     float64 `json:"sched_speedup_4w"`
 	MeanCyclesPerTrial float64 `json:"mean_cycles_per_trial"`
 	EarlyStopSpeedup   float64 `json:"early_stop_speedup"`
+	ProvenFraction     float64 `json:"proven_benign_fraction"`
+	ProveSpeedup       float64 `json:"prove_speedup"`
 }
 
 type report struct {
@@ -277,6 +284,57 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "pipebench: early_stop         %.1f cycles/trial vs %.1f full-horizon = %.1fx\n",
 		meanOn, meanOff, rep.Metrics.EarlyStopSpeedup)
+
+	// Prover effectiveness. The static prover does not shorten individual
+	// trials — it removes the proven-benign mass from the sampled
+	// population and re-weights analytically, so each sampled trial is an
+	// informative one. A full-population campaign wastes a fraction f of
+	// its samples re-discovering proven outcomes; to match the prover
+	// campaign's count of informative trials it must scale its trial
+	// budget by 1/(1-f). prove_speedup is that equal-precision full
+	// campaign's wall-clock divided by the prover campaign's, each the
+	// best of two runs (min-of-2, as in sched_speedup_4w). The trial
+	// budget is tripled for this measurement so per-checkpoint fixed
+	// costs (pilot, golden continuations) — paid identically by both
+	// modes — do not wash out the per-trial difference. Under the
+	// default taint early stop the liveness-proven draws were already
+	// resolved closed-form at near-zero cost, so this ratio is expected
+	// to sit near 1; it grows with the non-liveness rules' coverage and
+	// whenever early stop is off (oracle and -race runs), where every
+	// avoided draw is a full-horizon simulation.
+	proveTrials := 3 * cfg.Populations[0].Trials
+	proveOnce := func(c core.Config) (*core.Result, float64) {
+		start := time.Now()
+		res, err := core.Run(c)
+		if err != nil {
+			fatal(err)
+		}
+		return res, time.Since(start).Seconds()
+	}
+	proveWall := func(mode core.ProveMode, trials int) (*core.Result, float64) {
+		c := cfg
+		c.Prove = mode
+		c.Populations = []core.Population{{Name: "l+r", Trials: trials}}
+		res, wall := proveOnce(c)
+		if _, again := proveOnce(c); again < wall {
+			wall = again
+		}
+		return res, wall
+	}
+	onRes, onWall := proveWall(core.ProveOn, proveTrials)
+	frac := onRes.Pops["l+r"].ProvenFraction()
+	rep.Metrics.ProvenFraction = frac
+	if frac > 0 && frac < 1 {
+		scaled := int(float64(proveTrials)/(1-frac) + 0.5)
+		_, offWall := proveWall(core.ProveOff, scaled)
+		if onWall > 0 {
+			rep.Metrics.ProveSpeedup = offWall / onWall
+		}
+		fmt.Fprintf(os.Stderr, "pipebench: prove              %.1f%% proven; off needs %d trials for %d informative: %.2fs / %.2fs = %.2fx\n",
+			100*frac, scaled, proveTrials, offWall, onWall, rep.Metrics.ProveSpeedup)
+	} else {
+		fmt.Fprintf(os.Stderr, "pipebench: prove              proven fraction %.3f; speedup not measured\n", frac)
+	}
 
 	// Rewind mechanisms, measured on a warmed machine. The snapshot path
 	// copies the whole bit-store; the journal path rolls back a 64-word

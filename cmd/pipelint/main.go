@@ -5,6 +5,12 @@
 //	determinism  no unsorted map iteration, time.Now or global math/rand
 //	statereg     state-element registrations: unique names, valid
 //	             categories, sane geometry, Freeze-before-inject
+//	identhash    exported core.Config fields must feed the journal
+//	             identity header or be annotated result-neutral
+//
+// Full-suite runs (no -only) additionally audit annotation hygiene:
+// //pipelint: directives with unknown markers, and exemptions that no
+// longer suppress any diagnostic, are findings themselves.
 //
 // Usage:
 //
@@ -17,6 +23,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"go/token"
 	"os"
 	"sort"
 	"strings"
@@ -62,6 +69,7 @@ func main() {
 		fatal(err)
 	}
 
+	consumed := make(map[token.Pos]bool)
 	var diags []analysis.Diagnostic
 	var fsetPkgs []*analysis.Package
 	for _, pkg := range pkgs {
@@ -70,12 +78,18 @@ func main() {
 				continue
 			}
 			pass := pkg.NewPass(a)
+			pass.Consumed = consumed
 			if err := a.Run(pass); err != nil {
 				fatal(fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err))
 			}
 			diags = append(diags, pass.Diagnostics()...)
 		}
 		fsetPkgs = append(fsetPkgs, pkg)
+	}
+	if *only == "" {
+		// Annotation hygiene is only sound when every analyzer had the
+		// chance to consume its exemptions.
+		diags = append(diags, analysis.CheckAnnotations(fsetPkgs, consumed)...)
 	}
 	if len(diags) == 0 {
 		return
@@ -112,7 +126,7 @@ func selectAnalyzers(all []*analysis.Analyzer, only string) []*analysis.Analyzer
 			delete(want, a.Name)
 		}
 	}
-	for name := range want { //pipelint:unordered-ok error listing only; order irrelevant
+	for name := range want {
 		fatal(fmt.Errorf("pipelint: unknown analyzer %q", name))
 	}
 	return out

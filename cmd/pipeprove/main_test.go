@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden coverage table")
+
+// TestCoverageGolden pins pipeprove's table and JSON output for the tiny
+// workload at a fixed schedule. The survey is deterministic, so any drift
+// here is a real change to the prover's partition — rule semantics, hint
+// declarations, or checkpoint selection.
+func TestCoverageGolden(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "cov.json")
+	var out bytes.Buffer
+	code := run([]string{"-bench", "tiny", "-checkpoints", "3", "-horizon", "800", "-seed", "11", "-json", jsonPath}, &out)
+	if code != 0 {
+		t.Fatalf("pipeprove exited %d", code)
+	}
+
+	goldenPath := filepath.Join("testdata", "coverage_tiny.txt")
+	if *update {
+		if err := os.WriteFile(goldenPath, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("coverage table deviates from golden:\n--- got ---\n%s--- want ---\n%s", out.Bytes(), want)
+	}
+
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump []struct {
+		Benchmark   string `json:"benchmark"`
+		Checkpoints []struct {
+			Cycle  uint64 `json:"cycle"`
+			Proven uint64 `json:"proven_bits"`
+			Total  uint64 `json:"total_bits"`
+			Rows   []struct {
+				Category string `json:"category"`
+				Rule     string `json:"rule"`
+				Proven   uint64 `json:"proven_bits"`
+			} `json:"rows"`
+		} `json:"checkpoints"`
+	}
+	if err := json.Unmarshal(raw, &dump); err != nil {
+		t.Fatalf("JSON dump does not parse: %v", err)
+	}
+	if len(dump) != 1 || dump[0].Benchmark != "tiny" || len(dump[0].Checkpoints) != 3 {
+		t.Fatalf("dump shape: %d benchmarks, want tiny with 3 checkpoints", len(dump))
+	}
+	for _, ck := range dump[0].Checkpoints {
+		if ck.Proven == 0 || ck.Proven >= ck.Total {
+			t.Errorf("cycle %d: proven %d of %d is not a proper partition", ck.Cycle, ck.Proven, ck.Total)
+		}
+		var sum uint64
+		for _, r := range ck.Rows {
+			if r.Rule == "" || r.Category == "" {
+				t.Errorf("cycle %d: row with empty name: %+v", ck.Cycle, r)
+			}
+			sum += r.Proven
+		}
+		if sum != ck.Proven {
+			t.Errorf("cycle %d: rows sum to %d, header says %d", ck.Cycle, sum, ck.Proven)
+		}
+	}
+}

@@ -21,9 +21,13 @@
 //	//pipelint:shadow-ok <reason>    field legitimately outside the bit-store
 //	//pipelint:clone-ok <reason>     field deliberately not copied by Clone
 //	//pipelint:unordered-ok <reason> map iteration whose result is order-free
+//	//pipelint:identity-ok <reason>  Config field that is result-neutral
 //
 // An annotation without a reason is itself a finding: the point is that
 // every exemption is explicit in source, not implicit in reviewers' heads.
+// Annotations are also audited: after a full-suite run, CheckAnnotations
+// flags directives with unknown markers and exemptions that no longer
+// suppress any diagnostic, so stale escapes cannot rot in the tree.
 package analysis
 
 import (
@@ -50,7 +54,7 @@ type Analyzer struct {
 
 // All returns the full pipelint suite in fixed order.
 func All() []*Analyzer {
-	return []*Analyzer{ShadowState, CloneGuard, Determinism, StateReg}
+	return []*Analyzer{ShadowState, CloneGuard, Determinism, StateReg, IdentHash}
 }
 
 // A Diagnostic is one finding.
@@ -68,7 +72,21 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 
+	// Consumed, when non-nil, collects the positions of pipelint
+	// annotation comments that an analyzer actually looked up while
+	// deciding whether to suppress (or re-shape) a diagnostic. The driver
+	// shares one map across the whole suite and hands it to
+	// CheckAnnotations, which flags every directive nothing consumed.
+	Consumed map[token.Pos]bool
+
 	diags []Diagnostic
+}
+
+// consume records that the annotation comment c influenced this pass.
+func (p *Pass) consume(c *ast.Comment) {
+	if p.Consumed != nil && c != nil {
+		p.Consumed[c.Pos()] = true
+	}
 }
 
 // Reportf records a finding at pos.
@@ -94,21 +112,22 @@ func (p *Pass) FileFor(pos token.Pos) *ast.File {
 }
 
 // annotationIn scans a comment group for a "pipelint:<marker>" directive
-// and reports whether it was found and whether a non-empty reason follows.
-func annotationIn(cg *ast.CommentGroup, marker string) (found, hasReason bool) {
+// and reports whether it was found, whether a non-empty reason follows,
+// and which comment carried it (for consumption tracking).
+func annotationIn(cg *ast.CommentGroup, marker string) (found, hasReason bool, c *ast.Comment) {
 	if cg == nil {
-		return false, false
+		return false, false, nil
 	}
-	for _, c := range cg.List {
-		text := strings.TrimPrefix(c.Text, "//")
+	for _, cm := range cg.List {
+		text := strings.TrimPrefix(cm.Text, "//")
 		text = strings.TrimSpace(text)
 		if !strings.HasPrefix(text, "pipelint:"+marker) {
 			continue
 		}
 		rest := strings.TrimPrefix(text, "pipelint:"+marker)
-		return true, strings.TrimSpace(rest) != ""
+		return true, strings.TrimSpace(rest) != "", cm
 	}
-	return false, false
+	return false, false, nil
 }
 
 // Annotation reports whether node carries a pipelint:<marker> directive,
@@ -126,7 +145,8 @@ func (p *Pass) Annotation(node ast.Node, marker string) (found, hasReason bool) 
 		if end != line && end != line-1 {
 			continue
 		}
-		if f, r := annotationIn(cg, marker); f {
+		if f, r, c := annotationIn(cg, marker); f {
+			p.consume(c)
 			return f, r
 		}
 	}
@@ -135,18 +155,23 @@ func (p *Pass) Annotation(node ast.Node, marker string) (found, hasReason bool) 
 
 // fieldAnnotation checks a struct field's doc comment and trailing line
 // comment for a pipelint:<marker> directive.
-func fieldAnnotation(field *ast.Field, marker string) (found, hasReason bool) {
-	if f, r := annotationIn(field.Doc, marker); f {
+func (p *Pass) fieldAnnotation(field *ast.Field, marker string) (found, hasReason bool) {
+	if f, r, c := annotationIn(field.Doc, marker); f {
+		p.consume(c)
 		return f, r
 	}
-	return annotationIn(field.Comment, marker)
+	f, r, c := annotationIn(field.Comment, marker)
+	if f {
+		p.consume(c)
+	}
+	return f, r
 }
 
 // reportFieldUnlessAnnotated records a finding at pos unless the field
 // carries the marker annotation; an annotation without a reason is reported
 // as its own finding so exemptions always say why.
 func (p *Pass) reportFieldUnlessAnnotated(field *ast.Field, pos token.Pos, name, marker, format string, args ...any) {
-	found, hasReason := fieldAnnotation(field, marker)
+	found, hasReason := p.fieldAnnotation(field, marker)
 	if !found {
 		p.Reportf(pos, format, args...)
 		return

@@ -85,7 +85,7 @@ func checkExpectations(t *testing.T, name string, pkg *analysis.Package, diags [
 			t.Errorf("%s: unexpected finding at %s: %s", name, pos, d.Message)
 		}
 	}
-	for key, ws := range wants { //pipelint:unordered-ok test-failure listing only
+	for key, ws := range wants {
 		for _, w := range ws {
 			if !w.matched {
 				t.Errorf("%s: expected finding matching %q at %s, got none", name, w.raw, key)

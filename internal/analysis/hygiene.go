@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Markers maps every recognized pipelint annotation marker to the analyzer
+// that consumes it. CheckAnnotations treats anything else after a
+// "//pipelint:" prefix as a typo.
+var Markers = map[string]string{
+	"shadow-ok":    "shadowstate",
+	"clone-ok":     "cloneguard",
+	"unordered-ok": "determinism",
+	"wallclock-ok": "determinism",
+	"identity-ok":  "identhash",
+}
+
+// parseDirective extracts the marker from a comment whose own text is a
+// pipelint directive ("//pipelint:<marker> [reason]"). Prose that merely
+// mentions a directive — doc comments quoting "//pipelint:..." — does not
+// start with the bare prefix after trimming and is not matched, mirroring
+// how annotationIn recognizes live annotations.
+func parseDirective(c *ast.Comment) string {
+	text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+	if !strings.HasPrefix(text, "pipelint:") {
+		return ""
+	}
+	marker := strings.TrimPrefix(text, "pipelint:")
+	if i := strings.IndexAny(marker, " \t"); i >= 0 {
+		marker = marker[:i]
+	}
+	return marker
+}
+
+// CheckAnnotations audits every pipelint directive in pkgs after a
+// full-suite run. consumed holds the positions of directives some analyzer
+// actually looked up (Pass.Consumed, shared across the suite). A directive
+// with an unknown marker is an error outright; a known directive that
+// nothing consumed is stale — the diagnostic it once silenced no longer
+// exists, or its owning analyzer never runs over that package — and the
+// exemption has rotted into misdocumentation. Only meaningful when every
+// analyzer ran: the driver skips this check under -only.
+func CheckAnnotations(pkgs []*Package, consumed map[token.Pos]bool) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					marker := parseDirective(c)
+					if marker == "" {
+						continue
+					}
+					owner, known := Markers[marker]
+					if !known {
+						diags = append(diags, Diagnostic{
+							Pos:      c.Pos(),
+							Analyzer: "hygiene",
+							Message: fmt.Sprintf("unknown pipelint directive %q (known markers: %s)",
+								marker, knownMarkers()),
+						})
+						continue
+					}
+					if !consumed[c.Pos()] {
+						diags = append(diags, Diagnostic{
+							Pos:      c.Pos(),
+							Analyzer: "hygiene",
+							Message: fmt.Sprintf("stale pipelint:%s annotation: no %s diagnostic here for it to suppress",
+								marker, owner),
+						})
+					}
+				}
+			}
+		}
+	}
+	return diags
+}
+
+// knownMarkers renders the Markers keys sorted, for error messages.
+func knownMarkers() string {
+	names := make([]string, 0, len(Markers))
+	for name := range Markers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// IdentHash enforces the campaign-resume identity contract: every exported
+// field of core.Config must either feed the journal identity header — the
+// hash journalHeaderFor builds so Resume can refuse a journal recorded
+// under a different campaign — or carry a //pipelint:identity-ok <reason>
+// annotation declaring it result-neutral (scheduling, instrumentation,
+// callbacks). A field that is neither is the resume-poisoning bug class:
+// two configs that produce different results would share an identity
+// header and silently splice their trial streams together.
+var IdentHash = &Analyzer{
+	Name: "identhash",
+	Doc: "exported core.Config fields must feed the journal identity header " +
+		"or be annotated //pipelint:identity-ok as result-neutral",
+	Match: func(path string) bool {
+		return pathContainsAny(path, "internal/core")
+	},
+	Run: runIdentHash,
+}
+
+func runIdentHash(pass *Pass) error {
+	cfg := findStructDecl(pass, "Config")
+	header := findFuncDecl(pass, "journalHeaderFor")
+	if cfg == nil || header == nil {
+		// Nothing to cross-check in this package; the contract only
+		// binds where both halves live together.
+		return nil
+	}
+	used := configFieldsRead(pass, header)
+	for _, field := range cfg.Fields.List {
+		for _, name := range field.Names {
+			if !name.IsExported() {
+				continue
+			}
+			if used[name.Name] {
+				// The field is hashed; an exemption on top of that is
+				// contradictory and would mislead the next editor.
+				if found, _ := pass.fieldAnnotation(field, "identity-ok"); found {
+					pass.Reportf(name.Pos(),
+						"Config.%s feeds the journal identity header; remove the contradictory //pipelint:identity-ok annotation",
+						name.Name)
+				}
+				continue
+			}
+			pass.reportFieldUnlessAnnotated(field, name.Pos(), "Config."+name.Name, "identity-ok",
+				"exported Config field %s does not feed the journal identity header; add it to journalHeaderFor or annotate //pipelint:identity-ok <reason>",
+				name.Name)
+		}
+	}
+	return nil
+}
+
+// findStructDecl returns the struct type declared under the given name in
+// the package, or nil.
+func findStructDecl(pass *Pass, name string) *ast.StructType {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || ts.Name.Name != name {
+					continue
+				}
+				if st, ok := ts.Type.(*ast.StructType); ok {
+					return st
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// findFuncDecl returns the package-level function of the given name, or
+// nil. Methods are skipped: the identity header builder is a free function.
+func findFuncDecl(pass *Pass, name string) *ast.FuncDecl {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Recv == nil && fn.Name.Name == name && fn.Body != nil {
+				return fn
+			}
+		}
+	}
+	return nil
+}
+
+// configFieldsRead collects the names of Config fields selected anywhere
+// inside fn's body, resolved through the type checker so renamed
+// parameters and intermediate locals all count.
+func configFieldsRead(pass *Pass, fn *ast.FuncDecl) map[string]bool {
+	used := make(map[string]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s, ok := pass.Info.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return true
+		}
+		if recv := namedOf(s.Recv()); recv != nil && recv.Obj().Name() == "Config" && recv.Obj().Pkg() == pass.Pkg {
+			used[sel.Sel.Name] = true
+		}
+		return true
+	})
+	return used
+}
+
+// namedOf unwraps pointers to reach a named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}

@@ -88,7 +88,7 @@ func checkRegFunc(pass *Pass, fn *ast.FuncDecl, names map[string]token.Pos) {
 	})
 
 	// Replay each locally-constructed File's lifecycle in source order.
-	for obj, evs := range events { //pipelint:unordered-ok findings are re-sorted by the driver; per-object replay is independent
+	for obj, evs := range events {
 		if !newFiles[obj] {
 			continue // file escapes this function's view (parameter, field)
 		}

@@ -1,6 +1,8 @@
 package analysis_test
 
 import (
+	"go/token"
+	"strings"
 	"testing"
 
 	"pipefault/internal/analysis"
@@ -23,6 +25,53 @@ func TestStateReg(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.StateReg, "streg")
 }
 
+func TestIdentHash(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.IdentHash, "identhash")
+}
+
+// TestAnnotationHygiene loads a fixture with one consumed exemption, one
+// stale exemption and one misspelled marker, runs the owning analyzer so
+// consumption is recorded, and checks the audit flags exactly the bad two.
+func TestAnnotationHygiene(t *testing.T) {
+	loader := analysis.NewLoader()
+	loader.Resolve = func(string) string { return "" } // stdlib imports only
+	dir := "testdata/src/hygiene"
+	pkg, err := loader.LoadDir(dir, "hygiene")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	consumed := make(map[token.Pos]bool)
+	pass := pkg.NewPass(analysis.Determinism)
+	pass.Consumed = consumed
+	if err := analysis.Determinism.Run(pass); err != nil {
+		t.Fatalf("determinism over fixture: %v", err)
+	}
+	diags := analysis.CheckAnnotations([]*analysis.Package{pkg}, consumed)
+	if len(diags) != 2 {
+		for _, d := range diags {
+			t.Logf("  %s: %s", pkg.Fset.Position(d.Pos), d.Message)
+		}
+		t.Fatalf("CheckAnnotations returned %d findings, want 2", len(diags))
+	}
+	var sawStale, sawUnknown bool
+	for _, d := range diags {
+		if d.Analyzer != "hygiene" {
+			t.Errorf("finding attributed to %q, want \"hygiene\"", d.Analyzer)
+		}
+		switch {
+		case strings.Contains(d.Message, "stale pipelint:unordered-ok"):
+			sawStale = true
+		case strings.Contains(d.Message, `unknown pipelint directive "unorderd-ok"`):
+			sawUnknown = true
+		default:
+			t.Errorf("unexpected finding: %s", d.Message)
+		}
+	}
+	if !sawStale || !sawUnknown {
+		t.Errorf("missing expected findings: stale=%v unknown=%v", sawStale, sawUnknown)
+	}
+}
+
 // TestMatchScoping pins the driver-side package scoping: each analyzer
 // runs exactly where its contract lives.
 func TestMatchScoping(t *testing.T) {
@@ -38,6 +87,8 @@ func TestMatchScoping(t *testing.T) {
 		{analysis.Determinism, "pipefault/internal/mem", false},
 		{analysis.StateReg, "pipefault/internal/uarch", true},
 		{analysis.StateReg, "pipefault/internal/core", false},
+		{analysis.IdentHash, "pipefault/internal/core", true},
+		{analysis.IdentHash, "pipefault/internal/uarch", false},
 	}
 	for _, c := range cases {
 		if got := c.a.Match(c.path); got != c.want {
@@ -65,12 +116,14 @@ func TestSuiteOverRealTree(t *testing.T) {
 	if len(pkgs) < 10 {
 		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
 	}
+	consumed := make(map[token.Pos]bool)
 	for _, pkg := range pkgs {
 		for _, a := range analysis.All() {
 			if a.Match != nil && !a.Match(pkg.Path) {
 				continue
 			}
 			pass := pkg.NewPass(a)
+			pass.Consumed = consumed
 			if err := a.Run(pass); err != nil {
 				t.Fatalf("%s over %s: %v", a.Name, pkg.Path, err)
 			}
@@ -78,5 +131,8 @@ func TestSuiteOverRealTree(t *testing.T) {
 				t.Errorf("%s: [%s] %s", pkg.Fset.Position(d.Pos), a.Name, d.Message)
 			}
 		}
+	}
+	for _, d := range analysis.CheckAnnotations(pkgs, consumed) {
+		t.Errorf("%s: [hygiene] %s", pkgs[0].Fset.Position(d.Pos), d.Message)
 	}
 }

@@ -1,0 +1,37 @@
+// Package hygiene exercises the annotation audit: an exemption the owning
+// analyzer consumed is fine, one that suppresses nothing is stale, and a
+// misspelled marker is an error outright.
+package hygiene
+
+import "sort"
+
+// consumedLoop carries an exemption the determinism analyzer consults
+// while deciding not to flag the range: consumed, not stale.
+func consumedLoop(m map[string]int) int {
+	n := 0
+	for _, v := range m { //pipelint:unordered-ok summing values is order-independent
+		n += v
+	}
+	return n
+}
+
+// staleKeys uses the collect-keys-then-sort idiom, which is already
+// exempt, so its annotation suppresses nothing.
+func staleKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { //pipelint:unordered-ok keys are sorted below
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// typo misspells the marker; the loop is flagged by determinism anyway
+// (the annotation does not parse) and the audit flags the directive.
+func typo(m map[string]int) int {
+	n := 0
+	for _, v := range m { //pipelint:unorderd-ok dropped a letter
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,44 @@
+// Package identhash exercises the identhash analyzer: every exported
+// Config field either feeds the journal identity header or carries an
+// identity-ok annotation explaining why it is result-neutral.
+package identhash
+
+// Config mirrors the campaign configuration shape the real analyzer
+// guards: a mix of hashed, exempt and forgotten fields.
+type Config struct {
+	// Seed is hashed directly.
+	Seed int64
+	// Horizon is hashed through an intermediate local, which must still
+	// count as feeding the header.
+	Horizon int
+	// Workers is exempt with a reason: the sanctioned escape.
+	//pipelint:identity-ok scheduling knob; results are Workers-invariant
+	Workers int
+	// Forgotten is neither hashed nor exempt: the bug class.
+	Forgotten int // want "does not feed the journal identity header"
+	// NoReason is exempt but does not say why.
+	//pipelint:identity-ok
+	NoReason int // want "needs a reason"
+	// Hashed feeds the header but claims exemption anyway.
+	//pipelint:identity-ok mistaken exemption
+	Hashed int // want "contradictory"
+	// unexported fields are outside the contract.
+	scratch int
+}
+
+// header is the identity record a journal is stamped with.
+type header struct {
+	Seed    int64
+	Horizon int
+	Hashed  int
+}
+
+// journalHeaderFor builds the identity header from cfg.
+func journalHeaderFor(cfg *Config) header {
+	c := cfg
+	return header{
+		Seed:    cfg.Seed,
+		Horizon: c.Horizon,
+		Hashed:  cfg.Hashed,
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"pipefault/internal/mem"
 	"pipefault/internal/state"
+	"pipefault/internal/stats"
 	"pipefault/internal/uarch"
 	"pipefault/internal/workload"
 )
@@ -50,7 +51,7 @@ type Config struct {
 	// runtime.NumCPU(). The worker count never affects the
 	// Result: trial RNGs derive from (Seed, checkpoint index), so Workers:1
 	// and Workers:N are bit-identical.
-	Workers int
+	Workers int //pipelint:identity-ok scheduling knob; any worker count produces bit-identical results
 
 	// Sched selects the campaign scheduler. SchedSteal (the default) runs
 	// the two-phase engine: one reachability pass captures a portable
@@ -59,33 +60,33 @@ type Config struct {
 	// SchedShard is the legacy engine — checkpoints dealt round-robin, each
 	// worker stepping a private machine through the whole program prefix —
 	// kept as an equivalence oracle. Both produce bit-identical Results.
-	Sched SchedMode
+	Sched SchedMode //pipelint:identity-ok scheduling knob; both schedulers produce bit-identical results
 
 	// TrialBatch is the number of trials per work-stealing unit under
 	// SchedSteal (default 8). Batching never affects the Result: a batch's
 	// RNG stream is the checkpoint stream fast-forwarded to the batch's
 	// first trial, so trial bit picks depend only on (Seed, checkpoint,
 	// flat trial index).
-	TrialBatch int
+	TrialBatch int //pipelint:identity-ok batch geometry never affects results (prefix-replay fast-forward)
 
 	// MaxImages caps checkpoint images resident in the steal pool at once
 	// (default 2*Workers+2): the reachability pass blocks when the cap is
 	// reached and resumes as workers finish checkpoints, so campaign memory
 	// stays flat regardless of Checkpoints.
-	MaxImages int
+	MaxImages int //pipelint:identity-ok memory cap; image residency never affects results
 
 	// OnProgress, if set, receives progress updates from the aggregation
 	// goroutine as trial batches and checkpoints complete. The callback is
 	// invoked serially and observes results only after they are final, so
 	// it cannot perturb the campaign.
-	OnProgress func(Progress)
+	OnProgress func(Progress) //pipelint:identity-ok observation-only callback; sees results after they are final
 
 	// Rewind selects how workers rewind the machine between trials. The
 	// default, RewindJournal, replays the state file's first-touch undo
 	// journal — O(words touched) per trial. RewindSnapshot restores a full
 	// per-checkpoint snapshot — O(machine state) per trial — and is kept as
 	// the equivalence oracle; both modes produce bit-identical Results.
-	Rewind RewindMode
+	Rewind RewindMode //pipelint:identity-ok rewind mechanism; both modes produce bit-identical results
 
 	// TrialTimeout, when positive, is the per-trial wall-time watchdog: a
 	// trial whose Step loop exceeds the budget is killed, rolled back via
@@ -94,19 +95,19 @@ type Config struct {
 	// the wall clock, so enabling it trades strict run-to-run determinism
 	// for liveness — but only for trials that would otherwise livelock,
 	// and anomalies never enter the paper's four-outcome rates.
-	TrialTimeout time.Duration
+	TrialTimeout time.Duration //pipelint:identity-ok watchdog kills only livelocked trials, which classify OutAnomaly outside all rates
 
 	// Clock supplies monotonic nanoseconds to the trial watchdog. Nil with
 	// TrialTimeout > 0 selects the wall clock; tests inject fake clocks to
 	// make watchdog expiry deterministic. Ignored when TrialTimeout is 0.
-	Clock func() int64
+	Clock func() int64 //pipelint:identity-ok watchdog time source; see TrialTimeout
 
 	// JournalPath, when set, appends every completed work unit's result to
 	// a campaign journal at this path as it is aggregated: each (checkpoint,
 	// trial-batch) unit under SchedSteal, each whole checkpoint under
 	// SchedShard. Resume replays the journal and re-runs only the missing
 	// units, reproducing an uninterrupted run's exports byte-identically.
-	JournalPath string
+	JournalPath string //pipelint:identity-ok journal location; where results are recorded, never what they are
 
 	// EarlyStop selects the trial-termination strategy. EarlyStopTaint
 	// (the default) classifies a trial the moment its outcome is provably
@@ -116,14 +117,33 @@ type Config struct {
 	// quiesces resolve the rest of their horizon in closed form.
 	// EarlyStopOff steps every trial to classification or the full horizon
 	// — the equivalence oracle; both modes produce bit-identical Results.
-	EarlyStop EarlyStopMode
+	EarlyStop EarlyStopMode //pipelint:identity-ok termination strategy; both modes produce bit-identical results
 
 	// OnTrialSteps, if set, receives the number of machine cycles actually
 	// simulated by each trial (0 for trials resolved without stepping).
 	// Instrumentation only — pipebench uses it to measure the early-stop
 	// speedup. Called from worker goroutines; must be safe for concurrent
 	// use.
-	OnTrialSteps func(steps int)
+	OnTrialSteps func(steps int) //pipelint:identity-ok observation-only instrumentation callback
+
+	// Prove selects the static benign-injection prover. ProveOn (the
+	// default) runs internal/prove over each checkpoint's golden trace and
+	// state: bits proven to classify µArch Match are never simulated —
+	// sampling draws only from the must-simulate remainder while reported
+	// rates re-weight the proven mass analytically (the ProvenBenign
+	// stratum). ProveOff samples the full population: the equivalence
+	// oracle for the analytic re-weighting. Unlike EarlyStop, the prover
+	// changes which trials are drawn, so Prove is part of the campaign's
+	// journal identity.
+	Prove ProveMode
+
+	// ProveCrossCheck is the prover's soundness oracle: when positive, K
+	// proven-benign bits per checkpoint are sampled (from a dedicated RNG
+	// stream) and simulated full-horizon with early stopping disabled; any
+	// that does not classify µArch Match hard-fails the campaign with a
+	// *ProveError. Zero disables the oracle. The check can only abort the
+	// campaign, never change its results.
+	ProveCrossCheck int //pipelint:identity-ok soundness oracle; can only abort the campaign, never change results
 
 	Seed int64
 }
@@ -176,6 +196,55 @@ func ParseEarlyStopMode(s string) (EarlyStopMode, error) {
 		return EarlyStopOff, nil
 	}
 	return 0, fmt.Errorf("core: unknown early-stop mode %q (want \"taint\" or \"off\")", s)
+}
+
+// ProveMode selects the static benign-injection prover (see Config.Prove).
+type ProveMode uint8
+
+// Prover modes.
+const (
+	ProveOn ProveMode = iota
+	ProveOff
+)
+
+func (p ProveMode) String() string {
+	switch p {
+	case ProveOn:
+		return "on"
+	case ProveOff:
+		return "off"
+	}
+	return fmt.Sprintf("prove(%d)", uint8(p))
+}
+
+// ParseProveMode maps a flag value to a ProveMode.
+func ParseProveMode(s string) (ProveMode, error) {
+	switch s {
+	case "on":
+		return ProveOn, nil
+	case "off":
+		return ProveOff, nil
+	}
+	return 0, fmt.Errorf("core: unknown prove mode %q (want \"on\" or \"off\")", s)
+}
+
+// A ProveError reports a soundness violation caught by the prover's
+// cross-check oracle: an injection the static analysis proved benign did
+// not simulate to µArch Match. It aborts the campaign — a wrong proof means
+// the analytically re-weighted rates cannot be trusted.
+type ProveError struct {
+	Checkpoint int
+	Elem       string
+	Entry      int
+	Bit        int
+	Rule       string
+	Outcome    Outcome
+	Mode       FailureMode
+}
+
+func (e *ProveError) Error() string {
+	return fmt.Sprintf("core: prove cross-check failed at checkpoint %d: %s[%d].%d proven benign by rule %s but simulated to %v/%v",
+		e.Checkpoint, e.Elem, e.Entry, e.Bit, e.Rule, e.Outcome, e.Mode)
 }
 
 // SchedMode selects the campaign scheduler (see Config.Sched).
@@ -308,6 +377,14 @@ func (c *Config) Validate() error {
 	default:
 		return &ConfigError{Field: "EarlyStop", Value: c.EarlyStop, Reason: "unknown early-stop mode"}
 	}
+	switch c.Prove {
+	case ProveOn, ProveOff:
+	default:
+		return &ConfigError{Field: "Prove", Value: c.Prove, Reason: "unknown prove mode"}
+	}
+	if c.ProveCrossCheck < 0 {
+		return &ConfigError{Field: "ProveCrossCheck", Value: c.ProveCrossCheck, Reason: "ProveCrossCheck must be >= 0 (0 disables the oracle)"}
+	}
 	seen := make(map[string]bool, len(c.Populations))
 	for _, p := range c.Populations {
 		if p.Name == "" {
@@ -363,10 +440,36 @@ type Anomaly struct {
 	Attempts int
 }
 
+// ProvenStratum records the static prover's coverage of one population at
+// one checkpoint: Proven of Total injectable bits were proven benign (µArch
+// Match) and excluded from sampling, and Trials trials were drawn from the
+// remainder. Reported rates re-weight each checkpoint's sampled estimate by
+// (1 - Proven/Total) and credit the proven mass to the Match bucket — the
+// ProvenBenign accounting.
+type ProvenStratum struct {
+	Checkpoint int
+	Proven     uint64
+	Total      uint64
+	Trials     int
+}
+
+// Frac returns the proven population fraction.
+func (s ProvenStratum) Frac() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.Proven) / float64(s.Total)
+}
+
 // PopResult aggregates one population's trials.
 type PopResult struct {
 	Name   string
 	Trials []Trial
+	// Proven holds the prover's per-checkpoint coverage strata, in the
+	// same order as the trials (each stratum owns the next Trials trials).
+	// Empty when the campaign ran with ProveOff: rates then degrade to the
+	// plain sampled proportions.
+	Proven []ProvenStratum
 }
 
 // Total returns the number of trials, anomalies included.
@@ -489,9 +592,74 @@ func (p *PopResult) ByElement(minTrials int) []ElemStat {
 	return out
 }
 
-// FailureRate returns the fraction of known failures (SDC + Terminated)
-// among classified trials.
+// strata assembles the stats view of the prover's coverage: per stratum,
+// the proven fraction plus how many of its classified trials satisfy the
+// predicate. Strata own trials positionally — each ProvenStratum covers the
+// next stratum.Trials entries of p.Trials — which survives Merge (both
+// slices concatenate in the same order). Returns nil when the prover did
+// not run.
+func (p *PopResult) strata(pred func(Outcome) bool) []stats.Stratum {
+	if len(p.Proven) == 0 {
+		return nil
+	}
+	out := make([]stats.Stratum, 0, len(p.Proven))
+	i := 0
+	for _, ps := range p.Proven {
+		s := stats.Stratum{Proven: ps.Frac()}
+		for k := 0; k < ps.Trials && i < len(p.Trials); k++ {
+			t := p.Trials[i]
+			i++
+			if t.Outcome == OutAnomaly {
+				continue
+			}
+			s.Trials++
+			if pred(t.Outcome) {
+				s.Successes++
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// ProvenFraction returns the mean proven-benign population fraction across
+// the prover's strata (0 when the prover did not run).
+func (p *PopResult) ProvenFraction() float64 {
+	if len(p.Proven) == 0 {
+		return 0
+	}
+	var f float64
+	for _, s := range p.Proven {
+		f += s.Frac()
+	}
+	return f / float64(len(p.Proven))
+}
+
+// OutcomeRate returns the reported rate of one outcome. With prover strata
+// present this is the analytically re-weighted estimate: each checkpoint
+// contributes f·[o is Match] + (1-f)·(sampled proportion) — the proven mass
+// is µArch Match by proof, so it is credited entirely to the Match bucket
+// and scales every sampled bucket by the unproven remainder. Without
+// strata it is the plain sampled proportion.
+func (p *PopResult) OutcomeRate(o Outcome) float64 {
+	if st := p.strata(func(x Outcome) bool { return x == o }); st != nil {
+		return stats.StratifiedRate(st, o == OutMatch)
+	}
+	n := p.Classified()
+	if n == 0 {
+		return 0
+	}
+	return float64(p.OutcomeCounts()[o]) / float64(n)
+}
+
+// FailureRate returns the rate of known failures (SDC + Terminated):
+// analytically re-weighted when prover strata are present (proven mass
+// never fails), else the plain fraction of classified trials.
 func (p *PopResult) FailureRate() float64 {
+	fail := func(o Outcome) bool { return o == OutSDC || o == OutTerminated }
+	if st := p.strata(fail); st != nil {
+		return stats.StratifiedRate(st, false)
+	}
 	n := p.Classified()
 	if n == 0 {
 		return 0
@@ -500,14 +668,30 @@ func (p *PopResult) FailureRate() float64 {
 	return float64(c[OutSDC]+c[OutTerminated]) / float64(n)
 }
 
-// MaskRate returns the fraction of µArch Match trials among classified
-// trials.
+// MaskRate returns the µArch Match rate: analytically re-weighted when
+// prover strata are present (the ProvenBenign mass counts toward masking —
+// it is µArch Match by proof), else the plain fraction.
 func (p *PopResult) MaskRate() float64 {
+	if st := p.strata(func(o Outcome) bool { return o == OutMatch }); st != nil {
+		return stats.StratifiedRate(st, true)
+	}
 	n := p.Classified()
 	if n == 0 {
 		return 0
 	}
 	return float64(p.OutcomeCounts()[OutMatch]) / float64(n)
+}
+
+// WorstCaseCI95 returns the largest 95% CI half-width any of this
+// population's reported rates can carry. With prover strata present the
+// proven mass contributes no sampling variance, so the worst case shrinks
+// by each checkpoint's unproven remainder; without strata it is the plain
+// p = 0.5 binomial worst case over the classified trials.
+func (p *PopResult) WorstCaseCI95() float64 {
+	if st := p.strata(func(Outcome) bool { return false }); st != nil {
+		return stats.WorstCaseStratifiedCI95(st)
+	}
+	return stats.WorstCaseCI95(p.Classified())
 }
 
 // ScatterPoint is one checkpoint's utilization/masking datum (Figure 6).
@@ -555,18 +739,21 @@ func (r *Result) String() string {
 			}
 			continue
 		}
-		c := p.OutcomeCounts()
 		anom := ""
 		if a := p.AnomalyCount(); a > 0 {
 			anom = fmt.Sprintf(" anom %d", a)
 		}
-		s += fmt.Sprintf(" [%s: %d trials, match %.1f%% gray %.1f%% sdc %.1f%% term %.1f%%%s]",
+		proven := ""
+		if len(p.Proven) > 0 {
+			proven = fmt.Sprintf(" proven %.1f%%", 100*p.ProvenFraction())
+		}
+		s += fmt.Sprintf(" [%s: %d trials, match %.1f%% gray %.1f%% sdc %.1f%% term %.1f%%%s%s]",
 			name, n,
-			100*float64(c[OutMatch])/float64(n),
-			100*float64(c[OutGray])/float64(n),
-			100*float64(c[OutSDC])/float64(n),
-			100*float64(c[OutTerminated])/float64(n),
-			anom)
+			100*p.OutcomeRate(OutMatch),
+			100*p.OutcomeRate(OutGray),
+			100*p.OutcomeRate(OutSDC),
+			100*p.OutcomeRate(OutTerminated),
+			proven, anom)
 	}
 	return s
 }
@@ -584,6 +771,7 @@ func Merge(name string, results []*Result) *Result {
 		Scatter:   make(map[string][]ScatterPoint),
 	}
 	var retired float64
+	mixedProve := make(map[string]bool)
 	for i, r := range results {
 		if i == 0 {
 			agg.Protected = r.Protected
@@ -599,9 +787,21 @@ func Merge(name string, results []*Result) *Result {
 				agg.Pops[pn] = ap
 			}
 			ap.Trials = append(ap.Trials, p.Trials...)
+			ap.Proven = append(ap.Proven, p.Proven...)
+			if len(p.Proven) == 0 && len(p.Trials) > 0 {
+				mixedProve[pn] = true
+			}
 		}
 		for pn, pts := range r.Scatter { //pipelint:unordered-ok each key appears once per input; merge is key-local
 			agg.Scatter[pn] = append(agg.Scatter[pn], pts...)
+		}
+	}
+	// Strata own their trials positionally; if any input ran without the
+	// prover, that pairing would claim the wrong trials, so the aggregate
+	// degrades to plain sampled rates instead of misweighting.
+	for pn, ap := range agg.Pops { //pipelint:unordered-ok key-local nil-out; no ordered output
+		if mixedProve[pn] {
+			ap.Proven = nil
 		}
 	}
 	if agg.TotalCycles > 0 {

@@ -28,6 +28,7 @@ func earlyStopCampaign(t *testing.T, es EarlyStopMode, sched SchedMode, workers 
 		Sched:     sched,
 		Rewind:    rewind,
 		EarlyStop: es,
+		Prove:     ProveOff, // goldens pin the full-population draw sequence
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -94,17 +95,7 @@ func deadBit(t *testing.T, en *worker, g *goldenRun) (string, int) {
 			continue
 		}
 		for i := 0; i < e.Entries(); i++ {
-			k := e.EntryIndex(i)
-			r, cw := g.trace.FirstRead[k], g.trace.FirstSet[k]
-			matchAt := uint64(0)
-			if cw != 0 && cw <= uint64(horizon) {
-				matchAt = cw
-			}
-			readBound := uint64(horizon)
-			if matchAt != 0 {
-				readBound = matchAt
-			}
-			if r == 0 || r > readBound {
+			if _, dead := g.trace.ProvenDead(e.EntryIndex(i), uint64(horizon)); dead {
 				return e.Name(), i
 			}
 		}

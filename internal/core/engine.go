@@ -7,6 +7,7 @@ import (
 	"runtime/debug"
 	"time"
 
+	"pipefault/internal/prove"
 	"pipefault/internal/state"
 	"pipefault/internal/uarch"
 )
@@ -80,6 +81,12 @@ type ckResult struct {
 	ck         int
 	validInsns int
 	pops       []popTrials // aligned with Config.Populations
+	// proven, when the prover ran, holds one stratum per population
+	// (aligned with Config.Populations): the proven-benign and total
+	// injectable bit counts the analytic re-weighting needs. err carries a
+	// cross-check oracle violation; the scheduler aborts the campaign on it.
+	proven []ProvenStratum
+	err    error
 }
 
 // popTrials is one population's share of a checkpoint.
@@ -214,7 +221,11 @@ func (w *worker) run(ctx context.Context, cks []int, cycles []uint64, prior *pri
 		if prior.completeCk(ck) {
 			continue // journal-replayed; aggregation already has its result
 		}
-		out <- w.checkpoint(ck)
+		cr := w.checkpoint(ck)
+		out <- cr
+		if cr.err != nil {
+			return // cross-check violation; the campaign is aborting
+		}
 	}
 }
 
@@ -233,7 +244,11 @@ func (w *worker) goldenContinuation(g *goldenRun) {
 	g.reset(w.horizonG)
 	w.g = g
 	m.OnRetire = w.onGolden
-	traced := w.cfg.EarlyStop == EarlyStopTaint
+	// The prover consumes the same liveness data as the taint fast path, so
+	// either consumer arms the trace. Tracing is pure observation — it
+	// changes which trials are *drawn* only through the proof, never how a
+	// drawn trial executes.
+	traced := w.cfg.EarlyStop == EarlyStopTaint || w.cfg.Prove != ProveOff
 	var cyc uint64
 	if traced {
 		if g.trace == nil {
@@ -349,19 +364,25 @@ func (w *worker) checkpoint(ck int) *ckResult {
 		}
 	}
 
-	rng := rand.New(rand.NewSource(checkpointSeed(w.cfg.Seed, ck)))
+	proof := w.computeProof(g)
 	cr := &ckResult{ck: ck, validInsns: validInsns, pops: make([]popTrials, len(w.cfg.Populations))}
-	flat := 0
-	for pi, pop := range w.cfg.Populations {
-		pt := &cr.pops[pi]
-		pt.trials = make([]Trial, 0, pop.Trials)
-		for t := 0; t < pop.Trials; t++ {
-			bit := m.F.RandomBit(rng, pop.LatchOnly)
-			trial := w.runTrialContained(bit, ck, flat, snap)
-			flat++
-			pt.trials = append(pt.trials, trial)
-			if trial.Outcome == OutMatch || trial.Outcome == OutGray {
-				pt.benign++
+	cr.proven = provenStrata(proof, ck, w.cfg.Populations)
+	if err := w.crossCheck(proof, ck, snap); err != nil {
+		cr.err = err
+	} else {
+		rng := rand.New(rand.NewSource(checkpointSeed(w.cfg.Seed, ck)))
+		flat := 0
+		for pi, pop := range w.cfg.Populations {
+			pt := &cr.pops[pi]
+			pt.trials = make([]Trial, 0, pop.Trials)
+			for t := 0; t < pop.Trials; t++ {
+				bit := drawBit(m.F, proof, rng, pop.LatchOnly)
+				trial := w.runTrialContained(bit, ck, flat, snap)
+				flat++
+				pt.trials = append(pt.trials, trial)
+				if trial.Outcome == OutMatch || trial.Outcome == OutGray {
+					pt.benign++
+				}
 			}
 		}
 	}
@@ -370,6 +391,100 @@ func (w *worker) checkpoint(ck int) *ckResult {
 	}
 	m.Mem.Rollback()
 	return cr
+}
+
+// computeProof runs the static benign-injection prover over the machine's
+// current (checkpoint) state and the freshly recorded golden run, or
+// returns nil under ProveOff. The machine must be rewound to checkpoint
+// state and the trace detached — the idleness rule reads gate values as of
+// the checkpoint.
+func (w *worker) computeProof(g *goldenRun) *prove.Proof {
+	if w.cfg.Prove == ProveOff {
+		return nil
+	}
+	h := w.cfg.Horizon
+	if n := len(g.digests); h > n {
+		h = n
+	}
+	mon := prove.Monitors{ExcAt: g.excAt, LockedAt: g.lockedAt, ITLBAt: g.itlbAt}
+	return prove.Compute(w.m.F, g.trace, mon, uint64(h), uarch.ProofHints(), prove.RuleAll)
+}
+
+// provenStrata snapshots the proof's per-population coverage for the
+// analytic re-weighting (nil proof means no strata: rates stay plain).
+func provenStrata(p *prove.Proof, ck int, pops []Population) []ProvenStratum {
+	if p == nil {
+		return nil
+	}
+	out := make([]ProvenStratum, len(pops))
+	for i, pop := range pops {
+		out[i] = ProvenStratum{
+			Checkpoint: ck,
+			Proven:     p.ProvenBits(pop.LatchOnly),
+			Total:      p.TotalBits(pop.LatchOnly),
+			Trials:     pop.Trials,
+		}
+	}
+	return out
+}
+
+// drawBit draws one trial's injection target: from the proof's
+// must-simulate population when the prover ran, else from the full
+// population. Both draws consume exactly one rng value, so prefix replay
+// sees the same stream shape either way.
+func drawBit(f *state.File, proof *prove.Proof, rng *rand.Rand, latchOnly bool) state.BitRef {
+	if proof != nil {
+		bit := proof.RandomBit(rng, latchOnly)
+		// The proof was computed over the publishing worker's state file;
+		// rebind the element onto this worker's own file so steal workers
+		// flip their private machine, not the head's. Frozen registries are
+		// layout-identical, so (name, entry, bit) transfers exactly.
+		if e := f.Elem(bit.Elem.Name()); e != bit.Elem {
+			bit.Elem = e
+		}
+		return bit
+	}
+	return f.RandomBit(rng, latchOnly)
+}
+
+// crossCheckSalt decorrelates the cross-check oracle's RNG stream from the
+// checkpoint's trial stream.
+const crossCheckSalt = 0x70726f7665 // "prove"
+
+// crossCheck is the prover's soundness oracle: it samples ProveCrossCheck
+// proven-benign bits, simulates each full-horizon with every early-stop
+// shortcut disabled, and reports an error unless all of them classify
+// µArch Match — the exact claim every proof rule makes. The machine must be
+// at checkpoint state; each check trial rewinds through the same
+// containment boundary ordinary trials use, so the oracle perturbs nothing.
+func (w *worker) crossCheck(proof *prove.Proof, ck int, snap *uarch.Snapshot) error {
+	if proof == nil || w.cfg.ProveCrossCheck <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(checkpointSeed(w.cfg.Seed, ck) ^ crossCheckSalt))
+	saved := w.cfg.EarlyStop
+	w.cfg.EarlyStop = EarlyStopOff
+	defer func() { w.cfg.EarlyStop = saved }()
+	for k := 0; k < w.cfg.ProveCrossCheck; k++ {
+		bit, ok := proof.ProvenSample(rng, false)
+		if !ok {
+			return nil // nothing proven at this checkpoint
+		}
+		trial := w.runTrialContained(bit, ck, -1-k, snap)
+		if trial.Outcome != OutMatch {
+			rule, _ := proof.Proven(bit)
+			return &ProveError{
+				Checkpoint: ck,
+				Elem:       bit.Elem.Name(),
+				Entry:      bit.Entry,
+				Bit:        bit.Bit,
+				Rule:       rule.String(),
+				Outcome:    trial.Outcome,
+				Mode:       trial.Mode,
+			}
+		}
+	}
+	return nil
 }
 
 // testTrialHook, when non-nil, runs inside the containment boundary at the
@@ -498,19 +613,9 @@ func (w *worker) resolveDead(bit state.BitRef, horizon int) (outcome Outcome, mo
 		return 0, FailNone, 0, false
 	}
 	key := bit.Elem.EntryIndex(bit.Entry)
-	r := g.trace.FirstRead[key]
-	cw := g.trace.FirstSet[key]
 	h := uint64(horizon)
-
-	var matchAt uint64
-	if cw != 0 && cw <= h {
-		matchAt = cw
-	}
-	readBound := h
-	if matchAt != 0 {
-		readBound = matchAt
-	}
-	if r != 0 && r <= readBound {
+	matchAt, dead := g.trace.ProvenDead(key, h)
+	if !dead {
 		return 0, FailNone, 0, false // golden reads the entry while corrupt
 	}
 

@@ -36,6 +36,17 @@ type exportPop struct {
 	// it holds addresses that vary run to run, and exports must be
 	// deterministic; the coordinates below reproduce the anomaly exactly.
 	Anomalies []exportAnomaly `json:"anomalies,omitempty"`
+	// ProvenBenign summarizes the static prover's coverage: bits proven
+	// µArch Match and excluded from sampling, summed over checkpoints. Only
+	// present when the campaign ran with the prover on, so ProveOff exports
+	// are byte-identical to the pre-prover format.
+	ProvenBenign *exportProven `json:"proven_benign,omitempty"`
+}
+
+type exportProven struct {
+	ProvenBits uint64  `json:"proven_bits"`
+	TotalBits  uint64  `json:"total_bits"`
+	Fraction   float64 `json:"fraction"` // mean per-checkpoint proven fraction
 }
 
 type exportAnomaly struct {
@@ -122,6 +133,14 @@ func (r *Result) WriteJSON(w io.Writer) error {
 				n += mbc[cat][m]
 			}
 			ep.Modes[m.String()] = n
+		}
+		if len(p.Proven) > 0 {
+			var pb, tb uint64
+			for _, s := range p.Proven {
+				pb += s.Proven
+				tb += s.Total
+			}
+			ep.ProvenBenign = &exportProven{ProvenBits: pb, TotalBits: tb, Fraction: p.ProvenFraction()}
 		}
 		byCat := p.ByCategory()
 		for _, cat := range sortedCategories(byCat) {

@@ -27,6 +27,7 @@ func goldenCampaign(t *testing.T, workers int) *Result {
 		},
 		Seed:    11,
 		Workers: workers,
+		Prove:   ProveOff, // goldens pin the full-population draw sequence
 	})
 	if err != nil {
 		t.Fatal(err)

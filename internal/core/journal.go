@@ -53,6 +53,7 @@ type journalHeader struct {
 	WarmupCycles int          `json:"warmup_cycles"`
 	Protect      string       `json:"protect"`
 	Recovery     int          `json:"recovery"`
+	Prove        bool         `json:"prove,omitempty"`
 	Populations  []journalPop `json:"populations"`
 }
 
@@ -74,6 +75,12 @@ func journalHeaderFor(cfg *Config) journalHeader {
 		WarmupCycles: cfg.WarmupCycles,
 		Protect:      fmt.Sprintf("%+v", cfg.Protect),
 		Recovery:     int(cfg.Recovery),
+		// Prove restricts sampling to the unproven population, so which
+		// bits the trial RNG stream lands on depends on it. omitempty keeps
+		// ProveOff journals byte-identical to pre-prover ones, which stay
+		// resumable. ProveCrossCheck is deliberately absent: the oracle can
+		// only abort a campaign, never change its results.
+		Prove: cfg.Prove == ProveOn,
 	}
 	for _, p := range cfg.Populations {
 		h.Populations = append(h.Populations, journalPop{Name: p.Name, LatchOnly: p.LatchOnly, Trials: p.Trials})
@@ -86,6 +93,7 @@ func (h journalHeader) equal(o journalHeader) bool {
 		h.Checkpoints != o.Checkpoints || h.Horizon != o.Horizon ||
 		h.LockedCycles != o.LockedCycles || h.WarmupCycles != o.WarmupCycles ||
 		h.Protect != o.Protect || h.Recovery != o.Recovery ||
+		h.Prove != o.Prove ||
 		len(h.Populations) != len(o.Populations) {
 		return false
 	}
@@ -104,11 +112,22 @@ func (h journalHeader) equal(o journalHeader) bool {
 // (head + full trial run); the steal engine writes a head record and one
 // record per batch.
 type journalUnit struct {
-	Ck     int            `json:"ck"`
-	Head   bool           `json:"head,omitempty"`
-	Valid  int            `json:"valid,omitempty"`
-	Start  int            `json:"start,omitempty"`
-	Trials []journalTrial `json:"trials,omitempty"`
+	Ck     int              `json:"ck"`
+	Head   bool             `json:"head,omitempty"`
+	Valid  int              `json:"valid,omitempty"`
+	Start  int              `json:"start,omitempty"`
+	Proven []journalStratum `json:"proven,omitempty"` // head only, Prove on
+	Trials []journalTrial   `json:"trials,omitempty"`
+}
+
+// journalStratum is the wire form of a ProvenStratum; the checkpoint is
+// implied by the unit's Ck. Head records carry one stratum per population
+// so a resumed Prove-on campaign re-weights its rates identically to an
+// uninterrupted run.
+type journalStratum struct {
+	P uint64 `json:"p"` // proven-benign bits
+	T uint64 `json:"t"` // total injectable bits
+	N int    `json:"n"` // sampled trials in this stratum
 }
 
 // journalTrial is the wire form of a Trial. Checkpoint is implied by the
@@ -199,11 +218,14 @@ func (j *campaignJournal) writeLine(v any) {
 }
 
 // unit appends one completed work unit.
-func (j *campaignJournal) unit(ck int, head bool, valid, start int, trials []Trial) {
+func (j *campaignJournal) unit(ck int, head bool, valid, start int, trials []Trial, proven []ProvenStratum) {
 	if j == nil {
 		return
 	}
 	u := journalUnit{Ck: ck, Head: head, Valid: valid, Start: start}
+	for _, ps := range proven {
+		u.Proven = append(u.Proven, journalStratum{P: ps.Proven, T: ps.Total, N: ps.Trials})
+	}
 	if len(trials) > 0 {
 		u.Trials = make([]journalTrial, len(trials))
 		for i, t := range trials {
@@ -234,8 +256,9 @@ type priorUnits struct {
 	valid  []int     // validInsns per checkpoint; -1 = head not journaled
 	trials [][]Trial // flat trial slots, allocated on first coverage
 	have   [][]bool
-	cov    []int // covered slot count per checkpoint
-	total  int   // trials per checkpoint
+	cov    []int             // covered slot count per checkpoint
+	proven [][]ProvenStratum // head's proven strata; nil when Prove off
+	total  int               // trials per checkpoint
 }
 
 func emptyPrior(checkpoints, totalPerCk int) *priorUnits {
@@ -244,6 +267,7 @@ func emptyPrior(checkpoints, totalPerCk int) *priorUnits {
 		trials: make([][]Trial, checkpoints),
 		have:   make([][]bool, checkpoints),
 		cov:    make([]int, checkpoints),
+		proven: make([][]ProvenStratum, checkpoints),
 		total:  totalPerCk,
 	}
 	for i := range p.valid {
@@ -349,6 +373,13 @@ func readJournal(path string, hdr journalHeader, checkpoints, totalPerCk int) (*
 		}
 		if u.Head {
 			prior.valid[u.Ck] = u.Valid
+			if len(u.Proven) > 0 && prior.proven[u.Ck] == nil {
+				ps := make([]ProvenStratum, len(u.Proven))
+				for i, js := range u.Proven {
+					ps[i] = ProvenStratum{Checkpoint: u.Ck, Proven: js.P, Total: js.T, Trials: js.N}
+				}
+				prior.proven[u.Ck] = ps
+			}
 		}
 		if len(u.Trials) > 0 {
 			ts := make([]Trial, len(u.Trials))

@@ -25,6 +25,7 @@ func rewindCampaign(t *testing.T, mode RewindMode, sched SchedMode, workers int)
 		Workers: workers,
 		Rewind:  mode,
 		Sched:   sched,
+		Prove:   ProveOff, // goldens pin the full-population draw sequence
 	})
 	if err != nil {
 		t.Fatal(err)

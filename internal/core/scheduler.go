@@ -107,8 +107,22 @@ func start(ctx context.Context, cfg Config, resume bool) (*Result, error) {
 	}
 
 	// Choose checkpoint cycles.
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	horizonG := uint64(cfg.Horizon + 2000)
+	cycles, err := selectCheckpoints(&cfg, total, horizonG)
+	if err != nil {
+		return nil, err
+	}
+
+	return runCampaign(ctx, cfg, newMachine, cycles, horizonG, res, resume)
+}
+
+// selectCheckpoints draws the campaign's checkpoint cycles from the seeded
+// RNG, confined to the window where a full trial horizon (plus golden
+// slack) fits before the workload halts. Shared by the campaign entry
+// point and SurveyProofs so a survey inspects the exact schedule a
+// campaign with the same config would run.
+func selectCheckpoints(cfg *Config, total, horizonG uint64) ([]uint64, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
 	lo := uint64(cfg.WarmupCycles)
 	hi := uint64(0)
 	if total > horizonG+500 {
@@ -126,8 +140,7 @@ func start(ctx context.Context, cfg Config, resume bool) (*Result, error) {
 		cycles[i] = lo + uint64(rng.Int63n(int64(hi-lo)))
 	}
 	sort.Slice(cycles, func(i, j int) bool { return cycles[i] < cycles[j] })
-
-	return runCampaign(ctx, cfg, newMachine, cycles, horizonG, res, resume)
+	return cycles, nil
 }
 
 // runCampaign runs the chosen engine over preselected checkpoint cycles.
@@ -225,7 +238,7 @@ func flatTrials(cr *ckResult) []Trial {
 // priorCkResult reassembles a journal-covered checkpoint into the shard
 // engine's ckResult form.
 func priorCkResult(cfg *Config, prior *priorUnits, ck int, popStart []int) *ckResult {
-	cr := &ckResult{ck: ck, validInsns: prior.valid[ck], pops: make([]popTrials, len(cfg.Populations))}
+	cr := &ckResult{ck: ck, validInsns: prior.valid[ck], pops: make([]popTrials, len(cfg.Populations)), proven: prior.proven[ck]}
 	for pi := range cfg.Populations {
 		seg := prior.trials[ck][popStart[pi]:popStart[pi+1]]
 		pt := &cr.pops[pi]
@@ -284,7 +297,10 @@ func runShard(ctx context.Context, cfg Config, newMachine func() *uarch.Machine,
 	}
 
 	// Round-robin checkpoint assignment keeps each worker's cycle list
-	// ascending (cycles are sorted) and balances load.
+	// ascending (cycles are sorted) and balances load. The derived context
+	// lets aggregation abort the whole pool on a prove cross-check failure.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	guard := &engineGuard{}
 	resCh := make(chan *ckResult, len(cycles))
 	var wg sync.WaitGroup
@@ -318,14 +334,25 @@ func runShard(ctx context.Context, cfg Config, newMachine func() *uarch.Machine,
 			prog.add(prior.total, true)
 		}
 	}
+	var proveErr error
 	for cr := range resCh {
+		if cr.err != nil {
+			if proveErr == nil {
+				proveErr = cr.err
+				cancel() // abort the campaign: a wrong proof poisons the re-weighted rates
+			}
+			continue
+		}
 		byCk[cr.ck] = cr
 		flat := flatTrials(cr)
-		jw.unit(cr.ck, true, cr.validInsns, 0, flat)
+		jw.unit(cr.ck, true, cr.validInsns, 0, flat, cr.proven)
 		prog.add(len(flat), true)
 	}
 	if err := guard.get(); err != nil {
 		return nil, err
+	}
+	if proveErr != nil {
+		return nil, proveErr
 	}
 	for _, cr := range byCk {
 		if cr == nil {
@@ -335,6 +362,9 @@ func runShard(ctx context.Context, cfg Config, newMachine func() *uarch.Machine,
 			pt := &cr.pops[pi]
 			pr := res.Pops[pop.Name]
 			pr.Trials = append(pr.Trials, pt.trials...)
+			if cr.proven != nil {
+				pr.Proven = append(pr.Proven, cr.proven[pi])
+			}
 			res.Scatter[pop.Name] = append(res.Scatter[pop.Name], ScatterPoint{
 				Checkpoint: cr.ck,
 				ValidInsns: cr.validInsns,

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"pipefault/internal/mem"
+	"pipefault/internal/prove"
 	"pipefault/internal/uarch"
 )
 
@@ -47,7 +48,8 @@ type ckImage struct {
 	snap *uarch.Snapshot
 	mem  *mem.Image
 
-	golden     *goldenRun // published by the head unit; read-only after
+	golden     *goldenRun   // published by the head unit; read-only after
+	proof      *prove.Proof // published with golden; nil under ProveOff
 	validInsns int
 	remaining  int // unfinished batch units; image leaves the pool at 0
 }
@@ -63,9 +65,11 @@ type unit struct {
 type stealMsg struct {
 	ck         int
 	head       bool
-	validInsns int     // head only
-	start      int     // flat index of the batch's first trial
-	trials     []Trial // batch only
+	validInsns int             // head only
+	proven     []ProvenStratum // head only; nil under ProveOff
+	err        error           // head only; cross-check oracle failure
+	start      int             // flat index of the batch's first trial
+	trials     []Trial         // batch only
 }
 
 // stealPool is the shared scheduler state: per-worker deques, the
@@ -166,9 +170,10 @@ func (p *stealPool) take(id int) (unit, bool) {
 // journal does not cover. The pool mutex orders the golden-run write
 // before any batch unit becomes visible, so batch executors never observe
 // a nil golden.
-func (p *stealPool) publish(id int, img *ckImage, g *goldenRun, validInsns int, batches []int) {
+func (p *stealPool) publish(id int, img *ckImage, g *goldenRun, proof *prove.Proof, validInsns int, batches []int) {
 	p.mu.Lock()
 	img.golden = g
+	img.proof = proof
 	img.validInsns = validInsns
 	img.remaining = len(batches)
 	for i := len(batches) - 1; i >= 0; i-- {
@@ -282,6 +287,33 @@ func (w *worker) golden(img *ckImage) (*goldenRun, int) {
 	return g, validInsns
 }
 
+// crossCheckAt runs the prover's soundness oracle for a steal head unit.
+// Between units the machine sits exactly at the image's checkpoint state
+// with no bracket open (worker.golden closed its own), so the oracle's
+// check trials get a fresh journal/undo bracket of their own. w.g still
+// points at the golden run worker.golden just recorded, which is what the
+// check trials classify against.
+func (w *worker) crossCheckAt(img *ckImage, proof *prove.Proof) error {
+	if proof == nil || w.cfg.ProveCrossCheck <= 0 {
+		return nil
+	}
+	m := w.m
+	useSnap := w.cfg.Rewind == RewindSnapshot
+	var snap *uarch.Snapshot
+	if useSnap {
+		snap = img.snap
+	} else {
+		m.BeginJournal()
+	}
+	m.Mem.BeginUndo()
+	err := w.crossCheck(proof, img.ck, snap)
+	if !useSnap {
+		m.CommitJournal()
+	}
+	m.Mem.Rollback()
+	return err
+}
+
 // missingBatches lists the batch indices of checkpoint ck the journal does
 // not fully cover. A partially covered batch is re-run whole: trials are
 // deterministic, so the overlap reproduces the journaled trials exactly.
@@ -317,7 +349,7 @@ func (w *worker) runBatch(img *ckImage, batch int, popOf []int) stealMsg {
 
 	rng := rand.New(rand.NewSource(checkpointSeed(w.cfg.Seed, img.ck)))
 	for i := 0; i < start; i++ {
-		m.F.RandomBit(rng, w.cfg.Populations[popOf[i]].LatchOnly)
+		drawBit(m.F, img.proof, rng, w.cfg.Populations[popOf[i]].LatchOnly)
 	}
 
 	var snap *uarch.Snapshot
@@ -330,7 +362,7 @@ func (w *worker) runBatch(img *ckImage, batch int, popOf []int) stealMsg {
 	trials := make([]Trial, 0, end-start)
 	for i := start; i < end; i++ {
 		pop := w.cfg.Populations[popOf[i]]
-		bit := m.F.RandomBit(rng, pop.LatchOnly)
+		bit := drawBit(m.F, img.proof, rng, pop.LatchOnly)
 		trials = append(trials, w.runTrialContained(bit, img.ck, i, snap))
 	}
 	if !useSnap {
@@ -352,9 +384,18 @@ func runStealWorker(id int, cfg Config, newMachine func() *uarch.Machine, horizo
 		sw.ensureAt(u.img)
 		if u.batch < 0 {
 			g, validInsns := sw.w.golden(u.img)
-			nb := (len(popOf) + cfg.TrialBatch - 1) / cfg.TrialBatch
-			p.publish(id, u.img, g, validInsns, missingBatches(prior, u.img.ck, len(popOf), cfg.TrialBatch, nb))
-			out <- stealMsg{ck: u.img.ck, head: true, validInsns: validInsns}
+			proof := sw.w.computeProof(g)
+			strata := provenStrata(proof, u.img.ck, cfg.Populations)
+			err := sw.w.crossCheckAt(u.img, proof)
+			var batches []int
+			if err == nil {
+				nb := (len(popOf) + cfg.TrialBatch - 1) / cfg.TrialBatch
+				batches = missingBatches(prior, u.img.ck, len(popOf), cfg.TrialBatch, nb)
+			}
+			// On a cross-check failure no batches are published: the image
+			// leaves the pool immediately and the aggregator aborts it.
+			p.publish(id, u.img, g, proof, validInsns, batches)
+			out <- stealMsg{ck: u.img.ck, head: true, validInsns: validInsns, proven: strata, err: err}
 		} else {
 			msg := sw.w.runBatch(u.img, u.batch, popOf)
 			p.finishBatch(u.img)
@@ -439,6 +480,7 @@ func runSteal(ctx context.Context, cfg Config, newMachine func() *uarch.Machine,
 		got        int
 		head       bool
 		validInsns int
+		proven     []ProvenStratum
 		done       bool
 	}
 	aggs := make([]ckAgg, len(cycles))
@@ -450,6 +492,7 @@ func runSteal(ctx context.Context, cfg Config, newMachine func() *uarch.Machine,
 			a.got = totalPerCk
 			a.head = true
 			a.validInsns = prior.valid[ck]
+			a.proven = prior.proven[ck]
 			a.done = true
 			prog.add(totalPerCk, true)
 			continue
@@ -471,19 +514,31 @@ func runSteal(ctx context.Context, cfg Config, newMachine func() *uarch.Machine,
 			prog.add(end-start, false)
 		}
 	}
+	var proveErr error
 	for msg := range msgCh {
 		a := &aggs[msg.ck]
 		if msg.head {
+			if msg.err != nil {
+				// Soundness violation: stop dispatching, drain in-flight
+				// units, and surface the first failure. Nothing more is
+				// journaled for this checkpoint, so a resume re-proves it.
+				if proveErr == nil {
+					proveErr = msg.err
+				}
+				pool.abort()
+				continue
+			}
 			a.head = true
 			a.validInsns = msg.validInsns
-			jw.unit(msg.ck, true, msg.validInsns, 0, nil)
+			a.proven = msg.proven
+			jw.unit(msg.ck, true, msg.validInsns, 0, nil, msg.proven)
 		} else {
 			if a.trials == nil {
 				a.trials = make([]Trial, totalPerCk)
 			}
 			copy(a.trials[msg.start:], msg.trials)
 			a.got += len(msg.trials)
-			jw.unit(msg.ck, false, 0, msg.start, msg.trials)
+			jw.unit(msg.ck, false, 0, msg.start, msg.trials, nil)
 		}
 		ckDone := a.head && a.got == totalPerCk && !a.done
 		if ckDone {
@@ -493,6 +548,9 @@ func runSteal(ctx context.Context, cfg Config, newMachine func() *uarch.Machine,
 	}
 	if err := guard.get(); err != nil {
 		return nil, err
+	}
+	if proveErr != nil {
+		return nil, proveErr
 	}
 
 	popStart := popStarts(&cfg)
@@ -511,6 +569,9 @@ func runSteal(ctx context.Context, cfg Config, newMachine func() *uarch.Machine,
 			}
 			pr := res.Pops[pop.Name]
 			pr.Trials = append(pr.Trials, seg...)
+			if a.proven != nil {
+				pr.Proven = append(pr.Proven, a.proven[pi])
+			}
 			res.Scatter[pop.Name] = append(res.Scatter[pop.Name], ScatterPoint{
 				Checkpoint: ck,
 				ValidInsns: a.validInsns,

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+
+	"pipefault/internal/mem"
+	"pipefault/internal/prove"
+	"pipefault/internal/state"
+	"pipefault/internal/uarch"
+)
+
+// ProofCoverage is one checkpoint's static-prover survey: the partition of
+// the injectable population that the prover certifies benign, broken down
+// per (category, rule). It is the data behind cmd/pipeprove.
+type ProofCoverage struct {
+	Checkpoint int             `json:"checkpoint"`
+	Cycle      uint64          `json:"cycle"`
+	Rows       []prove.CatRule `json:"rows"`
+	Proven     uint64          `json:"proven_bits"`       // proven, latches+RAMs
+	Total      uint64          `json:"total_bits"`        // injectable, latches+RAMs
+	ProvenL    uint64          `json:"proven_latch_bits"` // proven, latches only
+	TotalL     uint64          `json:"total_latch_bits"`  // injectable, latches only
+}
+
+// SurveyProofs runs the measurement pass, selects the exact checkpoint
+// schedule the campaign cfg describes, and computes the static prover's
+// partition at every checkpoint — without sampling a single trial. The
+// survey is deterministic: same config, same coverage.
+func SurveyProofs(cfg Config) ([]ProofCoverage, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.setDefaults()
+	// The survey never builds checkpoint images, so golden runs rewind
+	// through the state-file journal regardless of the configured mode;
+	// and the prover always runs — a ProveOff survey would be empty.
+	cfg.Rewind = RewindJournal
+	cfg.Prove = ProveOn
+	prog, err := cfg.Workload.Program()
+	if err != nil {
+		return nil, err
+	}
+	ref, err := cfg.Workload.ComputeReference()
+	if err != nil {
+		return nil, err
+	}
+	ucfg := uarch.Config{Protect: cfg.Protect, Recovery: cfg.Recovery}
+	newMachine := func() *uarch.Machine {
+		mm := mem.New()
+		regs := prog.Load(mm)
+		return uarch.NewOnMemory(ucfg, mm, ref.Legal, prog.Entry, regs)
+	}
+
+	meas := newMachine()
+	meas.Run(maxMeasureCycles)
+	if !meas.Halted() {
+		return nil, fmt.Errorf("core: %s did not halt within %d cycles", cfg.Workload.Name, uint64(maxMeasureCycles))
+	}
+	horizonG := uint64(cfg.Horizon + 2000)
+	cycles, err := selectCheckpoints(&cfg, meas.Cycle, horizonG)
+	if err != nil {
+		return nil, err
+	}
+
+	// One machine walks the sorted schedule monotonically, exactly like a
+	// single shard worker; at each checkpoint the worker records the golden
+	// continuation and the prover partitions the population.
+	m := newMachine()
+	w := newWorker(cfg, m, horizonG)
+	f := m.F
+	out := make([]ProofCoverage, 0, len(cycles))
+	for ck, cycle := range cycles {
+		for m.Cycle < cycle {
+			m.Step()
+		}
+		g, _ := w.golden(&ckImage{})
+		proof := w.computeProof(g)
+		out = append(out, ProofCoverage{
+			Checkpoint: ck,
+			Cycle:      cycle,
+			Rows:       proof.Coverage(),
+			Proven:     proof.ProvenBits(false),
+			Total:      f.InjectableBits(false),
+			ProvenL:    proof.ProvenBits(true),
+			TotalL:     f.InjectableBits(true),
+		})
+	}
+	return out, nil
+}
+
+// SurveyCategoryBits returns the injectable-bit inventory per category,
+// letting coverage consumers express proven bits as a fraction of each
+// category's population. Ordered like state.Categories().
+func SurveyCategoryBits(cfg Config) ([]CategoryBits, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.setDefaults()
+	prog, err := cfg.Workload.Program()
+	if err != nil {
+		return nil, err
+	}
+	ref, err := cfg.Workload.ComputeReference()
+	if err != nil {
+		return nil, err
+	}
+	mm := mem.New()
+	regs := prog.Load(mm)
+	m := uarch.NewOnMemory(uarch.Config{Protect: cfg.Protect, Recovery: cfg.Recovery}, mm, ref.Legal, prog.Entry, regs)
+	inv := m.F.CategoryBits()
+	var out []CategoryBits
+	for _, cat := range state.Categories() {
+		c, ok := inv[cat]
+		if !ok || c.Latch+c.RAM == 0 {
+			continue
+		}
+		out = append(out, CategoryBits{Category: cat, Latch: uint64(c.Latch), RAM: uint64(c.RAM)})
+	}
+	return out, nil
+}
+
+// CategoryBits is one category's injectable-bit inventory.
+type CategoryBits struct {
+	Category state.Category `json:"-"`
+	Latch    uint64         `json:"latch_bits"`
+	RAM      uint64         `json:"ram_bits"`
+}

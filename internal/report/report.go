@@ -62,7 +62,11 @@ func Table1(f *state.File) string {
 }
 
 // Figure3 renders per-benchmark outcome mixes for the latch+RAM and
-// latch-only populations.
+// latch-only populations. Campaigns that ran the static prover report
+// analytically re-weighted rates — the proven-benign mass is credited to
+// the match column and flagged after the bar — so a pruned campaign's
+// columns line up with a full-population one's. Without prover strata the
+// accessors reduce to the plain sampled proportions.
 func Figure3(results []*core.Result, pops []string) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Figure 3. Fault injection results by benchmark.\n")
@@ -74,7 +78,6 @@ func Figure3(results []*core.Result, pops []string) string {
 			if !ok || p.Classified() == 0 {
 				continue
 			}
-			c := p.OutcomeCounts()
 			// Rates are over classified trials only: contained anomalies are
 			// an injector-side artifact, flagged after the bar when present.
 			n := p.Classified()
@@ -82,12 +85,16 @@ func Figure3(results []*core.Result, pops []string) string {
 			if a := p.AnomalyCount(); a > 0 {
 				anom = fmt.Sprintf(" anom=%d", a)
 			}
+			if f := p.ProvenFraction(); f > 0 {
+				anom += fmt.Sprintf(" proven=%.1f%%", 100*f)
+			}
+			match := p.OutcomeRate(core.OutMatch)
 			fmt.Fprintf(&sb, "%-12s %9d %9.1f %9.1f %9.1f %9.1f %6.1f%%  |%s|%s\n",
 				r.Benchmark+"_"+pop, n,
-				pct(c[core.OutMatch], n), pct(c[core.OutGray], n),
-				pct(c[core.OutSDC], n), pct(c[core.OutTerminated], n),
-				100*stats.WorstCaseCI95(n),
-				bar(ratio(c[core.OutMatch], n), 30), anom)
+				100*match, 100*p.OutcomeRate(core.OutGray),
+				100*p.OutcomeRate(core.OutSDC), 100*p.OutcomeRate(core.OutTerminated),
+				100*p.WorstCaseCI95(),
+				bar(match, 30), anom)
 		}
 		sb.WriteString("\n")
 	}

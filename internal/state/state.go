@@ -576,6 +576,31 @@ func (t *TouchTrace) set(g uint64) {
 	}
 }
 
+// ProvenDead reports whether a flip of any bit of the entry with trace key
+// key is provably unobservable within a horizon of h cycles: the golden run
+// overwrites the entry (clearing any corruption) strictly before its first
+// read, or never reads it at all. matchAt is the cycle of that clearing
+// write when it falls inside the horizon (0 otherwise) — the earliest cycle
+// at which a corrupted trial can re-converge with the golden run. A read at
+// the overwrite cycle itself counts as observation (the reader may consume
+// the corrupted value in the same cycle), so the comparison is read <=
+// write, conservatively ineligible. This predicate is the single shared
+// implementation behind both the trial engine's closed-form classifier
+// (worker.resolveDead) and the static prover's liveness rule, so the two
+// paths cannot drift.
+func (t *TouchTrace) ProvenDead(key, h uint64) (matchAt uint64, dead bool) {
+	r := t.FirstRead[key]
+	cw := t.FirstSet[key]
+	if cw != 0 && cw <= h {
+		matchAt = cw
+	}
+	readBound := h
+	if matchAt != 0 {
+		readBound = matchAt
+	}
+	return matchAt, r == 0 || r > readBound
+}
+
 // Reset clears the trace for reuse across golden runs.
 func (t *TouchTrace) Reset() {
 	for i := range t.FirstRead {

@@ -139,6 +139,122 @@ func TestEntryIndexDisjoint(t *testing.T) {
 	}
 }
 
+// TestProvenDeadTable: ProvenDead over hand-built traces. The predicate is
+// shared by the trial engine's closed-form classifier and the static
+// prover's liveness rule, so its edge cases are load-bearing twice over.
+func TestProvenDeadTable(t *testing.T) {
+	cases := []struct {
+		name        string
+		read, write uint64 // first-touch cycles to plant (0 = never)
+		h           uint64
+		wantMatch   uint64
+		wantDead    bool
+	}{
+		{"untouched", 0, 0, 10, 0, true},
+		{"read-after-overwrite", 5, 3, 10, 3, true},
+		{"read-before-overwrite", 2, 3, 10, 3, false},
+		{"same-cycle", 3, 3, 10, 3, false}, // intra-cycle order untraced: conservative
+		{"read-never-write-in", 0, 4, 10, 4, true},
+		{"write-never-read-in", 4, 0, 10, 0, false},
+		{"read-beyond-horizon", 12, 0, 10, 0, true},
+		{"write-beyond-horizon", 0, 12, 10, 0, true},
+		{"both-beyond-horizon", 12, 11, 10, 0, true},
+		{"read-at-horizon", 10, 0, 10, 0, false},
+		{"write-at-horizon", 0, 10, 10, 10, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			f, elems := newTestFile()
+			ctrl := elems[4]
+			tr := f.NewTouchTrace()
+			f.StartTrace(tr)
+			// Plant the first touches in cycle order; duplicate later touches
+			// must not matter, so sprinkle one of each afterwards.
+			for cyc := uint64(1); cyc <= 14; cyc++ {
+				f.TraceCycle(cyc)
+				if cyc == c.write {
+					ctrl.Set(1, cyc)
+				}
+				if cyc == c.read {
+					ctrl.Get(1)
+				}
+			}
+			f.TraceCycle(15)
+			ctrl.Set(1, 99)
+			ctrl.Get(1)
+			f.StopTrace()
+
+			matchAt, dead := tr.ProvenDead(ctrl.EntryIndex(1), c.h)
+			if matchAt != c.wantMatch || dead != c.wantDead {
+				t.Errorf("ProvenDead(r=%d,w=%d,h=%d) = (%d,%v), want (%d,%v)",
+					c.read, c.write, c.h, matchAt, dead, c.wantMatch, c.wantDead)
+			}
+		})
+	}
+}
+
+// TestProvenDeadProperty: against randomized per-entry touch schedules, the
+// closed form must agree with the definitional check over the full event
+// list — "dead" iff no read happens at or before the bound, where the bound
+// is the first in-horizon write (the proven re-convergence cycle) or the
+// horizon itself.
+func TestProvenDeadProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for iter := 0; iter < 200; iter++ {
+		f, elems := newTestFile()
+		ctrl := elems[4]
+		const maxCycle = 20
+		type ev struct {
+			cycle uint64
+			read  bool
+		}
+		events := make([][]ev, ctrl.Entries())
+		tr := f.NewTouchTrace()
+		f.StartTrace(tr)
+		for cyc := uint64(1); cyc <= maxCycle; cyc++ {
+			f.TraceCycle(cyc)
+			for i := 0; i < ctrl.Entries(); i++ {
+				if rng.Intn(8) == 0 {
+					ctrl.Set(i, rng.Uint64())
+					events[i] = append(events[i], ev{cyc, false})
+				}
+				if rng.Intn(8) == 0 {
+					ctrl.Get(i)
+					events[i] = append(events[i], ev{cyc, true})
+				}
+			}
+		}
+		f.StopTrace()
+
+		h := uint64(1 + rng.Intn(maxCycle+2))
+		for i := 0; i < ctrl.Entries(); i++ {
+			wantMatch := uint64(0)
+			for _, e := range events[i] {
+				if !e.read && e.cycle <= h {
+					wantMatch = e.cycle
+					break
+				}
+			}
+			bound := h
+			if wantMatch != 0 {
+				bound = wantMatch
+			}
+			wantDead := true
+			for _, e := range events[i] {
+				if e.read && e.cycle <= bound {
+					wantDead = false
+					break
+				}
+			}
+			matchAt, dead := tr.ProvenDead(ctrl.EntryIndex(i), h)
+			if matchAt != wantMatch || dead != wantDead {
+				t.Fatalf("iter %d entry %d h=%d: ProvenDead=(%d,%v), want (%d,%v) from events %v",
+					iter, i, h, matchAt, dead, wantMatch, wantDead, events[i])
+			}
+		}
+	}
+}
+
 // TestWriteCount: WriteCount advances on every state-changing Set and only
 // those — no-op Sets and reads leave it alone, so equal counts bracketing
 // an interval prove the interval changed nothing.

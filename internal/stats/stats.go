@@ -50,6 +50,87 @@ func WorstCaseCI95(n int) float64 {
 	return z95 * 0.5 / math.Sqrt(float64(n))
 }
 
+// Stratum is one checkpoint's contribution to a prover-weighted campaign
+// rate: a fraction Proven of the population was statically proven benign
+// (µArch Match) and never sampled, and the Trials sampled trials from the
+// unproven remainder produced Successes hits of the measured outcome.
+type Stratum struct {
+	Proven    float64
+	Successes int
+	Trials    int
+}
+
+// rate returns the stratum's contribution to the campaign estimate.
+// provenSuccess selects whether the proven mass counts toward the measured
+// proportion (true for masking-style rates — the proven mass is Match by
+// proof) or away from it (failure-style rates: proven mass never fails).
+func (s Stratum) rate(provenSuccess bool) float64 {
+	r := 0.0
+	if provenSuccess {
+		r = s.Proven
+	}
+	if s.Trials > 0 {
+		r += (1 - s.Proven) * float64(s.Successes) / float64(s.Trials)
+	}
+	return r
+}
+
+// StratifiedRate is the campaign-level analytically re-weighted rate: the
+// unweighted mean of the per-stratum estimates (checkpoints contribute
+// equally, matching the equal-trials-per-checkpoint sampling design).
+func StratifiedRate(strata []Stratum, provenSuccess bool) float64 {
+	if len(strata) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range strata {
+		sum += s.rate(provenSuccess)
+	}
+	return sum / float64(len(strata))
+}
+
+// StratifiedCI95 is the 95% half-width of a StratifiedRate estimate
+// (identical for either provenSuccess orientation: the proven mass
+// contributes no sampling variance — it is a proof, not a sample — so each
+// stratum's binomial variance is scaled by the square of its unproven
+// remainder before averaging).
+func StratifiedCI95(strata []Stratum) float64 {
+	if len(strata) == 0 {
+		return 0
+	}
+	var v float64
+	for _, s := range strata {
+		if s.Trials == 0 {
+			continue
+		}
+		p := float64(s.Successes) / float64(s.Trials)
+		w := 1 - s.Proven
+		v += w * w * p * (1 - p) / float64(s.Trials)
+	}
+	k := float64(len(strata))
+	return z95 * math.Sqrt(v) / k
+}
+
+// WorstCaseStratifiedCI95 is the stratified analogue of WorstCaseCI95: the
+// maximum StratifiedCI95 over any success counts (p = 0.5 in every
+// stratum), with each stratum's binomial variance scaled by the square of
+// its unproven remainder.
+func WorstCaseStratifiedCI95(strata []Stratum) float64 {
+	if len(strata) == 0 {
+		return 0
+	}
+	var v float64
+	for _, s := range strata {
+		if s.Trials == 0 {
+			continue
+		}
+		w := 1 - s.Proven
+		v += w * w * 0.25 / float64(s.Trials)
+	}
+	k := float64(len(strata))
+	return z95 * math.Sqrt(v) / k
+}
+
 // Linear is a least-mean-squares line fit y = A + B*x (the Figure 6
 // trendline).
 type Linear struct {

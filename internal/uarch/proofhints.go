@@ -1,0 +1,33 @@
+package uarch
+
+import "pipefault/internal/prove"
+
+// ProofHints declares the machine's semantic gating and bit-consumption
+// contracts for the static benign-injection prover (internal/prove).
+//
+// Gates: each declared payload element is architecturally meaningful only
+// while the paired 1-bit valid element is nonzero for the same entry index.
+// The model reads these payloads exclusively behind their valid checks
+// (memsys.go's load/store scans, the MHR fill loop, store retirement — all
+// short-circuit on the valid bit first), so a flip of a gated-off entry
+// that is overwritten before its gate is ever raised can never influence
+// behavior. Only queue payloads whose every read site has been audited to
+// be valid-guarded are declared; the campaign's cross-check oracle
+// validates the declarations empirically, so extending this list is safe
+// exactly as far as that oracle stays green.
+//
+// Masks: the registry declares tight widths — every bit of every element is
+// consumed by some reader — so no consumed-bit masks are declared. The map
+// is kept (empty) as the extension point for models with architecturally
+// dead bits.
+func ProofHints() prove.Hints {
+	return prove.Hints{
+		Gates: map[string]prove.Gate{
+			"lq.addr":  {Valid: "lq.addrv"},
+			"sq.addr":  {Valid: "sq.addrv"},
+			"sq.data":  {Valid: "sq.datav"},
+			"mhr.addr": {Valid: "mhr.valid"},
+		},
+		Masks: map[string]uint64{},
+	}
+}
