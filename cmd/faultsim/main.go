@@ -33,7 +33,12 @@
 // under the -sched scheduler (default: the two-phase work-stealing
 // engine); neither flag ever changes results, only wall-clock time.
 // -progress prints periodic checkpoints-done/trials-done lines to stderr
-// without perturbing results.
+// without perturbing results; each line carries a running tally of HOW
+// trials resolved (taint, quiescence, convergence, monitor, full-horizon,
+// anomaly), and a final per-mechanism breakdown with mean simulated cycles
+// is printed after the last command. -earlystop picks the termination
+// strategy (converge, taint, off) — all three produce byte-identical
+// results; they differ only in simulated cycles per trial.
 //
 // Robustness flags: -timeout arms the per-trial watchdog (livelocked
 // trials are killed and counted as anomalies instead of hanging a
@@ -56,6 +61,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -98,7 +104,7 @@ func run() int {
 	horizon := fs.Int("horizon", 10_000, "trial cycle budget")
 	workers := fs.Int("workers", runtime.NumCPU(), "campaign worker goroutines (results are identical for any count)")
 	sched := fs.String("sched", "steal", "campaign scheduler: steal (two-phase work-stealing) or shard (legacy checkpoint sharding)")
-	earlyStop := fs.String("earlystop", "taint", "trial termination: taint (classify provably-dead trials early) or off (full-horizon equivalence oracle)")
+	earlyStop := fs.String("earlystop", "converge", "trial termination: converge (taint shortcuts + trajectory re-convergence certificate), taint (taint shortcuts only), or off (full-horizon equivalence oracle)")
 	proveFlag := fs.String("prove", "on", "static benign-injection prover: on (sample only unproven bits, re-weight analytically) or off (full-population sampling)")
 	proveCheck := fs.Int("prove-crosscheck", 0, "per-checkpoint soundness oracle: simulate this many proven-benign bits full-horizon and fail the campaign unless all match (0 disables)")
 	progress := fs.Bool("progress", false, "print periodic campaign progress to stderr")
@@ -254,6 +260,9 @@ func run() int {
 			return 1
 		}
 	}
+	if s := r.resolveReport(); s != "" {
+		fmt.Fprint(os.Stderr, s)
+	}
 	fmt.Fprintf(os.Stderr, "faultsim: wall-clock %.1fs (%d workers)\n",
 		time.Since(start).Seconds(), o.workers)
 	return 0
@@ -265,6 +274,48 @@ type runner struct {
 	ctx    context.Context
 	unprot []*core.Result
 	prot   []*core.Result
+
+	// Per-mechanism trial-resolution tallies, fed by Config.OnTrialResolved
+	// from every campaign this invocation runs. The callback fires on worker
+	// goroutines, hence the atomics. Journal-replayed units report nothing,
+	// so a -resume run tallies only the work it actually performed.
+	resolved      [core.NumResolveKinds]atomic.Int64
+	resolvedSteps [core.NumResolveKinds]atomic.Int64
+}
+
+// resolveSummary is the compact per-progress-line form: "taint 812, convergence 3, ...".
+func (r *runner) resolveSummary() string {
+	var parts []string
+	for k := core.ResolveKind(0); k < core.NumResolveKinds; k++ {
+		if n := r.resolved[k].Load(); n != 0 {
+			parts = append(parts, fmt.Sprintf("%s %d", k, n))
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+// resolveReport is the end-of-run breakdown: share of attempts and mean
+// simulated cycles per resolution mechanism. Empty if no campaign ran.
+func (r *runner) resolveReport() string {
+	var total int64
+	for k := range r.resolved {
+		total += r.resolved[k].Load()
+	}
+	if total == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "faultsim: trial resolution mechanisms (%d attempts):\n", total)
+	for k := core.ResolveKind(0); k < core.NumResolveKinds; k++ {
+		n := r.resolved[k].Load()
+		if n == 0 {
+			continue
+		}
+		mean := float64(r.resolvedSteps[k].Load()) / float64(n)
+		fmt.Fprintf(&b, "  %-12s %8d  (%5.1f%%)  mean %.0f cycles\n",
+			k, n, 100*float64(n)/float64(total), mean)
+	}
+	return b.String()
 }
 
 func (r *runner) dispatch(cmd string) error {
@@ -444,6 +495,10 @@ func (r *runner) campaigns(protect pipefault.ProtectConfig, cache *[]*core.Resul
 			TrialTimeout:    r.o.timeout,
 			Seed:            r.o.seed + int64(i),
 		}
+		cfg.OnTrialResolved = func(kind core.ResolveKind, steps int) {
+			r.resolved[kind].Add(1)
+			r.resolvedSteps[kind].Add(int64(steps))
+		}
 		if r.o.journal != "" {
 			label := "unprot"
 			if protect.Any() {
@@ -466,8 +521,12 @@ func (r *runner) campaigns(protect pipefault.ProtectConfig, cache *[]*core.Resul
 					return
 				}
 				last = p.TrialsDone
-				fmt.Fprintf(os.Stderr, "  %s: %d/%d checkpoints, %d/%d trials\n",
+				line := fmt.Sprintf("  %s: %d/%d checkpoints, %d/%d trials",
 					name, p.CheckpointsDone, p.Checkpoints, p.TrialsDone, p.Trials)
+				if s := r.resolveSummary(); s != "" {
+					line += " [" + s + "]"
+				}
+				fmt.Fprintln(os.Stderr, line)
 			}
 		}
 		var res *core.Result

@@ -21,12 +21,15 @@
 //	sched_speedup_4w   the 4-worker campaign under the legacy shard
 //	                   scheduler divided by the same under the work-stealing
 //	                   scheduler (>1 means stealing is faster)
-//	early_stop         the campaign under taint termination (the default)
-//	                   vs under the full-horizon loop, reporting the mean
-//	                   actually-simulated cycles per trial and the ratio
-//	                   early_stop_speedup; the two runs double as an
-//	                   equivalence oracle — any result mismatch fails the
-//	                   run (exit 1) even with -soft, since that is a
+//	early_stop         the campaign under each termination mode — off
+//	                   (full-horizon), taint, and converge (the default,
+//	                   taint + trajectory re-convergence certificate) —
+//	                   reporting the mean actually-simulated cycles per
+//	                   trial for each as a trajectory, early_stop_speedup
+//	                   (off vs converge) and converge_speedup (taint vs
+//	                   converge); the runs double as an equivalence
+//	                   oracle — any result mismatch fails the run
+//	                   (exit 1) even with -soft, since that is a
 //	                   correctness bug, not runner noise
 //	prove              proven_benign_fraction — the share of the injectable
 //	                   population the static prover certifies benign — and
@@ -86,19 +89,34 @@ type metrics struct {
 	SchedSpeedup4W     float64 `json:"sched_speedup_4w"`
 	MeanCyclesPerTrial float64 `json:"mean_cycles_per_trial"`
 	EarlyStopSpeedup   float64 `json:"early_stop_speedup"`
+	ConvergeSpeedup    float64 `json:"converge_speedup"`
 	ProvenFraction     float64 `json:"proven_benign_fraction"`
 	ProveSpeedup       float64 `json:"prove_speedup"`
 }
 
+// earlyStopLine is one point on the termination-mode trajectory: how many
+// cycles the mean trial actually simulates under each early-stop mode.
+type earlyStopLine struct {
+	Mode         string  `json:"mode"`
+	MeanCycles   float64 `json:"mean_cycles_per_trial"`
+	SpeedupVsOff float64 `json:"speedup_vs_off"`
+}
+
 type report struct {
-	Suite      string        `json:"suite"`
-	Go         string        `json:"go"`
-	NumCPU     int           `json:"num_cpu"`
-	Workers    int           `json:"workers"`
-	Quick      bool          `json:"quick"`
-	Metrics    metrics       `json:"metrics"`
-	Scaling    []scalingLine `json:"scaling"`
-	Benchmarks []benchLine   `json:"benchmarks"`
+	Suite   string `json:"suite"`
+	Go      string `json:"go"`
+	NumCPU  int    `json:"num_cpu"`
+	Workers int    `json:"workers"`
+	Quick   bool   `json:"quick"`
+	// ScalingUnreliable marks the scaling sweep as meaningless: on a
+	// single-CPU box every worker count collapses to ~1x, so the sweep is
+	// skipped and consumers (the CI regression gate included) must ignore
+	// the scaling section entirely.
+	ScalingUnreliable bool            `json:"scaling_unreliable,omitempty"`
+	Metrics           metrics         `json:"metrics"`
+	Scaling           []scalingLine   `json:"scaling"`
+	EarlyStop         []earlyStopLine `json:"early_stop"`
+	Benchmarks        []benchLine     `json:"benchmarks"`
 }
 
 func main() {
@@ -188,9 +206,12 @@ func main() {
 	}
 
 	// Worker-count scaling sweep: the same campaign wall-clocked at 1, 2, 4
-	// and NumCPU workers. scaling_efficiency = speedup / workers; on a
-	// single-CPU box every count collapses to ~1× but the sweep still pins
-	// that extra workers cost nothing.
+	// and NumCPU workers. scaling_efficiency = speedup / workers. On a
+	// single-CPU box every count collapses to ~1× and the ratios are pure
+	// scheduler noise, so the sweep is skipped and the report is tagged
+	// scaling_unreliable — the CI regression gate ignores the scaling
+	// section on tagged reports (it only ever compares cycles_per_sec and
+	// trials_per_sec, which stay meaningful).
 	campaignWall := func(c core.Config) (float64, int) {
 		start := time.Now()
 		res, err := core.Run(c)
@@ -199,8 +220,15 @@ func main() {
 		}
 		return time.Since(start).Seconds(), res.Pops["l+r"].Total()
 	}
+	if runtime.NumCPU() == 1 {
+		rep.ScalingUnreliable = true
+		fmt.Fprintln(os.Stderr, "pipebench: single CPU; skipping worker-scaling sweep (scaling_unreliable)")
+	}
 	var base float64
 	for _, nw := range scalingCounts() {
+		if rep.ScalingUnreliable && nw != 1 {
+			continue
+		}
 		c := cfg
 		c.Workers = nw
 		wall, trials := campaignWall(c)
@@ -248,11 +276,13 @@ func main() {
 		shardWall, stealWall, rep.Metrics.SchedSpeedup4W)
 
 	// Early-stop effectiveness, and the equivalence oracle. The same
-	// campaign runs under taint termination (the default) and under the
-	// full-horizon loop, counting actually-simulated cycles per trial.
-	// The two results must be bit-identical; a mismatch is a correctness
-	// bug in the early-stop machinery, so it hard-fails the run even with
-	// -soft — that flag only pardons throughput noise.
+	// campaign runs under every termination mode — the full-horizon loop,
+	// taint shortcuts, and convergence termination (the default) — counting
+	// actually-simulated cycles per trial; the three means form the
+	// mean-cycles-per-trial trajectory. All results must be bit-identical;
+	// a mismatch is a correctness bug in the early-stop machinery, so it
+	// hard-fails the run even with -soft — that flag only pardons
+	// throughput noise.
 	earlyStopRun := func(mode core.EarlyStopMode) (*core.Result, float64) {
 		var steps, trials atomic.Int64
 		c := cfg
@@ -270,20 +300,36 @@ func main() {
 		}
 		return res, float64(steps.Load()) / float64(trials.Load())
 	}
-	taintRes, meanOn := earlyStopRun(core.EarlyStopTaint)
 	fullRes, meanOff := earlyStopRun(core.EarlyStopOff)
-	if !reflect.DeepEqual(taintRes.Pops, fullRes.Pops) ||
-		!reflect.DeepEqual(taintRes.Scatter, fullRes.Scatter) {
-		fmt.Fprintln(os.Stderr, "pipebench: EQUIVALENCE ORACLE MISMATCH: the taint-terminated campaign"+
-			" differs from the full-horizon campaign; early stopping changed trial outcomes")
-		os.Exit(1)
+	modes := []struct {
+		mode core.EarlyStopMode
+		mean float64
+	}{{core.EarlyStopTaint, 0}, {core.EarlyStopConverge, 0}}
+	rep.EarlyStop = []earlyStopLine{{Mode: "off", MeanCycles: meanOff, SpeedupVsOff: 1}}
+	for i := range modes {
+		res, mean := earlyStopRun(modes[i].mode)
+		if !reflect.DeepEqual(res.Pops, fullRes.Pops) ||
+			!reflect.DeepEqual(res.Scatter, fullRes.Scatter) {
+			fmt.Fprintf(os.Stderr, "pipebench: EQUIVALENCE ORACLE MISMATCH: the %s-terminated campaign"+
+				" differs from the full-horizon campaign; early stopping changed trial outcomes\n",
+				modes[i].mode)
+			os.Exit(1)
+		}
+		modes[i].mean = mean
+		line := earlyStopLine{Mode: modes[i].mode.String(), MeanCycles: mean}
+		if mean > 0 {
+			line.SpeedupVsOff = meanOff / mean
+		}
+		rep.EarlyStop = append(rep.EarlyStop, line)
 	}
-	rep.Metrics.MeanCyclesPerTrial = meanOn
-	if meanOn > 0 {
-		rep.Metrics.EarlyStopSpeedup = meanOff / meanOn
+	meanTaint, meanConv := modes[0].mean, modes[1].mean
+	rep.Metrics.MeanCyclesPerTrial = meanConv
+	if meanConv > 0 {
+		rep.Metrics.EarlyStopSpeedup = meanOff / meanConv
+		rep.Metrics.ConvergeSpeedup = meanTaint / meanConv
 	}
-	fmt.Fprintf(os.Stderr, "pipebench: early_stop         %.1f cycles/trial vs %.1f full-horizon = %.1fx\n",
-		meanOn, meanOff, rep.Metrics.EarlyStopSpeedup)
+	fmt.Fprintf(os.Stderr, "pipebench: early_stop         %.1f converge / %.1f taint / %.1f full-horizon cycles/trial = %.1fx (converge_speedup %.2fx)\n",
+		meanConv, meanTaint, meanOff, rep.Metrics.EarlyStopSpeedup, rep.Metrics.ConvergeSpeedup)
 
 	// Prover effectiveness. The static prover does not shorten individual
 	// trials — it removes the proven-benign mass from the sampled

@@ -109,15 +109,22 @@ type Config struct {
 	// units, reproducing an uninterrupted run's exports byte-identically.
 	JournalPath string //pipelint:identity-ok journal location; where results are recorded, never what they are
 
-	// EarlyStop selects the trial-termination strategy. EarlyStopTaint
+	// EarlyStop selects the trial-termination strategy. EarlyStopConverge
 	// (the default) classifies a trial the moment its outcome is provably
-	// determined: dead injections (flipped entry overwritten before the
-	// golden run ever reads it) resolve in O(1) from the golden liveness
-	// trace without stepping at all, and trials whose corrupted machine
-	// quiesces resolve the rest of their horizon in closed form.
-	// EarlyStopOff steps every trial to classification or the full horizon
-	// — the equivalence oracle; both modes produce bit-identical Results.
-	EarlyStop EarlyStopMode //pipelint:identity-ok termination strategy; both modes produce bit-identical results
+	// determined, through three composing mechanisms: dead injections
+	// (flipped entry overwritten before the golden run ever reads it)
+	// resolve in O(1) from the golden liveness trace without stepping at
+	// all; trials whose corrupted machine quiesces resolve the rest of
+	// their horizon in closed form; and trials whose remaining divergence
+	// from the golden trajectory is provably frozen — every differing entry
+	// untouched by the golden run for the rest of the horizon — resolve in
+	// closed form from the golden monitors at the next convergence keyframe
+	// (see DESIGN.md "Convergence termination"). EarlyStopTaint keeps only
+	// the first two mechanisms (the pre-convergence behavior, retained as
+	// an equivalence oracle); EarlyStopOff steps every trial to
+	// classification or the full horizon — the baseline oracle. All three
+	// modes produce bit-identical Results.
+	EarlyStop EarlyStopMode //pipelint:identity-ok termination strategy; all modes produce bit-identical results
 
 	// OnTrialSteps, if set, receives the number of machine cycles actually
 	// simulated by each trial (0 for trials resolved without stepping).
@@ -125,6 +132,15 @@ type Config struct {
 	// speedup. Called from worker goroutines; must be safe for concurrent
 	// use.
 	OnTrialSteps func(steps int) //pipelint:identity-ok observation-only instrumentation callback
+
+	// OnTrialResolved, if set, receives how each trial attempt resolved —
+	// which termination mechanism decided it — alongside the cycles it
+	// actually simulated. A trial retried after a contained panic reports
+	// once per attempt (the unwound attempt as ResolveAnomaly), mirroring
+	// OnTrialSteps. Journal-replayed checkpoints report nothing: their
+	// trials are not re-run. Instrumentation only; called from worker
+	// goroutines, must be safe for concurrent use.
+	OnTrialResolved func(kind ResolveKind, steps int) //pipelint:identity-ok observation-only instrumentation callback
 
 	// Prove selects the static benign-injection prover. ProveOn (the
 	// default) runs internal/prove over each checkpoint's golden trace and
@@ -171,14 +187,26 @@ func (r RewindMode) String() string {
 // Config.EarlyStop).
 type EarlyStopMode uint8
 
-// Early-stop strategies.
+// Early-stop strategies. EarlyStopConverge is the zero value and therefore
+// the default; EarlyStopOff keeps its historical value. EarlyStop is
+// excluded from the campaign journal identity, so the renumbering cannot
+// invalidate existing journals.
 const (
-	EarlyStopTaint EarlyStopMode = iota
+	EarlyStopConverge EarlyStopMode = iota
 	EarlyStopOff
+	EarlyStopTaint
 )
+
+// taintShortcuts reports whether the mode applies the taint (dead-entry)
+// and quiescence closed forms. Convergence is a strict superset of taint.
+func (e EarlyStopMode) taintShortcuts() bool {
+	return e == EarlyStopTaint || e == EarlyStopConverge
+}
 
 func (e EarlyStopMode) String() string {
 	switch e {
+	case EarlyStopConverge:
+		return "converge"
 	case EarlyStopTaint:
 		return "taint"
 	case EarlyStopOff:
@@ -190,12 +218,61 @@ func (e EarlyStopMode) String() string {
 // ParseEarlyStopMode maps a flag value to an EarlyStopMode.
 func ParseEarlyStopMode(s string) (EarlyStopMode, error) {
 	switch s {
+	case "converge":
+		return EarlyStopConverge, nil
 	case "taint":
 		return EarlyStopTaint, nil
 	case "off":
 		return EarlyStopOff, nil
 	}
-	return 0, fmt.Errorf("core: unknown early-stop mode %q (want \"taint\" or \"off\")", s)
+	return 0, fmt.Errorf("core: unknown early-stop mode %q (want \"converge\", \"taint\" or \"off\")", s)
+}
+
+// ResolveKind identifies the mechanism that terminated a trial attempt
+// (see Config.OnTrialResolved).
+type ResolveKind uint8
+
+// Trial resolution mechanisms.
+const (
+	// ResolveTaint: the flipped entry was provably dead — classified in
+	// O(1) from the golden liveness trace without stepping.
+	ResolveTaint ResolveKind = iota
+	// ResolveQuiesce: the injected machine reached a write-free fixed
+	// point; the remaining horizon resolved in closed form.
+	ResolveQuiesce
+	// ResolveConverge: the trial re-joined the golden trajectory — by
+	// exact per-cycle digest match, or by the keyframe certificate proving
+	// its remaining divergence frozen and unread.
+	ResolveConverge
+	// ResolveMonitor: a trial-loop monitor fired live (architectural
+	// divergence, exception, locked pipeline, or illegal-fetch streak).
+	ResolveMonitor
+	// ResolveHorizon: the trial stepped the full horizon and classified
+	// Gray.
+	ResolveHorizon
+	// ResolveAnomaly: a watchdog expiry or contained panic ended the
+	// attempt.
+	ResolveAnomaly
+	// NumResolveKinds bounds per-kind count arrays.
+	NumResolveKinds
+)
+
+func (k ResolveKind) String() string {
+	switch k {
+	case ResolveTaint:
+		return "taint"
+	case ResolveQuiesce:
+		return "quiescence"
+	case ResolveConverge:
+		return "convergence"
+	case ResolveMonitor:
+		return "monitor"
+	case ResolveHorizon:
+		return "full-horizon"
+	case ResolveAnomaly:
+		return "anomaly"
+	}
+	return fmt.Sprintf("resolve(%d)", uint8(k))
 }
 
 // ProveMode selects the static benign-injection prover (see Config.Prove).
@@ -373,7 +450,7 @@ func (c *Config) Validate() error {
 		return &ConfigError{Field: "Rewind", Value: c.Rewind, Reason: "unknown rewind mode"}
 	}
 	switch c.EarlyStop {
-	case EarlyStopTaint, EarlyStopOff:
+	case EarlyStopConverge, EarlyStopTaint, EarlyStopOff:
 	default:
 		return &ConfigError{Field: "EarlyStop", Value: c.EarlyStop, Reason: "unknown early-stop mode"}
 	}

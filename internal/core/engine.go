@@ -29,31 +29,63 @@ func wallClock() int64 {
 	return time.Now().UnixNano() //pipelint:wallclock-ok trial watchdog liveness check; expiries classify as OutAnomaly outside the deterministic four-outcome rates
 }
 
+// convStride is the cycle spacing of convergence keyframes along the
+// golden continuation (power of two; the trial loop's boundary test is a
+// masked compare). Smaller strides prove frozen-delta trials earlier but
+// cost one state-file snapshot each; 512 keeps a 10k-cycle horizon at ~20
+// keyframes (~0.6 MiB on the default machine) while bounding the wasted
+// stepping of a provable trial to under half a keyframe interval on
+// average.
+const convStride = 512
+
+// keyframe is one golden trajectory keyframe: the full state-file contents
+// and the memory digest after cycle cyc of the continuation. The trial
+// loop diffs its own state against the keyframe to compute the exact set
+// of entries still differing from the golden run (see tryConverge).
+type keyframe struct {
+	cyc       uint64
+	snap      *state.Snapshot
+	memDigest uint64
+}
+
 // goldenRun is a checkpoint's fault-free continuation: the per-cycle
-// whole-machine digest and the retired-instruction trace. One goldenRun is
-// owned by each worker and reused across its checkpoints — the digest and
-// event slices are truncated, the retired set is cleared, and all three
-// keep their high-water capacity instead of being reallocated per
-// checkpoint.
+// whole-machine trajectory digest and the retired-instruction trace. One
+// goldenRun is owned by each worker and reused across its checkpoints —
+// the digest and event slices are truncated, the retired set is cleared,
+// and all three keep their high-water capacity instead of being
+// reallocated per checkpoint.
 type goldenRun struct {
-	digests []uint64 // digest after cycle i+1
+	digests []uint64 // composite digest (state ^ memory) after cycle i+1
 	events  []uarch.RetireEvent
 	retired map[uint64]struct{} // shadow seqnos that commit
 
-	// Early-stop liveness data (EarlyStopTaint): the golden continuation's
-	// first-touch trace over injectable entries, plus the cycles at which
-	// the fault-free run itself would trip each trial-loop monitor. A trial
-	// whose flipped entry is overwritten before the golden run ever reads it
-	// behaves bit-identically to the golden run, so its outcome is a pure
-	// function of these fields (see (*worker).resolveDead). traced gates the
-	// fast path: goldens built without tracing (EarlyStopOff, legacy test
-	// preambles) leave it false and every trial takes the full loop.
+	// Early-stop liveness data (EarlyStopTaint/EarlyStopConverge): the
+	// golden continuation's touch trace over every entry, plus the cycles
+	// at which the fault-free run itself would trip each trial-loop
+	// monitor. A trial whose flipped entry is overwritten before the golden
+	// run ever reads it behaves bit-identically to the golden run, so its
+	// outcome is a pure function of these fields (see
+	// (*worker).resolveDead). traced gates the fast path: goldens built
+	// without tracing (EarlyStopOff, legacy test preambles) leave it false
+	// and every trial takes the full loop.
 	trace    *state.TouchTrace
 	lockedAt uint64 // first cycle the no-retire streak reaches LockedCycles
 	itlbAt   uint64 // first cycle the illegal-fetch-stall streak reaches 30
 	excAt    uint64 // first cycle an exception reaches retirement
 	excMode  FailureMode
 	traced   bool
+
+	// Convergence-certificate data (EarlyStopConverge): state keyframes at
+	// convStride boundaries up to the trial horizon, plus the golden run's
+	// per-cycle retire/illegal-fetch bits and cumulative retire-event
+	// counts, which let tryConverge replay the remaining trial-loop
+	// monitors in closed form once a trial's divergence is proven frozen.
+	// conv gates the certificate exactly as traced gates the taint paths.
+	conv        bool
+	keyframes   []keyframe
+	retireBits  []uint64 // bit (c-1): >=1 instruction retired at cycle c
+	illegalBits []uint64 // bit (c-1): FetchStalledIllegal() after cycle c
+	evCount     []uint32 // evCount[c-1] = len(events) after cycle c
 }
 
 // reset prepares the buffers for the next checkpoint, keeping capacity.
@@ -71,6 +103,33 @@ func (g *goldenRun) reset(horizon uint64) {
 	g.lockedAt, g.itlbAt, g.excAt = 0, 0, 0
 	g.excMode = FailNone
 	g.traced = false
+	g.conv = false
+	g.keyframes = g.keyframes[:0]
+	g.retireBits = g.retireBits[:0]
+	g.illegalBits = g.illegalBits[:0]
+	g.evCount = g.evCount[:0]
+}
+
+// bitAt reads cycle c's flag from a per-cycle bitset.
+func bitAt(bits []uint64, c uint64) bool {
+	return bits[(c-1)>>6]>>((c-1)&63)&1 == 1
+}
+
+// setBitAt sets cycle c's flag in a pre-sized per-cycle bitset.
+func setBitAt(bits []uint64, c uint64) {
+	bits[(c-1)>>6] |= 1 << ((c - 1) & 63)
+}
+
+// growWords returns a zeroed word slice of length n, reusing capacity.
+func growWords(bits []uint64, n int) []uint64 {
+	if cap(bits) < n {
+		return make([]uint64, n)
+	}
+	bits = bits[:n]
+	for i := range bits {
+		bits[i] = 0
+	}
+	return bits
 }
 
 // ckResult is one checkpoint's complete outcome: per-population trial lists
@@ -247,8 +306,10 @@ func (w *worker) goldenContinuation(g *goldenRun) {
 	// The prover consumes the same liveness data as the taint fast path, so
 	// either consumer arms the trace. Tracing is pure observation — it
 	// changes which trials are *drawn* only through the proof, never how a
-	// drawn trial executes.
-	traced := w.cfg.EarlyStop == EarlyStopTaint || w.cfg.Prove != ProveOff
+	// drawn trial executes. Convergence additionally records keyframes and
+	// the per-cycle monitor bits its certificate replays.
+	conv := w.cfg.EarlyStop == EarlyStopConverge
+	traced := conv || w.cfg.EarlyStop == EarlyStopTaint || w.cfg.Prove != ProveOff
 	var cyc uint64
 	if traced {
 		if g.trace == nil {
@@ -269,6 +330,14 @@ func (w *worker) goldenContinuation(g *goldenRun) {
 			}
 		}
 	}
+	if conv {
+		nw := int(w.horizonG+63) / 64
+		g.retireBits = growWords(g.retireBits, nw)
+		g.illegalBits = growWords(g.illegalBits, nw)
+		if cap(g.evCount) < int(w.horizonG) {
+			g.evCount = make([]uint32, 0, w.horizonG)
+		}
+	}
 	noRetire := 0
 	itlbCnt := 0
 	lastRetired := m.Retired
@@ -277,11 +346,12 @@ func (w *worker) goldenContinuation(g *goldenRun) {
 			m.F.TraceCycle(cyc)
 		}
 		m.Step()
-		g.digests = append(g.digests, m.Digest())
+		g.digests = append(g.digests, m.TraceDigest())
 		if !traced {
 			continue
 		}
-		if m.Retired > lastRetired {
+		retired := m.Retired > lastRetired
+		if retired {
 			lastRetired = m.Retired
 			noRetire = 0
 		} else {
@@ -290,13 +360,38 @@ func (w *worker) goldenContinuation(g *goldenRun) {
 				g.lockedAt = cyc
 			}
 		}
-		if m.FetchStalledIllegal() {
+		illegal := m.FetchStalledIllegal()
+		if illegal {
 			itlbCnt++
 			if g.itlbAt == 0 && itlbCnt >= 30 {
 				g.itlbAt = cyc
 			}
 		} else {
 			itlbCnt = 0
+		}
+		if conv {
+			if retired {
+				setBitAt(g.retireBits, cyc)
+			}
+			if illegal {
+				setBitAt(g.illegalBits, cyc)
+			}
+			g.evCount = append(g.evCount, uint32(len(g.events)))
+			if cyc&(convStride-1) == 0 && cyc <= uint64(w.cfg.Horizon) {
+				// Reuse the snapshot allocated for this slot by a previous
+				// checkpoint's golden run, if any (reset truncates the slice
+				// but keeps the backing array).
+				ki := int(cyc/convStride) - 1
+				var reuse *state.Snapshot
+				if ki < cap(g.keyframes) {
+					reuse = g.keyframes[:cap(g.keyframes)][ki].snap
+				}
+				g.keyframes = append(g.keyframes, keyframe{
+					cyc:       cyc,
+					snap:      m.F.SnapshotInto(reuse),
+					memDigest: m.Mem.Digest(),
+				})
+			}
 		}
 	}
 	if traced {
@@ -305,6 +400,7 @@ func (w *worker) goldenContinuation(g *goldenRun) {
 	}
 	m.OnRetire = nil
 	g.traced = traced
+	g.conv = conv
 }
 
 // checkpointSeed derives the per-checkpoint RNG seed from the campaign seed
@@ -657,7 +753,7 @@ func (w *worker) finishQuiescent(trial Trial, cyc, horizon, noRetire, itlbCnt in
 	}
 	matchAt := 0
 	if !w.mon.outOfTrace {
-		d := m.Digest()
+		d := m.TraceDigest()
 		for c := cyc + 1; c <= horizon; c++ {
 			if g.digests[c-1] == d {
 				matchAt = c
@@ -694,9 +790,15 @@ func (w *worker) finishQuiescent(trial Trial, cyc, horizon, noRetire, itlbCnt in
 // the RNG stream is untouched (the bit was drawn by the caller) and the
 // machine never leaves checkpoint state. Second, once the injected machine
 // quiesces mid-trial (Machine.Quiescent), the rest of the loop is resolved
-// in closed form (finishQuiescent). Both shortcuts stand down when a trial
-// watchdog is armed and the resolution would cross the first watchdog
-// stride, so watchdog expiry behavior is bit-identical to the full loop.
+// in closed form (finishQuiescent). EarlyStopConverge keeps both and adds
+// the keyframe certificate (tryConverge): at every convStride boundary a
+// still-running trial is diffed against the golden keyframe, and if every
+// differing entry is provably untouched by the golden run for the rest of
+// the horizon, the trial's future is bit-identical to the golden run's and
+// the remaining monitors resolve in closed form. All shortcuts stand down
+// when a trial watchdog is armed (except a resolveDead that cannot cross
+// the first watchdog stride), so watchdog expiry behavior is bit-identical
+// to the full loop.
 func (w *worker) runTrial(bit state.BitRef) Trial {
 	m := w.m
 	g := w.g
@@ -725,12 +827,15 @@ func (w *worker) runTrial(bit state.BitRef) Trial {
 		deadline = w.cfg.Clock() + int64(w.cfg.TrialTimeout)
 	}
 
-	if g.traced && w.cfg.EarlyStop == EarlyStopTaint {
+	if g.traced && w.cfg.EarlyStop.taintShortcuts() {
 		if out, mode, cyc, ok := w.resolveDead(bit, horizon); ok && (deadline == 0 || cyc < watchdogStride) {
 			trial.Outcome, trial.Mode = out, mode
 			trial.Cycles = int32(cyc)
 			if w.cfg.OnTrialSteps != nil {
 				w.cfg.OnTrialSteps(0)
+			}
+			if w.cfg.OnTrialResolved != nil {
+				w.cfg.OnTrialResolved(ResolveTaint, 0)
 			}
 			return trial
 		}
@@ -740,16 +845,24 @@ func (w *worker) runTrial(bit state.BitRef) Trial {
 	m.OnRetire = w.onRetire
 	m.OnExc = w.onExc
 	steps := 0
+	// kind starts as anomaly so a panic unwinding through the defer (the
+	// containment boundary recovers it above us) reports the attempt as
+	// anomalous; every normal return overwrites it first.
+	kind := ResolveAnomaly
 	defer func() {
 		m.OnRetire = nil
 		m.OnExc = nil
 		if w.cfg.OnTrialSteps != nil {
 			w.cfg.OnTrialSteps(steps)
 		}
+		if w.cfg.OnTrialResolved != nil {
+			w.cfg.OnTrialResolved(kind, steps)
+		}
 	}()
 
 	bit.Flip()
 
+	conv := g.conv && w.cfg.EarlyStop == EarlyStopConverge && deadline == 0
 	noRetire := 0
 	itlbCnt := 0
 	lastRetired := m.Retired
@@ -772,9 +885,11 @@ func (w *worker) runTrial(bit state.BitRef) Trial {
 		trial.Cycles = int32(cyc)
 		switch {
 		case w.mon.diverged:
+			kind = ResolveMonitor
 			trial.Outcome, trial.Mode = OutSDC, w.mon.mode
 			return trial
 		case w.mon.excMode != FailNone:
+			kind = ResolveMonitor
 			trial.Outcome, trial.Mode = w.mon.excMode.Outcome(), w.mon.excMode
 			return trial
 		}
@@ -784,6 +899,7 @@ func (w *worker) runTrial(bit state.BitRef) Trial {
 		} else {
 			noRetire++
 			if noRetire >= w.cfg.LockedCycles {
+				kind = ResolveMonitor
 				trial.Outcome, trial.Mode = OutTerminated, FailLocked
 				return trial
 			}
@@ -791,20 +907,204 @@ func (w *worker) runTrial(bit state.BitRef) Trial {
 		if m.FetchStalledIllegal() {
 			itlbCnt++
 			if itlbCnt >= 30 {
+				kind = ResolveMonitor
 				trial.Outcome, trial.Mode = OutSDC, FailITLB
 				return trial
 			}
 		} else {
 			itlbCnt = 0
 		}
-		if !w.mon.outOfTrace && m.Digest() == g.digests[cyc-1] {
+		if !w.mon.outOfTrace && m.TraceDigest() == g.digests[cyc-1] {
+			kind = ResolveConverge
 			trial.Outcome = OutMatch
 			return trial
 		}
-		if w.cfg.EarlyStop == EarlyStopTaint && deadline == 0 && cyc < horizon && m.Quiescent() {
+		if w.cfg.EarlyStop.taintShortcuts() && deadline == 0 && cyc < horizon && m.Quiescent() {
+			kind = ResolveQuiesce
 			return w.finishQuiescent(trial, cyc, horizon, noRetire, itlbCnt)
 		}
+		if conv && cyc&(convStride-1) == 0 && cyc < horizon {
+			if done, ok := w.tryConverge(trial, cyc, horizon, noRetire, itlbCnt); ok {
+				kind = ResolveConverge
+				return done
+			}
+		}
 	}
+	kind = ResolveHorizon
 	trial.Outcome = OutGray
 	return trial
+}
+
+// tryConverge is the convergence certificate: called with a still-running
+// trial at a convStride boundary cycle cyc, it decides whether the trial's
+// entire remaining horizon is provably identical to the golden run's, and
+// if so resolves the remaining classification in closed form.
+//
+// The certificate holds when (a) the trial's memory contents equal the
+// golden run's at cyc (memory digests match), (b) the trial's retirement
+// stream so far is cycle-for-cycle aligned with the golden run's (the
+// monitor never diverged, never ran out of trace, and has consumed exactly
+// as many events as the golden run had emitted by cyc), (c) the golden run
+// takes no exception at or before cyc (the trial demonstrably took none —
+// it is still running — so an earlier golden exception would mean the
+// streams already differ in a way the event trace cannot express), and
+// (d) no entry in the delta set D — every state-file entry whose value
+// differs from the golden keyframe — nor any entry the delta can flow into
+// over recovery-drain copy edges, is behaviorally read by the golden run
+// after cyc (the last-touch trace; CopyEntry data movement is excluded and
+// tracked as edges instead), and (e) at least one member of D is fully
+// frozen: never behaviorally written nor copy-rewritten after cyc.
+//
+// Under (a)–(e) the two machines' states agree everywhere outside the copy
+// closure C of D (D plus its transitive active copy destinations): by
+// induction over cycles, each Step performs identical behavioral reads —
+// all outside C by (d) — so takes identical branches and performs
+// identical behavioral writes, and its data-movement copies write
+// identical values when the source is outside C while copies from inside C
+// land inside C (CopyDst is single-destination or the certificate bailed
+// on poison). Every future retire event, exception, retire/no-retire cycle
+// and fetch-stall flag is therefore the golden run's own, so the remaining
+// trial-loop monitors replay in closed form from the recorded per-cycle
+// bits, in the loop's exact same-cycle order.
+//
+// The per-cycle digest match cannot fire either. When every member of C is
+// frozen the argument is exact: the composite digest differs from the
+// golden trajectory by D's constant contribution, witnessed nonzero at cyc
+// (the loop's own digest check ran first and missed). When copies keep
+// rewriting closure members the delta's digest contribution varies, but
+// true state equality stays impossible — the anchor entry of (e) differs
+// forever — so a digest match would require an XOR collision between
+// differing states, the same 2⁻⁶⁴-class event the per-cycle match check
+// itself accepts. No event within the horizon means Gray at the horizon,
+// exactly like a full-horizon run.
+func (w *worker) tryConverge(trial Trial, cyc, horizon, noRetire, itlbCnt int) (Trial, bool) {
+	g := w.g
+	m := w.m
+	ki := cyc/convStride - 1
+	if ki >= len(g.keyframes) {
+		return trial, false
+	}
+	kf := g.keyframes[ki]
+	c := uint64(cyc)
+	if kf.cyc != c {
+		return trial, false
+	}
+	if m.Mem.Digest() != kf.memDigest {
+		return trial, false
+	}
+	if w.mon.outOfTrace || w.mon.idx != int(g.evCount[cyc-1]) {
+		return trial, false
+	}
+	if g.excAt != 0 && g.excAt <= c {
+		return trial, false
+	}
+	tr := g.trace
+	// Collect the delta set D. Certificates over a wide delta essentially
+	// never hold (many differing entries imply live state), so a hard cap
+	// bounds the collection.
+	const maxDelta = 128
+	var dbuf [maxDelta]uint64
+	nd := 0
+	if !m.F.DiffEntries(kf.snap, func(key uint64) bool {
+		if nd == maxDelta {
+			return false
+		}
+		dbuf[nd] = key
+		nd++
+		return true
+	}) {
+		return trial, false
+	}
+	// (d) no member of D, nor any entry D can flow into over copy edges,
+	// is behaviorally read after cyc; (e) at least one member is fully
+	// frozen, anchoring the two states apart through the horizon.
+	anchor := false
+	for _, k := range dbuf[:nd] {
+		if tr.LastRead[k] > c {
+			return trial, false
+		}
+		if tr.LastSet[k] <= c && tr.LastCopy[k] <= c {
+			anchor = true
+		}
+		// Chase the copy-out chain: entries the golden run copies k — or
+		// k's transitive copy destinations — into after cyc receive
+		// possibly differing values, so they must not be behaviorally read
+		// after cyc either. Multi-destination sources (Poisoned) make the
+		// flow untrackable; a depth cap guards against edge cycles.
+		e := k
+		for depth := 0; ; depth++ {
+			d := tr.CopyDst[e]
+			if d == 0 {
+				break
+			}
+			if d == state.Poisoned || depth == 8 {
+				return trial, false
+			}
+			e = d - 1
+			if tr.LastCopy[e] <= c { // no copy-ins after cyc: edge is spent
+				break
+			}
+			if tr.LastRead[e] > c {
+				return trial, false
+			}
+		}
+	}
+	if !anchor {
+		return trial, false
+	}
+
+	// Closed-form replay of the remaining monitors, in the loop's
+	// same-cycle check order: exception, locked, illegal-fetch streak.
+	// Divergence cannot fire (the remaining event streams are identical and
+	// aligned) and the digest match cannot fire (see above).
+	lockedAt := uint64(0)
+	s := noRetire
+	for j := c + 1; j <= uint64(horizon); j++ {
+		if bitAt(g.retireBits, j) {
+			s = 0
+			continue
+		}
+		s++
+		if s >= w.cfg.LockedCycles {
+			lockedAt = j
+			break
+		}
+	}
+	itlbAt := uint64(0)
+	cnt := itlbCnt
+	for j := c + 1; j <= uint64(horizon); j++ {
+		if !bitAt(g.illegalBits, j) {
+			cnt = 0
+			continue
+		}
+		cnt++
+		if cnt >= 30 {
+			itlbAt = j
+			break
+		}
+	}
+
+	var best uint64
+	var outcome Outcome
+	var mode FailureMode
+	consider := func(at uint64, o Outcome, md FailureMode) {
+		if at == 0 || at > uint64(horizon) {
+			return
+		}
+		if best != 0 && at >= best {
+			return
+		}
+		best, outcome, mode = at, o, md
+	}
+	consider(g.excAt, g.excMode.Outcome(), g.excMode)
+	consider(lockedAt, OutTerminated, FailLocked)
+	consider(itlbAt, OutSDC, FailITLB)
+	if best == 0 {
+		trial.Outcome, trial.Mode = OutGray, FailNone
+		trial.Cycles = int32(horizon)
+		return trial, true
+	}
+	trial.Outcome, trial.Mode = outcome, mode
+	trial.Cycles = int32(best)
+	return trial, true
 }

@@ -1,0 +1,166 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestDigestPureFunctionOfContents: the incrementally-maintained digest is
+// a pure function of memory contents — two memories reaching the same
+// contents by different write histories (different orders, transient
+// overwrites) report the same digest, and both match a from-scratch
+// RecomputeDigest.
+func TestDigestPureFunctionOfContents(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		type wr struct {
+			addr uint64
+			v    uint64
+			size int
+		}
+		sizes := []int{1, 2, 4, 8}
+		var writes []wr
+		for i := 0; i < int(n); i++ {
+			writes = append(writes, wr{
+				addr: uint64(rng.Intn(4 * PageSize)),
+				v:    rng.Uint64(),
+				size: sizes[rng.Intn(4)],
+			})
+		}
+		a, b := New(), New()
+		for _, w := range writes {
+			a.Write(w.addr, w.v, w.size)
+		}
+		// b: transient garbage first, then the same final writes — contents
+		// of any overlapping addresses end identical, but if a garbage write
+		// hits a byte the replay never rewrites, contents legitimately
+		// differ; restrict garbage to addresses the replay overwrites.
+		for i := len(writes) - 1; i >= 0; i-- {
+			b.Write(writes[i].addr, ^writes[i].v, writes[i].size)
+		}
+		for _, w := range writes {
+			b.Write(w.addr, w.v, w.size)
+		}
+		if !a.Equal(b) {
+			return a.Digest() != b.Digest() // differing contents may differ
+		}
+		return a.Digest() == b.Digest() &&
+			a.Digest() == a.RecomputeDigest() &&
+			b.Digest() == b.RecomputeDigest()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDigestZeroEquivalence: a fresh memory digests to zero, an explicitly
+// zeroed byte contributes nothing (absent pages ≡ zero pages, matching
+// Memory.Equal), and clearing every written byte returns the digest to
+// exactly zero.
+func TestDigestZeroEquivalence(t *testing.T) {
+	m := New()
+	if m.Digest() != 0 {
+		t.Fatalf("fresh memory digest = %#x, want 0", m.Digest())
+	}
+	m.StoreByte(0x1000, 0) // allocates the page; contents still all-zero
+	if m.Digest() != 0 {
+		t.Errorf("zero store changed digest to %#x", m.Digest())
+	}
+	addrs := []uint64{0x1000, 0x1001, PageSize - 1, 2*PageSize - 3, 1 << 40}
+	for i, a := range addrs {
+		m.StoreByte(a, byte(i+1))
+	}
+	if m.Digest() == 0 {
+		t.Error("nonzero contents digest to 0")
+	}
+	if m.Digest() != m.RecomputeDigest() {
+		t.Errorf("incremental %#x != recomputed %#x", m.Digest(), m.RecomputeDigest())
+	}
+	for _, a := range addrs {
+		m.StoreByte(a, 0)
+	}
+	if m.Digest() != 0 {
+		t.Errorf("digest after zeroing everything = %#x, want 0", m.Digest())
+	}
+}
+
+// TestDigestUndoRollback: rolling an undo span back restores the digest
+// along with the bytes — both to the pre-mark value and to agreement with
+// RecomputeDigest.
+func TestDigestUndoRollback(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := New()
+		for i := 0; i < 32; i++ {
+			m.Write(uint64(rng.Intn(4*PageSize)), rng.Uint64(), 8)
+		}
+		m.BeginUndo()
+		m.Write(uint64(rng.Intn(4*PageSize)), rng.Uint64(), 8)
+		mark := m.Mark()
+		before := m.Digest()
+		sizes := []int{1, 2, 4, 8}
+		for i := 0; i < int(n); i++ {
+			m.Write(uint64(rng.Intn(6*PageSize)), rng.Uint64(), sizes[rng.Intn(4)])
+		}
+		m.RollbackTo(mark)
+		return m.Digest() == before && m.Digest() == m.RecomputeDigest()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDigestImageHopping: the digest survives checkpoint-hopping — capture
+// several images, then restore between them in arbitrary order using the
+// prev-diffed fast path — without ever being recomputed from contents.
+func TestDigestImageHopping(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	m := New()
+	m.Write(0x1000, 0xDEADBEEF, 4)
+	m.BeginImaging()
+
+	const nimg = 5
+	imgs := make([]*Image, nimg)
+	want := make([]uint64, nimg)
+	for i := 0; i < nimg; i++ {
+		for j := 0; j < 20; j++ {
+			m.Write(uint64(rng.Intn(6*PageSize)), rng.Uint64(), 8)
+		}
+		imgs[i] = m.CaptureImage()
+		want[i] = m.Digest()
+		if got := imgs[i].Digest(); got != want[i] {
+			t.Fatalf("image %d digest %#x != memory digest %#x", i, got, want[i])
+		}
+	}
+	prev := imgs[nimg-1]
+	for hop := 0; hop < 20; hop++ {
+		i := rng.Intn(nimg)
+		m.RestoreImage(imgs[i], prev)
+		prev = imgs[i]
+		if m.Digest() != want[i] {
+			t.Fatalf("hop %d to image %d: digest %#x, want %#x", hop, i, m.Digest(), want[i])
+		}
+		if m.Digest() != m.RecomputeDigest() {
+			t.Fatalf("hop %d: incremental %#x != recomputed %#x", hop, m.Digest(), m.RecomputeDigest())
+		}
+	}
+}
+
+// TestDigestCloneIndependent: a clone carries the digest and diverges
+// independently afterwards.
+func TestDigestCloneIndependent(t *testing.T) {
+	m := New()
+	m.Write(0x1000, 0xABCD, 2)
+	c := m.Clone()
+	if c.Digest() != m.Digest() {
+		t.Fatalf("clone digest %#x != source %#x", c.Digest(), m.Digest())
+	}
+	c.StoreByte(0x1000, 0x77)
+	if c.Digest() == m.Digest() {
+		t.Error("clone digest tracked the source after divergence")
+	}
+	if c.Digest() != c.RecomputeDigest() {
+		t.Errorf("clone incremental %#x != recomputed %#x", c.Digest(), c.RecomputeDigest())
+	}
+}

@@ -30,6 +30,17 @@ const offsetMask = PageSize - 1
 type Memory struct {
 	pages map[uint64]*[PageSize]byte
 
+	// digest is a position-keyed XOR over every nonzero byte of memory:
+	// the XOR of memTerm(addr, b) for all addresses holding b != 0. Zero
+	// bytes contribute nothing, so an absent page is digest-equal to an
+	// all-zero resident page — the same equivalence Equal implements. The
+	// digest is maintained incrementally by every mutation path (StoreByte,
+	// RollbackTo, RestoreImage, Clone) and is a pure function of current
+	// contents, making a whole-memory compare O(1). It composes with the
+	// state.File digest into the campaign engine's per-cycle trajectory
+	// trace.
+	digest uint64
+
 	// One-entry page translation cache; avoids a map lookup on the
 	// overwhelmingly common same-page access pattern.
 	//pipelint:clone-ok pure cache; Clone goes through New, which resets it empty
@@ -110,7 +121,49 @@ func (m *Memory) StoreByte(addr uint64, v byte) {
 	if m.dirtyOn {
 		m.markDirty(addr >> PageShift)
 	}
+	old := p[addr&offsetMask]
+	if old != v {
+		m.digest ^= memTerm(addr, old) ^ memTerm(addr, v)
+	}
 	p[addr&offsetMask] = v
+}
+
+// memTerm hashes one (address, byte) pair for the memory digest. A zero
+// byte contributes nothing, so untouched (absent) pages and explicitly
+// zeroed bytes are indistinguishable — exactly the contents equivalence
+// Equal implements. The mix is the SplitMix64 finalizer over the golden
+// ratio-scaled address XOR the byte, matching the avalanche quality of the
+// state.File entry digest it composes with.
+func memTerm(addr uint64, b byte) uint64 {
+	if b == 0 {
+		return 0
+	}
+	x := addr*0x9E3779B97F4A7C15 ^ uint64(b)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// Digest returns the whole-memory contents digest (see the field comment).
+func (m *Memory) Digest() uint64 { return m.digest }
+
+// RecomputeDigest folds the digest from scratch over current contents: the
+// O(footprint) oracle for the incrementally maintained Digest. Tests and
+// debugging only.
+func (m *Memory) RecomputeDigest() uint64 {
+	var d uint64
+	for vpn, p := range m.pages {
+		base := vpn << PageShift
+		for off, b := range p {
+			if b != 0 {
+				d ^= memTerm(base+uint64(off), b)
+			}
+		}
+	}
+	return d
 }
 
 // markDirty records a page write for CaptureImage.
@@ -187,11 +240,17 @@ func (m *Memory) RollbackTo(mark int) {
 	for i := len(m.undo) - 1; i >= mark; i-- {
 		e := m.undo[i]
 		// Restore directly; do not re-log (but do keep imaging's dirty-page
-		// view current: a rollback changes page contents like any write).
+		// view and the digest current: a rollback changes page contents like
+		// any write).
 		if m.dirtyOn {
 			m.markDirty(e.addr >> PageShift)
 		}
-		m.page(e.addr)[e.addr&offsetMask] = e.old
+		p := m.page(e.addr)
+		cur := p[e.addr&offsetMask]
+		if cur != e.old {
+			m.digest ^= memTerm(e.addr, cur) ^ memTerm(e.addr, e.old)
+		}
+		p[e.addr&offsetMask] = e.old
 	}
 	m.undo = m.undo[:mark]
 }
@@ -220,6 +279,7 @@ func (m *Memory) Clone() *Memory {
 		*cp = *p
 		c.pages[vpn] = cp
 	}
+	c.digest = m.digest
 	return c
 }
 
@@ -232,7 +292,15 @@ func (m *Memory) Clone() *Memory {
 // any Memory can be overwritten to match any Image.
 type Image struct {
 	pages map[uint64]*[PageSize]byte
+
+	// digest is the capturing memory's contents digest at capture time.
+	// RestoreImage makes the target's contents equal the image's, so it can
+	// adopt this digest in O(1) instead of re-folding restored pages.
+	digest uint64
 }
+
+// Digest returns the captured contents digest (see Memory.Digest).
+func (im *Image) Digest() uint64 { return im.digest }
 
 // PageCount returns the number of pages resident in the image.
 func (im *Image) PageCount() int { return len(im.pages) }
@@ -275,7 +343,7 @@ func (m *Memory) CaptureImage() *Image {
 	for vpn, p := range m.imgCur {
 		pages[vpn] = p
 	}
-	return &Image{pages: pages}
+	return &Image{pages: pages, digest: m.digest}
 }
 
 // RestoreImage overwrites this memory's contents to match img. If prev is
@@ -317,6 +385,8 @@ func (m *Memory) RestoreImage(img, prev *Image) {
 			}
 		}
 	}
+	// Contents now equal the image's exactly, so the digest does too.
+	m.digest = img.digest
 }
 
 // zeroPage clears one resident page (absent pages already read as zero).

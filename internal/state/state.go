@@ -112,8 +112,8 @@ type Elem struct {
 	// and strSh is the largest in-word shift at which a row still fits in a
 	// single word (64 - width) — a row straddles two words iff its shift
 	// exceeds strSh, so widths that divide 64 never take the two-word path.
-	// trace is nil except on injectable elements while a golden-run touch
-	// trace is active, keeping the common case a single predictable branch.
+	// trace is nil except while a golden-run touch trace is active, keeping
+	// the common case a single predictable branch.
 	words   []uint64
 	trace   *TouchTrace
 	bitBase uint64 // global bit offset of entry 0 (digest keying)
@@ -129,7 +129,7 @@ type Elem struct {
 
 	file      *File
 	injBase   uint64 // cumulative injectable-bit index (if injectable)
-	entryBase uint64 // cumulative injectable-entry index (if injectable)
+	entryBase uint64 // cumulative entry index over all elements (trace key)
 }
 
 // Name returns the element's name.
@@ -154,8 +154,9 @@ func (e *Elem) Bits() int { return e.entries * e.width }
 func (e *Elem) Injectable() bool { return e.injectable }
 
 // EntryIndex returns the trace key of entry i: the element's cumulative
-// injectable-entry offset plus i. Meaningful only for injectable elements
-// of a frozen file (non-injectable elements all report base 0).
+// entry offset plus i. Keys cover every element of a frozen file —
+// injectable or not — so touch traces and the convergence certificate can
+// reason about cache/predictor state alongside the injectable population.
 func (e *Elem) EntryIndex(i int) uint64 { return e.entryBase + uint64(i) }
 
 // Get reads entry i.
@@ -182,6 +183,12 @@ func (e *Elem) Set(i int, v uint64) {
 	if e.trace != nil {
 		e.trace.set(e.entryBase + uint64(i))
 	}
+	e.put(i, v)
+}
+
+// put is Set without the touch-trace hook: the raw write path shared by
+// behavioral writes and CopyEntry's data movement.
+func (e *Elem) put(i int, v uint64) {
 	v &= e.mask
 	bit := e.bitBase + uint64(i)*uint64(e.width)
 	sh := bit & 63
@@ -253,6 +260,31 @@ func (e *Elem) Flip(i, bit int) {
 	e.Set(i, e.Get(i)^uint64(1)<<uint(bit))
 }
 
+// CopyEntry copies entry si of src into entry di of dst as pure data
+// movement. The transfer updates the file digest, write count and undo
+// journal exactly like Get followed by Set, but an active touch trace
+// records it as a copy instead of a behavioral read-write pair: first
+// touches land on both ends (a copy propagates src corruption and
+// overwrites dst corruption, so dead-on-arrival and taint reasoning see a
+// read and a write at the same cycles as before), while the behavioral
+// last-touch stamps are left alone and the src→dst edge plus the dst's
+// last copy cycle are recorded instead. The convergence certificate chases
+// those edges to bound where a frozen trial-vs-golden delta can flow: a
+// recovery drain that wholesale-copies architectural state over
+// speculative state rewrites entries without observing them, and
+// last-touch stamps from those rewrites would otherwise block every
+// certificate involving the drained elements. Both elements must belong to
+// the same file.
+func CopyEntry(dst *Elem, di int, src *Elem, si int) {
+	if dst.file != src.file {
+		panic("state: CopyEntry across files: " + src.name + " -> " + dst.name)
+	}
+	if dst.trace != nil {
+		dst.trace.copy(src.entryBase+uint64(si), dst.entryBase+uint64(di))
+	}
+	dst.put(di, src.getFrom(src.words, si))
+}
+
 // mix hashes a (position, value) pair; the file digest is the XOR of mix
 // over every entry, making it a pure function of current state.
 func mix(key, val uint64) uint64 {
@@ -280,7 +312,7 @@ type File struct {
 
 	injElems   []*Elem  // injectable elements, in registration order
 	injBits    uint64   // total injectable bits (latches + RAMs)
-	injEntries uint64   // total injectable entries (trace key space)
+	allEntries uint64   // total entries over all elements (trace key space)
 	injCum     []uint64 // injCum[i] = injectable bits in injElems[:i]; len+1 entries
 	latchElems []*Elem
 	latchBits  uint64   // total injectable latch bits
@@ -376,11 +408,11 @@ func (f *File) Freeze() {
 		e.bitBase = bit
 		bit += uint64(e.entries * e.width)
 		bit = (bit + 63) &^ 63 // word-align each element
+		e.entryBase = f.allEntries
+		f.allEntries += uint64(e.entries)
 		if e.injectable {
 			e.injBase = f.injBits
 			f.injBits += uint64(e.Bits())
-			e.entryBase = f.injEntries
-			f.injEntries += uint64(e.entries)
 			f.injElems = append(f.injElems, e)
 			if e.kind == KindLatch {
 				f.latchBits += uint64(e.Bits())
@@ -553,26 +585,64 @@ func (f *File) JournalLen() int { return len(f.jLog) }
 // invalidate explicitly.
 func (f *File) WriteCount() uint64 { return f.writes }
 
-// TouchTrace records, per injectable entry, the first cycle at which a
-// golden run reads the entry and the first at which it writes it (0 =
-// never). Entries are keyed by Elem.EntryIndex. The trial engine uses the
-// trace to decide, in closed form, whether a flipped bit can ever be
-// observed: an entry overwritten before its first read is dead on arrival.
+// TouchTrace records, per entry of every element, the first and last cycle
+// at which a golden run reads the entry and the first and last at which it
+// writes it (0 = never). Entries are keyed by Elem.EntryIndex. The trial
+// engine uses the first-touch half to decide, in closed form, whether a
+// flipped bit can ever be observed (an entry overwritten before its first
+// read is dead on arrival) and the last-touch half for the convergence
+// certificate: an entry the golden run never touches again cannot cancel or
+// propagate a frozen trial-vs-golden delta.
+//
+// CopyEntry data movement is traced separately from behavioral touches:
+// a copy stamps first touches on both ends but not last touches, and
+// instead records the src→dst copy edge (CopyDst, single destination or
+// Poisoned) and the destination's last copy-in cycle (LastCopy). The
+// certificate follows the edges to reason about recovery drains that
+// rewrite state without observing it.
 type TouchTrace struct {
 	FirstRead []uint64
 	FirstSet  []uint64
+	LastRead  []uint64
+	LastSet   []uint64
+	CopyDst   []uint64 // by src key: 0 = none, dst key+1, or Poisoned
+	LastCopy  []uint64 // by dst key: cycle of the last copy into the entry
 	cycle     uint64
 }
+
+// Poisoned marks a CopyDst slot whose entry was copied to more than one
+// distinct destination; the convergence certificate treats the entry's
+// copy flow as untrackable.
+const Poisoned = ^uint64(0)
 
 func (t *TouchTrace) read(g uint64) {
 	if t.FirstRead[g] == 0 {
 		t.FirstRead[g] = t.cycle
 	}
+	t.LastRead[g] = t.cycle
 }
 
 func (t *TouchTrace) set(g uint64) {
 	if t.FirstSet[g] == 0 {
 		t.FirstSet[g] = t.cycle
+	}
+	t.LastSet[g] = t.cycle
+}
+
+func (t *TouchTrace) copy(src, dst uint64) {
+	if t.FirstRead[src] == 0 {
+		t.FirstRead[src] = t.cycle
+	}
+	if t.FirstSet[dst] == 0 {
+		t.FirstSet[dst] = t.cycle
+	}
+	t.LastCopy[dst] = t.cycle
+	if cur := t.CopyDst[src]; cur != dst+1 {
+		if cur == 0 {
+			t.CopyDst[src] = dst + 1
+		} else {
+			t.CopyDst[src] = Poisoned
+		}
 	}
 }
 
@@ -609,29 +679,48 @@ func (t *TouchTrace) Reset() {
 	for i := range t.FirstSet {
 		t.FirstSet[i] = 0
 	}
+	for i := range t.LastRead {
+		t.LastRead[i] = 0
+	}
+	for i := range t.LastSet {
+		t.LastSet[i] = 0
+	}
+	for i := range t.CopyDst {
+		t.CopyDst[i] = 0
+	}
+	for i := range t.LastCopy {
+		t.LastCopy[i] = 0
+	}
 	t.cycle = 0
 }
 
-// NewTouchTrace allocates a trace sized to the file's injectable-entry
-// population.
+// NewTouchTrace allocates a trace sized to the file's full entry
+// population (every element, injectable or not).
 func (f *File) NewTouchTrace() *TouchTrace {
 	if !f.frozen {
 		panic("state: NewTouchTrace before Freeze")
 	}
 	return &TouchTrace{
-		FirstRead: make([]uint64, f.injEntries),
-		FirstSet:  make([]uint64, f.injEntries),
+		FirstRead: make([]uint64, f.allEntries),
+		FirstSet:  make([]uint64, f.allEntries),
+		LastRead:  make([]uint64, f.allEntries),
+		LastSet:   make([]uint64, f.allEntries),
+		CopyDst:   make([]uint64, f.allEntries),
+		LastCopy:  make([]uint64, f.allEntries),
 	}
 }
 
-// StartTrace attaches t to every injectable element so subsequent Get/Set
-// calls record first-touch cycles. Call TraceCycle with a cycle number >= 1
-// before stepping (cycle 0 means "never touched").
+// StartTrace attaches t to every element so subsequent Get/Set calls record
+// touch cycles. Non-injectable elements (caches, predictors) are traced
+// too: the convergence certificate must know the golden run's future
+// touches of *any* state an injected trial could differ in, not just the
+// injectable population. Call TraceCycle with a cycle number >= 1 before
+// stepping (cycle 0 means "never touched").
 func (f *File) StartTrace(t *TouchTrace) {
 	if !f.frozen {
 		panic("state: StartTrace before Freeze")
 	}
-	for _, e := range f.injElems {
+	for _, e := range f.elems {
 		e.trace = t
 	}
 	f.trace = t
@@ -649,7 +738,7 @@ func (f *File) TraceCycle(c uint64) {
 // StopTrace detaches the active trace, restoring the zero-cost Get/Set
 // paths.
 func (f *File) StopTrace() {
-	for _, e := range f.injElems {
+	for _, e := range f.elems {
 		e.trace = nil
 	}
 	f.trace = nil
@@ -680,6 +769,68 @@ type Snapshot struct {
 // Snapshot captures the current contents.
 func (f *File) Snapshot() *Snapshot {
 	return &Snapshot{words: append([]uint64(nil), f.words...), digest: f.digest}
+}
+
+// SnapshotInto refreshes s with the current contents, reusing its backing
+// storage when the layout matches. A nil s allocates, so callers can keep a
+// slice of reusable snapshots that amortizes to zero allocation across
+// golden runs.
+func (f *File) SnapshotInto(s *Snapshot) *Snapshot {
+	if s == nil || len(s.words) != len(f.words) {
+		return f.Snapshot()
+	}
+	copy(s.words, f.words)
+	s.digest = f.digest
+	return s
+}
+
+// getFrom extracts entry i's value from an alternate word array with the
+// file's frozen layout (a Snapshot's backing store).
+func (e *Elem) getFrom(words []uint64, i int) uint64 {
+	bit := e.bitBase + uint64(i)*uint64(e.width)
+	sh := bit & 63
+	v := words[bit>>6] >> sh
+	if sh > e.strSh {
+		v |= words[bit>>6+1] << (64 - sh)
+	}
+	return v & e.mask
+}
+
+// DiffEntries compares the file's current contents against a snapshot taken
+// on the same layout and calls visit with the EntryIndex key of every entry
+// whose value differs, in layout order. If visit returns false the scan
+// aborts and DiffEntries returns false; it returns true once every
+// differing entry has been visited and accepted. The scan is word-granular
+// (elements are word-aligned), so the common all-equal region costs one
+// compare per 64 bits; only elements containing a differing word are
+// re-walked per entry.
+func (f *File) DiffEntries(s *Snapshot, visit func(key uint64) bool) bool {
+	if len(s.words) != len(f.words) {
+		panic("state: DiffEntries snapshot layout mismatch")
+	}
+	words, snap := f.words, s.words
+	for _, e := range f.elems {
+		lo := e.bitBase >> 6
+		hi := (e.bitBase + uint64(e.entries*e.width) + 63) >> 6
+		differs := false
+		for w := lo; w < hi; w++ {
+			if words[w] != snap[w] {
+				differs = true
+				break
+			}
+		}
+		if !differs {
+			continue
+		}
+		for i := 0; i < e.entries; i++ {
+			if e.getFrom(words, i) != e.getFrom(snap, i) {
+				if !visit(e.entryBase + uint64(i)) {
+					return false
+				}
+			}
+		}
+	}
+	return true
 }
 
 // Restore overwrites the file contents from a snapshot taken on a file with

@@ -67,26 +67,50 @@ func TestTouchTraceRecordsNoOpSets(t *testing.T) {
 	}
 }
 
-// TestTouchTraceSkipsNonInjectable: non-injectable elements carry no trace
-// pointer; touching them records nothing and panics nothing.
-func TestTouchTraceSkipsNonInjectable(t *testing.T) {
+// TestTouchTraceCoversNonInjectable: non-injectable elements (predictors,
+// caches) ARE traced. The convergence certificate proves "the golden run
+// never reads the frozen delta after cycle c" — that proof is unsound if
+// reads of non-injectable state go unrecorded, so StartTrace attaches the
+// trace to every element, not just injection targets.
+func TestTouchTraceCoversNonInjectable(t *testing.T) {
 	f, elems := newTestFile()
 	ic := elems[5] // "icache", NotInjectable
 	tr := f.NewTouchTrace()
 	f.StartTrace(tr)
-	f.TraceCycle(1)
+	f.TraceCycle(7)
 	ic.Set(3, 42)
 	ic.Get(3)
 	f.StopTrace()
-	for i, v := range tr.FirstRead {
-		if v != 0 {
-			t.Fatalf("FirstRead[%d]=%d from a non-injectable touch", i, v)
-		}
+	k := ic.EntryIndex(3)
+	if tr.FirstSet[k] != 7 || tr.FirstRead[k] != 7 {
+		t.Errorf("icache[3]: FirstSet=%d FirstRead=%d, want 7/7", tr.FirstSet[k], tr.FirstRead[k])
 	}
-	for i, v := range tr.FirstSet {
-		if v != 0 {
-			t.Fatalf("FirstSet[%d]=%d from a non-injectable touch", i, v)
-		}
+	if tr.LastSet[k] != 7 || tr.LastRead[k] != 7 {
+		t.Errorf("icache[3]: LastSet=%d LastRead=%d, want 7/7", tr.LastSet[k], tr.LastRead[k])
+	}
+}
+
+// TestTouchTraceLastTouch: LastRead/LastSet always advance to the most
+// recent touch cycle while First* stay pinned to the earliest.
+func TestTouchTraceLastTouch(t *testing.T) {
+	f, elems := newTestFile()
+	ctrl := elems[4]
+	tr := f.NewTouchTrace()
+	f.StartTrace(tr)
+	f.TraceCycle(2)
+	ctrl.Set(1, 5)
+	ctrl.Get(1)
+	f.TraceCycle(6)
+	ctrl.Get(1)
+	f.TraceCycle(9)
+	ctrl.Set(1, 8)
+	f.StopTrace()
+	k := ctrl.EntryIndex(1)
+	if tr.FirstSet[k] != 2 || tr.FirstRead[k] != 2 {
+		t.Errorf("ctrl[1]: FirstSet=%d FirstRead=%d, want 2/2", tr.FirstSet[k], tr.FirstRead[k])
+	}
+	if tr.LastSet[k] != 9 || tr.LastRead[k] != 6 {
+		t.Errorf("ctrl[1]: LastSet=%d LastRead=%d, want 9/6", tr.LastSet[k], tr.LastRead[k])
 	}
 }
 
@@ -100,25 +124,93 @@ func TestTouchTraceReset(t *testing.T) {
 	f.TraceCycle(9)
 	ctrl.Set(0, 1)
 	ctrl.Get(1)
+	CopyEntry(ctrl, 2, ctrl, 0)
 	f.StopTrace()
 	tr.Reset()
 	for i := range tr.FirstRead {
-		if tr.FirstRead[i] != 0 || tr.FirstSet[i] != 0 {
+		if tr.FirstRead[i] != 0 || tr.FirstSet[i] != 0 ||
+			tr.LastRead[i] != 0 || tr.LastSet[i] != 0 ||
+			tr.CopyDst[i] != 0 || tr.LastCopy[i] != 0 {
 			t.Fatalf("entry %d not cleared by Reset", i)
 		}
 	}
 }
 
-// TestEntryIndexDisjoint: injectable entries map to unique trace keys
-// covering [0, injEntries).
+// TestCopyEntryTrace: CopyEntry records a copy, not a behavioral read-write
+// pair — first touches on both ends (dead-on-arrival reasoning must see the
+// propagation and the overwrite), copy edge and last-copy cycle, and NO
+// last-read/last-set stamps. A second distinct destination poisons the edge.
+func TestCopyEntryTrace(t *testing.T) {
+	f, elems := newTestFile()
+	ctrl := elems[4]
+	ctrl.Set(0, 21)
+	tr := f.NewTouchTrace()
+	f.StartTrace(tr)
+	f.TraceCycle(3)
+	CopyEntry(ctrl, 2, ctrl, 0)
+	f.TraceCycle(8)
+	CopyEntry(ctrl, 2, ctrl, 0)
+	f.StopTrace()
+	if got := ctrl.Get(2); got != 21 {
+		t.Fatalf("CopyEntry moved %d, want 21", got)
+	}
+	src, dst := ctrl.EntryIndex(0), ctrl.EntryIndex(2)
+	if tr.FirstRead[src] != 3 || tr.FirstSet[dst] != 3 {
+		t.Errorf("first touches %d/%d, want 3/3", tr.FirstRead[src], tr.FirstSet[dst])
+	}
+	if tr.LastRead[src] != 0 || tr.LastSet[dst] != 0 {
+		t.Errorf("copy stamped behavioral last touches: LastRead=%d LastSet=%d",
+			tr.LastRead[src], tr.LastSet[dst])
+	}
+	if tr.CopyDst[src] != dst+1 || tr.LastCopy[dst] != 8 {
+		t.Errorf("CopyDst=%d LastCopy=%d, want %d/8", tr.CopyDst[src], tr.LastCopy[dst], dst+1)
+	}
+	f.StartTrace(tr)
+	f.TraceCycle(9)
+	CopyEntry(ctrl, 3, ctrl, 0) // second distinct destination
+	f.StopTrace()
+	if tr.CopyDst[src] != Poisoned {
+		t.Errorf("multi-destination source not poisoned: CopyDst=%d", tr.CopyDst[src])
+	}
+}
+
+// TestCopyEntryDigestJournal: CopyEntry is a real write everywhere but the
+// trace — digest, write count and the undo journal must behave exactly as a
+// Get+Set would, including the no-op fast path.
+func TestCopyEntryDigestJournal(t *testing.T) {
+	f, elems := newTestFile()
+	ctrl, rat := elems[4], elems[3] // rat is 7-bit: exercises the straddle path
+	ctrl.Set(0, 55)
+	rat.Set(9, 101)
+	f.BeginJournal()
+	mark := f.Mark()
+	base := f.WriteCount()
+	CopyEntry(ctrl, 1, ctrl, 0)
+	CopyEntry(rat, 2, rat, 9)
+	if f.WriteCount() != base+2 {
+		t.Fatalf("WriteCount=%d after two copies, want %d", f.WriteCount(), base+2)
+	}
+	CopyEntry(ctrl, 1, ctrl, 0) // no-op: destination already equal
+	if f.WriteCount() != base+2 {
+		t.Fatal("no-op CopyEntry advanced WriteCount")
+	}
+	if f.Digest() != f.RecomputeDigest() {
+		t.Fatalf("digest drifted after CopyEntry: %#x != %#x", f.Digest(), f.RecomputeDigest())
+	}
+	f.RollbackTo(mark)
+	f.CommitJournal()
+	if ctrl.Get(1) != 0 || rat.Get(2) != 0 || f.Digest() != f.RecomputeDigest() {
+		t.Fatal("journal rollback did not undo CopyEntry writes")
+	}
+}
+
+// TestEntryIndexDisjoint: every element's entries — injectable or not —
+// map to unique trace keys covering [0, allEntries).
 func TestEntryIndexDisjoint(t *testing.T) {
 	f, _ := newTestFile()
 	seen := make(map[uint64]string)
 	total := 0
 	for _, e := range f.Elems() {
-		if !e.Injectable() {
-			continue
-		}
 		for i := 0; i < e.Entries(); i++ {
 			k := e.EntryIndex(i)
 			if prev, dup := seen[k]; dup {

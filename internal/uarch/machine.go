@@ -165,6 +165,17 @@ func (m *Machine) Halted() bool { return m.e.msHalted.Bool(0) }
 // Digest returns the whole-machine state digest.
 func (m *Machine) Digest() uint64 { return m.F.Digest() }
 
+// TraceDigest returns the composite trajectory digest: the state-file
+// digest folded with the memory contents digest. Two machines with equal
+// TraceDigests agree on everything that determines future behavior — every
+// latch and RAM cell (File) and all of physical memory (Mem). The shadow
+// instrumentation counters (Cycle, nextSeq, Retired, the seq* arrays) are
+// deliberately excluded: pipeline logic never reads them (the pipelint
+// shadowstate analyzer enforces this), so they cannot influence any future
+// architectural or microarchitectural event; see DESIGN.md "Convergence
+// termination" for the full argument.
+func (m *Machine) TraceDigest() uint64 { return m.F.Digest() ^ m.Mem.Digest() }
+
 // Step advances the machine one clock cycle. Stages are evaluated in
 // reverse pipeline order so that same-cycle reads observe previous-cycle
 // state, giving edge-triggered latch semantics.

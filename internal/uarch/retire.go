@@ -1,6 +1,9 @@
 package uarch
 
-import "pipefault/internal/isa"
+import (
+	"pipefault/internal/isa"
+	"pipefault/internal/state"
+)
 
 // writeback drains the register-file write ports: values reach the register
 // file and scoreboard, consumers wake, ROB entries complete, and scheduler
@@ -358,24 +361,35 @@ func (m *Machine) fullFlush(newPC uint64, cause string) {
 	e.robTail.Set(0, 0)
 	e.robCount.Set(0, 0)
 
+	// The drain is pure data movement — architectural renaming state is
+	// wholesale-copied over speculative state without the values steering
+	// anything — so it goes through state.CopyEntry, which the golden touch
+	// trace records as copy edges rather than behavioral reads and writes.
+	// The convergence certificate depends on that distinction: a corrupted
+	// arch entry for a register the program never uses is re-copied here on
+	// every flush, and behavioral last-touch stamps from those copies would
+	// veto every certificate involving the RAT or free list. Under pointer
+	// ECC the drain reads through the correcting decoder and regenerates
+	// check bits — a value transformation, not a copy — so that path keeps
+	// the behavioral accessors.
 	for i := 0; i < 32; i++ {
-		v := e.archRAT.Get(i)
 		if m.Cfg.Protect.PointerECC {
-			v = m.readArchRATECC(i)
-		}
-		e.specRAT.Set(i, v)
-		if m.Cfg.Protect.PointerECC {
+			e.specRAT.Set(i, m.readArchRATECC(i))
 			m.genSpecRATECC(i)
+			continue
 		}
+		state.CopyEntry(e.specRAT, i, e.archRAT, i)
 	}
 	for i := 0; i < FreeListSize; i++ {
-		e.specFL.Set(i, e.archFL.Get(i))
 		if m.Cfg.Protect.PointerECC {
+			e.specFL.Set(i, e.archFL.Get(i))
 			m.genSpecFLECC(i)
+			continue
 		}
+		state.CopyEntry(e.specFL, i, e.archFL, i)
 	}
-	e.specFLHead.Set(0, e.archFLHead.Get(0))
-	e.specFLCount.Set(0, e.archFLCount.Get(0))
+	state.CopyEntry(e.specFLHead, 0, e.archFLHead, 0)
+	state.CopyEntry(e.specFLCount, 0, e.archFLCount, 0)
 
 	for p := 0; p < NumPhysRegs; p++ {
 		e.prfReady.SetBool(p, true)
