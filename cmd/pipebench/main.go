@@ -5,6 +5,7 @@
 //
 //	pipebench [-o BENCH_pipeline.json] [-quick] [-workers N]
 //	          [-baseline FILE] [-regress-pct P] [-soft]
+//	          [-cpuprofile FILE] [-memprofile FILE]
 //
 // Four measurements are taken with testing.Benchmark:
 //
@@ -39,9 +40,12 @@
 //
 // With -baseline, the fresh headline metrics are compared against a
 // previously committed report: a drop of more than -regress-pct percent in
-// cycles_per_sec or trials_per_sec fails the run (exit 1), or emits a
-// GitHub Actions warning annotation instead when -soft is set (for noisy
-// shared runners).
+// cycles_per_sec or trials_per_sec — or an equal rise in the lower-is-better
+// step_ns_per_cycle — fails the run (exit 1), or emits a GitHub Actions
+// warning annotation instead when -soft is set (for noisy shared runners).
+//
+// -cpuprofile/-memprofile bracket the measurement phase with runtime/pprof,
+// for chasing a regression the gate reports down to the hot loop.
 //
 // The JSON written to -o holds the headline metrics plus the raw
 // testing.BenchmarkResult fields for each measurement.
@@ -54,6 +58,7 @@ import (
 	"os"
 	"reflect"
 	"runtime"
+	"runtime/pprof"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -82,6 +87,7 @@ type scalingLine struct {
 
 type metrics struct {
 	CyclesPerSec       float64 `json:"cycles_per_sec"`
+	StepNsPerCycle     float64 `json:"step_ns_per_cycle"`
 	TrialsPerSec       float64 `json:"trials_per_sec"`
 	NsRestoreSnapshot  float64 `json:"ns_per_restore_snapshot"`
 	NsRestoreJournal   float64 `json:"ns_per_restore_journal"`
@@ -126,7 +132,22 @@ func main() {
 	baseline := flag.String("baseline", "", "baseline report to compare headline metrics against")
 	regressPct := flag.Float64("regress-pct", 25, "max tolerated % drop vs -baseline in cycles_per_sec / trials_per_sec")
 	soft := flag.Bool("soft", false, "report a baseline regression as a GitHub warning annotation instead of exit 1")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the measurement run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file after the measurements")
 	flag.Parse()
+
+	// Profiling brackets the measurement phase only: the profile stops
+	// before report writing and the baseline gate, so a gate failure still
+	// leaves a complete profile behind for the regression hunt.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+	}
 
 	rep := &report{
 		Suite:   "pipeline",
@@ -175,6 +196,7 @@ func main() {
 		}
 	}))
 	rep.Metrics.CyclesPerSec = opsPerSec(step)
+	rep.Metrics.StepNsPerCycle = nsPerOp(step)
 
 	// End-to-end campaign: trials/sec and allocs/trial.
 	cfg := core.Config{
@@ -412,6 +434,21 @@ func main() {
 	m.CommitJournal()
 	rep.Metrics.NsRestoreJournal = nsPerOp(jRes)
 
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
+
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -479,7 +516,24 @@ func checkBaseline(path string, fresh *report, pct float64, soft bool) error {
 					name, drop, baseV, freshV, pct))
 		}
 	}
+	// step_ns_per_cycle is a lower-is-better metric: a regression is a RISE
+	// beyond pct percent. Baselines written before the metric existed carry
+	// a zero and are skipped.
+	checkLower := func(name string, baseV, freshV float64) {
+		if baseV <= 0 {
+			return
+		}
+		rise := 100 * (freshV - baseV) / baseV
+		fmt.Fprintf(os.Stderr, "pipebench: baseline %-15s %12.1f -> %12.1f  (%+.1f%%)\n",
+			name, baseV, freshV, rise)
+		if rise > pct {
+			regressions = append(regressions,
+				fmt.Sprintf("%s regressed %.1f%% (%.1f -> %.1f, tolerance %.0f%%)",
+					name, rise, baseV, freshV, pct))
+		}
+	}
 	check("cycles_per_sec", base.Metrics.CyclesPerSec, fresh.Metrics.CyclesPerSec)
+	checkLower("step_ns_per_cycle", base.Metrics.StepNsPerCycle, fresh.Metrics.StepNsPerCycle)
 	check("trials_per_sec", base.Metrics.TrialsPerSec, fresh.Metrics.TrialsPerSec)
 	if len(regressions) == 0 {
 		fmt.Fprintf(os.Stderr, "pipebench: no regression beyond %.0f%% vs %s\n", pct, path)

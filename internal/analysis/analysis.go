@@ -54,7 +54,7 @@ type Analyzer struct {
 
 // All returns the full pipelint suite in fixed order.
 func All() []*Analyzer {
-	return []*Analyzer{ShadowState, CloneGuard, Determinism, StateReg, IdentHash}
+	return []*Analyzer{ShadowState, CloneGuard, Determinism, StateReg, IdentHash, RawWords}
 }
 
 // A Diagnostic is one finding.

@@ -17,6 +17,7 @@ var Markers = map[string]string{
 	"unordered-ok": "determinism",
 	"wallclock-ok": "determinism",
 	"identity-ok":  "identhash",
+	"words-ok":     "rawwords",
 }
 
 // parseDirective extracts the marker from a comment whose own text is a

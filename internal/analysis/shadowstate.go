@@ -84,10 +84,11 @@ func checkMachineFields(pass *Pass, structName string, st *ast.StructType) {
 }
 
 // shadowAllowed reports whether a field type is exempt by construction:
-// the bit-store itself, a machine handle, func-typed wiring, or a
-// configuration type (named *Config).
+// the bit-store itself, a machine handle, a state.BitLane view (a handle
+// aliasing an element's backing words, not state of its own), func-typed
+// wiring, or a configuration type (named *Config).
 func shadowAllowed(t types.Type) bool {
-	if isStateFilePtr(t) || isMachinePtr(t) {
+	if isStateFilePtr(t) || isMachinePtr(t) || isNamed(t, "state", "BitLane") {
 		return true
 	}
 	if _, ok := t.Underlying().(*types.Signature); ok {

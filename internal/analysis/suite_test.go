@@ -29,6 +29,10 @@ func TestIdentHash(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.IdentHash, "identhash")
 }
 
+func TestRawWords(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.RawWords, "rawwords")
+}
+
 // TestAnnotationHygiene loads a fixture with one consumed exemption, one
 // stale exemption and one misspelled marker, runs the owning analyzer so
 // consumption is recorded, and checks the audit flags exactly the bad two.

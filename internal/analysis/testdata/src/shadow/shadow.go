@@ -13,6 +13,7 @@ type Machine struct {
 	Cfg     Config        // config types are exempt
 	Protect ProtectConfig // any *Config-suffixed type is exempt
 	F       *state.File   // the bit-store itself is exempt
+	Ready   state.BitLane // lane views alias File storage and are exempt
 	OnEvent func(int)     // func-typed wiring is exempt
 
 	Cycle uint64 //pipelint:shadow-ok cycle counter, carried by Snapshot and Clone

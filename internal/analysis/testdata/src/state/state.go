@@ -47,3 +47,9 @@ func (f *File) RandomBit(rng *rand.Rand, latchOnly bool) BitRef { return BitRef{
 func (f *File) Snapshot() *File { return &File{frozen: f.frozen} }
 
 func (f *File) Restore(s *File) {}
+
+// BitLane mirrors the real package's word-parallel lane view: a handle
+// over an element's backing words, carrying no state of its own.
+type BitLane struct {
+	e *Elem
+}

@@ -112,13 +112,17 @@ func operateOp(opcode, fn uint32) Op {
 	return OpIllegal
 }
 
-var memoryOps = map[uint32]Op{
+// memoryOps and branchOps map the 6-bit primary opcode to its Op; a zero
+// entry means "not this format". Dense arrays rather than maps: Decode runs
+// in several pipeline stages per instruction per cycle, and the map hash
+// showed up in the step profile.
+var memoryOps = [64]Op{
 	OpLDA: OpLda, OpLDAH: OpLdah,
 	OpLDBU: OpLdbu, OpLDWU: OpLdwu, OpLDL: OpLdl, OpLDQ: OpLdq,
 	OpSTB: OpStb, OpSTW: OpStw, OpSTL: OpStl, OpSTQ: OpStq,
 }
 
-var branchOps = map[uint32]Op{
+var branchOps = [64]Op{
 	OpBR: OpBr, OpBSR: OpBsr,
 	OpBLBC: OpBlbc, OpBEQ: OpBeq, OpBLT: OpBlt, OpBLE: OpBle,
 	OpBLBS: OpBlbs, OpBNE: OpBne, OpBGE: OpBge, OpBGT: OpBgt,

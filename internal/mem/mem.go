@@ -427,24 +427,47 @@ func (m *Memory) String() string {
 }
 
 // PageSet is an immutable set of legal virtual page numbers, standing in for
-// preloaded TLB contents.
+// preloaded TLB contents. Loaded images are a handful of contiguous
+// segments, so the set is kept as sorted, coalesced [lo, hi] VPN runs: a
+// membership probe is a short compare scan instead of a map hash, it is
+// checked on every fetch and every load/store address, and the flat
+// representation stays safely shareable across trial workers.
 type PageSet struct {
-	vpns map[uint64]struct{}
+	runs []pageRun
+	n    int // total legal pages across runs
+}
+
+type pageRun struct {
+	lo, hi uint64 // inclusive VPN bounds
 }
 
 // NewPageSet builds a PageSet from the pages currently present in m.
 func NewPageSet(m *Memory) *PageSet {
-	s := &PageSet{vpns: make(map[uint64]struct{}, len(m.pages))}
+	vpns := make([]uint64, 0, len(m.pages))
 	for vpn := range m.pages {
-		s.vpns[vpn] = struct{}{}
+		vpns = append(vpns, vpn)
+	}
+	sort.Slice(vpns, func(i, j int) bool { return vpns[i] < vpns[j] })
+	s := &PageSet{n: len(vpns)}
+	for _, vpn := range vpns {
+		if k := len(s.runs); k > 0 && s.runs[k-1].hi+1 == vpn {
+			s.runs[k-1].hi = vpn
+			continue
+		}
+		s.runs = append(s.runs, pageRun{lo: vpn, hi: vpn})
 	}
 	return s
 }
 
 // Contains reports whether the page holding addr is legal.
 func (s *PageSet) Contains(addr uint64) bool {
-	_, ok := s.vpns[addr>>PageShift]
-	return ok
+	vpn := addr >> PageShift
+	for _, r := range s.runs {
+		if vpn <= r.hi {
+			return vpn >= r.lo
+		}
+	}
+	return false
 }
 
 // ContainsRange reports whether every byte of [addr, addr+size) is legal.
@@ -453,4 +476,4 @@ func (s *PageSet) ContainsRange(addr uint64, size int) bool {
 }
 
 // Len returns the number of legal pages.
-func (s *PageSet) Len() int { return len(s.vpns) }
+func (s *PageSet) Len() int { return s.n }

@@ -13,7 +13,7 @@
 // the soundness oracle simulates sampled proven bits full-horizon and
 // demands Match, so every rule must be a Match proof.
 //
-// Three rules, independently toggleable and named in the proof record:
+// Four rules, independently toggleable and named in the proof record:
 //
 //   - liveness: the golden trace shows the entry is overwritten before any
 //     read (state.TouchTrace.ProvenDead — the exact predicate the trial
@@ -24,9 +24,15 @@
 //     architecturally invalid and cannot influence behavior.
 //   - masking: the flipped bit is outside the element's declared
 //     consumed-bit mask, so no consumer ever observes it.
+//   - constprop: the entry IS read before its in-horizon overwrite, but the
+//     golden trace's value-aware observation set (state.TouchTrace.ObsPre,
+//     fed by GetObs masks at audited predicate-only read sites) shows no
+//     pre-overwrite read can notice the flipped bit, so the trial tracks
+//     the golden run until the overwrite erases the corruption.
 //
 // Idleness and masking rest on semantic declarations (prove.Hints) supplied
-// by the machine model; the declarations are contracts, and the campaign's
+// by the machine model, and constprop on the soundness of the audited GetObs
+// observation masks; the declarations are contracts, and the campaign's
 // cross-check oracle validates them empirically.
 package prove
 
@@ -48,8 +54,9 @@ const (
 	RuleLiveness Rule = 1 << iota
 	RuleIdle
 	RuleMask
+	RuleConstProp
 
-	RuleAll       = RuleLiveness | RuleIdle | RuleMask
+	RuleAll       = RuleLiveness | RuleIdle | RuleMask | RuleConstProp
 	RuleNone Rule = 0
 )
 
@@ -60,6 +67,7 @@ var ruleNames = []struct {
 	{RuleLiveness, "liveness"},
 	{RuleIdle, "idle"},
 	{RuleMask, "mask"},
+	{RuleConstProp, "constprop"},
 }
 
 func (r Rule) String() string {
@@ -85,7 +93,7 @@ func (r Rule) String() string {
 }
 
 // Rules lists the individual rules in display order.
-func Rules() []Rule { return []Rule{RuleLiveness, RuleIdle, RuleMask} }
+func Rules() []Rule { return []Rule{RuleLiveness, RuleIdle, RuleMask, RuleConstProp} }
 
 // Gate declares that each entry i of a payload element is architecturally
 // valid only while entry i of the named 1-bit Valid element is nonzero:
@@ -253,15 +261,36 @@ func (p *Proof) analyze(e *state.Elem, f *state.File, trace *state.TouchTrace, m
 		case p.rules&RuleLiveness != 0 && dead && converges:
 			ep.dead[i] = mask
 			ep.rule[i] = RuleLiveness
+			p.record(e.Category(), RuleLiveness, uint64(bits.OnesCount64(mask)))
 		case gate != nil && converges && gate.Get(i) == 0 && idleThrough(trace, gate.EntryIndex(i), matchAt):
 			ep.dead[i] = mask
 			ep.rule[i] = RuleIdle
-		case deadBits && converges:
-			ep.dead[i] = mask &^ consumed
-			ep.rule[i] = RuleMask
-		}
-		if ep.dead[i] != 0 {
-			p.record(e.Category(), ep.rule[i], uint64(bits.OnesCount64(ep.dead[i])))
+			p.record(e.Category(), RuleIdle, uint64(bits.OnesCount64(mask)))
+		default:
+			// The bit-granular rules compose: each contributes the bits it
+			// alone proves, and an entry may carry both rule tags.
+			//
+			// constprop: every behavioral read of the entry before its
+			// in-horizon overwrite observed only ObsPre's bits (value-aware
+			// observation masks at audited predicate-only read sites, the
+			// full row everywhere else). A flip of any other bit leaves
+			// every pre-overwrite read's outcome unchanged, so the trial
+			// tracks the golden run bit-for-bit until the overwrite erases
+			// the corruption — Match at matchAt, no simulation needed.
+			if p.rules&RuleConstProp != 0 && converges {
+				if cp := mask &^ trace.ObsPre[key]; cp != 0 {
+					ep.dead[i] = cp
+					ep.rule[i] = RuleConstProp
+					p.record(e.Category(), RuleConstProp, uint64(bits.OnesCount64(cp)))
+				}
+			}
+			if deadBits && converges {
+				if extra := mask &^ consumed &^ ep.dead[i]; extra != 0 {
+					ep.dead[i] |= extra
+					ep.rule[i] |= RuleMask
+					p.record(e.Category(), RuleMask, uint64(bits.OnesCount64(extra)))
+				}
+			}
 		}
 		ep.cum[i+1] = ep.cum[i] + uint64(width) - uint64(bits.OnesCount64(ep.dead[i]))
 	}

@@ -47,7 +47,8 @@ func TestRuleString(t *testing.T) {
 		{RuleIdle, "idle"},
 		{RuleMask, "mask"},
 		{RuleLiveness | RuleMask, "liveness+mask"},
-		{RuleAll, "liveness+idle+mask"},
+		{RuleConstProp, "constprop"},
+		{RuleAll, "liveness+idle+mask+constprop"},
 		{Rule(1 << 5), "rule(32)"},
 		{RuleLiveness | Rule(1<<5), "liveness+rule(32)"},
 	}
@@ -195,6 +196,100 @@ func TestMaskRule(t *testing.T) {
 	p = Compute(f, tr, Monitors{}, 100, Hints{Masks: map[string]uint64{"wide": 0xFFF}}, RuleAll)
 	if _, ok := p.Proven(state.BitRef{Elem: w, Entry: 0, Bit: 11}); ok {
 		t.Error("full consumed mask still proved bits")
+	}
+}
+
+// TestConstPropRule: an entry read before its overwrite is still provable
+// for the bits no pre-overwrite read observed (value-aware GetObs masks);
+// plain reads observe everything and leave nothing to prove.
+func TestConstPropRule(t *testing.T) {
+	f, elems := testFile()
+	q := elems["q.data"]
+	tr := record(f, func(cycle func(uint64)) {
+		cycle(2)
+		q.GetObs(0, func(uint64) uint64 { return 0x00F0 }) // observes bits 4..7
+		q.GetObs(0, func(uint64) uint64 { return 0x0003 }) // accumulates bits 0..1
+		q.Get(1)                                           // plain read: observes all
+		q.GetObs(2, func(uint64) uint64 { return 0x0001 })
+		cycle(5)
+		q.Set(0, 9)
+		q.Set(1, 9)
+		// entry 2 is never overwritten: no re-convergence, no proof
+	})
+	p := Compute(f, tr, Monitors{}, 100, Hints{}, RuleAll)
+
+	for bit := 0; bit < 16; bit++ {
+		r, ok := p.Proven(state.BitRef{Elem: q, Entry: 0, Bit: bit})
+		observed := bit < 2 || (bit >= 4 && bit < 8)
+		if observed && ok {
+			t.Errorf("observed bit %d proven", bit)
+		}
+		if !observed && (!ok || r != RuleConstProp) {
+			t.Errorf("unobserved bit %d: Proven = (%v, %v), want (constprop, true)", bit, r, ok)
+		}
+	}
+	if _, ok := p.Proven(state.BitRef{Elem: q, Entry: 1, Bit: 3}); ok {
+		t.Error("constprop proof emitted for a fully observed entry")
+	}
+	if _, ok := p.Proven(state.BitRef{Elem: q, Entry: 2, Bit: 3}); ok {
+		t.Error("constprop proof emitted for a never-overwritten entry")
+	}
+
+	// A golden monitor tying the overwrite kills the proof, exactly as for
+	// liveness.
+	p = Compute(f, tr, Monitors{ExcAt: 5}, 100, Hints{}, RuleAll)
+	if _, ok := p.Proven(state.BitRef{Elem: q, Entry: 0, Bit: 15}); ok {
+		t.Error("constprop proof survived a tying golden monitor")
+	}
+
+	// Disabling the rule removes the proof.
+	p = Compute(f, tr, Monitors{}, 100, Hints{}, RuleLiveness|RuleIdle|RuleMask)
+	if _, ok := p.Proven(state.BitRef{Elem: q, Entry: 0, Bit: 15}); ok {
+		t.Error("constprop proof emitted with RuleConstProp disabled")
+	}
+}
+
+// TestConstPropMaskCompose: the two bit-granular rules union their proven
+// sets on one entry, each bit attributed to the rule that proved it in the
+// coverage report.
+func TestConstPropMaskCompose(t *testing.T) {
+	f, elems := testFile()
+	w := elems["wide"]
+	tr := record(f, func(cycle func(uint64)) {
+		cycle(2)
+		w.GetObs(0, func(uint64) uint64 { return 0x021 }) // observes bits 0 and 5
+		cycle(4)
+		w.Set(0, 1)
+	})
+	hints := Hints{Masks: map[string]uint64{"wide": 0x00F}} // bits 0..3 consumed
+	p := Compute(f, tr, Monitors{}, 100, hints, RuleAll)
+
+	// Bit 0: observed and consumed — must simulate.
+	if _, ok := p.Proven(state.BitRef{Elem: w, Entry: 0, Bit: 0}); ok {
+		t.Error("observed consumed bit proven")
+	}
+	// Bit 1: unobserved — constprop.
+	if r, ok := p.Proven(state.BitRef{Elem: w, Entry: 0, Bit: 1}); !ok || r&RuleConstProp == 0 {
+		t.Errorf("unobserved bit 1: Proven = (%v, %v), want constprop", r, ok)
+	}
+	// Bit 5: observed but unconsumed — only the mask rule proves it.
+	if r, ok := p.Proven(state.BitRef{Elem: w, Entry: 0, Bit: 5}); !ok || r&RuleMask == 0 {
+		t.Errorf("observed unconsumed bit 5: Proven = (%v, %v), want mask", r, ok)
+	}
+	// Coverage attributes 10 bits (0xFDE) to constprop and the 1 leftover
+	// (bit 5) to mask.
+	want := []CatRule{
+		{Category: state.CatCtrl, Rule: RuleMask, Proven: 1},
+		{Category: state.CatCtrl, Rule: RuleConstProp, Proven: 10},
+	}
+	cov := p.Coverage()
+	if len(cov) != len(want) {
+		t.Fatalf("Coverage() = %+v, want %+v", cov, want)
+	}
+	for i := range want {
+		if cov[i] != want[i] {
+			t.Errorf("Coverage()[%d] = %+v, want %+v", i, cov[i], want[i])
+		}
 	}
 }
 

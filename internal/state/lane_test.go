@@ -1,0 +1,328 @@
+package state
+
+import (
+	"math/bits"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// laneTestFile builds a file whose 1-bit lane element spans three words
+// (the last partially filled) and is sandwiched between odd-width
+// neighbors, so lane ops run with a nonzero wordBase and a padded tail.
+func laneTestFile() (*File, *Elem) {
+	f := New()
+	f.Latch("pre", CatCtrl, 3, 9)
+	e := f.Latch("valid", CatValid, 150, 1)
+	f.RAM("post", CatData, 4, 17)
+	f.Freeze()
+	return f, e
+}
+
+// Scalar reference implementations: the loops every lane op is defined
+// against.
+
+func refFirstSet(e *Elem, lo, hi int) int {
+	for i := lo; i < hi; i++ {
+		if e.Bool(i) {
+			return i
+		}
+	}
+	return -1
+}
+
+func refFirstClear(e *Elem, lo, hi int) int {
+	for i := lo; i < hi; i++ {
+		if !e.Bool(i) {
+			return i
+		}
+	}
+	return -1
+}
+
+func refCountRange(e *Elem, lo, hi int) int {
+	n := 0
+	for i := lo; i < hi; i++ {
+		if e.Bool(i) {
+			n++
+		}
+	}
+	return n
+}
+
+func refSetMask(e *Elem, w int, mask uint64) {
+	for m := mask; m != 0; m &= m - 1 {
+		e.Set(w*64+bits.TrailingZeros64(m), 1)
+	}
+}
+
+func refClearMask(e *Elem, w int, mask uint64) {
+	for m := mask; m != 0; m &= m - 1 {
+		e.Set(w*64+bits.TrailingZeros64(m), 0)
+	}
+}
+
+// TestLaneDifferentialFuzz drives random op sequences over a paired lane
+// file and scalar-reference file and asserts the two stay bit-identical in
+// every externally observable dimension: op results, word contents, digest,
+// WriteCount, journal rollback, and (when traced) touch-trace contents.
+func TestLaneDifferentialFuzz(t *testing.T) {
+	for _, traced := range []struct {
+		name string
+		on   bool
+	}{{"untraced", false}, {"traced", true}} {
+		t.Run(traced.name, func(t *testing.T) {
+			for seed := int64(0); seed < 8; seed++ {
+				fa, ea := laneTestFile()
+				fb, eb := laneTestFile()
+				la := ea.Lane()
+				rng := rand.New(rand.NewSource(seed))
+
+				// Pre-populate identically so rollback has nontrivial state
+				// to restore, then journal and mark both files.
+				for i := 0; i < 150; i++ {
+					v := rng.Uint64() & 1
+					ea.Set(i, v)
+					eb.Set(i, v)
+				}
+				fa.BeginJournal()
+				fb.BeginJournal()
+				ma, mb := fa.Mark(), fb.Mark()
+				preDigest := fa.Digest()
+
+				var ta, tb *TouchTrace
+				cyc := uint64(1)
+				if traced.on {
+					ta, tb = fa.NewTouchTrace(), fb.NewTouchTrace()
+					fa.StartTrace(ta)
+					fb.StartTrace(tb)
+					fa.TraceCycle(cyc)
+					fb.TraceCycle(cyc)
+				}
+
+				randRange := func() (int, int) {
+					lo := rng.Intn(151)
+					return lo, lo + rng.Intn(151-lo)
+				}
+				randMask := func() (int, uint64) {
+					w := rng.Intn(3)
+					mask := rng.Uint64()
+					if w == 2 {
+						mask &= 1<<(150-128) - 1
+					}
+					return w, mask
+				}
+				for k := 0; k < 1500; k++ {
+					switch rng.Intn(8) {
+					case 0:
+						w, mask := randMask()
+						la.SetMask(w, mask)
+						refSetMask(eb, w, mask)
+					case 1:
+						w, mask := randMask()
+						la.ClearMask(w, mask)
+						refClearMask(eb, w, mask)
+					case 2:
+						lo, hi := randRange()
+						if got, want := la.FirstSet(lo, hi), refFirstSet(eb, lo, hi); got != want {
+							t.Fatalf("seed %d op %d: FirstSet(%d,%d) = %d, want %d", seed, k, lo, hi, got, want)
+						}
+					case 3:
+						lo, hi := randRange()
+						if got, want := la.FirstClear(lo, hi), refFirstClear(eb, lo, hi); got != want {
+							t.Fatalf("seed %d op %d: FirstClear(%d,%d) = %d, want %d", seed, k, lo, hi, got, want)
+						}
+					case 4:
+						lo, hi := randRange()
+						if got, want := la.CountRange(lo, hi), refCountRange(eb, lo, hi); got != want {
+							t.Fatalf("seed %d op %d: CountRange(%d,%d) = %d, want %d", seed, k, lo, hi, got, want)
+						}
+					case 5:
+						lo, hi := randRange()
+						if got, want := la.AnySet(lo, hi), refFirstSet(eb, lo, hi) >= 0; got != want {
+							t.Fatalf("seed %d op %d: AnySet(%d,%d) = %v, want %v", seed, k, lo, hi, got, want)
+						}
+						if lo < 150 {
+							if got, want := la.NextSet(lo, hi), refFirstSet(eb, lo+1, hi); got != want {
+								t.Fatalf("seed %d op %d: NextSet(%d,%d) = %d, want %d", seed, k, lo, hi, got, want)
+							}
+						}
+					case 6:
+						// Interleave plain scalar writes on both files.
+						i, v := rng.Intn(150), rng.Uint64()&1
+						ea.Set(i, v)
+						eb.Set(i, v)
+					case 7:
+						if traced.on {
+							cyc++
+							fa.TraceCycle(cyc)
+							fb.TraceCycle(cyc)
+						}
+					}
+					if fa.Digest() != fb.Digest() {
+						t.Fatalf("seed %d op %d: digest diverged", seed, k)
+					}
+					if fa.WriteCount() != fb.WriteCount() {
+						t.Fatalf("seed %d op %d: WriteCount diverged: %d vs %d", seed, k, fa.WriteCount(), fb.WriteCount())
+					}
+				}
+
+				if traced.on {
+					fa.StopTrace()
+					fb.StopTrace()
+					likeFields := []struct {
+						name string
+						a, b []uint64
+					}{
+						{"FirstRead", ta.FirstRead, tb.FirstRead},
+						{"FirstSet", ta.FirstSet, tb.FirstSet},
+						{"LastRead", ta.LastRead, tb.LastRead},
+						{"LastSet", ta.LastSet, tb.LastSet},
+						{"CopyDst", ta.CopyDst, tb.CopyDst},
+						{"LastCopy", ta.LastCopy, tb.LastCopy},
+						{"ObsPre", ta.ObsPre, tb.ObsPre},
+					}
+					for _, fl := range likeFields {
+						for i := range fl.a {
+							if fl.a[i] != fl.b[i] {
+								t.Fatalf("seed %d: trace %s[%d] = %d, want %d", seed, fl.name, i, fl.a[i], fl.b[i])
+							}
+						}
+					}
+				}
+				if !fa.Equal(fb) {
+					t.Fatalf("seed %d: final contents diverged", seed)
+				}
+				if got, want := fa.Digest(), fa.RecomputeDigest(); got != want {
+					t.Fatalf("seed %d: lane digest %#x != recomputed %#x", seed, got, want)
+				}
+
+				// Journal rollback must restore both files to the mark.
+				fa.RollbackTo(ma)
+				fb.RollbackTo(mb)
+				if fa.Digest() != preDigest || fb.Digest() != preDigest {
+					t.Fatalf("seed %d: rollback digest %#x / %#x, want %#x", seed, fa.Digest(), fb.Digest(), preDigest)
+				}
+				if !fa.Equal(fb) {
+					t.Fatalf("seed %d: rolled-back contents diverged", seed)
+				}
+				if got, want := fa.Digest(), fa.RecomputeDigest(); got != want {
+					t.Fatalf("seed %d: rolled-back digest %#x != recomputed %#x", seed, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestLaneTracedMatchesUntraced pins that tracing is pure observation for
+// lane ops: the same write sequence leaves identical contents, digest and
+// WriteCount whether or not a trace was attached.
+func TestLaneTracedMatchesUntraced(t *testing.T) {
+	run := func(traced bool) (*File, uint64) {
+		f, e := laneTestFile()
+		l := e.Lane()
+		if traced {
+			tr := f.NewTouchTrace()
+			f.StartTrace(tr)
+			f.TraceCycle(1)
+		}
+		rng := rand.New(rand.NewSource(99))
+		for k := 0; k < 400; k++ {
+			w := rng.Intn(3)
+			mask := rng.Uint64()
+			if w == 2 {
+				mask &= 1<<(150-128) - 1
+			}
+			if k%2 == 0 {
+				l.SetMask(w, mask)
+			} else {
+				l.ClearMask(w, mask)
+			}
+		}
+		if traced {
+			f.StopTrace()
+		}
+		return f, f.WriteCount()
+	}
+	fu, wu := run(false)
+	ft, wt := run(true)
+	if !fu.Equal(ft) {
+		t.Fatal("traced and untraced lane runs left different contents")
+	}
+	if fu.Digest() != ft.Digest() {
+		t.Fatal("traced and untraced lane runs left different digests")
+	}
+	if wu != wt {
+		t.Fatalf("traced and untraced lane runs counted different writes: %d vs %d", wu, wt)
+	}
+}
+
+func TestLaneLifecyclePanics(t *testing.T) {
+	mustPanicWith := func(name, want string, fn func()) {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Errorf("%s did not panic", name)
+				return
+			}
+			msg, ok := r.(string)
+			if !ok || !strings.Contains(msg, want) {
+				t.Errorf("%s panicked with %v, want message containing %q", name, r, want)
+			}
+		}()
+		fn()
+	}
+	mustPanicWith("Lane before Freeze", "Lane before Freeze", func() {
+		f := New()
+		e := f.Latch("v", CatValid, 4, 1)
+		e.Lane()
+	})
+	mustPanicWith("Lane on multi-bit", "Lane on multi-bit element", func() {
+		f := New()
+		e := f.RAM("x", CatData, 4, 7)
+		f.Freeze()
+		e.Lane()
+	})
+	mustPanicWith("mask past element end", "mask past element end", func() {
+		_, e := laneTestFile()
+		e.Lane().SetMask(2, 1<<(150-128))
+	})
+	mustPanicWith("word out of bounds", "word out of bounds", func() {
+		_, e := laneTestFile()
+		e.Lane().ClearMask(3, 1)
+	})
+	mustPanicWith("range out of bounds", "range out of bounds", func() {
+		_, e := laneTestFile()
+		e.Lane().FirstSet(0, 151)
+	})
+	mustPanicWith("Word while traced", "Word while traced", func() {
+		f, e := laneTestFile()
+		f.StartTrace(f.NewTouchTrace())
+		e.Lane().Word(0)
+	})
+}
+
+// TestLaneWordView pins the raw word accessor against scalar bit reads.
+func TestLaneWordView(t *testing.T) {
+	f, e := laneTestFile()
+	l := e.Lane()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 150; i++ {
+		e.Set(i, rng.Uint64()&1)
+	}
+	if l.Words() != 3 {
+		t.Fatalf("Words() = %d, want 3", l.Words())
+	}
+	for w := 0; w < l.Words(); w++ {
+		var want uint64
+		for b := 0; b < 64 && w*64+b < 150; b++ {
+			if e.Bool(w*64 + b) {
+				want |= 1 << b
+			}
+		}
+		if got := l.Word(w); got != want {
+			t.Fatalf("Word(%d) = %#x, want %#x", w, got, want)
+		}
+	}
+	_ = f
+}

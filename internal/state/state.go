@@ -114,12 +114,16 @@ type Elem struct {
 	// exceeds strSh, so widths that divide 64 never take the two-word path.
 	// trace is nil except while a golden-run touch trace is active, keeping
 	// the common case a single predictable branch.
-	words   []uint64
-	trace   *TouchTrace
-	bitBase uint64 // global bit offset of entry 0 (digest keying)
-	mask    uint64
-	strSh   uint64
-	width   int
+	words    []uint64
+	trace    *TouchTrace
+	bitBase  uint64 // global bit offset of entry 0 (digest keying)
+	wordBase uint64 // bitBase >> 6 (elements are word-aligned at Freeze)
+	mask     uint64
+	strSh    uint64
+	stride   uint64 // width, pre-widened for row address arithmetic
+	fastLim  uint64 // strSh+1 while untraced, 0 while traced (forces getSlow)
+	width    int
+	spec     uint8 // Freeze-selected accessor specialization
 
 	name       string
 	kind       Kind
@@ -131,6 +135,19 @@ type Elem struct {
 	injBase   uint64 // cumulative injectable-bit index (if injectable)
 	entryBase uint64 // cumulative entry index over all elements (trace key)
 }
+
+// Accessor specializations, selected once at Freeze from the element's
+// geometry. Every element is word-aligned at Freeze, so width-64 rows
+// coincide with backing words (no shift, no mask), width-1 rows are single
+// bits of word wordBase+i/64, and widths dividing 64 can never straddle a
+// word boundary. The spec byte is constant after Freeze, so the dispatch
+// branch in Get/put is perfectly predicted per call site.
+const (
+	specGeneric uint8 = iota // any width; straddle check per access
+	specW64                  // width 64: row i IS words[wordBase+i]
+	specW1                   // width 1: row i is bit i%64 of words[wordBase+i/64]
+	specNarrow               // width divides 64: in-word, no straddle check
+)
 
 // Name returns the element's name.
 func (e *Elem) Name() string { return e.name }
@@ -159,18 +176,60 @@ func (e *Elem) Injectable() bool { return e.injectable }
 // reason about cache/predictor state alongside the injectable population.
 func (e *Elem) EntryIndex(i int) uint64 { return e.entryBase + uint64(i) }
 
-// Get reads entry i.
+// Get reads entry i. The untraced non-straddling read — every
+// Freeze-specialized shape and every in-word generic row — stays under the
+// compiler's inline budget, so hot-loop callers pay a shift-and-mask, not
+// a call; traced reads and straddling rows take the outlined slow path.
 func (e *Elem) Get(i int) uint64 {
+	bit := e.bitBase + uint64(i)*e.stride
+	if bit&63 >= e.fastLim {
+		return e.getSlow(i)
+	}
+	return e.words[bit>>6] >> (bit & 63) & e.mask
+}
+
+// getSlow is Get's outlined cold path: touch-trace stamping and the
+// two-word read for rows that cross a word boundary. fastLim folds both
+// triggers into the one unsigned compare in Get: it holds strSh+1 while no
+// trace is attached (slow path iff the row straddles) and 0 while one is
+// (every shift reaches it, so every read stamps the trace).
+func (e *Elem) getSlow(i int) uint64 {
 	if e.trace != nil {
 		e.trace.read(e.entryBase + uint64(i))
 	}
-	bit := e.bitBase + uint64(i)*uint64(e.width)
+	bit := e.bitBase + uint64(i)*e.stride
 	sh := bit & 63
 	v := e.words[bit>>6] >> sh
 	if sh > e.strSh {
 		v |= e.words[bit>>6+1] << (64 - sh)
 	}
 	return v & e.mask
+}
+
+// GetObs reads entry i exactly like Get, but narrows what an active touch
+// trace records the read as having observed. obs receives the row's value
+// and must return the mask of bits whose individual flip could change the
+// caller's use of that value (e.g. an equality compare observes every bit
+// when it matches, but only the single differing bit when it misses by
+// one). While no trace is attached the closure is never invoked and GetObs
+// is bit-identical to Get; under a trace the read stamps FirstRead/LastRead
+// exactly like Get and accumulates the observation mask into the trace's
+// pre-overwrite observation set (ObsPre) instead of marking the whole row
+// observed. Callers are part of the prover's trusted base: obs must be
+// sound (over-approximate), or the constprop proof rule built on ObsPre
+// would claim benign flips that in fact diverge.
+func (e *Elem) GetObs(i int, obs func(uint64) uint64) uint64 {
+	bit := e.bitBase + uint64(i)*uint64(e.width)
+	sh := bit & 63
+	v := e.words[bit>>6] >> sh
+	if sh > e.strSh {
+		v |= e.words[bit>>6+1] << (64 - sh)
+	}
+	v &= e.mask
+	if e.trace != nil {
+		e.trace.readObs(e.entryBase+uint64(i), obs(v)&e.mask)
+	}
+	return v
 }
 
 // Set writes entry i (value truncated to the element width), updates the
@@ -189,6 +248,40 @@ func (e *Elem) Set(i int, v uint64) {
 // put is Set without the touch-trace hook: the raw write path shared by
 // behavioral writes and CopyEntry's data movement.
 func (e *Elem) put(i int, v uint64) {
+	switch e.spec {
+	case specW64:
+		w := e.wordBase + uint64(i)
+		cur := e.words[w]
+		if cur == v {
+			return
+		}
+		f := e.file
+		bit := e.bitBase + uint64(i)<<6
+		f.digest ^= mix(bit, cur) ^ mix(bit, v)
+		f.writes++
+		if f.jOn {
+			f.touch(w)
+		}
+		e.words[w] = v
+		return
+	case specW1:
+		v &= 1
+		w := e.wordBase + uint64(i)>>6
+		sh := uint64(i) & 63
+		cur := e.words[w]
+		if cur>>sh&1 == v {
+			return
+		}
+		f := e.file
+		bit := e.bitBase + uint64(i)
+		f.digest ^= mix(bit, v^1) ^ mix(bit, v)
+		f.writes++
+		if f.jOn {
+			f.touch(w)
+		}
+		e.words[w] = cur ^ 1<<sh
+		return
+	}
 	v &= e.mask
 	bit := e.bitBase + uint64(i)*uint64(e.width)
 	sh := bit & 63
@@ -387,6 +480,8 @@ func (f *File) add(name string, kind Kind, cat Category, entries, width int, opt
 		name: name, kind: kind, cat: cat,
 		entries: entries, width: width, mask: mask,
 		strSh:      uint64(64 - width),
+		stride:     uint64(width),
+		fastLim:    uint64(65 - width),
 		injectable: true, file: f,
 	}
 	for _, opt := range opts {
@@ -406,6 +501,15 @@ func (f *File) Freeze() {
 	var bit uint64
 	for _, e := range f.elems {
 		e.bitBase = bit
+		e.wordBase = bit >> 6
+		switch {
+		case e.width == 64:
+			e.spec = specW64
+		case e.width == 1:
+			e.spec = specW1
+		case 64%e.width == 0:
+			e.spec = specNarrow
+		}
 		bit += uint64(e.entries * e.width)
 		bit = (bit + 63) &^ 63 // word-align each element
 		e.entryBase = f.allEntries
@@ -607,7 +711,20 @@ type TouchTrace struct {
 	LastSet   []uint64
 	CopyDst   []uint64 // by src key: 0 = none, dst key+1, or Poisoned
 	LastCopy  []uint64 // by dst key: cycle of the last copy into the entry
-	cycle     uint64
+
+	// ObsPre is, per entry, the mask of bits the golden run behaviorally
+	// observes while the entry still holds its checkpoint value — i.e.
+	// before the entry's first overwrite. A plain Get observes every bit;
+	// a GetObs read contributes only its observation mask; a CopyEntry
+	// observes every bit of its source (the copy propagates the full row).
+	// Once FirstSet is stamped the pre-overwrite value is gone and later
+	// reads stop accumulating: they observe the recomputed value, which a
+	// flip of an unobserved bit provably cannot have changed. The constprop
+	// proof rule flips only bits outside ObsPre of entries that are
+	// overwritten (and converge) inside the horizon.
+	ObsPre []uint64
+
+	cycle uint64
 }
 
 // Poisoned marks a CopyDst slot whose entry was copied to more than one
@@ -620,6 +737,24 @@ func (t *TouchTrace) read(g uint64) {
 		t.FirstRead[g] = t.cycle
 	}
 	t.LastRead[g] = t.cycle
+	if t.FirstSet[g] == 0 {
+		t.ObsPre[g] = ^uint64(0) // a plain read observes the whole row
+	}
+}
+
+// readObs is read with a caller-supplied observation mask: the stamps are
+// identical, but only mask's bits join the pre-overwrite observation set.
+// Trace calls happen in execution order within a cycle, so a read issued
+// after the entry's first overwrite (FirstSet already stamped) correctly
+// contributes nothing — it observes the rewritten value.
+func (t *TouchTrace) readObs(g, mask uint64) {
+	if t.FirstRead[g] == 0 {
+		t.FirstRead[g] = t.cycle
+	}
+	t.LastRead[g] = t.cycle
+	if t.FirstSet[g] == 0 {
+		t.ObsPre[g] |= mask
+	}
 }
 
 func (t *TouchTrace) set(g uint64) {
@@ -632,6 +767,9 @@ func (t *TouchTrace) set(g uint64) {
 func (t *TouchTrace) copy(src, dst uint64) {
 	if t.FirstRead[src] == 0 {
 		t.FirstRead[src] = t.cycle
+	}
+	if t.FirstSet[src] == 0 {
+		t.ObsPre[src] = ^uint64(0) // the copy propagates every src bit
 	}
 	if t.FirstSet[dst] == 0 {
 		t.FirstSet[dst] = t.cycle
@@ -691,6 +829,9 @@ func (t *TouchTrace) Reset() {
 	for i := range t.LastCopy {
 		t.LastCopy[i] = 0
 	}
+	for i := range t.ObsPre {
+		t.ObsPre[i] = 0
+	}
 	t.cycle = 0
 }
 
@@ -707,6 +848,7 @@ func (f *File) NewTouchTrace() *TouchTrace {
 		LastSet:   make([]uint64, f.allEntries),
 		CopyDst:   make([]uint64, f.allEntries),
 		LastCopy:  make([]uint64, f.allEntries),
+		ObsPre:    make([]uint64, f.allEntries),
 	}
 }
 
@@ -722,6 +864,7 @@ func (f *File) StartTrace(t *TouchTrace) {
 	}
 	for _, e := range f.elems {
 		e.trace = t
+		e.fastLim = 0
 	}
 	f.trace = t
 }
@@ -740,6 +883,7 @@ func (f *File) TraceCycle(c uint64) {
 func (f *File) StopTrace() {
 	for _, e := range f.elems {
 		e.trace = nil
+		e.fastLim = e.strSh + 1
 	}
 	f.trace = nil
 }

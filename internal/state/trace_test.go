@@ -130,7 +130,7 @@ func TestTouchTraceReset(t *testing.T) {
 	for i := range tr.FirstRead {
 		if tr.FirstRead[i] != 0 || tr.FirstSet[i] != 0 ||
 			tr.LastRead[i] != 0 || tr.LastSet[i] != 0 ||
-			tr.CopyDst[i] != 0 || tr.LastCopy[i] != 0 {
+			tr.CopyDst[i] != 0 || tr.LastCopy[i] != 0 || tr.ObsPre[i] != 0 {
 			t.Fatalf("entry %d not cleared by Reset", i)
 		}
 	}
@@ -345,6 +345,106 @@ func TestProvenDeadProperty(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestObsPreAccumulation: GetObs narrows a traced read to its observation
+// mask, accumulated per entry only while the entry still holds its
+// pre-overwrite value; the read/last-read stamps are identical to Get's.
+func TestObsPreAccumulation(t *testing.T) {
+	f, elems := newTestFile()
+	ctrl := elems[4] // width 9
+	ctrl.Set(1, 0x55)
+	tr := f.NewTouchTrace()
+	f.StartTrace(tr)
+	f.TraceCycle(1)
+	k := ctrl.EntryIndex(1)
+	if v := ctrl.GetObs(1, func(v uint64) uint64 { return 0x3 }); v != 0x55 {
+		t.Fatalf("GetObs = %#x, want 0x55", v)
+	}
+	if tr.ObsPre[k] != 0x3 || tr.FirstRead[k] != 1 || tr.LastRead[k] != 1 {
+		t.Fatalf("after first GetObs: ObsPre=%#x FirstRead=%d LastRead=%d",
+			tr.ObsPre[k], tr.FirstRead[k], tr.LastRead[k])
+	}
+	f.TraceCycle(2)
+	ctrl.GetObs(1, func(uint64) uint64 { return 0x8 })
+	if tr.ObsPre[k] != 0xB || tr.FirstRead[k] != 1 || tr.LastRead[k] != 2 {
+		t.Fatalf("after second GetObs: ObsPre=%#x FirstRead=%d LastRead=%d",
+			tr.ObsPre[k], tr.FirstRead[k], tr.LastRead[k])
+	}
+	// The obs mask is truncated to the element width.
+	ctrl.GetObs(1, func(uint64) uint64 { return 1 << 60 })
+	if tr.ObsPre[k] != 0xB {
+		t.Fatalf("out-of-width obs bits recorded: ObsPre=%#x", tr.ObsPre[k])
+	}
+	// After the entry's first overwrite, reads observe the recomputed value
+	// and must stop accumulating — plain Get included.
+	f.TraceCycle(3)
+	ctrl.Set(1, 0x66)
+	ctrl.Get(1)
+	ctrl.GetObs(1, func(uint64) uint64 { return 0x100 })
+	if tr.ObsPre[k] != 0xB {
+		t.Fatalf("post-overwrite read accumulated: ObsPre=%#x", tr.ObsPre[k])
+	}
+	f.StopTrace()
+}
+
+// TestObsPrePlainReadObservesAll: a plain pre-overwrite Get observes the
+// whole row, and a CopyEntry observes the whole source row (the copy
+// propagates every bit).
+func TestObsPrePlainReadObservesAll(t *testing.T) {
+	f, elems := newTestFile()
+	ctrl := elems[4]
+	tr := f.NewTouchTrace()
+	f.StartTrace(tr)
+	f.TraceCycle(1)
+	ctrl.Get(2)
+	if got := tr.ObsPre[ctrl.EntryIndex(2)]; got != ^uint64(0) {
+		t.Fatalf("plain Get: ObsPre=%#x, want all-ones", got)
+	}
+	CopyEntry(ctrl, 3, ctrl, 4)
+	if got := tr.ObsPre[ctrl.EntryIndex(4)]; got != ^uint64(0) {
+		t.Fatalf("copy src: ObsPre=%#x, want all-ones", got)
+	}
+	// A copy-in (or any overwrite) seals the destination before later reads.
+	f.TraceCycle(2)
+	ctrl.Get(3)
+	if got := tr.ObsPre[ctrl.EntryIndex(3)]; got != 0 {
+		t.Fatalf("copy dst read post-overwrite: ObsPre=%#x, want 0", got)
+	}
+	f.StopTrace()
+}
+
+// TestGetObsUntraced: with no trace attached, GetObs is Get — the closure
+// is never invoked.
+func TestGetObsUntraced(t *testing.T) {
+	f, elems := newTestFile()
+	ctrl := elems[4]
+	ctrl.Set(1, 0x77)
+	calls := 0
+	v := ctrl.GetObs(1, func(uint64) uint64 { calls++; return ^uint64(0) })
+	if v != 0x77 || calls != 0 {
+		t.Fatalf("untraced GetObs = %#x with %d obs calls, want 0x77 / 0", v, calls)
+	}
+	_ = f
+}
+
+// TestGetObsStraddle: GetObs reads straddling rows identically to Get.
+func TestGetObsStraddle(t *testing.T) {
+	f, elems := newTestFile()
+	rat := elems[3] // 7-bit rows: entry 9 straddles a word boundary
+	for i := 0; i < rat.Entries(); i++ {
+		rat.Set(i, uint64(3*i+1))
+	}
+	tr := f.NewTouchTrace()
+	f.StartTrace(tr)
+	f.TraceCycle(1)
+	for i := 0; i < rat.Entries(); i++ {
+		want := rat.Get(i)
+		if got := rat.GetObs(i, func(uint64) uint64 { return 1 }); got != want {
+			t.Fatalf("GetObs(%d) = %#x, want %#x", i, got, want)
+		}
+	}
+	f.StopTrace()
 }
 
 // TestWriteCount: WriteCount advances on every state-changing Set and only

@@ -54,15 +54,9 @@ func (m *Machine) decode() {
 	}
 	e := m.e
 
-	// Stage D2: move decode latch into the rename latch when empty.
-	rnEmpty := true
-	for i := 0; i < RenameWidth; i++ {
-		if e.rnValid.Bool(i) {
-			rnEmpty = false
-			break
-		}
-	}
-	if rnEmpty {
+	// Stage D2: move decode latch into the rename latch when empty. AnySet's
+	// traced path runs the same break-on-first-hit scan this loop always was.
+	if !e.lnRnValid.AnySet(0, RenameWidth) {
 		for i := 0; i < DecodeWidth; i++ {
 			if !e.deValid.Bool(i) {
 				continue
@@ -106,14 +100,7 @@ func (m *Machine) decode() {
 	}
 
 	// Stage D1: pop up to DecodeWidth instructions from the fetch queue.
-	deEmpty := true
-	for i := 0; i < DecodeWidth; i++ {
-		if e.deValid.Bool(i) {
-			deEmpty = false
-			break
-		}
-	}
-	if !deEmpty {
+	if e.lnDeValid.AnySet(0, DecodeWidth) {
 		return
 	}
 	for i := 0; i < DecodeWidth; i++ {
@@ -163,12 +150,7 @@ func (m *Machine) rename() {
 			class == isa.ClassBranch || class == isa.ClassLoad || class == isa.ClassStore
 		schedIdx := -1
 		if needsSched && !illegal {
-			for s := 0; s < SchedSize; s++ {
-				if !e.isValid.Bool(s) {
-					schedIdx = s
-					break
-				}
-			}
+			schedIdx = e.lnIsValid.FirstClear(0, SchedSize)
 			if schedIdx < 0 {
 				return // scheduler full
 			}

@@ -260,6 +260,31 @@ type elems struct {
 	robDestEcc *state.Elem // ram 64x4
 	robOldEcc  *state.Elem // ram 64x4
 	toCnt      *state.Elem // latch 1x7 (timeout counter)
+
+	// Word-parallel lane views over the hot 1-bit elements (see buildLanes).
+	// A lane is a handle, not state: it aliases the element's backing words.
+	lnPrfReady  state.BitLane
+	lnIsValid   state.BitLane
+	lnIsIssued  state.BitLane
+	lnIsS1Ready state.BitLane
+	lnIsS2Ready state.BitLane
+	lnRobValid  state.BitLane
+	lnRobDone   state.BitLane
+	lnDeValid   state.BitLane
+	lnRnValid   state.BitLane
+	lnIpValid   state.BitLane
+	lnExValid   state.BitLane
+	lnCpValid   state.BitLane
+	lnWbValid   state.BitLane
+	lnSwValid   state.BitLane
+	lnMhrValid  state.BitLane
+	lnLqAddrV   state.BitLane
+	lnLqDone    state.BitLane
+	lnLqBusy    state.BitLane
+	lnSqAddrV   state.BitLane
+	lnSqDataV   state.BitLane
+	lnM1Valid   state.BitLane
+	lnM2Valid   state.BitLane
 }
 
 // buildElems registers every element into f. The geometry mirrors the
@@ -516,6 +541,34 @@ func buildElems(f *state.File, p ProtectConfig) *elems {
 		e.toCnt = lat("to.cnt", state.CatCtrl, 1, 7)
 	}
 	return e
+}
+
+// buildLanes materializes word-parallel views over the hot 1-bit elements.
+// Lane construction requires a frozen file, so this runs as a second phase
+// after buildElems + Freeze (both NewOnMemory and Clone call it).
+func (e *elems) buildLanes() {
+	e.lnPrfReady = e.prfReady.Lane()
+	e.lnIsValid = e.isValid.Lane()
+	e.lnIsIssued = e.isIssued.Lane()
+	e.lnIsS1Ready = e.isS1Ready.Lane()
+	e.lnIsS2Ready = e.isS2Ready.Lane()
+	e.lnRobValid = e.robValid.Lane()
+	e.lnRobDone = e.robDone.Lane()
+	e.lnDeValid = e.deValid.Lane()
+	e.lnRnValid = e.rnValid.Lane()
+	e.lnIpValid = e.ipValid.Lane()
+	e.lnExValid = e.exValid.Lane()
+	e.lnCpValid = e.cpValid.Lane()
+	e.lnWbValid = e.wbValid.Lane()
+	e.lnSwValid = e.swValid.Lane()
+	e.lnMhrValid = e.mhrValid.Lane()
+	e.lnLqAddrV = e.lqAddrV.Lane()
+	e.lnLqDone = e.lqDone.Lane()
+	e.lnLqBusy = e.lqBusy.Lane()
+	e.lnSqAddrV = e.sqAddrV.Lane()
+	e.lnSqDataV = e.sqDataV.Lane()
+	e.lnM1Valid = e.m1Valid.Lane()
+	e.lnM2Valid = e.m2Valid.Lane()
 }
 
 // BuildStateFile registers the machine's complete state-element inventory

@@ -1,6 +1,8 @@
 package uarch
 
 import (
+	"math/bits"
+
 	"pipefault/internal/isa"
 )
 
@@ -174,13 +176,7 @@ func (m *Machine) executeBranch(p int, inst isa.Inst, a, b uint64) {
 // enterComplexPipe inserts a multiply into the complex ALU pipeline.
 func (m *Machine) enterComplexPipe(p int, inst isa.Inst, a, b uint64) {
 	e := m.e
-	slot := -1
-	for i := 0; i < ComplexDepth; i++ {
-		if !e.cpValid.Bool(i) {
-			slot = i
-			break
-		}
-	}
+	slot := e.lnCpValid.FirstClear(0, ComplexDepth)
 	if slot < 0 {
 		m.replayUop(e.exSchedIdx.Get(p))
 		return
@@ -198,19 +194,33 @@ func (m *Machine) enterComplexPipe(p int, inst isa.Inst, a, b uint64) {
 // ones through the complex ALU's writeback port.
 func (m *Machine) advanceComplexPipe() {
 	e := m.e
-	for i := 0; i < ComplexDepth; i++ {
-		if !e.cpValid.Bool(i) {
-			continue
+	if m.F.Tracing() {
+		// Scalar reference for the word-parallel walk below.
+		for i := 0; i < ComplexDepth; i++ {
+			if !e.cpValid.Bool(i) {
+				continue
+			}
+			m.complexSlotTick(i)
 		}
-		cnt := e.cpCnt.Get(i)
-		if cnt > 0 {
-			e.cpCnt.Set(i, cnt-1)
-			continue
-		}
-		if m.writeWB(PortComplex, e.cpValue.Get(i), e.cpDest.Get(i),
-			e.cpWrites.Bool(i), e.cpRobTag.Get(i)%ROBSize, e.cpSchedIdx.Get(i), true) {
-			e.cpValid.SetBool(i, false)
-		}
-		// Port busy: hold the slot (result buffer behaviour).
+		return
 	}
+	// The body only clears cpValid bits, so the snapshot mask stays exact.
+	for w := e.lnCpValid.Word(0); w != 0; w &= w - 1 {
+		m.complexSlotTick(bits.TrailingZeros64(w))
+	}
+}
+
+// complexSlotTick advances one occupied complex-pipe slot.
+func (m *Machine) complexSlotTick(i int) {
+	e := m.e
+	cnt := e.cpCnt.Get(i)
+	if cnt > 0 {
+		e.cpCnt.Set(i, cnt-1)
+		return
+	}
+	if m.writeWB(PortComplex, e.cpValue.Get(i), e.cpDest.Get(i),
+		e.cpWrites.Bool(i), e.cpRobTag.Get(i)%ROBSize, e.cpSchedIdx.Get(i), true) {
+		e.cpValid.SetBool(i, false)
+	}
+	// Port busy: hold the slot (result buffer behaviour).
 }

@@ -309,8 +309,6 @@ func (m *Machine) frontEndSquash(newPC uint64) {
 	e.fqHead.Set(0, 0)
 	e.fqTail.Set(0, 0)
 	e.fqCount.Set(0, 0)
-	for i := 0; i < DecodeWidth; i++ {
-		e.deValid.SetBool(i, false)
-		e.rnValid.SetBool(i, false)
-	}
+	e.lnDeValid.ClearMask(0, 1<<DecodeWidth-1)
+	e.lnRnValid.ClearMask(0, 1<<DecodeWidth-1)
 }

@@ -93,6 +93,7 @@ func NewOnMemory(cfg Config, memory *mem.Memory, legal *mem.PageSet, entry uint6
 	f := state.New()
 	e := buildElems(f, cfg.Protect)
 	f.Freeze()
+	e.buildLanes()
 	m := &Machine{Cfg: cfg, F: f, Mem: memory, Legal: legal, e: e}
 	m.reset(entry, regs)
 	return m
@@ -110,6 +111,7 @@ func (m *Machine) Clone() *Machine {
 	f := state.New()
 	e := buildElems(f, m.Cfg.Protect)
 	f.Freeze()
+	e.buildLanes()
 	c := &Machine{
 		Cfg:     m.Cfg,
 		F:       f,
@@ -146,9 +148,8 @@ func (m *Machine) reset(entry uint64, regs [isa.NumArchRegs]uint64) {
 	}
 	e.specFLCount.Set(0, FreeListSize)
 	e.archFLCount.Set(0, FreeListSize)
-	for p := 0; p < NumPhysRegs; p++ {
-		e.prfReady.SetBool(p, true)
-	}
+	e.lnPrfReady.SetMask(0, ^uint64(0))
+	e.lnPrfReady.SetMask(1, 1<<(NumPhysRegs-64)-1)
 	if m.Cfg.Protect.PointerECC {
 		m.initPointerECC()
 	}
@@ -220,9 +221,19 @@ func (m *Machine) Quiescent() bool {
 
 // Run steps until the machine halts or maxCycles elapse; it returns the
 // number of cycles executed.
+//
+// A quiescent machine never halts on its own — halting requires a write to
+// ms.halted, and Quiescent certifies every future Step writes nothing — so
+// when the fixed point is reached the remaining cycles are jumped in one
+// assignment instead of looping Step's per-cycle fast path. Disabled while
+// a touch trace is attached, exactly like Step's own fast path.
 func (m *Machine) Run(maxCycles uint64) uint64 {
 	start := m.Cycle
 	for !m.Halted() && m.Cycle-start < maxCycles {
+		if m.Quiescent() && !m.F.Tracing() {
+			m.Cycle = start + maxCycles
+			break
+		}
 		m.Step()
 	}
 	return m.Cycle - start
@@ -374,10 +385,16 @@ func (m *Machine) FetchStalledIllegal() bool {
 	if e.robCount.Get(0) != 0 || e.fqCount.Get(0) != 0 || e.f2Valid.Bool(0) {
 		return false
 	}
-	for i := 0; i < DecodeWidth; i++ {
-		if e.deValid.Bool(i) || e.rnValid.Bool(i) {
-			return false
+	if m.F.Tracing() {
+		// Scalar reference: golden runs must stamp the exact interleaved
+		// short-circuit reads this probe historically performs.
+		for i := 0; i < DecodeWidth; i++ {
+			if e.deValid.Bool(i) || e.rnValid.Bool(i) {
+				return false
+			}
 		}
+	} else if e.lnDeValid.Word(0) != 0 || e.lnRnValid.Word(0) != 0 {
+		return false
 	}
 	pc := e.fePC.Get(0) << 2
 	return !m.Legal.ContainsRange(pc, isa.WordSize)
@@ -452,12 +469,7 @@ func (m *Machine) Utilization() Utilization {
 		}
 		return float64(v) / float64(cap)
 	}
-	sched := 0
-	for s := 0; s < SchedSize; s++ {
-		if e.isValid.Bool(s) {
-			sched++
-		}
-	}
+	sched := e.lnIsValid.CountRange(0, SchedSize)
 	return Utilization{
 		ROB:      clamp(e.robCount.Get(0), ROBSize),
 		Sched:    float64(sched) / SchedSize,

@@ -1,6 +1,8 @@
 package uarch
 
 import (
+	"math/bits"
+
 	"pipefault/internal/isa"
 )
 
@@ -54,6 +56,37 @@ func overlap(a1 uint64, s1 int, a2 uint64, s2 int) bool {
 	return a1 < a2+uint64(s2) && a2 < a1+uint64(s1)
 }
 
+// eqObsMask returns the bits of v whose single-bit flip changes the outcome
+// of the predicate v == want: all bits when equal, the lone differing bit
+// when Hamming distance is one, no bits otherwise. Used as a GetObs
+// observation mask at address-compare read sites so the constprop proof rule
+// can clear bits the comparison provably never notices.
+func eqObsMask(v, want uint64) uint64 {
+	if d := v ^ want; d != 0 {
+		if d&(d-1) == 0 {
+			return d
+		}
+		return 0
+	}
+	return ^uint64(0)
+}
+
+// ovObsMask returns the bits of v whose single-bit flip changes
+// overlap(v, s1, a2, s2). overlap is symmetric in its two ranges, so this
+// covers reads where the traced address is either operand. Only evaluated
+// while a touch trace is attached (GetObs invokes the observation closure
+// on golden runs alone), so the 64-probe loop is off the trial hot path.
+func ovObsMask(v uint64, s1 int, a2 uint64, s2 int) uint64 {
+	base := overlap(v, s1, a2, s2)
+	var mask uint64
+	for b := uint(0); b < 64; b++ {
+		if overlap(v^1<<b, s1, a2, s2) != base {
+			mask |= 1 << b
+		}
+	}
+	return mask
+}
+
 // --- the memory pipeline ---
 
 // memory advances M2 (completion), the miss-handling registers, then M1
@@ -98,13 +131,7 @@ func (m *Machine) memM2() {
 		// Miss: allocate a (non-coalescing) miss handling register. The
 		// consumers woken speculatively must replay.
 		m.replayDependents(dest)
-		slot := -1
-		for i := 0; i < NumMHR; i++ {
-			if !e.mhrValid.Bool(i) {
-				slot = i
-				break
-			}
-		}
+		slot := e.lnMhrValid.FirstClear(0, NumMHR)
 		if slot < 0 {
 			e.lqBusy.SetBool(lqIdx, false) // retry later
 			continue
@@ -135,39 +162,53 @@ func (m *Machine) completeLoad(p, lqIdx int, tag, dest uint64, writes bool, sche
 func (m *Machine) memMHR() {
 	e := m.e
 	filled := false
-	for i := 0; i < NumMHR; i++ {
-		if !e.mhrValid.Bool(i) {
-			continue
+	if m.F.Tracing() {
+		// Scalar reference for the word-parallel walk below.
+		for i := 0; i < NumMHR; i++ {
+			if !e.mhrValid.Bool(i) {
+				continue
+			}
+			m.mhrTick(i, &filled)
 		}
-		cnt := e.mhrCnt.Get(i)
-		if cnt > 0 {
-			e.mhrCnt.Set(i, cnt-1)
-			continue
-		}
-		if filled {
-			continue // one fill per cycle; try again next cycle
-		}
-		filled = true
-		addr := e.mhrAddr.Get(i)
-		m.dcFill(addr)
-		e.mhrValid.SetBool(i, false)
+		return
+	}
+	// The body only clears mhrValid bits, so the snapshot mask stays exact.
+	for w := e.lnMhrValid.Word(0); w != 0; w &= w - 1 {
+		m.mhrTick(bits.TrailingZeros64(w), &filled)
+	}
+}
 
-		// Complete the waiting load if its queue entry is still live and
-		// still refers to this line (it may have been squashed/reused).
-		lqIdx := int(e.mhrLQIdx.Get(i)) % LQSize
-		if !m.lqEntryLive(lqIdx) || e.lqDone.Bool(lqIdx) || !e.lqAddrV.Bool(lqIdx) ||
-			!e.lqBusy.Bool(lqIdx) || e.lqAddr.Get(lqIdx)>>LineShift != addr>>LineShift {
-			continue
-		}
-		tag := e.lqRobTag.Get(lqIdx) % ROBSize
-		dest := e.lqDest.Get(lqIdx)
-		v := loadValue(m, e.lqAddr.Get(lqIdx), e.lqSize.Get(lqIdx), 0, false)
-		if m.writeWB(6, v, dest, dest < NumPhysRegs, tag, e.lqSchedIdx.Get(lqIdx), true) {
-			e.lqDone.SetBool(lqIdx, true)
-			e.lqBusy.SetBool(lqIdx, false)
-		} else {
-			e.lqBusy.SetBool(lqIdx, false) // retry through the normal path
-		}
+// mhrTick advances one occupied miss handling register.
+func (m *Machine) mhrTick(i int, filled *bool) {
+	e := m.e
+	cnt := e.mhrCnt.Get(i)
+	if cnt > 0 {
+		e.mhrCnt.Set(i, cnt-1)
+		return
+	}
+	if *filled {
+		return // one fill per cycle; try again next cycle
+	}
+	*filled = true
+	addr := e.mhrAddr.Get(i)
+	m.dcFill(addr)
+	e.mhrValid.SetBool(i, false)
+
+	// Complete the waiting load if its queue entry is still live and
+	// still refers to this line (it may have been squashed/reused).
+	lqIdx := int(e.mhrLQIdx.Get(i)) % LQSize
+	if !m.lqEntryLive(lqIdx) || e.lqDone.Bool(lqIdx) || !e.lqAddrV.Bool(lqIdx) ||
+		!e.lqBusy.Bool(lqIdx) || e.lqAddr.Get(lqIdx)>>LineShift != addr>>LineShift {
+		return
+	}
+	tag := e.lqRobTag.Get(lqIdx) % ROBSize
+	dest := e.lqDest.Get(lqIdx)
+	v := loadValue(m, e.lqAddr.Get(lqIdx), e.lqSize.Get(lqIdx), 0, false)
+	if m.writeWB(6, v, dest, dest < NumPhysRegs, tag, e.lqSchedIdx.Get(lqIdx), true) {
+		e.lqDone.SetBool(lqIdx, true)
+		e.lqBusy.SetBool(lqIdx, false)
+	} else {
+		e.lqBusy.SetBool(lqIdx, false) // retry through the normal path
 	}
 }
 
@@ -229,8 +270,15 @@ func (m *Machine) memM1() {
 				}
 				continue // speculate past it
 			}
-			sAddr := e.sqAddr.Get(si)
+			// The store address feeds only the overlap and equality
+			// predicates here, so record the exact bits those predicates
+			// can notice: the constprop rule proves flips of the other
+			// bits benign without simulation. (Sites that move the address
+			// into data — retire, drain — keep the all-observing Get.)
 			sSize := 1 << (e.sqSize.Get(si) & 3)
+			sAddr := e.sqAddr.GetObs(si, func(v uint64) uint64 {
+				return ovObsMask(v, sSize, addr, size) | eqObsMask(v, addr)
+			})
 			if !overlap(addr, size, sAddr, sSize) {
 				continue
 			}
@@ -252,8 +300,11 @@ func (m *Machine) memM1() {
 			bhead := int(e.sbHead.Get(0)) % StoreBufSize
 			for k := bcnt - 1; k >= 0; k-- {
 				bi := (bhead + k) % StoreBufSize
-				bAddr := e.sbAddr.Get(bi)
+				// Predicate-only read, like the store-queue scan above.
 				bSize := 1 << (e.sbSize.Get(bi) & 3)
+				bAddr := e.sbAddr.GetObs(bi, func(v uint64) uint64 {
+					return ovObsMask(v, bSize, addr, size) | eqObsMask(v, addr)
+				})
 				if !overlap(addr, size, bAddr, bSize) {
 					continue
 				}
@@ -426,7 +477,12 @@ func (m *Machine) checkOrderViolation(storeTag uint64, addr uint64, size int) {
 			continue // older than the store
 		}
 		lSize := 1 << (e.lqSize.Get(i) & 3)
-		if !overlap(addr, size, e.lqAddr.Get(i), lSize) {
+		// Predicate-only read: the load address steers only this overlap
+		// check (overlap is symmetric, so ovObsMask applies directly).
+		lAddr := e.lqAddr.GetObs(i, func(v uint64) uint64 {
+			return ovObsMask(v, lSize, addr, size)
+		})
+		if !overlap(addr, size, lAddr, lSize) {
 			continue
 		}
 		// Forwarded loads may have already gotten this store's data.

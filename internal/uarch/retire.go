@@ -1,6 +1,8 @@
 package uarch
 
 import (
+	"math/bits"
+
 	"pipefault/internal/isa"
 	"pipefault/internal/state"
 )
@@ -10,22 +12,37 @@ import (
 // entries are freed.
 func (m *Machine) writeback() {
 	e := m.e
-	for p := 0; p < 7; p++ {
-		if !e.wbValid.Bool(p) {
-			continue
+	if m.F.Tracing() {
+		// Scalar reference for the word-parallel walk below.
+		for p := 0; p < 7; p++ {
+			if !e.wbValid.Bool(p) {
+				continue
+			}
+			m.wbDrainPort(p)
 		}
-		e.wbValid.SetBool(p, false)
-		if e.wbWrites.Bool(p) {
-			dest := e.wbDest.Get(p)
-			m.prfWrite(dest, e.wbValue.Get(p))
-			m.wakeup(dest)
-		}
-		e.robDone.SetBool(int(e.wbRobTag.Get(p)%ROBSize), true)
-		if e.wbHasSched.Bool(p) {
-			m.freeSched(e.wbSchedIdx.Get(p))
+	} else {
+		// The body only clears wbValid bits, so the snapshot mask stays
+		// exact across the walk.
+		for w := e.lnWbValid.Word(0); w != 0; w &= w - 1 {
+			m.wbDrainPort(bits.TrailingZeros64(w))
 		}
 	}
 	m.genPendingECC()
+}
+
+// wbDrainPort drains one occupied writeback port.
+func (m *Machine) wbDrainPort(p int) {
+	e := m.e
+	e.wbValid.SetBool(p, false)
+	if e.wbWrites.Bool(p) {
+		dest := e.wbDest.Get(p)
+		m.prfWrite(dest, e.wbValue.Get(p))
+		m.wakeup(dest)
+	}
+	e.robDone.SetBool(int(e.wbRobTag.Get(p)%ROBSize), true)
+	if e.wbHasSched.Bool(p) {
+		m.freeSched(e.wbSchedIdx.Get(p))
+	}
 }
 
 // retire commits up to RetireWidth instructions from the ROB head. It also
@@ -311,10 +328,22 @@ func (m *Machine) undoROBEntry(t int, restoreRename bool) {
 // exceeds cut.
 func (m *Machine) squashYounger(cut uint64) {
 	e := m.e
-	for s := 0; s < SchedSize; s++ {
-		if e.isValid.Bool(s) && m.robAge(e.isRobTag.Get(s)) > cut {
-			e.isValid.SetBool(s, false)
+	if m.F.Tracing() {
+		// Scalar reference for the word-parallel walk below.
+		for s := 0; s < SchedSize; s++ {
+			if e.isValid.Bool(s) && m.robAge(e.isRobTag.Get(s)) > cut {
+				e.isValid.SetBool(s, false)
+			}
 		}
+	} else {
+		var kill uint64
+		for w := e.lnIsValid.Word(0); w != 0; w &= w - 1 {
+			s := bits.TrailingZeros64(w)
+			if m.robAge(e.isRobTag.Get(s)) > cut {
+				kill |= 1 << s
+			}
+		}
+		e.lnIsValid.ClearMask(0, kill)
 	}
 	for p := 0; p < IssueWidth; p++ {
 		if e.ipValid.Bool(p) && m.robAge(e.ipRobTag.Get(p)) > cut {
@@ -342,9 +371,7 @@ func (m *Machine) squashYounger(cut uint64) {
 			e.wbValid.SetBool(p, false)
 		}
 	}
-	for s := 0; s < 6; s++ {
-		e.swValid.SetBool(s, false)
-	}
+	e.lnSwValid.ClearMask(0, 1<<6-1)
 }
 
 // fullFlush discards all in-flight work and restores renaming from
@@ -353,10 +380,10 @@ func (m *Machine) squashYounger(cut uint64) {
 // paper observes).
 func (m *Machine) fullFlush(newPC uint64, cause string) {
 	e := m.e
-	for t := 0; t < ROBSize; t++ {
-		e.robValid.SetBool(t, false)
-		e.robDone.SetBool(t, false)
-	}
+	// Whole-structure drains go through the lane mask ops: one word rewrite
+	// per structure untraced, the identical per-entry Set loop when traced.
+	e.lnRobValid.ClearMask(0, ^uint64(0))
+	e.lnRobDone.ClearMask(0, ^uint64(0))
 	e.robHead.Set(0, 0)
 	e.robTail.Set(0, 0)
 	e.robCount.Set(0, 0)
@@ -391,44 +418,27 @@ func (m *Machine) fullFlush(newPC uint64, cause string) {
 	state.CopyEntry(e.specFLHead, 0, e.archFLHead, 0)
 	state.CopyEntry(e.specFLCount, 0, e.archFLCount, 0)
 
-	for p := 0; p < NumPhysRegs; p++ {
-		e.prfReady.SetBool(p, true)
-	}
-	for s := 0; s < SchedSize; s++ {
-		e.isValid.SetBool(s, false)
-	}
-	for p := 0; p < IssueWidth; p++ {
-		e.ipValid.SetBool(p, false)
-		e.exValid.SetBool(p, false)
-	}
-	for i := 0; i < ComplexDepth; i++ {
-		e.cpValid.SetBool(i, false)
-	}
-	for p := 0; p < 2; p++ {
-		e.m1Valid.SetBool(p, false)
-		e.m2Valid.SetBool(p, false)
-	}
-	for p := 0; p < 7; p++ {
-		e.wbValid.SetBool(p, false)
-	}
-	for s := 0; s < 6; s++ {
-		e.swValid.SetBool(s, false)
-	}
+	e.lnPrfReady.SetMask(0, ^uint64(0))
+	e.lnPrfReady.SetMask(1, 1<<(NumPhysRegs-64)-1)
+	e.lnIsValid.ClearMask(0, 1<<SchedSize-1)
+	e.lnIpValid.ClearMask(0, 1<<IssueWidth-1)
+	e.lnExValid.ClearMask(0, 1<<IssueWidth-1)
+	e.lnCpValid.ClearMask(0, 1<<ComplexDepth-1)
+	e.lnM1Valid.ClearMask(0, 3)
+	e.lnM2Valid.ClearMask(0, 3)
+	e.lnWbValid.ClearMask(0, 1<<7-1)
+	e.lnSwValid.ClearMask(0, 1<<6-1)
 	e.lqHead.Set(0, 0)
 	e.lqTail.Set(0, 0)
 	e.lqCount.Set(0, 0)
-	for i := 0; i < LQSize; i++ {
-		e.lqAddrV.SetBool(i, false)
-		e.lqDone.SetBool(i, false)
-		e.lqBusy.SetBool(i, false)
-	}
+	e.lnLqAddrV.ClearMask(0, 1<<LQSize-1)
+	e.lnLqDone.ClearMask(0, 1<<LQSize-1)
+	e.lnLqBusy.ClearMask(0, 1<<LQSize-1)
 	e.sqHead.Set(0, 0)
 	e.sqTail.Set(0, 0)
 	e.sqCount.Set(0, 0)
-	for i := 0; i < SQSize; i++ {
-		e.sqAddrV.SetBool(i, false)
-		e.sqDataV.SetBool(i, false)
-	}
+	e.lnSqAddrV.ClearMask(0, 1<<SQSize-1)
+	e.lnSqDataV.ClearMask(0, 1<<SQSize-1)
 	e.rcPending.SetBool(0, false)
 	m.frontEndSquash(newPC)
 	if m.OnFlush != nil {

@@ -75,16 +75,29 @@ func (m *Machine) schedule() {
 		age   [SchedSize]uint64
 		ports [SchedSize]uint8
 	)
-	for s := 0; s < SchedSize; s++ {
-		if !e.isValid.Bool(s) || e.isIssued.Bool(s) {
-			continue
+	if m.F.Tracing() {
+		// Scalar reference for the word-parallel gather below: golden runs
+		// stamp the per-entry short-circuit reads in this exact pattern.
+		for s := 0; s < SchedSize; s++ {
+			if !e.isValid.Bool(s) || e.isIssued.Bool(s) {
+				continue
+			}
+			if !e.isS1Ready.Bool(s) || !e.isS2Ready.Bool(s) {
+				continue
+			}
+			ready |= 1 << s
+			age[s] = m.robAge(e.isRobTag.Get(s))
+			ports[s] = portMaskForClass(isa.Class(e.isClass.Get(s)))
 		}
-		if !e.isS1Ready.Bool(s) || !e.isS2Ready.Bool(s) {
-			continue
+	} else {
+		elig := e.lnIsValid.Word(0) &^ e.lnIsIssued.Word(0) &
+			e.lnIsS1Ready.Word(0) & e.lnIsS2Ready.Word(0)
+		ready = uint32(elig)
+		for rm := ready; rm != 0; rm &= rm - 1 {
+			s := bits.TrailingZeros32(rm)
+			age[s] = m.robAge(e.isRobTag.Get(s))
+			ports[s] = portMaskForClass(isa.Class(e.isClass.Get(s)))
 		}
-		ready |= 1 << s
-		age[s] = m.robAge(e.isRobTag.Get(s))
-		ports[s] = portMaskForClass(isa.Class(e.isClass.Get(s)))
 	}
 
 	// Per-port oldest-first selection.
@@ -156,10 +169,25 @@ func (m *Machine) wakeup(dest uint64) {
 		return
 	}
 	e := m.e
-	for s := 0; s < SchedSize; s++ {
-		if !e.isValid.Bool(s) || e.isIssued.Bool(s) {
-			continue
+	if m.F.Tracing() {
+		// Scalar reference for the word-parallel walk below.
+		for s := 0; s < SchedSize; s++ {
+			if !e.isValid.Bool(s) || e.isIssued.Bool(s) {
+				continue
+			}
+			if e.isSrc1.Get(s) == dest {
+				e.isS1Ready.SetBool(s, true)
+			}
+			if e.isSrc2.Get(s) == dest && !e.isUseLit.Bool(s) {
+				e.isS2Ready.SetBool(s, true)
+			}
 		}
+		return
+	}
+	// Visit only live, un-issued entries; the body never writes isValid or
+	// isIssued, so the snapshot mask stays exact across the walk.
+	for w := e.lnIsValid.Word(0) &^ e.lnIsIssued.Word(0); w != 0; w &= w - 1 {
+		s := bits.TrailingZeros64(w)
 		if e.isSrc1.Get(s) == dest {
 			e.isS1Ready.SetBool(s, true)
 		}
@@ -184,29 +212,44 @@ func (m *Machine) replayDependents(dest uint64) {
 			e.swValid.SetBool(s, false)
 		}
 	}
-	for s := 0; s < SchedSize; s++ {
-		if !e.isValid.Bool(s) {
-			continue
+	if m.F.Tracing() {
+		// Scalar reference for the word-parallel walk below.
+		for s := 0; s < SchedSize; s++ {
+			if !e.isValid.Bool(s) {
+				continue
+			}
+			m.replayEntry(s, dest)
 		}
-		dep := false
-		if e.isSrc1.Get(s) == dest {
-			e.isS1Ready.SetBool(s, false)
-			dep = true
-		}
-		if e.isSrc2.Get(s) == dest && !e.isUseLit.Bool(s) {
-			e.isS2Ready.SetBool(s, false)
-			dep = true
-		}
-		if dep && e.isIssued.Bool(s) {
-			// Replay: back to waiting, squash in-flight copies.
-			e.isIssued.SetBool(s, false)
-			for p := 0; p < IssueWidth; p++ {
-				if e.ipValid.Bool(p) && int(e.ipSchedIdx.Get(p)) == s {
-					e.ipValid.SetBool(p, false)
-				}
-				if e.exValid.Bool(p) && int(e.exSchedIdx.Get(p)) == s {
-					e.exValid.SetBool(p, false)
-				}
+		return
+	}
+	// The body never writes isValid, so the snapshot mask stays exact.
+	for w := e.lnIsValid.Word(0); w != 0; w &= w - 1 {
+		m.replayEntry(bits.TrailingZeros64(w), dest)
+	}
+}
+
+// replayEntry returns one live scheduler entry to the waiting state if it
+// consumed the speculative tag, squashing its in-flight copies.
+func (m *Machine) replayEntry(s int, dest uint64) {
+	e := m.e
+	dep := false
+	if e.isSrc1.Get(s) == dest {
+		e.isS1Ready.SetBool(s, false)
+		dep = true
+	}
+	if e.isSrc2.Get(s) == dest && !e.isUseLit.Bool(s) {
+		e.isS2Ready.SetBool(s, false)
+		dep = true
+	}
+	if dep && e.isIssued.Bool(s) {
+		// Replay: back to waiting, squash in-flight copies.
+		e.isIssued.SetBool(s, false)
+		for p := 0; p < IssueWidth; p++ {
+			if e.ipValid.Bool(p) && int(e.ipSchedIdx.Get(p)) == s {
+				e.ipValid.SetBool(p, false)
+			}
+			if e.exValid.Bool(p) && int(e.exSchedIdx.Get(p)) == s {
+				e.exValid.SetBool(p, false)
 			}
 		}
 	}

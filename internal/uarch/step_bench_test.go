@@ -1,0 +1,37 @@
+package uarch
+
+import (
+	"testing"
+
+	"pipefault/internal/mem"
+	"pipefault/internal/workload"
+)
+
+// BenchmarkStep measures raw detailed-model stepping on the Gzip
+// workload, the same loop cmd/pipebench reports as pipeline_cycles.
+func BenchmarkStep(b *testing.B) {
+	w := workload.Gzip
+	prog, err := w.Program()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ref, err := w.ComputeReference()
+	if err != nil {
+		b.Fatal(err)
+	}
+	newMachine := func() *Machine {
+		mm := mem.New()
+		regs := prog.Load(mm)
+		return NewOnMemory(Config{}, mm, ref.Legal, prog.Entry, regs)
+	}
+	m := newMachine()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m.Halted() {
+			b.StopTimer()
+			m = newMachine()
+			b.StartTimer()
+		}
+		m.Step()
+	}
+}
