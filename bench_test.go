@@ -165,7 +165,7 @@ func BenchmarkFigure11SoftwareMasking(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			for mi, model := range core.FaultModels() {
+			for mi, model := range core.SoftModels() {
 				res, err := en.RunModel(model, 25, int64(2000+10*wi+mi))
 				if err != nil {
 					b.Fatal(err)

@@ -40,6 +40,18 @@
 // strategy (converge, taint, off) — all three produce byte-identical
 // results; they differ only in simulated cycles per trial.
 //
+// Fault-model flags: -fault-model selects what each trial injects —
+// transient (the paper's single bit flip, the default), stuck0/stuck1
+// (stuck-at for a -fault-duration cycle window), intermittent (stuck-at-1
+// for a seeded random duration in [1, -fault-duration]), permanent
+// (stuck-at-1 for the whole trial), or mbu2 (a 2-adjacent-bit upset).
+// Non-transient models auto-restrict early stopping and disable the
+// prover (their soundness arguments need one-shot faults);
+// -model-crosscheck K re-runs K trials per checkpoint with every
+// acceleration off and fails the campaign on any divergence. A final
+// per-model outcome breakdown is printed next to the trial-resolution
+// report.
+//
 // Robustness flags: -timeout arms the per-trial watchdog (livelocked
 // trials are killed and counted as anomalies instead of hanging a
 // worker); -journal <base> appends each campaign's completed work units
@@ -71,7 +83,7 @@ import (
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:]))
 }
 
 type opts struct {
@@ -86,6 +98,8 @@ type opts struct {
 	earlyStop   core.EarlyStopMode
 	prove       core.ProveMode
 	proveCheck  int
+	model       core.FaultModel
+	modelCheck  int
 	progress    bool
 	timeout     time.Duration
 	journal     string
@@ -94,8 +108,10 @@ type opts struct {
 	verbose     bool
 }
 
-func run() int {
-	fs := flag.NewFlagSet("faultsim", flag.ExitOnError)
+// run is main's body, parameterized over the argument list so tests can
+// drive flag validation (exit codes) without spawning a process.
+func run(args []string) int {
+	fs := flag.NewFlagSet("faultsim", flag.ContinueOnError)
 	benchFlag := fs.String("bench", "all", "comma-separated benchmarks, or \"all\"")
 	checkpoints := fs.Int("checkpoints", 12, "start points per benchmark")
 	trials := fs.Int("trials", 25, "latch+RAM trials per checkpoint")
@@ -107,6 +123,9 @@ func run() int {
 	earlyStop := fs.String("earlystop", "converge", "trial termination: converge (taint shortcuts + trajectory re-convergence certificate), taint (taint shortcuts only), or off (full-horizon equivalence oracle)")
 	proveFlag := fs.String("prove", "on", "static benign-injection prover: on (sample only unproven bits, re-weight analytically) or off (full-population sampling)")
 	proveCheck := fs.Int("prove-crosscheck", 0, "per-checkpoint soundness oracle: simulate this many proven-benign bits full-horizon and fail the campaign unless all match (0 disables)")
+	faultModel := fs.String("fault-model", "transient", "fault model to inject: "+strings.Join(core.FaultModelNames(), ", "))
+	faultDuration := fs.Int("fault-duration", 100, "stuck-at assertion window in cycles (stuck0/stuck1; the upper bound of an intermittent fault's random window)")
+	modelCheck := fs.Int("model-crosscheck", 0, "per-checkpoint fault-model soundness oracle: re-run this many trials with all acceleration off and fail the campaign on any classification divergence (0 disables; forced 0 for transient)")
 	progress := fs.Bool("progress", false, "print periodic campaign progress to stderr")
 	timeout := fs.Duration("timeout", 0, "per-trial watchdog budget; a livelocked trial is killed and counted as an anomaly (0 disables)")
 	journal := fs.String("journal", "", "campaign journal path base; each campaign appends completed units to <base>-<prot>-<bench>.jsonl for -resume")
@@ -119,7 +138,7 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "usage: faultsim [flags] <table1|modes|fig3..fig11|hotspots|avf|reduction|ybranch|all>\n")
 		fs.PrintDefaults()
 	}
-	if err := fs.Parse(os.Args[1:]); err != nil {
+	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() < 1 {
@@ -148,6 +167,11 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "faultsim:", err)
 		return 2
 	}
+	model, err := core.ParseFaultModel(*faultModel, *faultDuration)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faultsim:", err)
+		return 2
+	}
 	proto := core.Config{
 		Workload:        workload.Tiny, // validation placeholder; real campaigns set their own
 		Checkpoints:     *checkpoints,
@@ -157,6 +181,8 @@ func run() int {
 		EarlyStop:       earlyStopMode,
 		Prove:           proveMode,
 		ProveCrossCheck: *proveCheck,
+		Model:           model,
+		ModelCrossCheck: *modelCheck,
 		TrialTimeout:    *timeout,
 		Populations: []core.Population{
 			{Name: "l+r", Trials: *trials},
@@ -175,6 +201,8 @@ func run() int {
 		{*trials < 1, fmt.Sprintf("-trials must be >= 1 (got %d)", *trials)},
 		{*softTrials < 1, fmt.Sprintf("-soft-trials must be >= 1 (got %d)", *softTrials)},
 		{*horizon < 1, fmt.Sprintf("-horizon must be >= 1 (got %d)", *horizon)},
+		{*faultDuration < 1, fmt.Sprintf("-fault-duration must be >= 1 (got %d)", *faultDuration)},
+		{*modelCheck < 0, fmt.Sprintf("-model-crosscheck must be >= 0 (got %d)", *modelCheck)},
 		{*resumeFlag && *journal == "", "-resume requires -journal"},
 	} {
 		if check.bad {
@@ -215,8 +243,9 @@ func run() int {
 		checkpoints: *checkpoints, trials: *trials, ltrials: *ltrials,
 		softTrials: *softTrials, horizon: *horizon, workers: *workers,
 		sched: schedMode, earlyStop: earlyStopMode, prove: proveMode,
-		proveCheck: *proveCheck, progress: *progress,
-		timeout: *timeout, journal: *journal, resume: *resumeFlag,
+		proveCheck: *proveCheck, model: model, modelCheck: *modelCheck,
+		progress: *progress,
+		timeout:  *timeout, journal: *journal, resume: *resumeFlag,
 		seed: *seed, verbose: *verbose,
 	}
 	if o.workers <= 0 {
@@ -261,6 +290,9 @@ func run() int {
 		}
 	}
 	if s := r.resolveReport(); s != "" {
+		fmt.Fprint(os.Stderr, s)
+	}
+	if s := r.modelReport(); s != "" {
 		fmt.Fprint(os.Stderr, s)
 	}
 	fmt.Fprintf(os.Stderr, "faultsim: wall-clock %.1fs (%d workers)\n",
@@ -314,6 +346,54 @@ func (r *runner) resolveReport() string {
 		mean := float64(r.resolvedSteps[k].Load()) / float64(n)
 		fmt.Fprintf(&b, "  %-12s %8d  (%5.1f%%)  mean %.0f cycles\n",
 			k, n, 100*float64(n)/float64(total), mean)
+	}
+	return b.String()
+}
+
+// modelReport is the per-fault-model outcome breakdown printed next to the
+// trial-resolution report: one line per model this invocation campaigned
+// (normally one), with classified trial counts and the paper's four
+// outcome rates summed over benchmarks and populations. Empty if no
+// microarchitectural campaign ran.
+func (r *runner) modelReport() string {
+	all := make([]*core.Result, 0, len(r.unprot)+len(r.prot))
+	all = append(all, r.unprot...)
+	all = append(all, r.prot...)
+	var order []string
+	counts := make(map[string]*[core.NumOutcomes]int)
+	for _, res := range all {
+		c := counts[res.Model]
+		if c == nil {
+			c = new([core.NumOutcomes]int)
+			counts[res.Model] = c
+			order = append(order, res.Model)
+		}
+		for _, p := range res.Pops {
+			oc := p.OutcomeCounts()
+			for o := range oc {
+				c[o] += oc[o]
+			}
+		}
+	}
+	if len(order) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("faultsim: fault-model outcome breakdown:\n")
+	for _, m := range order {
+		c := counts[m]
+		n := c[core.OutMatch] + c[core.OutGray] + c[core.OutSDC] + c[core.OutTerminated]
+		if n == 0 {
+			fmt.Fprintf(&b, "  %-14s 0 classified trials\n", m)
+			continue
+		}
+		pct := func(o core.Outcome) float64 { return 100 * float64(c[o]) / float64(n) }
+		anom := ""
+		if a := c[core.OutAnomaly]; a > 0 {
+			anom = fmt.Sprintf("  anomalies %d", a)
+		}
+		fmt.Fprintf(&b, "  %-14s %8d trials  match %5.1f%%  gray %5.1f%%  sdc %5.1f%%  term %5.1f%%%s\n",
+			m, n, pct(core.OutMatch), pct(core.OutGray), pct(core.OutSDC), pct(core.OutTerminated), anom)
 	}
 	return b.String()
 }
@@ -492,6 +572,8 @@ func (r *runner) campaigns(protect pipefault.ProtectConfig, cache *[]*core.Resul
 			EarlyStop:       r.o.earlyStop,
 			Prove:           r.o.prove,
 			ProveCrossCheck: r.o.proveCheck,
+			Model:           r.o.model,
+			ModelCrossCheck: r.o.modelCheck,
 			TrialTimeout:    r.o.timeout,
 			Seed:            r.o.seed + int64(i),
 		}
@@ -568,7 +650,7 @@ func (r *runner) software() ([]*core.SoftResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		for j, model := range core.FaultModels() {
+		for j, model := range core.SoftModels() {
 			res, err := en.RunModel(model, r.o.softTrials, r.o.seed+int64(100+10*i+j))
 			if err != nil {
 				return nil, err

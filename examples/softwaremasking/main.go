@@ -17,7 +17,7 @@ func main() {
 		log.Fatal(err)
 	}
 	var results []*pipefault.SoftResult
-	for i, model := range pipefault.FaultModels() {
+	for i, model := range pipefault.SoftModels() {
 		res, err := en.RunModel(model, 50, int64(10+i))
 		if err != nil {
 			log.Fatal(err)

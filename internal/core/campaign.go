@@ -161,6 +161,25 @@ type Config struct {
 	// campaign, never change its results.
 	ProveCrossCheck int //pipelint:identity-ok soundness oracle; can only abort the campaign, never change results
 
+	// Model selects the fault model each trial injects: TransientFlip (the
+	// nil default — today's single transient bit flip), StuckAt (stuck-at-0/1
+	// over a transient window, an intermittent seeded-random duration, or
+	// permanently), or MultiBit (adjacent-bit MBUs within one entry). The
+	// model changes what every trial simulates, so it is part of the
+	// campaign's journal identity; Validate auto-restricts EarlyStop and
+	// Prove to the modes that are sound for the chosen model (see
+	// restrictToModel).
+	Model FaultModel
+
+	// ModelCrossCheck is the non-transient models' soundness oracle: when
+	// positive, K random trials per checkpoint are re-run with every
+	// acceleration disabled (full-horizon semantics) and must classify
+	// identically; any divergence hard-fails the campaign with a
+	// *ModelCheckError. Zero disables the oracle; it is forced to zero for
+	// TransientFlip, whose equivalence oracles are the export goldens. The
+	// check can only abort the campaign, never change its results.
+	ModelCrossCheck int //pipelint:identity-ok soundness oracle; can only abort the campaign, never change results
+
 	Seed int64
 }
 
@@ -462,6 +481,13 @@ func (c *Config) Validate() error {
 	if c.ProveCrossCheck < 0 {
 		return &ConfigError{Field: "ProveCrossCheck", Value: c.ProveCrossCheck, Reason: "ProveCrossCheck must be >= 0 (0 disables the oracle)"}
 	}
+	if err := validateModel(c.Model); err != nil {
+		return err
+	}
+	if c.ModelCrossCheck < 0 {
+		return &ConfigError{Field: "ModelCrossCheck", Value: c.ModelCrossCheck, Reason: "ModelCrossCheck must be >= 0 (0 disables the oracle)"}
+	}
+	c.restrictToModel()
 	seen := make(map[string]bool, len(c.Populations))
 	for _, p := range c.Populations {
 		if p.Name == "" {
@@ -781,8 +807,13 @@ type ScatterPoint struct {
 
 // Result is the outcome of a campaign over one workload.
 type Result struct {
-	Benchmark   string
-	Protected   bool
+	Benchmark string
+	Protected bool
+	// Model is the canonical name of the campaign's fault model ("transient"
+	// for the default single-flip model). Merge sets "mixed" when inputs ran
+	// different models — their rates then aggregate outcomes of different
+	// physical fault shapes.
+	Model       string
 	Pops        map[string]*PopResult
 	Scatter     map[string][]ScatterPoint // per population
 	TotalCycles uint64                    // golden end-to-end cycle count
@@ -852,8 +883,12 @@ func Merge(name string, results []*Result) *Result {
 	for i, r := range results {
 		if i == 0 {
 			agg.Protected = r.Protected
+			agg.Model = r.Model
 		} else if r.Protected != agg.Protected {
 			agg.MixedProtection = true
+		}
+		if r.Model != agg.Model {
+			agg.Model = "mixed"
 		}
 		agg.TotalCycles += r.TotalCycles
 		retired += r.IPC * float64(r.TotalCycles)

@@ -57,7 +57,7 @@ func runTargeted(t *testing.T, en *worker, g *goldenRun, elem string, entry, bit
 	t.Helper()
 	snap := en.m.Snapshot()
 	mark := en.m.Mem.Mark()
-	trial := en.runTrial(flipRef(t, en.m, elem, entry, bit))
+	trial := en.runTrial(flipRef(t, en.m, elem, entry, bit), 0, 0)
 	en.m.Restore(snap)
 	en.m.Mem.RollbackTo(mark)
 	return trial
@@ -70,7 +70,7 @@ func TestClassifyNoFlipIsMatchImmediately(t *testing.T) {
 	ref := flipRef(t, en.m, "prf.value", 50, 7)
 	ref.Flip()
 	ref.Flip()
-	trial := en.runTrial(flipRef(t, en.m, "rob.pc", 0, 0)) // will flip once
+	trial := en.runTrial(flipRef(t, en.m, "rob.pc", 0, 0), 0, 0) // will flip once
 	en.m.Restore(snap)
 	_ = trial
 }

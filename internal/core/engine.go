@@ -225,6 +225,8 @@ func (t *trialMonitor) onExc(ev uarch.ExcEvent) {
 type worker struct {
 	cfg Config
 	m   *uarch.Machine
+	//pipelint:shadow-ok resolved fault model from Config.Model; campaign parameter, not injectable machine state
+	model FaultModel
 	//pipelint:shadow-ok golden-run horizon derived from the schedule, not injectable machine state
 	horizonG uint64
 	//pipelint:shadow-ok current golden run (owned buffer or shared immutable); engine scaffolding
@@ -246,7 +248,7 @@ type worker struct {
 
 // newWorker wires up a worker's reusable buffers and callbacks.
 func newWorker(cfg Config, m *uarch.Machine, horizonG uint64) *worker {
-	w := &worker{cfg: cfg, m: m, horizonG: horizonG}
+	w := &worker{cfg: cfg, m: m, horizonG: horizonG, model: resolveModel(cfg.Model)}
 	w.g = &w.gOwned
 	w.onGolden = func(ev uarch.RetireEvent) {
 		w.g.events = append(w.g.events, ev)
@@ -307,9 +309,14 @@ func (w *worker) goldenContinuation(g *goldenRun) {
 	// either consumer arms the trace. Tracing is pure observation — it
 	// changes which trials are *drawn* only through the proof, never how a
 	// drawn trial executes. Convergence additionally records keyframes and
-	// the per-cycle monitor bits its certificate replays.
-	conv := w.cfg.EarlyStop == EarlyStopConverge
-	traced := conv || w.cfg.EarlyStop == EarlyStopTaint || w.cfg.Prove != ProveOff
+	// the per-cycle monitor bits its certificate replays. Both consumers
+	// assume a one-shot fault, so non-transient models (whose Reassert keeps
+	// re-corrupting state) leave the trace and certificate unarmed: their
+	// trials run the full loop, accelerated only by quiescence once the
+	// fault has expired (see runTrial's armed gating).
+	transient := w.model.Transient()
+	conv := transient && w.cfg.EarlyStop == EarlyStopConverge
+	traced := conv || (transient && w.cfg.EarlyStop == EarlyStopTaint) || w.cfg.Prove != ProveOff
 	var cyc uint64
 	if traced {
 		if g.trace == nil {
@@ -466,6 +473,11 @@ func (w *worker) checkpoint(ck int) *ckResult {
 	if err := w.crossCheck(proof, ck, snap); err != nil {
 		cr.err = err
 	} else {
+		total := 0
+		for _, pop := range w.cfg.Populations {
+			total += pop.Trials
+		}
+		sel := w.modelCheckSet(ck, total)
 		rng := rand.New(rand.NewSource(checkpointSeed(w.cfg.Seed, ck)))
 		flat := 0
 		for pi, pop := range w.cfg.Populations {
@@ -474,6 +486,9 @@ func (w *worker) checkpoint(ck int) *ckResult {
 			for t := 0; t < pop.Trials; t++ {
 				bit := drawBit(m.F, proof, rng, pop.LatchOnly)
 				trial := w.runTrialContained(bit, ck, flat, snap)
+				if cr.err == nil && sel[flat] {
+					cr.err = w.modelCheckTrial(bit, ck, flat, snap, trial)
+				}
 				flat++
 				pt.trials = append(pt.trials, trial)
 				if trial.Outcome == OutMatch || trial.Outcome == OutGray {
@@ -583,6 +598,64 @@ func (w *worker) crossCheck(proof *prove.Proof, ck int, snap *uarch.Snapshot) er
 	return nil
 }
 
+// modelCheckSalt decorrelates the fault-model cross-check oracle's RNG
+// stream from the checkpoint's trial stream and the prover oracle's.
+const modelCheckSalt = 0x636865636b // "check"
+
+// modelCheckSet picks the flat trial indices the fault-model cross-check
+// oracle re-runs at one checkpoint: ModelCrossCheck draws from a dedicated
+// salted stream, so the selection depends only on (Seed, checkpoint) and is
+// identical across schedulers and workers. Nil when the oracle is off.
+func (w *worker) modelCheckSet(ck, total int) map[int]bool {
+	if w.cfg.ModelCrossCheck <= 0 || total <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(checkpointSeed(w.cfg.Seed, ck) ^ modelCheckSalt))
+	sel := make(map[int]bool, w.cfg.ModelCrossCheck)
+	for k := 0; k < w.cfg.ModelCrossCheck; k++ {
+		sel[int(rng.Int63n(int64(total)))] = true
+	}
+	return sel
+}
+
+// modelCheckTrial is the fault-model soundness oracle for one selected
+// trial: re-run it at the same campaign coordinates — so an intermittent
+// fault draws the same duration — with every early-stop shortcut disabled,
+// and hard-fail unless the full-horizon loop classifies identically
+// (outcome, failure mode and classification cycle). Anomalies on either
+// side are skipped: watchdog expiries are wall-clock events, not
+// classifications. The re-run rewinds through the ordinary containment
+// boundary, so the oracle perturbs nothing.
+func (w *worker) modelCheckTrial(bit state.BitRef, ck, idx int, snap *uarch.Snapshot, got Trial) error {
+	if got.Outcome == OutAnomaly {
+		return nil
+	}
+	saved := w.cfg.EarlyStop
+	w.cfg.EarlyStop = EarlyStopOff
+	check := w.runTrialContained(bit, ck, idx, snap)
+	w.cfg.EarlyStop = saved
+	if check.Outcome == OutAnomaly {
+		return nil
+	}
+	if check.Outcome != got.Outcome || check.Mode != got.Mode || check.Cycles != got.Cycles {
+		return &ModelCheckError{
+			Checkpoint: ck,
+			Index:      idx,
+			Model:      w.model.String(),
+			Elem:       bit.Elem.Name(),
+			Entry:      bit.Entry,
+			Bit:        bit.Bit,
+			Outcome:    got.Outcome,
+			Mode:       got.Mode,
+			Cycles:     got.Cycles,
+			CheckOut:   check.Outcome,
+			CheckMode:  check.Mode,
+			CheckCyc:   check.Cycles,
+		}
+	}
+	return nil
+}
+
 // testTrialHook, when non-nil, runs inside the containment boundary at the
 // start of each trial attempt, keyed by (checkpoint, flat trial index,
 // attempt). Test-only: the containment tests install panicking hooks to
@@ -606,7 +679,7 @@ func (w *worker) attemptTrial(bit state.BitRef, ck, idx, attempt int) (trial Tri
 	if testTrialHook != nil {
 		testTrialHook(ck, idx, attempt)
 	}
-	trial = w.runTrial(bit)
+	trial = w.runTrial(bit, ck, idx)
 	return trial, nil, nil
 }
 
@@ -781,8 +854,11 @@ func (w *worker) finishQuiescent(trial Trial, cyc, horizon, noRetire, itlbCnt in
 	return trial
 }
 
-// runTrial flips one bit and monitors the machine against the golden
-// continuation, implementing the Section 2.2 classification.
+// runTrial arms the campaign's fault model at one bit and monitors the
+// machine against the golden continuation, implementing the Section 2.2
+// classification. (ck, idx) name the trial's campaign coordinates; they
+// seed the model's dedicated per-trial RNG (intermittent durations), which
+// is decoupled from the bit-draw stream.
 //
 // Under EarlyStopTaint two provably exact shortcuts apply. First, if the
 // golden liveness trace shows the flipped entry is dead (resolveDead), the
@@ -799,7 +875,7 @@ func (w *worker) finishQuiescent(trial Trial, cyc, horizon, noRetire, itlbCnt in
 // when a trial watchdog is armed (except a resolveDead that cannot cross
 // the first watchdog stride), so watchdog expiry behavior is bit-identical
 // to the full loop.
-func (w *worker) runTrial(bit state.BitRef) Trial {
+func (w *worker) runTrial(bit state.BitRef, ck, idx int) Trial {
 	m := w.m
 	g := w.g
 	trial := Trial{
@@ -827,7 +903,10 @@ func (w *worker) runTrial(bit state.BitRef) Trial {
 		deadline = w.cfg.Clock() + int64(w.cfg.TrialTimeout)
 	}
 
-	if g.traced && w.cfg.EarlyStop.taintShortcuts() {
+	// Dead-trial resolution assumes the corruption dies with the first
+	// overwrite, so it stands down for non-transient models (whose goldens
+	// are untraced anyway — the model gate here is defense in depth).
+	if g.traced && w.model.Transient() && w.cfg.EarlyStop.taintShortcuts() {
 		if out, mode, cyc, ok := w.resolveDead(bit, horizon); ok && (deadline == 0 || cyc < watchdogStride) {
 			trial.Outcome, trial.Mode = out, mode
 			trial.Cycles = int32(cyc)
@@ -860,7 +939,20 @@ func (w *worker) runTrial(bit state.BitRef) Trial {
 		}
 	}()
 
-	bit.Flip()
+	// Arm the fault model at the drawn bit. Models that consume randomness
+	// (intermittent durations) get a dedicated stream seeded from the trial's
+	// campaign coordinates, so model randomness is identical across
+	// schedulers, workers, retries and resume, and never perturbs the
+	// bit-draw stream. One-shot models return a nil ArmedFault and the loop
+	// below is bit-identical to the pre-interface engine.
+	var mrng *rand.Rand
+	if w.model.armRNG() {
+		mrng = rand.New(rand.NewSource(trialModelSeed(w.cfg.Seed, ck, idx)))
+	}
+	armed := w.model.Arm(bit, mrng)
+	if armed != nil {
+		defer armed.Disarm()
+	}
 
 	conv := g.conv && w.cfg.EarlyStop == EarlyStopConverge && deadline == 0
 	noRetire := 0
@@ -882,6 +974,13 @@ func (w *worker) runTrial(bit state.BitRef) Trial {
 		}
 		m.Step()
 		steps++
+		// Re-impose an armed persistent fault before the cycle's
+		// classification checks, so an overwrite by the pipeline never
+		// outlives the assertion window. Reassert writes through Elem.Set,
+		// folding the digest/journal/write-count like any behavioral write.
+		if armed != nil && !armed.Reassert(m.F, uint64(cyc)) {
+			armed = nil
+		}
 		trial.Cycles = int32(cyc)
 		switch {
 		case w.mon.diverged:
@@ -914,12 +1013,18 @@ func (w *worker) runTrial(bit state.BitRef) Trial {
 		} else {
 			itlbCnt = 0
 		}
-		if !w.mon.outOfTrace && m.TraceDigest() == g.digests[cyc-1] {
+		// The digest-match and quiescence checks are sound only once no fault
+		// is armed: an asserting stuck-at can re-diverge a digest-matched
+		// machine the moment the golden run writes the stuck entry, and a
+		// quiescent machine's future is closed-form only if nothing keeps
+		// re-corrupting it. armed is permanently nil for one-shot models, so
+		// the gates cost a nil compare on the classic path.
+		if armed == nil && !w.mon.outOfTrace && m.TraceDigest() == g.digests[cyc-1] {
 			kind = ResolveConverge
 			trial.Outcome = OutMatch
 			return trial
 		}
-		if w.cfg.EarlyStop.taintShortcuts() && deadline == 0 && cyc < horizon && m.Quiescent() {
+		if armed == nil && w.cfg.EarlyStop.taintShortcuts() && deadline == 0 && cyc < horizon && m.Quiescent() {
 			kind = ResolveQuiesce
 			return w.finishQuiescent(trial, cyc, horizon, noRetire, itlbCnt)
 		}

@@ -12,8 +12,11 @@ import (
 
 // exportResult is the stable JSON shape of a campaign result.
 type exportResult struct {
-	Benchmark       string                  `json:"benchmark"`
-	Protected       bool                    `json:"protected"`
+	Benchmark string `json:"benchmark"`
+	Protected bool   `json:"protected"`
+	// FaultModel is empty for the default transient-flip model, so
+	// transient exports stay byte-identical to the pre-interface format.
+	FaultModel      string                  `json:"fault_model,omitempty"`
 	MixedProtection bool                    `json:"mixed_protection,omitempty"`
 	TotalCycles     uint64                  `json:"total_cycles"`
 	IPC             float64                 `json:"ipc"`
@@ -66,6 +69,16 @@ type exportScat struct {
 	Trials     int `json:"trials"`
 }
 
+// exportModel maps a Result.Model to its export token: "transient" (and
+// the empty string of hand-built or pre-interface Results) exports as
+// empty, keeping default-model exports byte-identical to the old format.
+func exportModel(model string) string {
+	if model == (TransientFlip{}).String() {
+		return ""
+	}
+	return model
+}
+
 // sortedNames returns the keys of a string-keyed map in ascending order,
 // so every export walks its maps in one canonical order.
 func sortedNames[V any](m map[string]V) []string {
@@ -95,6 +108,7 @@ func (r *Result) WriteJSON(w io.Writer) error {
 	out := exportResult{
 		Benchmark:       r.Benchmark,
 		Protected:       r.Protected,
+		FaultModel:      exportModel(r.Model),
 		MixedProtection: r.MixedProtection,
 		TotalCycles:     r.TotalCycles,
 		IPC:             r.IPC,

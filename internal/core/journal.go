@@ -54,6 +54,7 @@ type journalHeader struct {
 	Protect      string       `json:"protect"`
 	Recovery     int          `json:"recovery"`
 	Prove        bool         `json:"prove,omitempty"`
+	Model        string       `json:"fault_model,omitempty"`
 	Populations  []journalPop `json:"populations"`
 }
 
@@ -81,6 +82,12 @@ func journalHeaderFor(cfg *Config) journalHeader {
 		// resumable. ProveCrossCheck is deliberately absent: the oracle can
 		// only abort a campaign, never change its results.
 		Prove: cfg.Prove == ProveOn,
+		// The fault model decides what every trial injects and simulates.
+		// modelIdent maps TransientFlip (and nil) to "", so omitempty keeps
+		// default-model journals byte-identical to pre-interface ones, which
+		// stay resumable. ModelCrossCheck is absent for the same reason as
+		// ProveCrossCheck: abort-only.
+		Model: modelIdent(cfg.Model),
 	}
 	for _, p := range cfg.Populations {
 		h.Populations = append(h.Populations, journalPop{Name: p.Name, LatchOnly: p.LatchOnly, Trials: p.Trials})
@@ -93,7 +100,7 @@ func (h journalHeader) equal(o journalHeader) bool {
 		h.Checkpoints != o.Checkpoints || h.Horizon != o.Horizon ||
 		h.LockedCycles != o.LockedCycles || h.WarmupCycles != o.WarmupCycles ||
 		h.Protect != o.Protect || h.Recovery != o.Recovery ||
-		h.Prove != o.Prove ||
+		h.Prove != o.Prove || h.Model != o.Model ||
 		len(h.Populations) != len(o.Populations) {
 		return false
 	}

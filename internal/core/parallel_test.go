@@ -136,7 +136,7 @@ func TestMergeMixedProtection(t *testing.T) {
 // not an Int63n panic, when its target population is empty.
 func TestSoftZeroTargets(t *testing.T) {
 	en := &SoftEngine{w: workload.Tiny, ref: &workload.Reference{}}
-	for _, model := range FaultModels() {
+	for _, model := range SoftModels() {
 		if _, err := en.RunModel(model, 1, 1); err == nil {
 			t.Errorf("%s: no error on empty target population", model)
 		}

@@ -97,6 +97,7 @@ func start(ctx context.Context, cfg Config, resume bool) (*Result, error) {
 	res := &Result{
 		Benchmark:   cfg.Workload.Name,
 		Protected:   cfg.Protect.Any(),
+		Model:       resolveModel(cfg.Model).String(),
 		Pops:        make(map[string]*PopResult, len(cfg.Populations)),
 		Scatter:     make(map[string][]ScatterPoint, len(cfg.Populations)),
 		TotalCycles: total,

@@ -10,14 +10,14 @@ import (
 	"pipefault/internal/workload"
 )
 
-// FaultModel enumerates the six Section 5 architectural fault models.
-type FaultModel uint8
+// SoftModel enumerates the six Section 5 architectural fault models.
+type SoftModel uint8
 
 // Fault models (Figure 11).
 const (
 	// ModelRegBit32: single bit flip in the lower 32 bits of the result
 	// of a register write.
-	ModelRegBit32 FaultModel = iota + 1
+	ModelRegBit32 SoftModel = iota + 1
 	// ModelRegBit64: single bit flip anywhere in the 64-bit result.
 	ModelRegBit64
 	// ModelRegRandom: the result of a register write is replaced with 64
@@ -29,10 +29,10 @@ const (
 	ModelNop
 	// ModelBranchFlip: a conditional branch's direction is inverted.
 	ModelBranchFlip
-	NumFaultModels
+	NumSoftModels
 )
 
-func (f FaultModel) String() string {
+func (f SoftModel) String() string {
 	switch f {
 	case ModelRegBit32:
 		return "reg bit 0-31"
@@ -50,9 +50,9 @@ func (f FaultModel) String() string {
 	return fmt.Sprintf("model(%d)", uint8(f))
 }
 
-// FaultModels lists all models in Figure 11 order.
-func FaultModels() []FaultModel {
-	return []FaultModel{ModelRegBit32, ModelRegBit64, ModelRegRandom,
+// SoftModels lists all models in Figure 11 order.
+func SoftModels() []SoftModel {
+	return []SoftModel{ModelRegBit32, ModelRegBit64, ModelRegRandom,
 		ModelInsnBit, ModelNop, ModelBranchFlip}
 }
 
@@ -92,7 +92,7 @@ func (o SoftOutcome) String() string {
 // SoftResult aggregates one software campaign (one workload, one model).
 type SoftResult struct {
 	Benchmark string
-	Model     FaultModel
+	Model     SoftModel
 	Counts    [NumSoftOutcomes]int
 	// DivergedThenConverged counts State OK trials whose committed
 	// control flow differed from the reference before reconverging
@@ -148,7 +148,7 @@ func NewSoftEngine(w *workload.Workload) (*SoftEngine, error) {
 
 // RunModel executes a Section 5 campaign: trials fault injections of the
 // given model into the workload.
-func (en *SoftEngine) RunModel(model FaultModel, trials int, seed int64) (*SoftResult, error) {
+func (en *SoftEngine) RunModel(model SoftModel, trials int, seed int64) (*SoftResult, error) {
 	res := &SoftResult{Benchmark: en.w.Name, Model: model, Trials: trials}
 	rng := rand.New(rand.NewSource(seed))
 	for t := 0; t < trials; t++ {
@@ -165,7 +165,7 @@ func (en *SoftEngine) RunModel(model FaultModel, trials int, seed int64) (*SoftR
 }
 
 // RunSoftware is a convenience wrapper building a one-shot engine.
-func RunSoftware(w *workload.Workload, model FaultModel, trials int, seed int64) (*SoftResult, error) {
+func RunSoftware(w *workload.Workload, model SoftModel, trials int, seed int64) (*SoftResult, error) {
 	en, err := NewSoftEngine(w)
 	if err != nil {
 		return nil, err
@@ -174,7 +174,7 @@ func RunSoftware(w *workload.Workload, model FaultModel, trials int, seed int64)
 }
 
 // softTrial runs one injected execution to completion and classifies it.
-func (en *SoftEngine) softTrial(model FaultModel, rng *rand.Rand) (SoftOutcome, bool, error) {
+func (en *SoftEngine) softTrial(model SoftModel, rng *rand.Rand) (SoftOutcome, bool, error) {
 	cpu, err := en.w.NewCPU()
 	if err != nil {
 		return 0, false, err

@@ -11,7 +11,7 @@ func TestSoftwareCampaignSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, model := range FaultModels() {
+	for _, model := range SoftModels() {
 		model := model
 		t.Run(model.String(), func(t *testing.T) {
 			res, err := en.RunModel(model, 20, 11)

@@ -67,7 +67,7 @@ type stealMsg struct {
 	head       bool
 	validInsns int             // head only
 	proven     []ProvenStratum // head only; nil under ProveOff
-	err        error           // head only; cross-check oracle failure
+	err        error           // cross-check oracle failure (prover on head units, fault model on batches)
 	start      int             // flat index of the batch's first trial
 	trials     []Trial         // batch only
 }
@@ -359,17 +359,27 @@ func (w *worker) runBatch(img *ckImage, batch int, popOf []int) stealMsg {
 		m.BeginJournal()
 	}
 	m.Mem.BeginUndo()
+	// The fault-model cross-check oracle selects its trials by flat index
+	// from a dedicated salted stream, so the same trials are re-checked no
+	// matter which worker serves the batch.
+	sel := w.modelCheckSet(img.ck, len(popOf))
+	msg := stealMsg{ck: img.ck, start: start}
 	trials := make([]Trial, 0, end-start)
 	for i := start; i < end; i++ {
 		pop := w.cfg.Populations[popOf[i]]
 		bit := drawBit(m.F, img.proof, rng, pop.LatchOnly)
-		trials = append(trials, w.runTrialContained(bit, img.ck, i, snap))
+		trial := w.runTrialContained(bit, img.ck, i, snap)
+		if msg.err == nil && sel[i] {
+			msg.err = w.modelCheckTrial(bit, img.ck, i, snap, trial)
+		}
+		trials = append(trials, trial)
 	}
 	if !useSnap {
 		m.CommitJournal()
 	}
 	m.Mem.Rollback()
-	return stealMsg{ck: img.ck, start: start, trials: trials}
+	msg.trials = trials
+	return msg
 }
 
 // runStealWorker is one pool worker's life: take a unit, materialize its
@@ -514,20 +524,21 @@ func runSteal(ctx context.Context, cfg Config, newMachine func() *uarch.Machine,
 			prog.add(end-start, false)
 		}
 	}
-	var proveErr error
+	var oracleErr error
 	for msg := range msgCh {
 		a := &aggs[msg.ck]
-		if msg.head {
-			if msg.err != nil {
-				// Soundness violation: stop dispatching, drain in-flight
-				// units, and surface the first failure. Nothing more is
-				// journaled for this checkpoint, so a resume re-proves it.
-				if proveErr == nil {
-					proveErr = msg.err
-				}
-				pool.abort()
-				continue
+		if msg.err != nil {
+			// Soundness violation (prover oracle on a head unit, fault-model
+			// oracle on a batch): stop dispatching, drain in-flight units,
+			// and surface the first failure. The failing unit is not
+			// journaled, so a resume re-runs — and re-checks — it.
+			if oracleErr == nil {
+				oracleErr = msg.err
 			}
+			pool.abort()
+			continue
+		}
+		if msg.head {
 			a.head = true
 			a.validInsns = msg.validInsns
 			a.proven = msg.proven
@@ -549,8 +560,8 @@ func runSteal(ctx context.Context, cfg Config, newMachine func() *uarch.Machine,
 	if err := guard.get(); err != nil {
 		return nil, err
 	}
-	if proveErr != nil {
-		return nil, proveErr
+	if oracleErr != nil {
+		return nil, oracleErr
 	}
 
 	popStart := popStarts(&cfg)

@@ -274,9 +274,9 @@ func Figure11(results []*core.SoftResult) string {
 	fmt.Fprintf(&sb, "Figure 11. Results of various fault models on software.\n")
 	fmt.Fprintf(&sb, "%-14s %8s %8s %8s %8s %8s %10s\n",
 		"model", "trials", "exc%", "state%", "output%", "bad%", "cf-diverged")
-	type key struct{ m core.FaultModel }
+	type key struct{ m core.SoftModel }
 	agg := map[key]*core.SoftResult{}
-	var order []core.FaultModel
+	var order []core.SoftModel
 	for _, r := range results {
 		k := key{r.Model}
 		a := agg[k]

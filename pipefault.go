@@ -48,8 +48,17 @@ type (
 	Outcome = core.Outcome
 	// FailureMode is the Table 2 failure taxonomy.
 	FailureMode = core.FailureMode
-	// FaultModel is a Section 5 software-level fault model.
+	// FaultModel is a microarchitectural injection fault model (transient
+	// flip, stuck-at, multi-bit; see core.FaultModel).
 	FaultModel = core.FaultModel
+	// TransientFlip is the paper's default model: one transient bit flip.
+	TransientFlip = core.TransientFlip
+	// StuckAt is a windowed, intermittent or permanent stuck-at fault.
+	StuckAt = core.StuckAt
+	// MultiBit is an adjacent-bit multi-bit upset within one entry.
+	MultiBit = core.MultiBit
+	// SoftModel is a Section 5 software-level fault model.
+	SoftModel = core.SoftModel
 	// SoftResult is a software-level campaign result.
 	SoftResult = core.SoftResult
 	// SoftEngine caches a workload profile across software fault models.
@@ -164,12 +173,19 @@ func NewSoftEngine(w *Workload) (*SoftEngine, error) {
 }
 
 // RunSoftware executes one software-level fault-model campaign.
-func RunSoftware(w *Workload, model FaultModel, trials int, seed int64) (*SoftResult, error) {
+func RunSoftware(w *Workload, model SoftModel, trials int, seed int64) (*SoftResult, error) {
 	return core.RunSoftware(w, model, trials, seed)
 }
 
-// FaultModels lists the six Section 5 fault models.
-func FaultModels() []FaultModel { return core.FaultModels() }
+// SoftModels lists the six Section 5 software-level fault models.
+func SoftModels() []SoftModel { return core.SoftModels() }
+
+// ParseFaultModel maps a fault-model flag value (transient, stuck0,
+// stuck1, intermittent, permanent, mbu2) and its duration to a FaultModel
+// for CampaignConfig.Model.
+func ParseFaultModel(name string, duration int) (FaultModel, error) {
+	return core.ParseFaultModel(name, duration)
+}
 
 // AllProtections enables all four Section 4 mechanisms: timeout flush,
 // register file ECC, register-pointer ECC, and instruction-word parity.

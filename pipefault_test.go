@@ -70,8 +70,8 @@ func TestAssembleFacade(t *testing.T) {
 	}
 }
 
-func TestFaultModelsList(t *testing.T) {
-	if got := len(FaultModels()); got != 6 {
+func TestSoftModelsList(t *testing.T) {
+	if got := len(SoftModels()); got != 6 {
 		t.Errorf("fault models = %d, want 6", got)
 	}
 }
